@@ -1,0 +1,127 @@
+// Ablation over the DESIGN.md-called-out format/kernel choices on a suite
+// subset: block-size sweep, strategy 1 vs 2, texture on/off, column
+// compression variants, and the BCCOO vs BCCOO+ slice sweep.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+  const auto dev = bench::device_from_args(args);
+  // Subset: one matrix per structure class unless --matrix given.
+  std::vector<std::string> names =
+      args.has("matrix")
+          ? std::vector<std::string>{args.get("matrix")}
+          : std::vector<std::string>{"Protein", "Epidemiology", "Webbase",
+                                     "LP", "mip1"};
+  const double mult = args.get_double("scale", 0.5);
+
+  for (const auto& name : names) {
+    const auto& e = gen::suite_entry(name);
+    const auto A = e.make(e.bench_scale * mult);
+    const auto x = bench::random_x(A.cols);
+    std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+    std::cout << "=== " << name << " (" << A.nnz() << " nnz, " << dev.name
+              << " model) ===\n";
+
+    auto run_cfg = [&](core::FormatConfig fc, core::ExecConfig ec) {
+      try {
+        core::SpmvEngine eng(A, fc, ec, dev);
+        const auto r = eng.run(x, y);
+        return perf::spmv_gflops(dev, r.stats, A.nnz());
+      } catch (const sim::SimError&) {
+        return 0.0;
+      }
+    };
+
+    // Block-size sweep (strategy 2 defaults).
+    {
+      TablePrinter t({"block", "GFLOPS", "footprint MB"});
+      for (index_t bw : {1, 2, 4}) {
+        for (index_t bh : {1, 2, 3, 4}) {
+          core::FormatConfig fc;
+          fc.block_w = bw;
+          fc.block_h = bh;
+          core::ExecConfig ec;
+          const double g = run_cfg(fc, ec);
+          core::SpmvEngine eng(A, fc, ec, dev);
+          t.add_row({std::to_string(bw) + "x" + std::to_string(bh),
+                     TablePrinter::fmt(g, 1),
+                     bench::mb(eng.footprint_bytes())});
+        }
+      }
+      std::cout << "-- block-size sweep --\n";
+      t.print();
+    }
+
+    // Strategy 1 vs strategy 2 across thread tiles.
+    {
+      TablePrinter t({"tile", "strategy 1", "strategy 2"});
+      for (int tile : {4, 8, 16, 32}) {
+        core::FormatConfig fc;
+        core::ExecConfig e1;
+        e1.strategy = core::Strategy::kIntermediateSums;
+        e1.thread_tile = tile;
+        core::ExecConfig e2;
+        e2.strategy = core::Strategy::kResultCache;
+        e2.thread_tile = tile;
+        t.add_row({std::to_string(tile),
+                   TablePrinter::fmt(run_cfg(fc, e1), 1),
+                   TablePrinter::fmt(run_cfg(fc, e2), 1)});
+      }
+      std::cout << "-- strategy 1 vs 2 --\n";
+      t.print();
+    }
+
+    // Texture, transpose and column-compression toggles.
+    {
+      TablePrinter t({"variant", "GFLOPS"});
+      core::FormatConfig fc;
+      core::ExecConfig base;
+      t.add_row({"baseline (tex, offline, u16 col)",
+                 TablePrinter::fmt(run_cfg(fc, base), 1)});
+      core::ExecConfig notex = base;
+      notex.use_texture = false;
+      t.add_row({"no texture", TablePrinter::fmt(run_cfg(fc, notex), 1)});
+      core::ExecConfig online = base;
+      online.strategy = core::Strategy::kIntermediateSums;
+      online.transpose = core::Transpose::kOnline;
+      t.add_row({"online transpose (s1)",
+                 TablePrinter::fmt(run_cfg(fc, online), 1)});
+      core::ExecConfig intcol = base;
+      intcol.short_col_index = false;
+      t.add_row({"int32 col idx", TablePrinter::fmt(run_cfg(fc, intcol), 1)});
+      core::ExecConfig dcol = base;
+      dcol.compress_col_delta = true;
+      t.add_row({"int16 delta col idx",
+                 TablePrinter::fmt(run_cfg(fc, dcol), 1)});
+      std::cout << "-- toggles --\n";
+      t.print();
+    }
+
+    // BCCOO vs BCCOO+ slice sweep (Section 2.3: more slices = better vector
+    // locality but a bigger temp buffer + combine kernel).
+    {
+      TablePrinter t({"slices", "GFLOPS", "vector hit rate"});
+      for (index_t s : {1, 2, 4, 8, 16, 32}) {
+        core::FormatConfig fc;
+        fc.slices = s;
+        if (ceil_div(A.cols, fc.block_w) < s) continue;
+        core::ExecConfig ec;
+        double g = 0, hit = 0;
+        try {
+          core::SpmvEngine eng(A, fc, ec, dev);
+          const auto r = eng.run(x, y);
+          g = perf::spmv_gflops(dev, r.stats, A.nnz());
+          hit = r.stats.vector_hit_rate();
+        } catch (const sim::SimError&) {
+        }
+        t.add_row({std::to_string(s), TablePrinter::fmt(g, 1),
+                   TablePrinter::fmt(hit * 100, 1) + "%"});
+      }
+      std::cout << "-- BCCOO+ slice sweep --\n";
+      t.print();
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces the Section 4 auto-tuning evaluation: tuning time per matrix
+// with the pruned search (paper: 12.8 s average on a Core2 Quad + GTX680)
+// and the pruned-vs-exhaustive quality comparison (paper: identical on
+// GTX680; two matrices ~10% off on GTX480).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+  const auto dev = bench::device_from_args(args);
+  const auto cases = bench::load_cases(args);
+  const bool with_exhaustive = args.has("exhaustive");
+  bench::print_banner("Section 4: auto-tuning cost and quality (" + dev.name +
+                          " model)" +
+                          (with_exhaustive ? "" :
+                               "  [pass --exhaustive for the pruned-vs-"
+                               "exhaustive comparison]"),
+                      cases);
+
+  TablePrinter t({"Name", "Tune time (s)", "Evaluated", "Skipped",
+                  "Best GFLOPS", "Exhaustive GFLOPS", "Gap %",
+                  "Best config"});
+  double total_time = 0, worst_gap = 0;
+  for (const auto& c : cases) {
+    const auto r = tune::tune(c.matrix, dev);
+    total_time += r.tuning_seconds;
+    double ex_g = 0, gap = 0;
+    if (with_exhaustive) {
+      tune::TuneOptions opt;
+      opt.exhaustive = true;
+      const auto rx = tune::tune(c.matrix, dev, opt);
+      ex_g = rx.best.gflops;
+      gap = (ex_g / std::max(r.best.gflops, 1e-12) - 1.0) * 100.0;
+      worst_gap = std::max(worst_gap, gap);
+    }
+    t.add_row({c.name, TablePrinter::fmt(r.tuning_seconds, 2),
+               std::to_string(r.evaluated), std::to_string(r.skipped),
+               TablePrinter::fmt(r.best.gflops, 1),
+               with_exhaustive ? TablePrinter::fmt(ex_g, 1) : "-",
+               with_exhaustive ? TablePrinter::fmt(gap, 1) : "-",
+               r.best.format.to_string() + " " + r.best.exec.to_string()});
+  }
+  t.print();
+  std::cout << "\nAverage tuning time: "
+            << TablePrinter::fmt(total_time / static_cast<double>(cases.size()),
+                                 2)
+            << " s (paper: 12.8 s on their testbed)\n";
+  if (with_exhaustive) {
+    std::cout << "Worst pruned-vs-exhaustive gap: "
+              << TablePrinter::fmt(worst_gap, 1)
+              << "% (paper: 0% on GTX680; <= 11.1% on GTX480)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every bench binary accepts:
+//   --matrix=<Table 2 name>   run a single matrix (default: all 20)
+//   --scale=<f>               multiply the per-matrix default scale by f
+//                             (--scale=1 keeps defaults; larger = bigger
+//                             instances; the per-matrix defaults target a
+//                             1-core CI machine)
+//   --device=gtx680|gtx480    device model where applicable
+//   --mtx=<path>              load a Matrix Market file instead of the suite
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "yaspmv/baselines/clspmv.hpp"
+#include "yaspmv/baselines/coo_cusp.hpp"
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/io/matrix_market.hpp"
+#include "yaspmv/perf/model.hpp"
+#include "yaspmv/tune/tuner.hpp"
+#include "yaspmv/util/args.hpp"
+#include "yaspmv/util/rng.hpp"
+#include "yaspmv/util/stopwatch.hpp"
+#include "yaspmv/util/table.hpp"
+
+namespace yaspmv::bench {
+
+struct MatrixCase {
+  std::string name;
+  fmt::Coo matrix;
+};
+
+inline sim::DeviceSpec device_from_args(const Args& args) {
+  const std::string d = args.get("device", "gtx680");
+  if (d == "gtx480") return sim::gtx480();
+  if (d == "gtx680") return sim::gtx680();
+  throw std::invalid_argument("unknown device: " + d);
+}
+
+/// Loads the requested matrices: a single --mtx file, a single --matrix
+/// suite entry, or the full 20-matrix Table 2 suite at bench scale.
+inline std::vector<MatrixCase> load_cases(const Args& args) {
+  std::vector<MatrixCase> out;
+  if (args.has("mtx")) {
+    out.push_back({args.get("mtx"),
+                   io::read_matrix_market_file(args.get("mtx"))});
+    return out;
+  }
+  const double mult = args.get_double("scale", 0.5);
+  const std::string only = args.get("matrix", "");
+  for (const auto& e : gen::suite()) {
+    if (!only.empty() && e.name != only) continue;
+    out.push_back({e.name, e.make(e.bench_scale * mult)});
+  }
+  require(!out.empty(), "no matrix selected (check --matrix spelling)");
+  return out;
+}
+
+inline std::vector<real_t> random_x(index_t cols, std::uint64_t seed = 0x5eed) {
+  SplitMix64 rng(seed);
+  std::vector<real_t> x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  return x;
+}
+
+/// Tunes and runs yaSpMV on one matrix; returns (gflops, tune result).
+struct YaspmvRun {
+  tune::TuneResult tuned;
+  double gflops = 0;
+  std::size_t footprint = 0;
+};
+
+inline YaspmvRun run_yaspmv(const fmt::Coo& a, const sim::DeviceSpec& dev,
+                            const tune::TuneOptions& topt = {}) {
+  YaspmvRun out;
+  out.tuned = tune::tune(a, dev, topt);
+  core::SpmvEngine eng(a, out.tuned.best.format, out.tuned.best.exec, dev);
+  const auto x = random_x(a.cols);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  const auto run = eng.run(x, y);
+  out.gflops = perf::spmv_gflops(dev, run.stats, a.nnz());
+  out.footprint = eng.footprint_bytes();
+  return out;
+}
+
+inline std::string mb(std::size_t bytes) {
+  if (bytes == std::numeric_limits<std::size_t>::max()) return "N/A";
+  return TablePrinter::fmt(static_cast<double>(bytes) / 1e6, 1);
+}
+
+/// Prints the standard bench banner with the effective matrix sizes so the
+/// reader can relate scaled instances to the paper's Table 2.
+inline void print_banner(const std::string& what,
+                         const std::vector<MatrixCase>& cases) {
+  std::cout << "=== " << what << " ===\n"
+            << "(synthetic Table 2 suite; instances are scaled-down with "
+               "preserved per-row statistics — pass --scale=2 or more for "
+               "bigger instances, --mtx=<file> for real matrices)\n"
+            << cases.size() << " matrices\n\n";
+}
+
+}  // namespace yaspmv::bench

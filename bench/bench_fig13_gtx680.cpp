@@ -1,0 +1,8 @@
+// Reproduces Figure 13: yaSpMV vs CUSPARSE V5.0, CUSP, clSpMV best-single
+// and clSpMV COCKTAIL on the GTX680 model.
+#include "bench_figure_perf.hpp"
+
+int main(int argc, char** argv) {
+  return yaspmv::bench::run_figure_perf(argc, argv, yaspmv::sim::gtx680(),
+                                        "Figure 13", 65, 70, 88, 150);
+}

@@ -1,0 +1,107 @@
+// Reproduces Figure 14: performance contribution of each optimization on
+// the GTX680 model.  Stages (cumulative):
+//   1. "COO"        — COO format + tree-based segmented sum (two kernels)
+//   2. "BCCOO"      — BCCOO/BCCOO+ format, still tree-based scan
+//   3. "Efficient segmented sum/scan" — the paper's matrix-based kernel,
+//                      but a second kernel for cross-workgroup sums
+//   4. "Adjacent synchronization"     — single kernel, Grp_sum chain
+//   5. "Fine-grain optimizations"     — short col indices + skip-scan check
+// Shape target: monotone non-decreasing means, with the biggest jumps from
+// stages 2 and 3.
+#include "bench_common.hpp"
+
+#include "yaspmv/core/kernels_tree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+  const auto dev = bench::device_from_args(args);
+  const auto cases = bench::load_cases(args);
+  bench::print_banner(
+      "Figure 14: performance contributions of the optimizations (" +
+          dev.name + " model)",
+      cases);
+
+  TablePrinter t({"Name", "COO", "BCCOO", "Eff. segsum", "Adj. sync",
+                  "Fine-grain"});
+  std::vector<double> g1, g2, g3, g4, g5;
+  for (const auto& c : cases) {
+    const auto& A = c.matrix;
+    const auto x = bench::random_x(A.cols);
+    std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+
+    // Stage 1: COO + tree-based segmented sum.
+    const auto coo = baseline::run_coo_tree(A, dev, x, y);
+    const double s1 = perf::spmv_gflops(dev, coo.stats, A.nnz());
+
+    // Tune once; later stages reuse the tuned format/exec.
+    const auto tuned = tune::tune(A, dev).best;
+
+    // Stage 2: BCCOO format + tree-based scan (thread_tile = 1) + carry
+    // kernel.
+    double s2 = 0;
+    {
+      auto m = std::make_shared<const core::Bccoo>(
+          core::Bccoo::build(A, tuned.format));
+      core::ExecConfig ec;
+      ec.thread_tile = 1;
+      ec.workgroup_size = 256;
+      ec.short_col_index = false;
+      const auto p = core::BccooPlan::build(*m, ec);
+      std::vector<real_t> xp(
+          static_cast<std::size_t>(m->block_cols) *
+              static_cast<std::size_t>(m->cfg.block_w),
+          0.0);
+      std::copy(x.begin(), x.end(), xp.begin());
+      std::vector<real_t> res(
+          static_cast<std::size_t>(m->stacked_block_rows) *
+              static_cast<std::size_t>(m->cfg.block_h),
+          0.0);
+      core::WgTails tails;
+      auto st = core::run_spmv_bccoo_tree(p, dev, xp, res, &tails);
+      st += core::run_carry_kernel(p, dev, tails, res);
+      if (m->cfg.slices > 1) {
+        std::vector<real_t> yy(static_cast<std::size_t>(A.rows));
+        st += core::run_combine_kernel(*m, dev, ec, res, yy);
+      }
+      s2 = perf::spmv_gflops(dev, st, A.nnz());
+    }
+
+    auto run_with = [&](bool adjacent, bool fine_grain) {
+      core::ExecConfig ec = tuned.exec;
+      ec.adjacent_sync = adjacent;
+      ec.skip_scan_opt = fine_grain;
+      ec.short_col_index = fine_grain;
+      if (!fine_grain) ec.compress_col_delta = false;
+      core::SpmvEngine eng(A, tuned.format, ec, dev);
+      const auto r = eng.run(x, y);
+      return perf::spmv_gflops(dev, r.stats, A.nnz());
+    };
+    const double s3 = run_with(false, false);
+    const double s4 = run_with(true, false);
+    const double s5 = run_with(true, true);
+
+    t.add_row({c.name, TablePrinter::fmt(s1, 1), TablePrinter::fmt(s2, 1),
+               TablePrinter::fmt(s3, 1), TablePrinter::fmt(s4, 1),
+               TablePrinter::fmt(s5, 1)});
+    g1.push_back(s1);
+    g2.push_back(s2);
+    g3.push_back(s3);
+    g4.push_back(s4);
+    g5.push_back(s5);
+  }
+  t.print();
+
+  auto hm = [](const std::vector<double>& v) {
+    return perf::harmonic_mean(v.data(), v.size());
+  };
+  std::cout << "\nH-mean GFLOPS by stage: COO="
+            << TablePrinter::fmt(hm(g1), 1)
+            << "  +BCCOO=" << TablePrinter::fmt(hm(g2), 1)
+            << "  +efficient segsum=" << TablePrinter::fmt(hm(g3), 1)
+            << "  +adjacent sync=" << TablePrinter::fmt(hm(g4), 1)
+            << "  +fine-grain=" << TablePrinter::fmt(hm(g5), 1) << "\n"
+            << "(paper shape: each stage >= previous; largest gains from "
+               "BCCOO format and the efficient segmented sum/scan)\n";
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 15: the Figure 13 comparison on the GTX480 model.
+#include "bench_figure_perf.hpp"
+
+int main(int argc, char** argv) {
+  return yaspmv::bench::run_figure_perf(argc, argv, yaspmv::sim::gtx480(),
+                                        "Figure 15", 42, 40, 60, 74);
+}

@@ -1,0 +1,93 @@
+// Shared driver for Figures 13 and 15: modeled GFLOPS of yaSpMV vs
+// CUSPARSE / CUSP / clSpMV best-single / clSpMV COCKTAIL over the suite on
+// one device, with the paper's harmonic-mean summary.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace yaspmv::bench {
+
+inline int run_figure_perf(int argc, char** argv, sim::DeviceSpec dev,
+                           const std::string& figure,
+                           double paper_vs_cusparse_pct,
+                           double paper_vs_cocktail_pct,
+                           double paper_vs_single_pct,
+                           double paper_vs_cusp_pct) {
+  const Args args(argc, argv);
+  if (args.has("device")) dev = device_from_args(args);
+  const auto cases = load_cases(args);
+  print_banner(figure + ": SpMV throughput (modeled GFLOPS, " + dev.name +
+                   " model)",
+               cases);
+
+  TablePrinter t({"Name", "CUSPARSE", "CUSP", "clSpMV single",
+                  "clSpMV COCKTAIL", "yaSpMV", "best config"});
+  std::vector<double> g_cusparse, g_cusp, g_single, g_cocktail, g_ya;
+  std::size_t ya_wins = 0;
+  std::vector<std::string> losses;
+  for (const auto& c : cases) {
+    const auto& A = c.matrix;
+    const auto x = random_x(A.cols);
+    std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+
+    const auto cusparse = baseline::run_cusparse(A, dev, x, y);
+    const auto cusp = baseline::run_coo_tree(A, dev, x, y, 256, 1,
+                                             /*tree_scan=*/false);
+    const double cusp_g = perf::spmv_gflops(dev, cusp.stats, A.nnz());
+    const auto single = baseline::best_single(A, dev, x, y);
+    const auto cocktail = baseline::run_cocktail(A, dev, x, y);
+    const auto ya = run_yaspmv(A, dev);
+
+    t.add_row({c.name, TablePrinter::fmt(cusparse.gflops, 1),
+               TablePrinter::fmt(cusp_g, 1),
+               TablePrinter::fmt(single.gflops, 1),
+               TablePrinter::fmt(cocktail.gflops, 1),
+               TablePrinter::fmt(ya.gflops, 1),
+               ya.tuned.best.format.to_string() + " " +
+                   ya.tuned.best.exec.to_string()});
+    g_cusparse.push_back(cusparse.gflops);
+    g_cusp.push_back(cusp_g);
+    g_single.push_back(single.gflops);
+    g_cocktail.push_back(cocktail.gflops);
+    g_ya.push_back(ya.gflops);
+    const double best_other = std::max(
+        {cusparse.gflops, cusp_g, single.gflops, cocktail.gflops});
+    if (ya.gflops >= best_other) {
+      ++ya_wins;
+    } else {
+      losses.push_back(c.name);
+    }
+  }
+  t.print();
+
+  auto hm = [](const std::vector<double>& v) {
+    return perf::harmonic_mean(v.data(), v.size());
+  };
+  const double h_ya = hm(g_ya);
+  std::cout << "\nH-mean GFLOPS: CUSPARSE=" << TablePrinter::fmt(hm(g_cusparse), 1)
+            << " CUSP=" << TablePrinter::fmt(hm(g_cusp), 1)
+            << " single=" << TablePrinter::fmt(hm(g_single), 1)
+            << " COCKTAIL=" << TablePrinter::fmt(hm(g_cocktail), 1)
+            << " yaSpMV=" << TablePrinter::fmt(h_ya, 1) << "\n";
+  std::cout << "yaSpMV h-mean improvement: vs CUSPARSE "
+            << TablePrinter::fmt((h_ya / hm(g_cusparse) - 1) * 100, 0)
+            << "% (paper: " << paper_vs_cusparse_pct << "%), vs COCKTAIL "
+            << TablePrinter::fmt((h_ya / hm(g_cocktail) - 1) * 100, 0)
+            << "% (paper: " << paper_vs_cocktail_pct << "%), vs best single "
+            << TablePrinter::fmt((h_ya / hm(g_single) - 1) * 100, 0)
+            << "% (paper: " << paper_vs_single_pct << "%), vs CUSP "
+            << TablePrinter::fmt((h_ya / hm(g_cusp) - 1) * 100, 0)
+            << "% (paper: " << paper_vs_cusp_pct << "%)\n";
+  std::cout << "yaSpMV fastest on " << ya_wins << "/" << g_ya.size()
+            << " matrices";
+  if (!losses.empty()) {
+    std::cout << " (loses on:";
+    for (const auto& l : losses) std::cout << ' ' << l;
+    std::cout << ")";
+  }
+  std::cout << "\n(paper: wins all but Dense on GTX680 / all but "
+               "Epidemiology on GTX480)\n";
+  return 0;
+}
+
+}  // namespace yaspmv::bench

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the host-side primitives: format
+// construction, plan building, the simulated kernels and the scan
+// substrate.  These measure *real CPU time* of this implementation (unlike
+// the figure benches, which report modeled device time).
+#include <benchmark/benchmark.h>
+
+#include "yaspmv/baselines/baselines.hpp"
+#include "yaspmv/baselines/coo_cusp.hpp"
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/scan/scan.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace {
+
+using namespace yaspmv;
+
+const fmt::Coo& test_matrix() {
+  static const fmt::Coo m = gen::fem_mesh(12000, 54, 3, 0.02, 0xBE);
+  return m;
+}
+
+void BM_BccooBuild(benchmark::State& state) {
+  const auto& A = test_matrix();
+  core::FormatConfig fc;
+  fc.block_w = static_cast<index_t>(state.range(0));
+  fc.block_h = static_cast<index_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Bccoo::build(A, fc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(A.nnz()));
+}
+BENCHMARK(BM_BccooBuild)->Args({1, 1})->Args({2, 2})->Args({4, 4});
+
+void BM_PlanBuild(benchmark::State& state) {
+  const auto& A = test_matrix();
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  const auto m = core::Bccoo::build(A, fc);
+  core::ExecConfig ec;
+  ec.thread_tile = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BccooPlan::build(m, ec));
+  }
+}
+BENCHMARK(BM_PlanBuild)->Arg(4)->Arg(16);
+
+void BM_SimulatedSpmv(benchmark::State& state) {
+  const auto& A = test_matrix();
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  core::ExecConfig ec;
+  ec.strategy = state.range(0) == 1 ? core::Strategy::kIntermediateSums
+                                    : core::Strategy::kResultCache;
+  core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(A.nnz()));
+}
+BENCHMARK(BM_SimulatedSpmv)->Arg(1)->Arg(2);
+
+void BM_HostCsrSpmv(benchmark::State& state) {
+  const auto csr = fmt::Csr::from_coo(test_matrix());
+  std::vector<real_t> x(static_cast<std::size_t>(csr.cols), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(csr.rows));
+  for (auto _ : state) {
+    csr.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.nnz()));
+}
+BENCHMARK(BM_HostCsrSpmv);
+
+void BM_HostBccooReferenceSpmv(benchmark::State& state) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  const auto m = core::Bccoo::build(test_matrix(), fc);
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows));
+  for (auto _ : state) {
+    m.spmv_reference(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_matrix().nnz()));
+}
+BENCHMARK(BM_HostBccooReferenceSpmv);
+
+void BM_SegmentedScanSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SplitMix64 rng(1);
+  std::vector<double> in(n), out(n);
+  std::vector<std::uint8_t> heads(n);
+  for (auto& v : in) v = rng.next_double(-1, 1);
+  for (auto& h : heads) h = rng.next_double() < 0.1 ? 1 : 0;
+  for (auto _ : state) {
+    scan::segmented_inclusive_scan<double>(in, heads, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentedScanSerial)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CooTreeBaseline(benchmark::State& state) {
+  const auto& A = test_matrix();
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::run_coo_tree(A, sim::gtx680(), x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(A.nnz()));
+}
+BENCHMARK(BM_CooTreeBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

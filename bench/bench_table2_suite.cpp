@@ -1,0 +1,40 @@
+// Reproduces Table 2: the evaluation suite and its statistics.  Prints both
+// the paper's full-size numbers and the statistics of the generated
+// (scaled) instances used by the rest of the harness.
+#include "bench_common.hpp"
+
+#include "yaspmv/formats/csr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+  const auto cases = bench::load_cases(args);
+  bench::print_banner("Table 2: sparse matrix suite", cases);
+
+  TablePrinter t({"Name", "Paper size", "Paper NNZ", "Paper NNZ/row",
+                  "Gen size", "Gen NNZ", "Gen NNZ/row"});
+  for (const auto& c : cases) {
+    const auto* e = [&]() -> const gen::SuiteEntry* {
+      for (const auto& s : gen::suite()) {
+        if (s.name == c.name) return &s;
+      }
+      return nullptr;
+    }();
+    const double npr =
+        c.matrix.rows
+            ? static_cast<double>(c.matrix.nnz()) /
+                  static_cast<double>(c.matrix.rows)
+            : 0.0;
+    t.add_row({c.name,
+               e ? std::to_string(e->full_rows) + "x" +
+                       std::to_string(e->full_cols)
+                 : "-",
+               e ? std::to_string(e->full_nnz) : "-",
+               e ? TablePrinter::fmt(e->full_nnz_per_row, 0) : "-",
+               std::to_string(c.matrix.rows) + "x" +
+                   std::to_string(c.matrix.cols),
+               std::to_string(c.matrix.nnz()), TablePrinter::fmt(npr, 1)});
+  }
+  t.print();
+  return 0;
+}

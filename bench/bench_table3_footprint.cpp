@@ -1,0 +1,62 @@
+// Reproduces Table 3: memory footprint (MB) of COO, ELL, the clSpMV best
+// single format, the COCKTAIL format, and BCCOO per matrix, plus the
+// averages.  Shape targets (paper, full size): BCCOO smallest on almost all
+// matrices; averages ordered COO > BCCOO-less-singles > COCKTAIL > BCCOO
+// (122 / 106 / 93 / 73 MB at paper scale).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+  const auto dev = bench::device_from_args(args);
+  const auto cases = bench::load_cases(args);
+  bench::print_banner("Table 3: memory footprint (MB) per format", cases);
+
+  TablePrinter t({"Name", "COO", "ELL", "Cocktail Single", "COCKTAIL",
+                  "BCCOO"});
+  double sum_coo = 0, sum_single = 0, sum_cocktail = 0, sum_bccoo = 0;
+  std::size_t n = 0, bccoo_wins = 0;
+  for (const auto& c : cases) {
+    const auto& A = c.matrix;
+    const auto x = bench::random_x(A.cols);
+    std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+
+    const std::size_t coo_fp = A.footprint_bytes();
+    const std::size_t ell_fp = baseline::ell_footprint_analytic(A);
+    const auto single = baseline::best_single(A, dev, x, y);
+    const auto cocktail = baseline::run_cocktail(A, dev, x, y);
+    const auto ya = bench::run_yaspmv(A, dev);
+
+    t.add_row({c.name, bench::mb(coo_fp), bench::mb(ell_fp),
+               bench::mb(single.footprint), bench::mb(cocktail.footprint),
+               bench::mb(ya.footprint)});
+    sum_coo += static_cast<double>(coo_fp);
+    sum_single += static_cast<double>(single.footprint);
+    sum_cocktail += static_cast<double>(cocktail.footprint);
+    sum_bccoo += static_cast<double>(ya.footprint);
+    ++n;
+    if (ya.footprint <= single.footprint &&
+        ya.footprint <= cocktail.footprint) {
+      ++bccoo_wins;
+    }
+  }
+  const auto dn = static_cast<double>(n);
+  t.add_row({"Average", bench::mb(static_cast<std::size_t>(sum_coo / dn)),
+             "N/A", bench::mb(static_cast<std::size_t>(sum_single / dn)),
+             bench::mb(static_cast<std::size_t>(sum_cocktail / dn)),
+             bench::mb(static_cast<std::size_t>(sum_bccoo / dn))});
+  t.print();
+
+  std::cout << "\nBCCOO storage reduction vs COO: "
+            << TablePrinter::fmt((1.0 - sum_bccoo / sum_coo) * 100, 1)
+            << "% (paper: 40%)\n"
+            << "BCCOO storage reduction vs best single: "
+            << TablePrinter::fmt((1.0 - sum_bccoo / sum_single) * 100, 1)
+            << "% (paper: 31%)\n"
+            << "BCCOO storage reduction vs COCKTAIL: "
+            << TablePrinter::fmt((1.0 - sum_bccoo / sum_cocktail) * 100, 1)
+            << "% (paper: 21%)\n"
+            << "BCCOO smallest on " << bccoo_wins << "/" << n
+            << " matrices\n";
+  return 0;
+}

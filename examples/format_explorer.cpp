@@ -1,0 +1,120 @@
+// Format explorer: inspect any matrix (a Table 2 suite entry or a Matrix
+// Market file) — structure statistics, the footprint of every format in the
+// library, the clSpMV/CUSPARSE proxy choices, and the auto-tuned yaSpMV
+// configuration for both device models.
+//
+//   ./format_explorer --matrix=Protein
+//   ./format_explorer --mtx=/path/to/matrix.mtx [--scale=0.5]
+#include <iostream>
+
+#include "yaspmv/baselines/clspmv.hpp"
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/formats/blocked.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/dia.hpp"
+#include "yaspmv/formats/ell.hpp"
+#include "yaspmv/formats/hyb.hpp"
+#include "yaspmv/formats/sell.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/io/matrix_market.hpp"
+#include "yaspmv/tune/tuner.hpp"
+#include "yaspmv/util/args.hpp"
+#include "yaspmv/util/rng.hpp"
+#include "yaspmv/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  const Args args(argc, argv);
+
+  fmt::Coo A;
+  std::string name;
+  if (args.has("mtx")) {
+    name = args.get("mtx");
+    A = io::read_matrix_market_file(name);
+  } else {
+    name = args.get("matrix", "Protein");
+    const auto& e = gen::suite_entry(name);
+    A = e.make(e.bench_scale * args.get_double("scale", 0.5));
+  }
+  const auto csr = fmt::Csr::from_coo(A);
+
+  std::cout << "=== " << name << " ===\n"
+            << A.rows << " x " << A.cols << ", " << A.nnz() << " non-zeros, "
+            << (A.rows ? static_cast<double>(A.nnz()) /
+                             static_cast<double>(A.rows)
+                       : 0)
+            << " nnz/row (max row " << csr.max_row_len() << ")\n"
+            << "occupied diagonals: " << fmt::Dia::count_diagonals(csr)
+            << ", ELL padding ratio: " << fmt::Ell::padding_ratio(csr) << "\n";
+
+  std::cout << "\nBlock fill ratios (stored values / non-zeros):\n";
+  {
+    TablePrinter t({"block", "fill", "blocks"});
+    for (index_t bw : {1, 2, 4}) {
+      for (index_t bh : {1, 2, 3, 4}) {
+        t.add_row({std::to_string(bw) + "x" + std::to_string(bh),
+                   TablePrinter::fmt(
+                       fmt::BlockDecomposition::fill_ratio(A, bw, bh), 3),
+                   std::to_string(
+                       fmt::BlockDecomposition::count_blocks(A, bw, bh))});
+      }
+    }
+    t.print();
+  }
+
+  std::cout << "\nFormat footprints:\n";
+  {
+    TablePrinter t({"format", "bytes", "vs COO"});
+    const double coo_fp = static_cast<double>(A.footprint_bytes());
+    auto row = [&](const std::string& n2, std::size_t fp) {
+      t.add_row({n2, std::to_string(fp),
+                 TablePrinter::fmt(static_cast<double>(fp) / coo_fp, 2) +
+                     "x"});
+    };
+    row("COO", A.footprint_bytes());
+    row("CSR", csr.footprint_bytes());
+    const auto ell_fp = baseline::ell_footprint_analytic(A);
+    if (ell_fp != std::numeric_limits<std::size_t>::max()) {
+      row("ELL", ell_fp);
+    } else {
+      t.add_row({"ELL", "N/A", "-"});
+    }
+    row("SELL(32)", fmt::SEll::from_csr(csr, 32).footprint_bytes());
+    row("HYB", fmt::Hyb::from_csr(csr).footprint_bytes());
+    if (fmt::Dia::count_diagonals(csr) <= 512) {
+      row("DIA", fmt::Dia::from_csr(csr).footprint_bytes());
+    }
+    for (auto [bw, bh] : {std::pair<index_t, index_t>{2, 2}, {4, 4}}) {
+      if (fmt::BlockDecomposition::fill_ratio(A, bw, bh) < 2.0) {
+        row("BCSR(" + std::to_string(bw) + "x" + std::to_string(bh) + ")",
+            fmt::Bcsr::from_coo(A, bw, bh).footprint_bytes());
+      }
+    }
+    for (index_t slices : {1, 4}) {
+      core::FormatConfig fc;
+      fc.slices = slices;
+      const auto m = core::Bccoo::build(A, fc);
+      row(slices == 1 ? "BCCOO(1x1)" : "BCCOO+(1x1, 4 slices)",
+          m.footprint_bytes(m.block_cols <= 65535));
+    }
+    t.print();
+  }
+
+  for (const auto& dev : {sim::gtx680(), sim::gtx480()}) {
+    const auto r = tune::tune(A, dev);
+    std::cout << "\nAuto-tuned for " << dev.name << " ("
+              << TablePrinter::fmt(r.tuning_seconds, 2) << " s, "
+              << r.evaluated << " configs, " << r.skipped << " skipped):\n"
+              << "  " << r.best.format.to_string() << " | "
+              << r.best.exec.to_string() << "\n"
+              << "  modeled " << TablePrinter::fmt(r.best.gflops, 1)
+              << " GFLOPS, footprint " << r.best.footprint << " bytes\n";
+    std::cout << "  runners-up:\n";
+    for (std::size_t i = 1; i < std::min<std::size_t>(r.top.size(), 4); ++i) {
+      std::cout << "    " << TablePrinter::fmt(r.top[i].gflops, 1) << "  "
+                << r.top[i].format.to_string() << " | "
+                << r.top[i].exec.to_string() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,393 @@
+// Baseline SpMV kernels on the simulated device — the comparators of
+// Figures 13/15 re-implemented from scratch on the same substrate:
+//
+//   csr_scalar  — one thread per row (naive CSR; heavy divergence and
+//                 uncoalesced access)
+//   csr_vector  — one warp per row (CUSPARSE CSR proxy)
+//   ell / ellr  — one thread per row over the padded column-major arrays
+//   sell        — sliced ELL (Monakov et al.)
+//   dia         — one thread per row over dense diagonals
+//   hyb         — ELL part + COO remainder (CUSPARSE HYB proxy)
+//   bcsr / bell — blocked variants (Choi et al.; CUSPARSE BSR proxy)
+//
+// Each kernel computes the true y (validated against the CSR reference in
+// the tests) while filling KernelStats with its memory/compute/divergence
+// profile for the performance model.  Traversal visits warps in the order
+// the hardware would issue them so the vector-cache simulation sees a
+// realistic access stream.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "yaspmv/formats/bdia.hpp"
+#include "yaspmv/formats/blocked.hpp"
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/dia.hpp"
+#include "yaspmv/formats/ell.hpp"
+#include "yaspmv/formats/hyb.hpp"
+#include "yaspmv/formats/sbell.hpp"
+#include "yaspmv/formats/sell.hpp"
+#include "yaspmv/sim/coalescing.hpp"
+#include "yaspmv/sim/counters.hpp"
+#include "yaspmv/sim/device.hpp"
+
+namespace yaspmv::baseline {
+
+struct BaselineRun {
+  sim::KernelStats stats;
+};
+
+namespace detail {
+
+inline sim::VectorCacheSim make_vcache(const sim::DeviceSpec& dev) {
+  return sim::VectorCacheSim(dev.vector_cache_bytes(true),
+                             dev.cache_line_bytes, bytes::kValue);
+}
+
+}  // namespace detail
+
+/// One thread per row.  Lanes of a warp stream *different* rows, so value /
+/// column loads are uncoalesced (strided by the row length) and warp time is
+/// the longest row in the warp.
+inline BaselineRun run_csr_scalar(const fmt::Csr& m,
+                                  const sim::DeviceSpec& dev,
+                                  std::span<const real_t> x,
+                                  std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  const int warp = dev.warp_size;
+  std::vector<std::size_t> lane_work(static_cast<std::size_t>(warp));
+  std::vector<std::size_t> val_addr(static_cast<std::size_t>(warp));
+  std::vector<std::size_t> col_addr(static_cast<std::size_t>(warp));
+  for (index_t w0 = 0; w0 < m.rows; w0 += warp) {
+    const index_t w1 = std::min<index_t>(m.rows, w0 + warp);
+    index_t maxlen = 0;
+    for (index_t r2 = w0; r2 < w1; ++r2) {
+      lane_work[static_cast<std::size_t>(r2 - w0)] =
+          static_cast<std::size_t>(m.row_len(r2));
+      maxlen = std::max(maxlen, m.row_len(r2));
+    }
+    for (index_t lane = w1 - w0; lane < warp; ++lane) {
+      lane_work[static_cast<std::size_t>(lane)] = 0;
+    }
+    st.add_warp_work(lane_work.data(), warp);
+    // Lockstep element steps: at step k lane r reads element k of its row;
+    // exact transaction counting over the lanes' byte addresses (this is
+    // CSR-scalar's uncoalesced-access cost).
+    for (index_t k = 0; k < maxlen; ++k) {
+      for (index_t r2 = w0; r2 < w1; ++r2) {
+        const std::size_t lane = static_cast<std::size_t>(r2 - w0);
+        if (k < m.row_len(r2)) {
+          const auto p = static_cast<std::size_t>(
+              m.row_ptr[static_cast<std::size_t>(r2)] + k);
+          vc.access(static_cast<std::size_t>(m.col_idx[p]), st);
+          val_addr[lane] = p * bytes::kValue;
+          col_addr[lane] = p * bytes::kIndex;
+        } else {
+          val_addr[lane] = sim::kInactiveLane;
+          col_addr[lane] = sim::kInactiveLane;
+        }
+      }
+      for (index_t lane = w1 - w0; lane < warp; ++lane) {
+        val_addr[static_cast<std::size_t>(lane)] = sim::kInactiveLane;
+        col_addr[static_cast<std::size_t>(lane)] = sim::kInactiveLane;
+      }
+      sim::charge_warp_load(st, val_addr);
+      sim::charge_warp_load(st, col_addr);
+    }
+    for (index_t r2 = w0; r2 < w1; ++r2) {
+      real_t acc = 0.0;
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r2)];
+           p < m.row_ptr[static_cast<std::size_t>(r2) + 1]; ++p) {
+        acc += m.vals[static_cast<std::size_t>(p)] *
+               x[static_cast<std::size_t>(m.col_idx[static_cast<std::size_t>(p)])];
+      }
+      y[static_cast<std::size_t>(r2)] = acc;
+      st.flops += 2 * static_cast<std::size_t>(m.row_len(r2));
+    }
+  }
+  st.add_coalesced_load(static_cast<std::size_t>(m.rows) + 1, bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(m.rows), bytes::kValue);
+  return r;
+}
+
+/// One warp per row (CUSPARSE csrmv proxy): coalesced within the row, lanes
+/// idle when the row is shorter than the warp, log-step shuffle reduction.
+inline BaselineRun run_csr_vector(const fmt::Csr& m,
+                                  const sim::DeviceSpec& dev,
+                                  std::span<const real_t> x,
+                                  std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  const int warp = dev.warp_size;
+  std::vector<std::size_t> lane_work(static_cast<std::size_t>(warp));
+  for (index_t row = 0; row < m.rows; ++row) {
+    const index_t len = m.row_len(row);
+    const index_t steps = ceil_div(len, static_cast<index_t>(warp));
+    for (int lane = 0; lane < warp; ++lane) {
+      lane_work[static_cast<std::size_t>(lane)] =
+          static_cast<std::size_t>(std::max<index_t>(
+              0, std::min<index_t>(steps,
+                                   ceil_div(len - lane, warp))));
+    }
+    st.add_warp_work(lane_work.data(), warp);
+    real_t acc = 0.0;
+    for (index_t p = m.row_ptr[static_cast<std::size_t>(row)];
+         p < m.row_ptr[static_cast<std::size_t>(row) + 1]; ++p) {
+      const auto c =
+          static_cast<std::size_t>(m.col_idx[static_cast<std::size_t>(p)]);
+      vc.access(c, st);
+      acc += m.vals[static_cast<std::size_t>(p)] * x[c];
+    }
+    y[static_cast<std::size_t>(row)] = acc;
+    st.flops += 2 * static_cast<std::size_t>(len) +
+                5 /* warp shuffle reduction */;
+  }
+  st.add_coalesced_load(m.nnz(), bytes::kValue);
+  st.add_coalesced_load(m.nnz(), bytes::kIndex);
+  st.add_coalesced_load(static_cast<std::size_t>(m.rows) + 1, bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(m.rows), bytes::kValue);
+  return r;
+}
+
+/// One thread per row over the padded column-major ELL arrays: perfectly
+/// coalesced and balanced, but reads the padding too.
+inline BaselineRun run_ell(const fmt::Ell& e, const sim::DeviceSpec& dev,
+                           std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  for (index_t k = 0; k < e.width; ++k) {
+    for (index_t row = 0; row < e.rows; ++row) {
+      const std::size_t slot = static_cast<std::size_t>(k) *
+                                   static_cast<std::size_t>(e.rows) +
+                               static_cast<std::size_t>(row);
+      const index_t c = e.col_idx[slot];
+      if (c >= 0) {
+        vc.access(static_cast<std::size_t>(c), st);
+        y[static_cast<std::size_t>(row)] =
+            (k == 0 ? 0.0 : y[static_cast<std::size_t>(row)]) +
+            e.vals[slot] * x[static_cast<std::size_t>(c)];
+        st.flops += 2;
+      } else if (k == 0) {
+        y[static_cast<std::size_t>(row)] = 0.0;
+      }
+    }
+  }
+  if (e.width == 0) std::fill(y.begin(), y.end(), 0.0);
+  st.add_coalesced_load(e.nnz_stored(), bytes::kValue);
+  st.add_coalesced_load(e.nnz_stored(), bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(e.rows), bytes::kValue);
+  return r;
+}
+
+/// SELL: like ELL but per-slice widths; work within a warp is balanced by
+/// the slice's max row, across slices it varies (no global padding).
+inline BaselineRun run_sell(const fmt::SEll& s, const sim::DeviceSpec& dev,
+                            std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  s.spmv(x, y);
+  for (index_t sl = 0; sl < s.num_slices(); ++sl) {
+    const std::size_t base = s.slice_ptr[static_cast<std::size_t>(sl)];
+    const std::size_t count =
+        s.slice_ptr[static_cast<std::size_t>(sl) + 1] - base;
+    st.add_coalesced_load(count, bytes::kValue);
+    st.add_coalesced_load(count, bytes::kIndex);
+    for (std::size_t i = 0; i < count; ++i) {
+      const index_t c = s.col_idx[base + i];
+      if (c >= 0) {
+        vc.access(static_cast<std::size_t>(c), st);
+        st.flops += 2;
+      }
+    }
+  }
+  st.add_coalesced_load(s.slice_width.size() * 2, bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(s.rows), bytes::kValue);
+  return r;
+}
+
+/// DIA: dense diagonals, contiguous vector access (cache-friendly).
+inline BaselineRun run_dia(const fmt::Dia& d, const sim::DeviceSpec& dev,
+                           std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  d.spmv(x, y);
+  for (std::size_t s = 0; s < d.offsets.size(); ++s) {
+    const index_t off = d.offsets[s];
+    for (index_t row = 0; row < d.rows; ++row) {
+      const index_t c = row + off;
+      if (c >= 0 && c < d.cols) {
+        vc.access(static_cast<std::size_t>(c), st);
+        st.flops += 2;
+      }
+    }
+  }
+  st.add_coalesced_load(d.vals.size(), bytes::kValue);
+  st.add_coalesced_load(d.offsets.size(), bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(d.rows), bytes::kValue);
+  return r;
+}
+
+/// HYB = ELL kernel + a COO segmented-reduction pass for the spill
+/// (CUSPARSE HYB proxy; two launches).  The COO part streams
+/// row/column/value triples once and writes one read-modify-write
+/// transaction per *spill row* (segmented reduction), not per element.
+inline BaselineRun run_hyb(const fmt::Hyb& h, const sim::DeviceSpec& dev,
+                           std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r = run_ell(h.ell, dev, x, y);
+  auto& st = r.stats;
+  st.kernel_launches += 1;
+  auto vc = detail::make_vcache(dev);
+  std::size_t spill_rows = 0;
+  index_t prev_row = -1;
+  for (std::size_t i = 0; i < h.coo.nnz(); ++i) {
+    const auto c = static_cast<std::size_t>(h.coo.col_idx[i]);
+    vc.access(c, st);
+    y[static_cast<std::size_t>(h.coo.row_idx[i])] += h.coo.vals[i] * x[c];
+    st.flops += 2;
+    if (h.coo.row_idx[i] != prev_row) {
+      prev_row = h.coo.row_idx[i];
+      ++spill_rows;
+    }
+  }
+  st.add_coalesced_load(h.coo.nnz(), bytes::kValue);
+  st.add_coalesced_load(h.coo.nnz(), 2 * bytes::kIndex);  // row + col
+  // One scattered RMW (32B load + 32B store) per spill row.
+  st.global_load_bytes += spill_rows * 32;
+  st.global_store_bytes += spill_rows * 32;
+  return r;
+}
+
+/// BCSR: one warp per block-row (CUSPARSE bsrmv proxy).
+inline BaselineRun run_bcsr(const fmt::Bcsr& m, const sim::DeviceSpec& dev,
+                            std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  m.spmv(x, y);
+  const int warp = dev.warp_size;
+  std::vector<std::size_t> lane_work(static_cast<std::size_t>(warp));
+  const std::size_t bsz = static_cast<std::size_t>(m.block_w) *
+                          static_cast<std::size_t>(m.block_h);
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    const index_t len = m.block_row_ptr[static_cast<std::size_t>(br) + 1] -
+                        m.block_row_ptr[static_cast<std::size_t>(br)];
+    const index_t steps = ceil_div(len, static_cast<index_t>(warp));
+    for (int lane = 0; lane < warp; ++lane) {
+      lane_work[static_cast<std::size_t>(lane)] =
+          static_cast<std::size_t>(std::max<index_t>(
+              0, std::min<index_t>(steps, ceil_div(len - lane, warp))));
+    }
+    st.add_warp_work(lane_work.data(), warp);
+    for (index_t p = m.block_row_ptr[static_cast<std::size_t>(br)];
+         p < m.block_row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+      const index_t bc = m.block_col[static_cast<std::size_t>(p)];
+      for (index_t lc = 0; lc < m.block_w; ++lc) {
+        vc.access(static_cast<std::size_t>(bc * m.block_w + lc), st);
+      }
+      st.flops += 2 * bsz;
+    }
+  }
+  st.add_coalesced_load(m.num_blocks() * bsz, bytes::kValue);
+  st.add_coalesced_load(m.num_blocks(), bytes::kIndex);
+  st.add_coalesced_load(static_cast<std::size_t>(m.block_rows) + 1,
+                        bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(m.rows), bytes::kValue);
+  return r;
+}
+
+/// SBELL: sliced blocked ELL — BELL traffic profile with per-slice widths.
+inline BaselineRun run_sbell(const fmt::SBell& m, const sim::DeviceSpec& dev,
+                             std::span<const real_t> x,
+                             std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  m.spmv(x, y);
+  const std::size_t bsz = static_cast<std::size_t>(m.block_w) *
+                          static_cast<std::size_t>(m.block_h);
+  for (std::size_t slot = 0; slot < m.block_col.size(); ++slot) {
+    const index_t bc = m.block_col[slot];
+    if (bc >= 0) {
+      for (index_t lc = 0; lc < m.block_w; ++lc) {
+        vc.access(static_cast<std::size_t>(bc * m.block_w + lc), st);
+      }
+      st.flops += 2 * bsz;
+    }
+  }
+  st.add_coalesced_load(m.block_col.size() * bsz, bytes::kValue);
+  st.add_coalesced_load(m.block_col.size(), bytes::kIndex);
+  st.add_coalesced_load(m.slice_width.size() * 2, bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(m.rows), bytes::kValue);
+  return r;
+}
+
+/// BDIA: dense bands, contiguous vector windows (DIA traffic profile with
+/// fewer per-diagonal offsets).
+inline BaselineRun run_bdia(const fmt::Bdia& b, const sim::DeviceSpec& dev,
+                            std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  b.spmv(x, y);
+  for (index_t band = 0; band < b.num_bands(); ++band) {
+    const auto bz = static_cast<std::size_t>(band);
+    for (index_t row = 0; row < b.rows; ++row) {
+      for (index_t d = 0; d < b.band_width[bz]; ++d) {
+        const index_t c = row + b.band_offset[bz] + d;
+        if (c >= 0 && c < b.cols) {
+          vc.access(static_cast<std::size_t>(c), st);
+          st.flops += 2;
+        }
+      }
+    }
+  }
+  st.add_coalesced_load(b.vals.size(), bytes::kValue);
+  st.add_coalesced_load(b.band_offset.size() * 2, bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(b.rows), bytes::kValue);
+  return r;
+}
+
+/// BELL: blocked ELL, balanced/coalesced with block padding.
+inline BaselineRun run_bell(const fmt::Bell& m, const sim::DeviceSpec& dev,
+                            std::span<const real_t> x, std::span<real_t> y) {
+  BaselineRun r;
+  auto& st = r.stats;
+  st.kernel_launches = 1;
+  auto vc = detail::make_vcache(dev);
+  m.spmv(x, y);
+  const std::size_t bsz = static_cast<std::size_t>(m.block_w) *
+                          static_cast<std::size_t>(m.block_h);
+  std::size_t live = 0;
+  for (std::size_t slot = 0; slot < m.block_col.size(); ++slot) {
+    const index_t bc = m.block_col[slot];
+    if (bc >= 0) {
+      ++live;
+      for (index_t lc = 0; lc < m.block_w; ++lc) {
+        vc.access(static_cast<std::size_t>(bc * m.block_w + lc), st);
+      }
+    }
+  }
+  st.flops += 2 * bsz * live;
+  st.add_coalesced_load(m.block_col.size() * bsz, bytes::kValue);
+  st.add_coalesced_load(m.block_col.size(), bytes::kIndex);
+  st.add_coalesced_store(static_cast<std::size_t>(m.rows), bytes::kValue);
+  return r;
+}
+
+}  // namespace yaspmv::baseline

@@ -1,0 +1,195 @@
+// COO SpMV via tree-based segmented scan — the CUSP proxy and the "COO"
+// stage of Figure 14.
+//
+// Bell & Garland's COO kernel: one element per thread, per-workgroup
+// segmented scan (here the tree-based Blelloch variant the paper criticizes),
+// completed segments written directly, the first (possibly continuing)
+// segment of each workgroup patched by a *second kernel* that serially
+// propagates carries — the two-kernel structure whose launch overhead the
+// paper's adjacent synchronization eliminates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/scan/segscan_tree.hpp"
+#include "yaspmv/scan/wg_scan.hpp"
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::baseline {
+
+struct CooTreeRun {
+  sim::KernelStats stats;
+};
+
+/// `tree_scan` selects the intra-workgroup scan algorithm:
+///   true  — Blelloch tree scan with idle-lane divergence (Figure 14's
+///           "COO" stage, the configuration the paper criticizes);
+///   false — balanced Hillis-Steele segmented scan (models CUSP's
+///           warp-efficient segmented reduction for the Figure 13/15 bars).
+inline CooTreeRun run_coo_tree(const fmt::Coo& m, const sim::DeviceSpec& dev,
+                               std::span<const real_t> x,
+                               std::span<real_t> y, int workgroup_size = 256,
+                               unsigned workers = 1, bool tree_scan = true) {
+  CooTreeRun out;
+  const int W = workgroup_size;
+  const std::size_t n = m.nnz();
+  const auto num_wgs =
+      static_cast<int>(n == 0 ? 1 : ceil_div(n, static_cast<std::size_t>(W)));
+
+  std::fill(y.begin(), y.end(), 0.0);
+  out.stats.global_store_bytes += y.size() * bytes::kValue;  // y memset
+
+  // Per-workgroup carry metadata produced by kernel 1.
+  std::vector<real_t> tails(static_cast<std::size_t>(num_wgs), 0.0);
+  std::vector<std::uint8_t> has_stop(static_cast<std::size_t>(num_wgs), 0);
+  std::vector<index_t> pending_row(static_cast<std::size_t>(num_wgs), -1);
+  std::vector<real_t> pending_val(static_cast<std::size_t>(num_wgs), 0.0);
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = num_wgs;
+  lc.workgroup_size = W;
+  lc.workers = workers;
+  lc.use_texture = true;
+
+  auto row_at = [&](std::size_t i) {
+    return i < n ? m.row_idx[i] : (n ? m.row_idx[n - 1] : 0);
+  };
+
+  auto kernel1 = [&](sim::WorkgroupCtx& wg) {
+    sim::KernelStats& st = wg.stats();
+    const std::size_t base =
+        static_cast<std::size_t>(wg.wg_id()) * static_cast<std::size_t>(W);
+    auto prod = wg.shared_array<real_t>(static_cast<std::size_t>(W),
+                                        bytes::kValue);
+    auto heads = wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto real_head =
+        wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto wflags = wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto icopy = wg.shared_array<real_t>(static_cast<std::size_t>(W),
+                                         bytes::kValue);
+    auto heads_scan =
+        wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+
+    wg.phase([&](int t) {
+      const std::size_t i = base + static_cast<std::size_t>(t);
+      if (i < n) {
+        const auto c = static_cast<std::size_t>(m.col_idx[i]);
+        wg.touch_vector(c);
+        prod[static_cast<std::size_t>(t)] = m.vals[i] * x[c];
+        st.flops += 2;
+      } else {
+        prod[static_cast<std::size_t>(t)] = 0.0;  // padding joins last row
+      }
+      const bool rh = i < n && i > 0 && row_at(i) != row_at(i - 1);
+      real_head[static_cast<std::size_t>(t)] = (i == 0 || rh) ? 1 : 0;
+      heads[static_cast<std::size_t>(t)] =
+          (t == 0 || rh) ? 1 : 0;  // forced head at block start
+    });
+    // Element loads: row + col + val per non-zero (the COO footprint cost).
+    st.add_coalesced_load(static_cast<std::size_t>(W),
+                          2 * bytes::kIndex + bytes::kValue);
+
+    if (tree_scan) {
+      scan::wg_tree_segscan_inclusive(wg, prod, heads, wflags, icopy);
+      // Credit the balanced product phase so the divergence factor reflects
+      // the whole kernel, not just the tree stages.
+      st.ideal_lanes += static_cast<std::size_t>(W);
+      st.serialized_lanes += static_cast<std::size_t>(W);
+    } else {
+      // Balanced Hillis-Steele segmented scan (heads preserved via copy).
+      wg.phase([&](int t) {
+        heads_scan[static_cast<std::size_t>(t)] =
+            heads[static_cast<std::size_t>(t)];
+      });
+      scan::wg_segmented_scan_hvec(wg, prod, heads_scan, icopy, wflags, 1);
+    }
+
+    // Position of the block's first real (global) segment head; stops before
+    // it belong to a segment continuing from the previous block.
+    int first_rh = W;
+    wg.phase([&](int t) {
+      if (t == 0) {
+        for (int u = 0; u < W; ++u) {
+          if (real_head[static_cast<std::size_t>(u)]) {
+            first_rh = u;
+            break;
+          }
+        }
+      }
+    });
+
+    wg.phase([&](int t) {
+      const std::size_t i = base + static_cast<std::size_t>(t);
+      if (i >= n) return;
+      const bool is_stop = (i + 1 == n) || row_at(i) != row_at(i + 1);
+      if (!is_stop) return;
+      // The segment ending at t started at the last real head <= t; if no
+      // real head exists in [0, t] it continues from the previous block and
+      // its scanned value (sum from the forced block-start head) must be
+      // patched with the incoming carry by kernel 2.
+      const bool continuing = t < first_rh;
+      const std::size_t wgi = static_cast<std::size_t>(wg.wg_id());
+      if (continuing) {
+        pending_row[wgi] = row_at(i);
+        pending_val[wgi] = prod[static_cast<std::size_t>(t)];
+        st.global_store_bytes += bytes::kValue + bytes::kIndex;
+      } else {
+        y[static_cast<std::size_t>(row_at(i))] =
+            prod[static_cast<std::size_t>(t)];
+        st.global_store_bytes += 32;  // scattered single-value store
+      }
+    });
+
+    // Tail and stop flag for the carry chain.  A block whose last element
+    // ends a row has an *empty* trailing segment: its carry out is 0, not
+    // the (finished) scanned value at W-1.
+    {
+      const std::size_t wgi = static_cast<std::size_t>(wg.wg_id());
+      const std::size_t last = base + static_cast<std::size_t>(W - 1);
+      const bool ends_at_stop =
+          last < n && ((last + 1 == n) || row_at(last) != row_at(last + 1));
+      tails[wgi] = ends_at_stop ? 0.0 : prod[static_cast<std::size_t>(W - 1)];
+      for (int t = 0; t < W; ++t) {
+        const std::size_t i = base + static_cast<std::size_t>(t);
+        if (i < n &&
+            ((i + 1 == n) || row_at(i) != row_at(i + 1))) {
+          has_stop[wgi] = 1;
+        }
+      }
+      st.global_store_bytes += bytes::kValue + 1;
+    }
+  };
+  out.stats += sim::launch(dev, lc, kernel1);
+
+  // Kernel 2: serial carry propagation (the global-synchronization pass).
+  sim::LaunchConfig lc2;
+  lc2.num_workgroups = 1;
+  lc2.workgroup_size = 1;
+  lc2.workers = 1;
+  lc2.use_texture = false;
+  auto kernel2 = [&](sim::WorkgroupCtx& wg) {
+    sim::KernelStats& st = wg.stats();
+    wg.phase([&](int t) {
+      if (t != 0) return;
+      real_t carry = 0.0;
+      for (int b = 0; b < num_wgs; ++b) {
+        const auto bz = static_cast<std::size_t>(b);
+        st.add_coalesced_load(1, 2 * bytes::kValue + bytes::kIndex + 1);
+        if (pending_row[bz] >= 0) {
+          y[static_cast<std::size_t>(pending_row[bz])] =
+              pending_val[bz] + carry;
+          st.flops += 1;
+          st.global_store_bytes += 32;
+        }
+        carry = has_stop[bz] ? tails[bz] : carry + tails[bz];
+        st.flops += 1;
+      }
+    });
+  };
+  out.stats += sim::launch(dev, lc2, kernel2);
+  return out;
+}
+
+}  // namespace yaspmv::baseline

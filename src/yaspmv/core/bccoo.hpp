@@ -1,0 +1,241 @@
+// The BCCOO / BCCOO+ sparse-matrix format (Sections 2.2 and 2.3).
+//
+// BCCOO extends blocked COO by replacing the per-block row-index array with
+// a bit-flag array: bit i is 0 iff block i is the last non-zero block of its
+// block-row ("row stop").  The compression is lossless — row indices are the
+// running count of row stops — and shrinks the row-index storage by the
+// word-width factor (32x for int indices).
+//
+// BCCOO+ additionally partitions the matrix into vertical slices stacked
+// top-down before blocking, which concentrates the column range touched by
+// consecutive blocks and therefore the multiplied-vector cache locality.
+// Column indices remain *original-matrix* block coordinates so the kernel
+// can index the multiplied vector directly; a combine kernel later sums the
+// per-slice partial results (Figure 5).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "yaspmv/core/config.hpp"
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/util/bitops.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::core {
+
+struct Bccoo {
+  // Original matrix shape.
+  index_t rows = 0;
+  index_t cols = 0;
+
+  FormatConfig cfg;
+
+  index_t block_rows = 0;    ///< ceil(rows / block_h) (per slice-stacked row)
+  index_t block_cols = 0;    ///< ceil(cols / block_w), original coordinates
+  index_t stacked_block_rows = 0;  ///< block-rows of the slice-stacked matrix
+
+  std::size_t num_blocks = 0;  ///< non-zero blocks (before kernel padding)
+
+  /// Bit i = 0 iff block i ends its block-row (row stop).  Length num_blocks.
+  BitArray bit_flags;
+
+  /// Block-column index per block, in *original matrix* coordinates (so
+  /// y-block = col_index[i] * block_w works for both BCCOO and BCCOO+).
+  std::vector<index_t> col_index;
+
+  /// block_h value arrays; value_rows[r][i*block_w + c] is element (r, c) of
+  /// block i (Figure 3's two value arrays for a 2x2 block size).
+  std::vector<std::vector<real_t>> value_rows;
+
+  /// segment ordinal -> block-row in the slice-stacked matrix.  The paper's
+  /// matrices have no empty rows so this is the identity there; we
+  /// materialize it to support arbitrary inputs (DESIGN.md "Known
+  /// deviations").  Size = number of segments (= row stops).
+  std::vector<index_t> seg_to_block_row;
+
+  /// True when seg_to_block_row is the identity (no empty block-rows).
+  bool identity_segments = true;
+
+  std::size_t num_segments() const { return seg_to_block_row.size(); }
+
+  /// Builds BCCOO (cfg.slices == 1) or BCCOO+ (cfg.slices > 1) from a
+  /// canonical COO matrix.
+  static Bccoo build(const fmt::Coo& a, const FormatConfig& cfg) {
+    require(cfg.block_w > 0 && cfg.block_h > 0, "BCCOO: bad block dims");
+    require(cfg.slices >= 1, "BCCOO: slices must be >= 1");
+    Bccoo m;
+    m.rows = a.rows;
+    m.cols = a.cols;
+    m.cfg = cfg;
+    m.block_rows = ceil_div(a.rows, cfg.block_h);
+    m.block_cols = ceil_div(a.cols, cfg.block_w);
+    m.stacked_block_rows = m.block_rows * cfg.slices;
+
+    // Slice width in block-columns: slices are aligned to block boundaries
+    // so every block falls into exactly one slice.
+    const index_t slice_bcols = ceil_div(m.block_cols, cfg.slices);
+
+    // Bucket non-zeros by (slice, block_row, block_col).  COO is canonical
+    // (row-major), so one pass with an ordered map keyed by the stacked
+    // block-row produces blocks in stacked order.
+    std::map<std::pair<index_t, index_t>, std::vector<real_t>> blocks;
+    const std::size_t bsz = static_cast<std::size_t>(cfg.block_w) *
+                            static_cast<std::size_t>(cfg.block_h);
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+      const index_t brow = a.row_idx[i] / cfg.block_h;
+      const index_t bcol = a.col_idx[i] / cfg.block_w;
+      const index_t slice = bcol / slice_bcols;
+      const index_t stacked_brow = slice * m.block_rows + brow;
+      auto& blk = blocks[{stacked_brow, bcol}];
+      if (blk.empty()) blk.assign(bsz, 0.0);
+      const index_t lr = a.row_idx[i] - brow * cfg.block_h;
+      const index_t lc = a.col_idx[i] - bcol * cfg.block_w;
+      blk[static_cast<std::size_t>(lr) * static_cast<std::size_t>(cfg.block_w) +
+          static_cast<std::size_t>(lc)] = a.vals[i];
+    }
+
+    m.num_blocks = blocks.size();
+    m.bit_flags = BitArray(m.num_blocks, true);
+    m.col_index.reserve(m.num_blocks);
+    m.value_rows.assign(static_cast<std::size_t>(cfg.block_h), {});
+    for (auto& vr : m.value_rows) {
+      vr.reserve(m.num_blocks * static_cast<std::size_t>(cfg.block_w));
+    }
+
+    index_t prev_stacked_brow = -1;
+    std::size_t blk_i = 0;
+    for (auto& [key, blk] : blocks) {
+      const auto [stacked_brow, bcol] = key;
+      if (stacked_brow != prev_stacked_brow) {
+        // Previous block (if any) closed its block-row: mark row stop.
+        if (blk_i > 0) m.bit_flags.set(blk_i - 1, false);
+        m.seg_to_block_row.push_back(stacked_brow);
+        if (stacked_brow !=
+            static_cast<index_t>(m.seg_to_block_row.size()) - 1) {
+          m.identity_segments = false;
+        }
+        prev_stacked_brow = stacked_brow;
+      }
+      m.col_index.push_back(bcol);
+      for (index_t lr = 0; lr < cfg.block_h; ++lr) {
+        const auto lrz = static_cast<std::size_t>(lr);
+        m.value_rows[lrz].insert(
+            m.value_rows[lrz].end(),
+            blk.begin() + static_cast<std::ptrdiff_t>(
+                              lrz * static_cast<std::size_t>(cfg.block_w)),
+            blk.begin() + static_cast<std::ptrdiff_t>(
+                              (lrz + 1) * static_cast<std::size_t>(cfg.block_w)));
+      }
+      ++blk_i;
+    }
+    if (blk_i > 0) m.bit_flags.set(blk_i - 1, false);  // final row stop
+    return m;
+  }
+
+  /// Table 3 footprint model of the stored arrays: packed bit flags +
+  /// column indices + zero-filled block values.  `short_col` selects the
+  /// Section 4 unsigned-short column-index optimization; `delta_col` the
+  /// Section 2.2 int16 delta compression (escapes charged 4 bytes each —
+  /// `delta_escapes` of them, computed against a thread-tile segmentation by
+  /// the plan; pass 0 to cost pure formats).
+  std::size_t footprint_bytes(bool short_col = false, bool delta_col = false,
+                              std::size_t delta_escapes = 0) const {
+    const std::size_t bf = bit_flags.footprint_bytes(cfg.bf_word);
+    std::size_t col;
+    if (delta_col) {
+      col = num_blocks * bytes::kShortIndex + delta_escapes * bytes::kIndex;
+    } else if (short_col) {
+      col = num_blocks * bytes::kShortIndex;
+    } else {
+      col = num_blocks * bytes::kIndex;
+    }
+    const std::size_t vals = num_blocks *
+                             static_cast<std::size_t>(cfg.block_w) *
+                             static_cast<std::size_t>(cfg.block_h) *
+                             bytes::kValue;
+    std::size_t seg = 0;
+    if (!identity_segments) seg = seg_to_block_row.size() * bytes::kIndex;
+    return bf + col + vals + seg;
+  }
+
+  /// Decodes the format back to canonical COO (drops the zero fill inside
+  /// blocks).  Together with `build`, proves the whole encoding — bit
+  /// flags, slice stacking, column coordinates, per-row value arrays — is
+  /// lossless.
+  fmt::Coo to_coo() const {
+    std::vector<index_t> ri, ci;
+    std::vector<real_t> v;
+    std::size_t seg = 0;
+    index_t stacked_brow =
+        num_blocks == 0 ? 0 : seg_to_block_row[0];
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+      const index_t brow = stacked_brow % block_rows;  // undo slice stack
+      for (index_t lr = 0; lr < cfg.block_h; ++lr) {
+        const index_t r = brow * cfg.block_h + lr;
+        if (r >= rows) continue;
+        for (index_t lc = 0; lc < cfg.block_w; ++lc) {
+          const index_t c = col_index[i] * cfg.block_w + lc;
+          if (c >= cols) continue;
+          const real_t x =
+              value_rows[static_cast<std::size_t>(lr)]
+                        [i * static_cast<std::size_t>(cfg.block_w) +
+                         static_cast<std::size_t>(lc)];
+          if (x != 0.0) {
+            ri.push_back(r);
+            ci.push_back(c);
+            v.push_back(x);
+          }
+        }
+      }
+      if (!bit_flags.get(i) && seg + 1 < seg_to_block_row.size()) {
+        stacked_brow = seg_to_block_row[++seg];
+      }
+    }
+    return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                   std::move(v));
+  }
+
+  /// Reference SpMV straight off the format (host, serial) — used to verify
+  /// the format builder independently of the simulated kernels.
+  void spmv_reference(std::span<const real_t> x, std::span<real_t> y) const {
+    require(x.size() == static_cast<std::size_t>(cols) &&
+                y.size() == static_cast<std::size_t>(rows),
+            "BCCOO spmv: vector size mismatch");
+    std::fill(y.begin(), y.end(), 0.0);
+    std::vector<real_t> acc(static_cast<std::size_t>(cfg.block_h), 0.0);
+    std::size_t seg = 0;
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+      const index_t bcol = col_index[i];
+      for (index_t lr = 0; lr < cfg.block_h; ++lr) {
+        real_t s = 0.0;
+        for (index_t lc = 0; lc < cfg.block_w; ++lc) {
+          const index_t c = bcol * cfg.block_w + lc;
+          if (c < cols) {
+            s += value_rows[static_cast<std::size_t>(lr)]
+                           [i * static_cast<std::size_t>(cfg.block_w) +
+                            static_cast<std::size_t>(lc)] *
+                 x[static_cast<std::size_t>(c)];
+          }
+        }
+        acc[static_cast<std::size_t>(lr)] += s;
+      }
+      if (!bit_flags.get(i)) {
+        const index_t stacked_brow = seg_to_block_row[seg++];
+        const index_t brow = stacked_brow % block_rows;  // undo slice stack
+        for (index_t lr = 0; lr < cfg.block_h; ++lr) {
+          const index_t r = brow * cfg.block_h + lr;
+          if (r < rows) {
+            y[static_cast<std::size_t>(r)] +=
+                acc[static_cast<std::size_t>(lr)];
+          }
+          acc[static_cast<std::size_t>(lr)] = 0.0;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace yaspmv::core

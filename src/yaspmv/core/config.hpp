@@ -1,0 +1,81 @@
+// Configuration records for the BCCOO/BCCOO+ SpMV pipeline — together these
+// are exactly the tunable-parameter space of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "yaspmv/util/bitops.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::core {
+
+/// Which intra-workgroup partial-sum strategy to run (Section 3.2.2).
+enum class Strategy : std::uint8_t {
+  kIntermediateSums = 1,  ///< strategy 1: per-thread intermediate_sums buffer
+  kResultCache = 2,       ///< strategy 2: per-workgroup result cache
+};
+
+/// When the transpose of the value/col arrays happens (Section 3.2.2).
+enum class Transpose : std::uint8_t {
+  kOffline,  ///< arrays pre-transposed on the host: coalesced global loads
+  kOnline,   ///< kernel stages tiles through shared memory
+};
+
+/// Format-construction parameters (the part of Table 1 that changes the
+/// stored bytes).
+struct FormatConfig {
+  index_t block_w = 1;  ///< Table 1: 1, 2, 4
+  index_t block_h = 1;  ///< Table 1: 1, 2, 3, 4
+  BitFlagWord bf_word = BitFlagWord::kU16;
+  index_t slices = 1;   ///< 1 = BCCOO; >1 = BCCOO+ vertical slices
+
+  bool is_plus() const { return slices > 1; }
+
+  std::string to_string() const {
+    return "bw=" + std::to_string(block_w) + " bh=" + std::to_string(block_h) +
+           " bf=u" + std::to_string(static_cast<int>(bf_word)) +
+           " slices=" + std::to_string(slices);
+  }
+};
+
+/// Kernel-execution parameters (the rest of Table 1 plus the staging flags
+/// used by the Figure 14 breakdown).
+struct ExecConfig {
+  Strategy strategy = Strategy::kResultCache;
+  int workgroup_size = 64;   ///< Table 1: 64, 128, 256, 512
+  int thread_tile = 8;       ///< non-zero blocks per thread; strategy 1:
+                             ///< Reg_size + ShM_size
+  int shm_tile = 0;          ///< strategy 1: portion of the tile kept in
+                             ///< shared memory (rest in registers)
+  int result_cache_multiple = 1;  ///< strategy 2: cache entries / wg size
+  Transpose transpose = Transpose::kOffline;
+  bool use_texture = true;
+  bool compress_col_delta = false;  ///< Section 2.2 int16 delta compression
+  bool short_col_index = true;      ///< Section 4: u16 col idx if cols<65535
+  bool adjacent_sync = true;  ///< false = two-kernel global synchronization
+  bool skip_scan_opt = true;  ///< fine-grain opt (b): skip the parallel scan
+  bool logical_ids = false;   ///< fetch workgroup ids via global atomic
+  unsigned workers = 1;       ///< simulator dispatch threads
+
+  /// Non-zero blocks processed per workgroup.
+  std::size_t workgroup_tile() const {
+    return static_cast<std::size_t>(workgroup_size) *
+           static_cast<std::size_t>(thread_tile);
+  }
+
+  std::string to_string() const {
+    return std::string("s") +
+           (strategy == Strategy::kIntermediateSums ? "1" : "2") +
+           " wg=" + std::to_string(workgroup_size) +
+           " tile=" + std::to_string(thread_tile) +
+           (strategy == Strategy::kResultCache
+                ? " cache=" + std::to_string(result_cache_multiple)
+                : " shm=" + std::to_string(shm_tile)) +
+           (transpose == Transpose::kOffline ? " offT" : " onT") +
+           (use_texture ? " tex" : " notex") +
+           (compress_col_delta ? " dcol" : "") + (short_col_index ? " scol" : "");
+  }
+};
+
+}  // namespace yaspmv::core

@@ -1,0 +1,113 @@
+// SpmvEngine — the public entry point of the yaSpMV pipeline.
+//
+//   fmt::Coo a = ...;
+//   core::SpmvEngine eng(a, format_cfg, exec_cfg, sim::gtx680());
+//   auto r = eng.run(x, y);            // y = A*x, r.stats has the counters
+//
+// The engine owns the BCCOO/BCCOO+ format and its execution plan, manages
+// the padded device buffers, launches the main kernel (plus the carry kernel
+// under global synchronization and the combine kernel for BCCOO+), and
+// aggregates the per-launch statistics for the performance model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/core/config.hpp"
+#include "yaspmv/core/kernels.hpp"
+#include "yaspmv/core/plan.hpp"
+#include "yaspmv/sim/adjacent.hpp"
+#include "yaspmv/sim/device.hpp"
+
+namespace yaspmv::core {
+
+struct SpmvRun {
+  sim::KernelStats stats;   ///< aggregated over all launches
+  int launches = 0;         ///< kernel count (1 with adjacent sync, BCCOO)
+};
+
+class SpmvEngine {
+ public:
+  SpmvEngine(const fmt::Coo& a, const FormatConfig& fc, const ExecConfig& ec,
+             sim::DeviceSpec dev)
+      : SpmvEngine(std::make_shared<const Bccoo>(Bccoo::build(a, fc)), ec,
+                   std::move(dev)) {}
+
+  /// Uses a pre-built (possibly cached) format — the auto-tuner shares one
+  /// Bccoo across every ExecConfig it evaluates.
+  SpmvEngine(std::shared_ptr<const Bccoo> fmt_in, const ExecConfig& ec,
+             sim::DeviceSpec dev)
+      : dev_(std::move(dev)),
+        fmt_ptr_(std::move(fmt_in)),
+        plan_(BccooPlan::build(*fmt_ptr_, ec)) {
+    const Bccoo& f = *fmt_ptr_;
+    const auto bw = static_cast<std::size_t>(f.cfg.block_w);
+    xp_.resize(static_cast<std::size_t>(f.block_cols) * bw, 0.0);
+    res_.resize(static_cast<std::size_t>(f.stacked_block_rows) *
+                    static_cast<std::size_t>(f.cfg.block_h),
+                0.0);
+  }
+
+  const Bccoo& format() const { return *fmt_ptr_; }
+  const BccooPlan& plan() const { return plan_; }
+  const sim::DeviceSpec& device() const { return dev_; }
+
+  /// Total bytes the kernel streams once per SpMV (Table 3 accounting).
+  std::size_t footprint_bytes() const { return plan_.footprint_bytes(); }
+
+  /// y = A * x through the simulated pipeline.
+  SpmvRun run(std::span<const real_t> x, std::span<real_t> y) {
+    require(x.size() == static_cast<std::size_t>(fmt().cols) &&
+                y.size() == static_cast<std::size_t>(fmt().rows),
+            "SpmvEngine::run: vector size mismatch");
+    std::copy(x.begin(), x.end(), xp_.begin());
+    std::fill(xp_.begin() + static_cast<std::ptrdiff_t>(x.size()), xp_.end(),
+              0.0);
+
+    SpmvRun out;
+    const bool need_zero_init =
+        fmt().cfg.slices > 1 || !fmt().identity_segments;
+    if (need_zero_init) {
+      std::fill(res_.begin(), res_.end(), 0.0);
+      // Device memset of the temporary result buffer.
+      out.stats.global_store_bytes += res_.size() * bytes::kValue;
+    }
+
+    if (plan_.exec.adjacent_sync) {
+      sim::AdjacentBuffer grp(static_cast<std::size_t>(plan_.num_workgroups),
+                              fmt().cfg.block_h, plan_.exec.workers > 1);
+      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, &grp, nullptr);
+      out.launches += 1;
+    } else {
+      WgTails tails;
+      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, nullptr, &tails);
+      out.stats += run_carry_kernel(plan_, dev_, tails, res_);
+      out.launches += 2;
+    }
+
+    if (fmt().cfg.slices > 1) {
+      out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y);
+      out.launches += 1;
+    } else {
+      // One slice: the stacked result *is* y (modulo block padding); on the
+      // device the kernel would write y directly, so no extra traffic.
+      for (index_t r = 0; r < fmt().rows; ++r) {
+        y[static_cast<std::size_t>(r)] = res_[static_cast<std::size_t>(r)];
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Bccoo& fmt() const { return *fmt_ptr_; }
+
+  sim::DeviceSpec dev_;
+  std::shared_ptr<const Bccoo> fmt_ptr_;
+  BccooPlan plan_;
+  std::vector<real_t> xp_;   ///< padded multiplied vector
+  std::vector<real_t> res_;  ///< per-segment results (stacked block-rows)
+};
+
+}  // namespace yaspmv::core

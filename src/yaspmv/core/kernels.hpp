@@ -1,0 +1,576 @@
+// Simulated SpMV kernels for the BCCOO/BCCOO+ format (Section 3).
+//
+// One launch implements the paper's single-kernel pipeline:
+//   phase A  — per-thread sequential segmented sum/scan over its tile
+//              (strategy 1 keeps every intermediate sum, strategy 2 writes
+//              finished segment sums into the per-workgroup result cache);
+//   barrier  — last_partial_sums + start flags are complete;
+//   phase B  — parallel segmented scan over last_partial_sums (skipped when
+//              the Section 2.4 quick check proves every segment has size 1);
+//   phase C  — combine per-thread results with the scanned partial sums and
+//              the previous workgroup's carry (adjacent synchronization) and
+//              write final segment sums;
+//   phase D  — (strategy 2) coalesced writeback of the result cache.
+//
+// When exec.adjacent_sync is false the kernel instead exports per-workgroup
+// tails and a second kernel (run_carry_kernel) resolves cross-workgroup
+// segments — the "global synchronization" configuration of Figure 14.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "yaspmv/core/plan.hpp"
+#include "yaspmv/scan/segscan_tree.hpp"
+#include "yaspmv/scan/wg_scan.hpp"
+#include "yaspmv/sim/adjacent.hpp"
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::core {
+
+/// Scattered store of one segment result (h consecutive device floats):
+/// charged as one 32-byte-minimum transaction.
+inline void charge_scattered_store(sim::KernelStats& st, int h) {
+  st.global_store_bytes +=
+      std::max<std::size_t>(static_cast<std::size_t>(h) * bytes::kValue, 32);
+}
+
+/// Output of the main kernel when running without adjacent synchronization:
+/// per-workgroup tail sums (h values each), consumed by run_carry_kernel.
+struct WgTails {
+  std::vector<real_t> tails;  ///< num_workgroups * h
+};
+
+/// Main BCCOO SpMV kernel.  `xp` is the multiplied vector padded to
+/// block_cols*block_w; `res` (stacked_block_rows*block_h, zero-initialized)
+/// receives one h-vector per segment.  Exactly one of `grp` (adjacent sync)
+/// or `tails_out` (global sync) must be non-null.
+inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
+                                        const sim::DeviceSpec& dev,
+                                        std::span<const real_t> xp,
+                                        std::span<real_t> res,
+                                        sim::AdjacentBuffer* grp,
+                                        WgTails* tails_out) {
+  const Bccoo& m = *p.fmt;
+  const ExecConfig& ex = p.exec;
+  const int W = ex.workgroup_size;
+  const int T = ex.thread_tile;
+  const int h = m.cfg.block_h;
+  const int bw = m.cfg.block_w;
+  const auto hz = static_cast<std::size_t>(h);
+  const auto bwz = static_cast<std::size_t>(bw);
+  const bool use_adjacent = grp != nullptr;
+  require(use_adjacent != (tails_out != nullptr),
+          "exactly one synchronization mode must be selected");
+  if (tails_out) {
+    tails_out->tails.assign(
+        static_cast<std::size_t>(p.num_workgroups) * hz, 0.0);
+  }
+
+  const std::size_t bf_word_bytes = bits_per_word(m.cfg.bf_word) / 8;
+  const std::size_t bf_bytes_per_tile =
+      ceil_div(static_cast<std::size_t>(T), bits_per_word(m.cfg.bf_word)) *
+      bf_word_bytes;
+
+  // Strategy 1 register budget: the per-thread intermediate_sums portion not
+  // in shared memory must fit the register file (we allow 128 values/thread,
+  // roughly half a Kepler thread's architectural limit).
+  if (ex.strategy == Strategy::kIntermediateSums) {
+    const int reg_vals = (T - ex.shm_tile) * h;
+    if (reg_vals > 128) {
+      throw sim::SimError("strategy 1 register budget exceeded: " +
+                          std::to_string(reg_vals) + " values/thread");
+    }
+  }
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = p.num_workgroups;
+  lc.workgroup_size = W;
+  lc.workers = ex.workers;
+  lc.use_texture = ex.use_texture;
+  lc.logical_ids = ex.logical_ids;
+
+  auto kernel = [&](sim::WorkgroupCtx& wg) {
+    const int wid = wg.wg_id();
+    sim::KernelStats& st = wg.stats();
+    const std::size_t wg_tile = ex.workgroup_tile();
+    const std::size_t wg_start = static_cast<std::size_t>(wid) * wg_tile;
+    const index_t wg_first = p.wg_first_entry[static_cast<std::size_t>(wid)];
+    const index_t wg_next =
+        p.wg_first_entry[static_cast<std::size_t>(wid) + 1];
+    const bool wg_has_stop = wg_next > wg_first;
+
+    // ---- shared memory ---------------------------------------------------
+    auto lps = wg.shared_array<real_t>(static_cast<std::size_t>(W) * hz,
+                                       bytes::kValue);
+    auto lps_tmp = wg.shared_array<real_t>(static_cast<std::size_t>(W) * hz,
+                                           bytes::kValue);
+    auto flags = wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto flags_tmp =
+        wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    // The parallel scan propagates `flags` in place; the combine phase needs
+    // the original per-thread "tile contains a row stop" predicate.
+    auto flags_orig =
+        wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    // Prefix "any stop in threads 0..t-1" used to find the workgroup's first
+    // row-stop owner.
+    auto any_stop_before =
+        wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W) + 1, 1);
+
+    // Strategy 1: intermediate sums, split register/shared.  The register
+    // part costs no shared capacity; the host backing store is one arena
+    // array either way.
+    std::span<real_t> inter;
+    if (ex.strategy == Strategy::kIntermediateSums) {
+      const std::size_t n = static_cast<std::size_t>(W) *
+                            static_cast<std::size_t>(T) * hz;
+      inter = wg.shared_array<real_t>(
+          n, 0);  // register portion: no shared charge ...
+      // ... then charge the explicit shared-memory portion.
+      if (ex.shm_tile > 0) {
+        (void)wg.shared_array<real_t>(
+            static_cast<std::size_t>(W) *
+                static_cast<std::size_t>(ex.shm_tile) * hz,
+            bytes::kValue);
+      }
+    }
+
+    // Strategy 2: per-workgroup result cache.
+    std::span<real_t> cache;
+    std::size_t cache_entries = 0;
+    if (ex.strategy == Strategy::kResultCache) {
+      cache_entries = static_cast<std::size_t>(ex.result_cache_multiple) *
+                      static_cast<std::size_t>(W);
+      cache = wg.shared_array<real_t>(cache_entries * hz, bytes::kValue);
+    }
+
+    // Online transpose: staged per-block products (h values per block).
+    std::span<real_t> staged;
+    if (ex.transpose == Transpose::kOnline) {
+      staged = wg.shared_array<real_t>(wg_tile * hz, bytes::kValue);
+    }
+
+    const std::size_t esc_bytes = ex.compress_col_delta ? bytes::kIndex : 0;
+
+    // Computes the h product values of block index `i` into out[0..h) and
+    // accounts value/vector traffic.  `touch` controls whether the vector
+    // cache is probed (the online staging phase probes in row-based order).
+    auto block_product = [&](std::size_t i, index_t bcol, real_t* out,
+                             bool touch) {
+      for (int lr = 0; lr < h; ++lr) {
+        real_t s = 0.0;
+        const auto& vr = (ex.transpose == Transpose::kOffline)
+                             ? p.value_rows_t[static_cast<std::size_t>(lr)]
+                             : p.value_rows[static_cast<std::size_t>(lr)];
+        for (int lcidx = 0; lcidx < bw; ++lcidx) {
+          std::size_t src;
+          if (ex.transpose == Transpose::kOffline) {
+            // element e of this thread's tile lives at wg_elem_base+e*W+t.
+            const std::size_t th = (i - wg_start) / static_cast<std::size_t>(T);
+            const std::size_t j = (i - wg_start) % static_cast<std::size_t>(T);
+            const std::size_t e =
+                j * bwz + static_cast<std::size_t>(lcidx);
+            src = wg_start * bwz + e * static_cast<std::size_t>(W) + th;
+          } else {
+            src = i * bwz + static_cast<std::size_t>(lcidx);
+          }
+          const std::size_t xi = static_cast<std::size_t>(bcol) * bwz +
+                                 static_cast<std::size_t>(lcidx);
+          if (touch && lr == 0) wg.touch_vector(xi);
+          s += vr[src] * xp[xi];
+        }
+        out[lr] = s;
+        st.flops += 2 * static_cast<std::size_t>(bw);
+      }
+    };
+
+    // ---- online transpose staging phase (row-based access order) --------
+    if (ex.transpose == Transpose::kOnline) {
+      // Threads cooperatively read tile elements in row-based (coalesced)
+      // order: step j touches block j of every thread in lane order.
+      for (int j = 0; j < T; ++j) {
+        wg.phase([&](int t) {
+          const std::size_t i = wg_start +
+                                static_cast<std::size_t>(t) *
+                                    static_cast<std::size_t>(T) +
+                                static_cast<std::size_t>(j);
+          index_t prev = 0;
+          index_t bcol;
+          if (ex.compress_col_delta) {
+            // Delta decode is per-thread sequential; staging re-derives the
+            // absolute column (device keeps it in a register across steps;
+            // we recompute from the escape-free invariant).
+            bcol = p.col_abs[i];  // value identical to the decoded one
+          } else {
+            bcol = p.decode_col(i, j, prev);
+          }
+          block_product(i, bcol, &staged[(i - wg_start) * hz], true);
+        });
+      }
+      st.add_coalesced_load(wg_tile * bwz * hz, bytes::kValue);
+      st.add_coalesced_load(wg_tile, p.col_bytes_per_block());
+    }
+
+    // ---- phase A: per-thread sequential segmented sum/scan ---------------
+    wg.phase([&](int t) {
+      const std::size_t tz = static_cast<std::size_t>(t);
+      const std::size_t tile0 = wg_start + tz * static_cast<std::size_t>(T);
+      real_t acc[sim::AdjacentBuffer::kMaxH] = {0, 0, 0, 0};
+      real_t prod[sim::AdjacentBuffer::kMaxH];
+      bool saw_stop = false;
+      index_t prev_col = 0;
+      index_t entry =
+          p.first_result_entry[static_cast<std::size_t>(wid) *
+                                   static_cast<std::size_t>(W) +
+                               tz];
+
+      // Bit-flag load for the whole tile.
+      st.add_coalesced_load(1, bf_bytes_per_tile);
+      // first_result_entry auxiliary load.
+      st.add_coalesced_load(1, bytes::kIndex);
+
+      for (int j = 0; j < T; ++j) {
+        const std::size_t i = tile0 + static_cast<std::size_t>(j);
+        index_t bcol = p.decode_col(i, j, prev_col);
+        if (ex.compress_col_delta && p.col_delta[i] == -1) {
+          st.add_coalesced_load(1, esc_bytes);  // escape: extra int32 read
+        }
+        prev_col = bcol;
+
+        if (ex.transpose == Transpose::kOnline) {
+          for (int lr = 0; lr < h; ++lr) {
+            prod[lr] = staged[(i - wg_start) * hz + static_cast<std::size_t>(lr)];
+          }
+        } else {
+          block_product(i, bcol, prod, true);
+        }
+        for (int lr = 0; lr < h; ++lr) {
+          acc[lr] += prod[lr];
+          st.flops += 1;
+        }
+        if (ex.strategy == Strategy::kIntermediateSums) {
+          for (int lr = 0; lr < h; ++lr) {
+            inter[(tz * static_cast<std::size_t>(T) +
+                   static_cast<std::size_t>(j)) *
+                      hz +
+                  static_cast<std::size_t>(lr)] = acc[lr];
+          }
+        }
+        if (!p.bit_flags.get(i)) {  // row stop
+          if (ex.strategy == Strategy::kResultCache) {
+            const auto e_local =
+                static_cast<std::size_t>(entry - wg_first);
+            if (e_local < cache_entries) {
+              for (int lr = 0; lr < h; ++lr) {
+                cache[e_local * hz + static_cast<std::size_t>(lr)] = acc[lr];
+              }
+            } else {
+              // Result-cache overflow: write straight to global memory.
+              const index_t sbrow =
+                  m.seg_to_block_row[static_cast<std::size_t>(entry)];
+              for (int lr = 0; lr < h; ++lr) {
+                res[static_cast<std::size_t>(sbrow) * hz +
+                    static_cast<std::size_t>(lr)] = acc[lr];
+              }
+              charge_scattered_store(st, h);
+            }
+          }
+          ++entry;
+          saw_stop = true;
+          for (int lr = 0; lr < h; ++lr) acc[lr] = 0.0;
+        }
+      }
+      for (int lr = 0; lr < h; ++lr) {
+        lps[tz * hz + static_cast<std::size_t>(lr)] = acc[lr];
+      }
+      flags[tz] = saw_stop ? 1 : 0;
+      flags_orig[tz] = flags[tz];
+      if (ex.transpose == Transpose::kOffline) {
+        st.add_coalesced_load(static_cast<std::size_t>(T) * bwz * hz,
+                              bytes::kValue);
+        st.add_coalesced_load(static_cast<std::size_t>(T),
+                              p.col_bytes_per_block());
+      }
+    });
+
+    // ---- prefix of start flags (for first-stop ownership) ---------------
+    wg.phase([&](int t) {
+      if (t == 0) {
+        any_stop_before[0] = 0;
+        for (int u = 0; u < W; ++u) {
+          any_stop_before[static_cast<std::size_t>(u) + 1] =
+              any_stop_before[static_cast<std::size_t>(u)] |
+              flags_orig[static_cast<std::size_t>(u)];
+        }
+      }
+    });
+
+    // ---- phase B: parallel segmented scan over last_partial_sums ---------
+    const bool skip =
+        ex.skip_scan_opt && p.skip_scan[static_cast<std::size_t>(wid)] != 0;
+    if (!skip) {
+      scan::wg_segmented_scan_hvec(wg, lps, flags, lps_tmp, flags_tmp, h);
+    }
+    st.add_coalesced_load(1, 1);  // skip_scan flag byte
+
+    // ---- publish Grp_sum (adjacent sync) or export tails ----------------
+    // Tail of this workgroup = scanned lps of the last thread.
+    real_t tail[sim::AdjacentBuffer::kMaxH];
+    for (int lr = 0; lr < h; ++lr) {
+      tail[lr] = lps[static_cast<std::size_t>(W - 1) * hz +
+                     static_cast<std::size_t>(lr)];
+    }
+    real_t carry_in[sim::AdjacentBuffer::kMaxH] = {0, 0, 0, 0};
+    if (use_adjacent) {
+      if (wg_has_stop) {
+        // Chain broken here: publish immediately to unblock successors,
+        // then fetch the carry for our first segment.
+        grp->publish(static_cast<std::size_t>(wid), std::span<const real_t>(tail, hz));
+        st.global_store_bytes += hz * bytes::kValue + 4;
+        if (wid > 0) {
+          grp->wait(static_cast<std::size_t>(wid) - 1,
+                    std::span<real_t>(carry_in, hz), st);
+          st.add_coalesced_load(1, hz * bytes::kValue + 4);
+        }
+      } else {
+        if (wid > 0) {
+          grp->wait(static_cast<std::size_t>(wid) - 1,
+                    std::span<real_t>(carry_in, hz), st);
+          st.add_coalesced_load(1, hz * bytes::kValue + 4);
+        }
+        real_t chained[sim::AdjacentBuffer::kMaxH];
+        for (int lr = 0; lr < h; ++lr) chained[lr] = carry_in[lr] + tail[lr];
+        grp->publish(static_cast<std::size_t>(wid),
+                     std::span<const real_t>(chained, hz));
+        st.global_store_bytes += hz * bytes::kValue + 4;
+      }
+    } else {
+      for (int lr = 0; lr < h; ++lr) {
+        tails_out->tails[static_cast<std::size_t>(wid) * hz +
+                         static_cast<std::size_t>(lr)] = tail[lr];
+      }
+      st.global_store_bytes += hz * bytes::kValue;
+    }
+
+    // ---- phase C: combine and write results ------------------------------
+    if (ex.strategy == Strategy::kIntermediateSums) {
+      wg.phase([&](int t) {
+        const std::size_t tz = static_cast<std::size_t>(t);
+        const std::size_t tile0 = wg_start + tz * static_cast<std::size_t>(T);
+        index_t entry =
+            p.first_result_entry[static_cast<std::size_t>(wid) *
+                                     static_cast<std::size_t>(W) +
+                                 tz];
+        bool first_stop = true;
+        for (int j = 0; j < T; ++j) {
+          const std::size_t i = tile0 + static_cast<std::size_t>(j);
+          if (p.bit_flags.get(i)) continue;  // not a row stop
+          real_t v[sim::AdjacentBuffer::kMaxH];
+          for (int lr = 0; lr < h; ++lr) {
+            v[lr] = inter[(tz * static_cast<std::size_t>(T) +
+                           static_cast<std::size_t>(j)) *
+                              hz +
+                          static_cast<std::size_t>(lr)];
+          }
+          if (first_stop) {
+            if (t > 0) {
+              // Segment may span threads: the scanned last_partial_sums of
+              // the previous thread accumulates all unterminated tails.
+              for (int lr = 0; lr < h; ++lr) {
+                v[lr] += lps[(tz - 1) * hz + static_cast<std::size_t>(lr)];
+                st.flops += 1;
+              }
+            }
+            if (!any_stop_before[tz] && wid >= 0) {
+              // This is the workgroup's very first row stop: absorb the
+              // carry from preceding workgroups (adjacent sync); under
+              // global sync the carry kernel patches it afterwards.
+              for (int lr = 0; lr < h; ++lr) {
+                v[lr] += carry_in[lr];
+                st.flops += 1;
+              }
+            }
+            first_stop = false;
+          }
+          const index_t sbrow =
+              m.seg_to_block_row[static_cast<std::size_t>(entry)];
+          for (int lr = 0; lr < h; ++lr) {
+            res[static_cast<std::size_t>(sbrow) * hz +
+                static_cast<std::size_t>(lr)] = v[lr];
+          }
+          charge_scattered_store(st, h);
+          ++entry;
+        }
+      });
+    } else {
+      // Strategy 2: patch the cache, then write it back coalesced.
+      wg.phase([&](int t) {
+        const std::size_t tz = static_cast<std::size_t>(t);
+        if (t == 0) {
+          // Thread 0 folds the previous workgroup's carry into result-cache
+          // entry 0 (the workgroup's first segment), Figure 12.
+          if (wg_has_stop && wid > 0) {
+            for (int lr = 0; lr < h; ++lr) {
+              cache[static_cast<std::size_t>(lr)] += carry_in[lr];
+              st.flops += 1;
+            }
+          }
+          return;
+        }
+        if (!flags_orig[tz]) return;  // no row stop in this thread's tile
+        // The thread's first row stop may belong to a segment spanning
+        // previous threads: add the scanned last partial sum of thread t-1.
+        const index_t entry =
+            p.first_result_entry[static_cast<std::size_t>(wid) *
+                                     static_cast<std::size_t>(W) +
+                                 tz];
+        const auto e_local = static_cast<std::size_t>(entry - wg_first);
+        if (e_local < cache_entries) {
+          for (int lr = 0; lr < h; ++lr) {
+            cache[e_local * hz + static_cast<std::size_t>(lr)] +=
+                lps[(tz - 1) * hz + static_cast<std::size_t>(lr)];
+            st.flops += 1;
+          }
+        } else {
+          const index_t sbrow =
+              m.seg_to_block_row[static_cast<std::size_t>(entry)];
+          for (int lr = 0; lr < h; ++lr) {
+            res[static_cast<std::size_t>(sbrow) * hz +
+                static_cast<std::size_t>(lr)] +=
+                lps[(tz - 1) * hz + static_cast<std::size_t>(lr)];
+            st.flops += 1;
+          }
+          charge_scattered_store(st, h);
+          st.add_coalesced_load(1, hz * bytes::kValue);
+        }
+      });
+      // ---- phase D: coalesced writeback of the result cache -------------
+      const auto wg_stops = static_cast<std::size_t>(wg_next - wg_first);
+      const std::size_t to_write = std::min(wg_stops, cache_entries);
+      wg.phase([&](int t) {
+        for (std::size_t e = static_cast<std::size_t>(t); e < to_write;
+             e += static_cast<std::size_t>(W)) {
+          const index_t sbrow = m.seg_to_block_row[static_cast<std::size_t>(
+              wg_first + static_cast<index_t>(e))];
+          for (int lr = 0; lr < h; ++lr) {
+            res[static_cast<std::size_t>(sbrow) * hz +
+                static_cast<std::size_t>(lr)] =
+                cache[e * hz + static_cast<std::size_t>(lr)];
+          }
+        }
+      });
+      st.add_coalesced_store(to_write * hz, bytes::kValue);
+      // seg_to_block_row lookups for the writeback (identity on the paper's
+      // matrices; counted only when materialized).
+      if (!m.identity_segments) {
+        st.add_coalesced_load(to_write, bytes::kIndex);
+      }
+    }
+  };
+
+  return sim::launch(dev, lc, kernel);
+}
+
+/// Second kernel for the global-synchronization configuration: resolves the
+/// cross-workgroup carry chain serially and patches each workgroup's first
+/// segment.  One workgroup; thread 0 walks the chain (this models the extra
+/// launch + traffic the paper's adjacent synchronization removes).
+inline sim::KernelStats run_carry_kernel(const BccooPlan& p,
+                                         const sim::DeviceSpec& dev,
+                                         const WgTails& tails,
+                                         std::span<real_t> res) {
+  const Bccoo& m = *p.fmt;
+  const int h = m.cfg.block_h;
+  const auto hz = static_cast<std::size_t>(h);
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 1;
+  lc.workers = 1;
+  lc.use_texture = false;
+
+  auto kernel = [&](sim::WorkgroupCtx& wg) {
+    sim::KernelStats& st = wg.stats();
+    wg.phase([&](int t) {
+      if (t != 0) return;
+      std::vector<real_t> carry(hz, 0.0);
+      for (int w = 0; w < p.num_workgroups; ++w) {
+        const index_t first = p.wg_first_entry[static_cast<std::size_t>(w)];
+        const index_t next =
+            p.wg_first_entry[static_cast<std::size_t>(w) + 1];
+        const bool has_stop = next > first;
+        st.add_coalesced_load(1, hz * bytes::kValue + bytes::kIndex);
+        if (has_stop) {
+          const index_t sbrow =
+              m.seg_to_block_row[static_cast<std::size_t>(first)];
+          for (int lr = 0; lr < h; ++lr) {
+            res[static_cast<std::size_t>(sbrow) * hz +
+                static_cast<std::size_t>(lr)] +=
+                carry[static_cast<std::size_t>(lr)];
+            st.flops += 1;
+          }
+          st.add_coalesced_load(1, hz * bytes::kValue);
+          charge_scattered_store(st, h);
+          for (int lr = 0; lr < h; ++lr) {
+            carry[static_cast<std::size_t>(lr)] =
+                tails.tails[static_cast<std::size_t>(w) * hz +
+                            static_cast<std::size_t>(lr)];
+          }
+        } else {
+          for (int lr = 0; lr < h; ++lr) {
+            carry[static_cast<std::size_t>(lr)] +=
+                tails.tails[static_cast<std::size_t>(w) * hz +
+                            static_cast<std::size_t>(lr)];
+            st.flops += 1;
+          }
+        }
+      }
+    });
+  };
+  return sim::launch(dev, lc, kernel);
+}
+
+/// BCCOO+ combine kernel (Figure 5): y[r] = sum over slices s of the slice
+/// partial result.  `res` is indexed by stacked block-row; `y` has `rows`
+/// entries.
+inline sim::KernelStats run_combine_kernel(const Bccoo& m,
+                                           const sim::DeviceSpec& dev,
+                                           const ExecConfig& ex,
+                                           std::span<const real_t> res,
+                                           std::span<real_t> y) {
+  const int h = m.cfg.block_h;
+  const auto hz = static_cast<std::size_t>(h);
+  const int W = 256;
+  const index_t rows = m.rows;
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = static_cast<int>(ceil_div<index_t>(rows, W));
+  lc.workgroup_size = W;
+  lc.workers = ex.workers;
+  lc.use_texture = false;
+
+  auto kernel = [&](sim::WorkgroupCtx& wg) {
+    sim::KernelStats& st = wg.stats();
+    wg.phase([&](int t) {
+      const index_t r = static_cast<index_t>(wg.wg_id()) * W + t;
+      if (r >= rows) return;
+      real_t s = 0.0;
+      for (index_t sl = 0; sl < m.cfg.slices; ++sl) {
+        const index_t sbrow = sl * m.block_rows + r / m.cfg.block_h;
+        s += res[static_cast<std::size_t>(sbrow) * hz +
+                 static_cast<std::size_t>(r % m.cfg.block_h)];
+        st.flops += 1;
+      }
+      y[static_cast<std::size_t>(r)] = s;
+    });
+    st.add_coalesced_load(static_cast<std::size_t>(W) *
+                              static_cast<std::size_t>(m.cfg.slices),
+                          bytes::kValue);
+    st.add_coalesced_store(static_cast<std::size_t>(W), bytes::kValue);
+  };
+  return sim::launch(dev, lc, kernel);
+}
+
+}  // namespace yaspmv::core

@@ -1,0 +1,148 @@
+// BCCOO + tree-based segmented scan — the intermediate configuration of the
+// Figure 14 breakdown ("BCCOO" stage): the new format's footprint savings
+// *without* the paper's efficient matrix-based segmented sum/scan.
+//
+// One non-zero block per thread (build the plan with thread_tile == 1), a
+// Blelloch tree scan per block-row-height lane inside each workgroup, and
+// the serial carry kernel (run_carry_kernel) to resolve cross-workgroup
+// segments — i.e., the old algorithm running on the new format.
+#pragma once
+
+#include <span>
+
+#include "yaspmv/core/kernels.hpp"
+#include "yaspmv/core/plan.hpp"
+#include "yaspmv/scan/segscan_tree.hpp"
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::core {
+
+/// Requires p.exec.thread_tile == 1 and fills `tails_out` for the carry
+/// kernel.  `res` must be zero-initialized by the caller when the matrix has
+/// empty block rows.
+inline sim::KernelStats run_spmv_bccoo_tree(const BccooPlan& p,
+                                            const sim::DeviceSpec& dev,
+                                            std::span<const real_t> xp,
+                                            std::span<real_t> res,
+                                            WgTails* tails_out) {
+  const Bccoo& m = *p.fmt;
+  const ExecConfig& ex = p.exec;
+  require(ex.thread_tile == 1, "tree stage requires thread_tile == 1");
+  const int W = ex.workgroup_size;
+  const int h = m.cfg.block_h;
+  const int bw = m.cfg.block_w;
+  const auto hz = static_cast<std::size_t>(h);
+  const auto bwz = static_cast<std::size_t>(bw);
+  tails_out->tails.assign(static_cast<std::size_t>(p.num_workgroups) * hz,
+                          0.0);
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = p.num_workgroups;
+  lc.workgroup_size = W;
+  lc.workers = ex.workers;
+  lc.use_texture = ex.use_texture;
+
+  auto kernel = [&](sim::WorkgroupCtx& wg) {
+    sim::KernelStats& st = wg.stats();
+    const int wid = wg.wg_id();
+    const std::size_t base =
+        static_cast<std::size_t>(wid) * static_cast<std::size_t>(W);
+    const index_t wg_first = p.wg_first_entry[static_cast<std::size_t>(wid)];
+
+    auto heads = wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto wflags = wg.shared_array<std::uint8_t>(static_cast<std::size_t>(W), 1);
+    auto icopy = wg.shared_array<real_t>(static_cast<std::size_t>(W),
+                                         bytes::kValue);
+    // One scan buffer per block-row lane (tree scan is scalar).
+    auto prods = wg.shared_array<real_t>(
+        static_cast<std::size_t>(W) * hz, bytes::kValue);
+
+    wg.phase([&](int t) {
+      const std::size_t i = base + static_cast<std::size_t>(t);
+      const index_t bcol = p.col_abs[i];
+      for (int lr = 0; lr < h; ++lr) {
+        real_t s = 0.0;
+        for (int lcidx = 0; lcidx < bw; ++lcidx) {
+          const std::size_t xi = static_cast<std::size_t>(bcol) * bwz +
+                                 static_cast<std::size_t>(lcidx);
+          if (lr == 0) wg.touch_vector(xi);
+          s += p.value_rows[static_cast<std::size_t>(lr)]
+                           [i * bwz + static_cast<std::size_t>(lcidx)] *
+               xp[xi];
+        }
+        prods[static_cast<std::size_t>(lr) * static_cast<std::size_t>(W) +
+              static_cast<std::size_t>(t)] = s;
+        st.flops += 2 * static_cast<std::size_t>(bw);
+      }
+      heads[static_cast<std::size_t>(t)] =
+          (t == 0 || !p.bit_flags.get(i - 1)) ? 1 : 0;
+    });
+    st.add_coalesced_load(static_cast<std::size_t>(W) * bwz * hz,
+                          bytes::kValue);
+    st.add_coalesced_load(static_cast<std::size_t>(W), bytes::kIndex);
+    st.add_coalesced_load(
+        1, ceil_div(static_cast<std::size_t>(W),
+                    bits_per_word(m.cfg.bf_word)) *
+               (bits_per_word(m.cfg.bf_word) / 8));
+
+    // h independent tree scans (the naive port of the scalar algorithm).
+    for (int lr = 0; lr < h; ++lr) {
+      scan::wg_tree_segscan_inclusive(
+          wg,
+          prods.subspan(
+              static_cast<std::size_t>(lr) * static_cast<std::size_t>(W),
+              static_cast<std::size_t>(W)),
+          heads, wflags, icopy);
+    }
+
+    // Per-thread segment ordinal: workgroup base + stops before the thread's
+    // block inside this workgroup (prefix computed serially by thread 0, the
+    // same scan-of-inverted-bit-flags idea as Section 2.4).
+    auto stops_before =
+        wg.shared_array<index_t>(static_cast<std::size_t>(W), bytes::kIndex);
+    wg.phase([&](int t) {
+      if (t != 0) return;
+      index_t c = 0;
+      for (int u = 0; u < W; ++u) {
+        stops_before[static_cast<std::size_t>(u)] = c;
+        if (!p.bit_flags.get(base + static_cast<std::size_t>(u))) ++c;
+      }
+    });
+
+    wg.phase([&](int t) {
+      const std::size_t i = base + static_cast<std::size_t>(t);
+      if (p.bit_flags.get(i)) return;  // not a row stop
+      const index_t entry =
+          wg_first + stops_before[static_cast<std::size_t>(t)];
+      const index_t sbrow =
+          m.seg_to_block_row[static_cast<std::size_t>(entry)];
+      for (int lr = 0; lr < h; ++lr) {
+        res[static_cast<std::size_t>(sbrow) * hz +
+            static_cast<std::size_t>(lr)] =
+            prods[static_cast<std::size_t>(lr) * static_cast<std::size_t>(W) +
+                  static_cast<std::size_t>(t)];
+      }
+      charge_scattered_store(st, h);
+    });
+
+    // Export the workgroup tail for the carry kernel.  When the last block
+    // is itself a row stop the trailing open segment is empty: the scanned
+    // value at W-1 is a *finished* segment sum and the carry out must be 0.
+    const bool ends_at_stop =
+        !p.bit_flags.get(base + static_cast<std::size_t>(W - 1));
+    for (int lr = 0; lr < h; ++lr) {
+      tails_out->tails[static_cast<std::size_t>(wid) * hz +
+                       static_cast<std::size_t>(lr)] =
+          ends_at_stop
+              ? 0.0
+              : prods[static_cast<std::size_t>(lr) *
+                          static_cast<std::size_t>(W) +
+                      static_cast<std::size_t>(W - 1)];
+    }
+    st.global_store_bytes += hz * bytes::kValue;
+  };
+
+  return sim::launch(dev, lc, kernel);
+}
+
+}  // namespace yaspmv::core

@@ -1,0 +1,238 @@
+// Execution plan: everything derived from (Bccoo format, ExecConfig) that
+// the kernels consume.
+//
+//  * Padding (Section 2.2): the bit-flag array is padded with 1-bits to a
+//    multiple of the workgroup working set, so kernels need no end-of-array
+//    checks; padded blocks carry zero values and a safe column index.
+//  * Auxiliary information (Section 2.4): per-thread first-result entries
+//    (a scan over the bitwise inverse of the bit flags) and the
+//    skip-parallel-scan flag per workgroup.
+//  * Column-index compression (Sections 2.2 and 4): either the u16 absolute
+//    index (when cols fit), or per-thread-tile int16 deltas with the -1
+//    escape to the uncompressed array.
+//  * Offline transpose (Section 3.2.2): value/column arrays rearranged so
+//    that lane accesses within a warp are unit-stride.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/core/config.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::core {
+
+struct BccooPlan {
+  const Bccoo* fmt = nullptr;  ///< non-owning; outlives the plan
+  ExecConfig exec;
+
+  std::size_t padded_blocks = 0;
+  int num_workgroups = 0;
+
+  /// Padded bit flags (1-bits appended: padding extends the final segment
+  /// with zero-valued blocks, which is harmless).
+  BitArray bit_flags;
+
+  /// Padded column indices (absolute, int32 — the escape target).
+  std::vector<index_t> col_abs;
+
+  /// Section 4 optimization: absolute u16 column indices (cols < 65535).
+  std::vector<std::uint16_t> col_u16;
+  bool col_u16_valid = false;
+
+  /// Section 2.2 compression: per-thread-tile int16 deltas, -1 = escape.
+  std::vector<std::int16_t> col_delta;
+  std::size_t delta_escapes = 0;
+
+  /// Padded per-row value arrays (logical layout, block-major).
+  std::vector<std::vector<real_t>> value_rows;
+
+  /// Offline-transposed layout (only built when exec.transpose == kOffline):
+  /// within each workgroup tile, element e of thread t lives at
+  /// wg_base + e*W + t.
+  std::vector<std::vector<real_t>> value_rows_t;
+  std::vector<index_t> col_abs_t;
+
+  /// first_result_entry[g]: segment ordinal of the first result produced by
+  /// global thread g (count of row stops before its tile).
+  std::vector<index_t> first_result_entry;
+
+  /// wg_first_entry[w] = first_result_entry of workgroup w's thread 0;
+  /// one extra tail entry = total segments, so wg w owns entries
+  /// [wg_first_entry[w], wg_first_entry[w+1]).
+  std::vector<index_t> wg_first_entry;
+
+  /// Section 2.4 quick check: every thread tile in workgroup w contains a
+  /// row stop, so all segments in last_partial_sums have size 1 and the
+  /// parallel scan can be skipped.
+  std::vector<std::uint8_t> skip_scan;
+
+  int total_threads() const {
+    return num_workgroups * exec.workgroup_size;
+  }
+
+  /// Decodes the column index of block i for thread-tile-local position j,
+  /// given the running previous column `prev` (tile-start resets handled by
+  /// the caller passing j==0).  Mirrors the device decode path.
+  index_t decode_col(std::size_t i, int j, index_t prev) const {
+    if (exec.compress_col_delta) {
+      const std::int16_t d = col_delta[i];
+      if (d == -1) return col_abs[i];  // escape: read uncompressed array
+      return (j == 0 ? 0 : prev) + static_cast<index_t>(d);
+    }
+    if (col_u16_valid && exec.short_col_index) {
+      return static_cast<index_t>(col_u16[i]);
+    }
+    return col_abs[i];
+  }
+
+  /// Bytes loaded per block for the column index under the active encoding.
+  std::size_t col_bytes_per_block() const {
+    if (exec.compress_col_delta) return bytes::kShortIndex;
+    if (col_u16_valid && exec.short_col_index) return bytes::kShortIndex;
+    return bytes::kIndex;
+  }
+
+  static BccooPlan build(const Bccoo& m, const ExecConfig& exec) {
+    require(exec.workgroup_size > 0 &&
+                (exec.workgroup_size & (exec.workgroup_size - 1)) == 0,
+            "workgroup size must be a power of two");
+    require(exec.thread_tile > 0, "thread tile must be positive");
+    require(exec.shm_tile >= 0 && exec.shm_tile <= exec.thread_tile,
+            "shm_tile must be within the thread tile");
+    require(!(exec.strategy == Strategy::kResultCache &&
+              exec.transpose == Transpose::kOnline),
+            "strategy 2 requires the offline transpose (Section 3.2.2)");
+    BccooPlan p;
+    p.fmt = &m;
+    p.exec = exec;
+
+    const std::size_t wg_tile = exec.workgroup_tile();
+    p.padded_blocks =
+        m.num_blocks == 0 ? wg_tile : round_up(m.num_blocks, wg_tile);
+    p.num_workgroups = static_cast<int>(p.padded_blocks / wg_tile);
+
+    // --- padded bit flags & columns & values -----------------------------
+    p.bit_flags = m.bit_flags;
+    p.bit_flags.append(p.padded_blocks - m.num_blocks, true);
+
+    p.col_abs = m.col_index;
+    const index_t pad_col = m.col_index.empty() ? 0 : m.col_index.back();
+    p.col_abs.resize(p.padded_blocks, pad_col);
+
+    const auto bw = static_cast<std::size_t>(m.cfg.block_w);
+    p.value_rows.assign(m.value_rows.begin(), m.value_rows.end());
+    if (p.value_rows.empty()) {
+      p.value_rows.assign(static_cast<std::size_t>(m.cfg.block_h), {});
+    }
+    for (auto& vr : p.value_rows) vr.resize(p.padded_blocks * bw, 0.0);
+
+    // --- u16 column indices (Section 4) ----------------------------------
+    if (m.block_cols <= 65535) {
+      p.col_u16_valid = true;
+      p.col_u16.resize(p.padded_blocks);
+      for (std::size_t i = 0; i < p.padded_blocks; ++i) {
+        p.col_u16[i] = static_cast<std::uint16_t>(p.col_abs[i]);
+      }
+    }
+
+    // --- int16 delta compression (Section 2.2) ---------------------------
+    if (exec.compress_col_delta) {
+      p.col_delta.resize(p.padded_blocks);
+      const auto tile = static_cast<std::size_t>(exec.thread_tile);
+      for (std::size_t i = 0; i < p.padded_blocks; ++i) {
+        const bool tile_start = (i % tile) == 0;
+        const std::int64_t prev =
+            tile_start ? 0 : static_cast<std::int64_t>(p.col_abs[i - 1]);
+        const std::int64_t d = static_cast<std::int64_t>(p.col_abs[i]) - prev;
+        if (fits_short_delta(d) && d != -1) {
+          p.col_delta[i] = static_cast<std::int16_t>(d);
+        } else {
+          p.col_delta[i] = -1;  // escape to the uncompressed array
+          p.delta_escapes++;
+        }
+      }
+    }
+
+    // --- auxiliary information (Section 2.4) ------------------------------
+    const int threads = p.total_threads();
+    const auto tt = static_cast<std::size_t>(exec.thread_tile);
+    p.first_result_entry.resize(static_cast<std::size_t>(threads));
+    {
+      // Single pass: running count of row stops, sampled at tile starts.
+      index_t stops = 0;
+      std::size_t next_tile = 0;
+      int g = 0;
+      for (std::size_t i = 0; i <= p.padded_blocks; ++i) {
+        if (i == next_tile && g < threads) {
+          p.first_result_entry[static_cast<std::size_t>(g++)] = stops;
+          next_tile += tt;
+        }
+        if (i < p.padded_blocks && !p.bit_flags.get(i)) ++stops;
+      }
+    }
+    p.wg_first_entry.resize(static_cast<std::size_t>(p.num_workgroups) + 1);
+    for (int w = 0; w < p.num_workgroups; ++w) {
+      p.wg_first_entry[static_cast<std::size_t>(w)] =
+          p.first_result_entry[static_cast<std::size_t>(w) *
+                               static_cast<std::size_t>(exec.workgroup_size)];
+    }
+    p.wg_first_entry[static_cast<std::size_t>(p.num_workgroups)] =
+        static_cast<index_t>(m.num_segments());
+
+    p.skip_scan.assign(static_cast<std::size_t>(p.num_workgroups), 1);
+    for (int w = 0; w < p.num_workgroups; ++w) {
+      const std::size_t wg_start =
+          static_cast<std::size_t>(w) * wg_tile;
+      for (int t = 0; t < exec.workgroup_size; ++t) {
+        const std::size_t ts = wg_start + static_cast<std::size_t>(t) * tt;
+        if (!p.bit_flags.has_zero_in(ts, ts + tt)) {
+          p.skip_scan[static_cast<std::size_t>(w)] = 0;
+          break;
+        }
+      }
+    }
+
+    // --- offline transpose -------------------------------------------------
+    if (exec.transpose == Transpose::kOffline) {
+      const auto W = static_cast<std::size_t>(exec.workgroup_size);
+      p.value_rows_t.assign(p.value_rows.size(), {});
+      for (std::size_t lr = 0; lr < p.value_rows.size(); ++lr) {
+        p.value_rows_t[lr].resize(p.padded_blocks * bw);
+      }
+      p.col_abs_t.resize(p.padded_blocks);
+      const std::size_t elems_per_thread = tt * bw;
+      for (int w = 0; w < p.num_workgroups; ++w) {
+        const std::size_t wg_start = static_cast<std::size_t>(w) * wg_tile;
+        const std::size_t wg_elem_base = wg_start * bw;
+        for (std::size_t t = 0; t < W; ++t) {
+          const std::size_t th_block0 = wg_start + t * tt;
+          for (std::size_t e = 0; e < elems_per_thread; ++e) {
+            const std::size_t src = th_block0 * bw + e;
+            const std::size_t dst = wg_elem_base + e * W + t;
+            for (std::size_t lr = 0; lr < p.value_rows.size(); ++lr) {
+              p.value_rows_t[lr][dst] = p.value_rows[lr][src];
+            }
+          }
+          for (std::size_t j = 0; j < tt; ++j) {
+            p.col_abs_t[wg_start + j * W + t] = p.col_abs[th_block0 + j];
+          }
+        }
+      }
+    }
+    return p;
+  }
+
+  /// Footprint of the format plus the plan's auxiliary arrays, matching the
+  /// Table 3 accounting ("all the information, including ... the auxiliary
+  /// information described in Section 2.4").
+  std::size_t footprint_bytes() const {
+    return fmt->footprint_bytes(col_u16_valid && exec.short_col_index,
+                                exec.compress_col_delta, delta_escapes) +
+           first_result_entry.size() * bytes::kIndex +
+           skip_scan.size();
+  }
+};
+
+}  // namespace yaspmv::core

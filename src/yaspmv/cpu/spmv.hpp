@@ -1,0 +1,334 @@
+// Native CPU-parallel SpMV over the BCCOO/BCCOO+ format.
+//
+// The GPU pipeline in yaspmv/core runs on a simulator for evaluation
+// purposes; this backend runs the *same algorithm* natively with OS
+// threads, so the library is directly usable for real workloads:
+//
+//   * the non-zero blocks are divided into equal contiguous chunks (the
+//     thread-level tiles of Section 3.2, scaled to CPU cores),
+//   * each thread performs the sequential segmented sum over its chunk,
+//     writing every *interior* segment directly (those are complete) and
+//     recording its first partial sum and trailing carry,
+//   * a serial O(threads) fix-up pass resolves segments spanning chunk
+//     boundaries — the CPU analog of the adjacent-synchronization chain.
+//
+// Determinism: for a fixed thread count the summation order is fixed, so
+// results are bitwise reproducible run-to-run.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/util/thread_pool.hpp"
+
+namespace yaspmv::cpu {
+
+/// Reusable parallel SpMV executor for one BCCOO matrix.
+class CpuSpmv {
+ public:
+  /// `threads == 0` uses the hardware concurrency.
+  explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0)
+      : fmt_(std::move(m)),
+        threads_(threads == 0 ? default_workers() : threads) {
+    const core::Bccoo& f = *fmt_;
+    require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
+            "CpuSpmv: block height must be in [1, 8]");
+    const auto h = static_cast<std::size_t>(f.cfg.block_h);
+    // Chunk boundaries over blocks (even distribution; at least one block
+    // per chunk).
+    const std::size_t nb = f.num_blocks;
+    const std::size_t nchunks =
+        nb == 0 ? 1 : std::min<std::size_t>(threads_ * 4, nb);
+    chunk_start_.reserve(nchunks + 1);
+    for (std::size_t c = 0; c <= nchunks; ++c) {
+      chunk_start_.push_back(c * nb / nchunks);
+    }
+    // Per-chunk first segment ordinal (count of row stops before the
+    // chunk), Section 2.4's first-result-entry at chunk granularity.
+    chunk_first_seg_.resize(chunk_start_.size());
+    for (std::size_t c = 0; c < chunk_start_.size(); ++c) {
+      chunk_first_seg_[c] = f.bit_flags.count_zeros_before(chunk_start_[c]);
+    }
+    carries_.resize((chunk_start_.size() - 1) * h, 0.0);
+    firsts_.resize((chunk_start_.size() - 1) * h, 0.0);
+    xp_.resize(static_cast<std::size_t>(f.block_cols) *
+                   static_cast<std::size_t>(f.cfg.block_w),
+               0.0);
+    res_.resize(static_cast<std::size_t>(f.stacked_block_rows) * h, 0.0);
+  }
+
+  const core::Bccoo& format() const { return *fmt_; }
+  unsigned threads() const { return threads_; }
+
+  /// y = A * x (parallel, deterministic for a fixed thread count).
+  void spmv(std::span<const real_t> x, std::span<real_t> y) {
+    const core::Bccoo& f = *fmt_;
+    require(x.size() == static_cast<std::size_t>(f.cols) &&
+                y.size() == static_cast<std::size_t>(f.rows),
+            "CpuSpmv: vector size mismatch");
+    const auto h = static_cast<std::size_t>(f.cfg.block_h);
+    const auto bw = static_cast<std::size_t>(f.cfg.block_w);
+
+    std::copy(x.begin(), x.end(), xp_.begin());
+    std::fill(xp_.begin() + static_cast<std::ptrdiff_t>(x.size()), xp_.end(),
+              0.0);
+    std::fill(res_.begin(), res_.end(), 0.0);
+
+    const std::size_t nchunks = chunk_start_.size() - 1;
+    parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
+      process_chunk(c, h, bw);
+    });
+
+    // Serial fix-up: resolve segments spanning chunk boundaries (the
+    // adjacent-synchronization chain, folded).
+    std::vector<real_t> carry(h, 0.0);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const index_t first = chunk_first_seg_[c];
+      const index_t next = chunk_first_seg_[c + 1];
+      const bool has_stop = next > first;
+      if (has_stop) {
+        const auto sbrow = static_cast<std::size_t>(
+            f.seg_to_block_row[static_cast<std::size_t>(first)]);
+        for (std::size_t k = 0; k < h; ++k) {
+          res_[sbrow * h + k] += carry[k] + firsts_[c * h + k];
+        }
+        for (std::size_t k = 0; k < h; ++k) carry[k] = carries_[c * h + k];
+      } else {
+        for (std::size_t k = 0; k < h; ++k) carry[k] += carries_[c * h + k];
+      }
+    }
+
+    // Gather y from the (slice-stacked) result buffer.
+    const auto bh = static_cast<std::size_t>(f.cfg.block_h);
+    for (index_t r = 0; r < f.rows; ++r) {
+      const auto rz = static_cast<std::size_t>(r);
+      real_t s = 0.0;
+      for (index_t sl = 0; sl < f.cfg.slices; ++sl) {
+        const std::size_t sbrow =
+            static_cast<std::size_t>(sl) *
+                static_cast<std::size_t>(f.block_rows) +
+            rz / bh;
+        s += res_[sbrow * h + rz % bh];
+      }
+      y[rz] = s;
+    }
+  }
+
+ private:
+  void process_chunk(std::size_t c, std::size_t h, std::size_t bw) {
+    const core::Bccoo& f = *fmt_;
+    const std::size_t b0 = chunk_start_[c];
+    const std::size_t b1 = chunk_start_[c + 1];
+    index_t seg = chunk_first_seg_[c];
+    real_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    bool first_stop = true;
+    if (h == 1 && bw == 1) {
+      // Fast path for scalar blocks (the tuner's most common choice): one
+      // multiply-add + one packed-bit test per non-zero.
+      const real_t* vals = f.value_rows[0].data();
+      const index_t* cols = f.col_index.data();
+      const std::uint32_t* words = f.bit_flags.words().data();
+      real_t a0 = 0.0;
+      for (std::size_t i = b0; i < b1; ++i) {
+        a0 += vals[i] * xp_[static_cast<std::size_t>(cols[i])];
+        if (((words[i >> 5] >> (i & 31u)) & 1u) == 0u) {  // row stop
+          if (first_stop) {
+            firsts_[c] = a0;
+            first_stop = false;
+          } else {
+            res_[static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(seg)])] = a0;
+          }
+          a0 = 0.0;
+          ++seg;
+        }
+      }
+      carries_[c] = a0;
+      return;
+    }
+    for (std::size_t i = b0; i < b1; ++i) {
+      const auto bcol = static_cast<std::size_t>(f.col_index[i]);
+      for (std::size_t k = 0; k < h; ++k) {
+        const real_t* row = f.value_rows[k].data() + i * bw;
+        const real_t* xv = xp_.data() + bcol * bw;
+        real_t s = 0.0;
+        for (std::size_t lc = 0; lc < bw; ++lc) s += row[lc] * xv[lc];
+        acc[k] += s;
+      }
+      if (!f.bit_flags.get(i)) {  // row stop
+        if (first_stop) {
+          // May continue from the previous chunk: defer to the fix-up.
+          for (std::size_t k = 0; k < h; ++k) {
+            firsts_[c * h + k] = acc[k];
+            acc[k] = 0.0;
+          }
+          first_stop = false;
+        } else {
+          const auto sbrow = static_cast<std::size_t>(
+              f.seg_to_block_row[static_cast<std::size_t>(seg)]);
+          for (std::size_t k = 0; k < h; ++k) {
+            res_[sbrow * h + k] = acc[k];
+            acc[k] = 0.0;
+          }
+        }
+        ++seg;
+      }
+    }
+    for (std::size_t k = 0; k < h; ++k) carries_[c * h + k] = acc[k];
+  }
+
+  std::shared_ptr<const core::Bccoo> fmt_;
+  unsigned threads_;
+  std::vector<std::size_t> chunk_start_;
+  std::vector<index_t> chunk_first_seg_;
+  std::vector<real_t> carries_;  ///< per chunk: trailing open-segment sum
+  std::vector<real_t> firsts_;   ///< per chunk: first (possibly partial) sum
+  std::vector<real_t> xp_;       ///< padded multiplied vector
+  std::vector<real_t> res_;      ///< per-segment results (slice-stacked)
+};
+
+/// Multi-vector product Y = A * X (SpMM) on the BCCOO format: X and Y are
+/// column-major n x k panels.  For scalar (1x1) blocks — the tuner's common
+/// choice — a fused pass reads each non-zero (value, column, bit flag)
+/// once and accumulates all k right-hand sides together, which is the
+/// classic SpMM win over k SpMV calls; blocked formats fall back to the
+/// per-vector path.
+class CpuSpmm {
+ public:
+  explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0)
+      : fmt_(std::move(m)),
+        eng_(fmt_, threads),
+        threads_(threads == 0 ? default_workers() : threads) {}
+
+  const core::Bccoo& format() const { return *fmt_; }
+
+  /// X: cols x k column-major, Y: rows x k column-major.
+  void spmm(std::span<const real_t> X, std::span<real_t> Y, index_t k) {
+    const auto& f = *fmt_;
+    require(k > 0, "CpuSpmm: k must be positive");
+    require(X.size() == static_cast<std::size_t>(f.cols) *
+                            static_cast<std::size_t>(k) &&
+                Y.size() == static_cast<std::size_t>(f.rows) *
+                                static_cast<std::size_t>(k),
+            "CpuSpmm: panel size mismatch");
+    if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1) {
+      fused_scalar(X, Y, k);
+      return;
+    }
+    for (index_t j = 0; j < k; ++j) {
+      eng_.spmv(X.subspan(static_cast<std::size_t>(j) *
+                              static_cast<std::size_t>(f.cols),
+                          static_cast<std::size_t>(f.cols)),
+                Y.subspan(static_cast<std::size_t>(j) *
+                              static_cast<std::size_t>(f.rows),
+                          static_cast<std::size_t>(f.rows)));
+    }
+  }
+
+ private:
+  void fused_scalar(std::span<const real_t> X, std::span<real_t> Y,
+                    index_t k) {
+    const auto& f = *fmt_;
+    const auto kz = static_cast<std::size_t>(k);
+    const auto colsz = static_cast<std::size_t>(f.cols);
+    const auto rowsz = static_cast<std::size_t>(f.rows);
+    std::fill(Y.begin(), Y.end(), 0.0);
+    const std::size_t nb = f.num_blocks;
+    if (nb == 0) return;
+    const std::size_t nchunks =
+        std::max<std::size_t>(1, std::min<std::size_t>(threads_ * 4, nb));
+    std::vector<std::size_t> starts(nchunks + 1);
+    std::vector<index_t> first_seg(nchunks + 1);
+    for (std::size_t c = 0; c <= nchunks; ++c) {
+      starts[c] = c * nb / nchunks;
+      first_seg[c] =
+          static_cast<index_t>(f.bit_flags.count_zeros_before(starts[c]));
+    }
+    // Per-chunk first/carry panels (k values each).
+    std::vector<real_t> firsts(nchunks * kz, 0.0), carries(nchunks * kz, 0.0);
+    const real_t* vals = f.value_rows[0].data();
+    const index_t* cols = f.col_index.data();
+
+    parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
+      std::vector<real_t> acc(kz, 0.0);
+      index_t seg = first_seg[c];
+      bool first_stop = true;
+      for (std::size_t i = starts[c]; i < starts[c + 1]; ++i) {
+        const real_t v = vals[i];
+        const auto col = static_cast<std::size_t>(cols[i]);
+        for (std::size_t j = 0; j < kz; ++j) {
+          acc[j] += v * X[j * colsz + col];  // one decode, k FMAs
+        }
+        if (!f.bit_flags.get(i)) {
+          real_t* out = first_stop
+                            ? &firsts[c * kz]
+                            : nullptr;
+          if (out != nullptr) {
+            std::copy(acc.begin(), acc.end(), out);
+            first_stop = false;
+          } else {
+            const auto row = static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(seg)]);
+            for (std::size_t j = 0; j < kz; ++j) Y[j * rowsz + row] = acc[j];
+          }
+          std::fill(acc.begin(), acc.end(), 0.0);
+          ++seg;
+        }
+      }
+      std::copy(acc.begin(), acc.end(), &carries[c * kz]);
+    });
+
+    std::vector<real_t> carry(kz, 0.0);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      if (first_seg[c + 1] > first_seg[c]) {
+        const auto row = static_cast<std::size_t>(
+            f.seg_to_block_row[static_cast<std::size_t>(first_seg[c])]);
+        for (std::size_t j = 0; j < kz; ++j) {
+          Y[j * rowsz + row] += carry[j] + firsts[c * kz + j];
+          carry[j] = carries[c * kz + j];
+        }
+      } else {
+        for (std::size_t j = 0; j < kz; ++j) carry[j] += carries[c * kz + j];
+      }
+    }
+  }
+
+  std::shared_ptr<const core::Bccoo> fmt_;
+  CpuSpmv eng_;
+  unsigned threads_;
+};
+
+/// Parallel CSR SpMV baseline (row-range partitioning) for the CPU benches.
+inline void spmv_csr_parallel(const fmt::Csr& m, std::span<const real_t> x,
+                              std::span<real_t> y, unsigned threads = 0) {
+  require(x.size() == static_cast<std::size_t>(m.cols) &&
+              y.size() == static_cast<std::size_t>(m.rows),
+          "spmv_csr_parallel: vector size mismatch");
+  if (threads == 0) threads = default_workers();
+  const std::size_t chunks = std::min<std::size_t>(
+      threads * 4, std::max<std::size_t>(1, static_cast<std::size_t>(m.rows)));
+  parallel_for_ordered(chunks, threads, [&](unsigned, std::size_t c) {
+    const auto r0 = static_cast<index_t>(
+        c * static_cast<std::size_t>(m.rows) / chunks);
+    const auto r1 = static_cast<index_t>(
+        (c + 1) * static_cast<std::size_t>(m.rows) / chunks);
+    for (index_t r = r0; r < r1; ++r) {
+      real_t acc = 0.0;
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+           p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        acc += m.vals[static_cast<std::size_t>(p)] *
+               x[static_cast<std::size_t>(
+                   m.col_idx[static_cast<std::size_t>(p)])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  });
+}
+
+}  // namespace yaspmv::cpu

@@ -1,0 +1,114 @@
+// Banded diagonal (BDIA) — clSpMV's banded variant of DIA: maximal runs of
+// *adjacent* occupied diagonals are stored as dense bands (rows x width),
+// so one band offset is amortized over `width` diagonals and the vector is
+// accessed in contiguous windows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/dia.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct Bdia {
+  index_t rows = 0, cols = 0;
+  std::vector<index_t> band_offset;  ///< first diagonal (col-row) of band
+  std::vector<index_t> band_width;   ///< diagonals in the band
+  std::vector<std::size_t> band_ptr; ///< value offset per band
+  std::vector<real_t> vals;  ///< per band: rows x width, row-major windows
+
+  index_t num_bands() const { return static_cast<index_t>(band_width.size()); }
+
+  static Bdia from_csr(const Csr& m, index_t max_diagonals = 1 << 14) {
+    // Find occupied diagonals, then coalesce adjacent ones into bands.
+    require(Dia::count_diagonals(m) <= max_diagonals,
+            "BDIA: too many occupied diagonals");
+    std::vector<std::uint8_t> occupied(
+        static_cast<std::size_t>(m.rows) + static_cast<std::size_t>(m.cols),
+        0);
+    for (index_t r = 0; r < m.rows; ++r) {
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+           p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        occupied[static_cast<std::size_t>(
+            m.col_idx[static_cast<std::size_t>(p)] - r + m.rows - 1)] = 1;
+      }
+    }
+    Bdia b;
+    b.rows = m.rows;
+    b.cols = m.cols;
+    b.band_ptr.push_back(0);
+    const auto total = static_cast<index_t>(occupied.size());
+    for (index_t k = 0; k < total;) {
+      if (!occupied[static_cast<std::size_t>(k)]) {
+        ++k;
+        continue;
+      }
+      index_t end = k;
+      while (end < total && occupied[static_cast<std::size_t>(end)]) ++end;
+      b.band_offset.push_back(k - m.rows + 1);
+      b.band_width.push_back(end - k);
+      b.band_ptr.push_back(b.band_ptr.back() +
+                           static_cast<std::size_t>(end - k) *
+                               static_cast<std::size_t>(m.rows));
+      k = end;
+    }
+    b.vals.assign(b.band_ptr.back(), 0.0);
+    for (index_t r = 0; r < m.rows; ++r) {
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+           p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        const index_t off = m.col_idx[static_cast<std::size_t>(p)] - r;
+        // Find the band containing `off` (bands are sorted by offset).
+        std::size_t lo = 0, hi = b.band_offset.size();
+        while (lo + 1 < hi) {
+          const std::size_t mid = (lo + hi) / 2;
+          if (b.band_offset[mid] <= off) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        const index_t w = b.band_width[lo];
+        const index_t d = off - b.band_offset[lo];
+        require(d >= 0 && d < w, "BDIA: band lookup failed");
+        // Row-major band window: element (r, d) of band lo.
+        b.vals[b.band_ptr[lo] + static_cast<std::size_t>(r) *
+                                    static_cast<std::size_t>(w) +
+               static_cast<std::size_t>(d)] =
+            m.vals[static_cast<std::size_t>(p)];
+      }
+    }
+    return b;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (index_t band = 0; band < num_bands(); ++band) {
+      const auto bz = static_cast<std::size_t>(band);
+      const index_t off = band_offset[bz];
+      const index_t w = band_width[bz];
+      for (index_t r = 0; r < rows; ++r) {
+        real_t acc = 0.0;
+        for (index_t d = 0; d < w; ++d) {
+          const index_t c = r + off + d;
+          if (c >= 0 && c < cols) {
+            acc += vals[band_ptr[bz] + static_cast<std::size_t>(r) *
+                                           static_cast<std::size_t>(w) +
+                        static_cast<std::size_t>(d)] *
+                   x[static_cast<std::size_t>(c)];
+          }
+        }
+        y[static_cast<std::size_t>(r)] += acc;
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return vals.size() * bytes::kValue +
+           band_offset.size() * 2 * bytes::kIndex;
+  }
+};
+
+}  // namespace yaspmv::fmt

@@ -1,0 +1,244 @@
+// Blocked formats: BCSR (blocked CSR) and BELL (blocked ELLPACK), as
+// implemented on GPUs by Choi et al. [7].  Non-zeros are grouped into
+// grid-aligned block_w x block_h tiles; each occupied tile stores all
+// block_w*block_h values (zero-filled), so one block row/column index is
+// amortized over the whole tile — the same storage trade-off BCCOO builds
+// on.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+/// Shared block-extraction step: returns, per block-row, the sorted list of
+/// (block_col, dense block values row-major bh x bw).
+struct BlockDecomposition {
+  index_t block_w = 1;
+  index_t block_h = 1;
+  index_t block_rows = 0;  ///< ceil(rows / block_h)
+  index_t block_cols = 0;  ///< ceil(cols / block_w)
+  std::vector<std::vector<std::pair<index_t, std::vector<real_t>>>> by_row;
+  std::size_t num_blocks = 0;
+
+  static BlockDecomposition build(const Coo& c, index_t bw, index_t bh) {
+    require(bw > 0 && bh > 0, "block dims must be positive");
+    BlockDecomposition d;
+    d.block_w = bw;
+    d.block_h = bh;
+    d.block_rows = ceil_div(c.rows, bh);
+    d.block_cols = ceil_div(c.cols, bw);
+    d.by_row.resize(static_cast<std::size_t>(d.block_rows));
+    // COO is canonical (row-major sorted), so blocks of one block-row arrive
+    // over a window of bh consecutive rows; a per-block-row ordered map
+    // collects them.
+    std::map<index_t, std::vector<real_t>>* cur = nullptr;
+    index_t cur_brow = -1;
+    std::map<index_t, std::vector<real_t>> acc;
+    auto flush = [&] {
+      if (cur_brow >= 0) {
+        auto& out = d.by_row[static_cast<std::size_t>(cur_brow)];
+        for (auto& [bc, blk] : acc) out.emplace_back(bc, std::move(blk));
+        d.num_blocks += acc.size();
+        acc.clear();
+      }
+    };
+    (void)cur;
+    for (std::size_t i = 0; i < c.nnz(); ++i) {
+      const index_t brow = c.row_idx[i] / bh;
+      const index_t bcol = c.col_idx[i] / bw;
+      if (brow != cur_brow) {
+        flush();
+        cur_brow = brow;
+      }
+      auto& blk = acc[bcol];
+      if (blk.empty()) {
+        blk.assign(static_cast<std::size_t>(bw) * static_cast<std::size_t>(bh),
+                   0.0);
+      }
+      const index_t lr = c.row_idx[i] - brow * bh;
+      const index_t lc = c.col_idx[i] - bcol * bw;
+      blk[static_cast<std::size_t>(lr) * static_cast<std::size_t>(bw) +
+          static_cast<std::size_t>(lc)] = c.vals[i];
+    }
+    flush();
+    return d;
+  }
+
+  /// Counts occupied blocks without materializing values (O(nnz) with a
+  /// per-block-column stamp array).
+  static std::size_t count_blocks(const Coo& c, index_t bw, index_t bh) {
+    std::vector<index_t> stamp(static_cast<std::size_t>(ceil_div(c.cols, bw)),
+                               -1);
+    std::size_t blocks = 0;
+    for (std::size_t i = 0; i < c.nnz(); ++i) {
+      const index_t brow = c.row_idx[i] / bh;
+      const auto bcol = static_cast<std::size_t>(c.col_idx[i] / bw);
+      if (stamp[bcol] != brow) {
+        stamp[bcol] = brow;
+        ++blocks;
+      }
+    }
+    return blocks;
+  }
+
+  /// Fill-in factor: stored values / real non-zeros.
+  static double fill_ratio(const Coo& c, index_t bw, index_t bh) {
+    if (c.nnz() == 0) return 1.0;
+    return static_cast<double>(count_blocks(c, bw, bh)) *
+           static_cast<double>(bw) * static_cast<double>(bh) /
+           static_cast<double>(c.nnz());
+  }
+};
+
+struct Bcsr {
+  index_t rows = 0, cols = 0;
+  index_t block_w = 1, block_h = 1;
+  index_t block_rows = 0;
+  std::vector<index_t> block_row_ptr;  ///< block_rows + 1
+  std::vector<index_t> block_col;      ///< per block
+  std::vector<real_t> vals;            ///< per block: bh*bw row-major
+
+  std::size_t num_blocks() const { return block_col.size(); }
+
+  static Bcsr from_coo(const Coo& c, index_t bw, index_t bh) {
+    auto d = BlockDecomposition::build(c, bw, bh);
+    Bcsr m;
+    m.rows = c.rows;
+    m.cols = c.cols;
+    m.block_w = bw;
+    m.block_h = bh;
+    m.block_rows = d.block_rows;
+    m.block_row_ptr.reserve(static_cast<std::size_t>(d.block_rows) + 1);
+    m.block_row_ptr.push_back(0);
+    const std::size_t bsz = static_cast<std::size_t>(bw) *
+                            static_cast<std::size_t>(bh);
+    m.block_col.reserve(d.num_blocks);
+    m.vals.reserve(d.num_blocks * bsz);
+    for (auto& rowblocks : d.by_row) {
+      for (auto& [bc, blk] : rowblocks) {
+        m.block_col.push_back(bc);
+        m.vals.insert(m.vals.end(), blk.begin(), blk.end());
+      }
+      m.block_row_ptr.push_back(static_cast<index_t>(m.block_col.size()));
+    }
+    return m;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    const std::size_t bsz = static_cast<std::size_t>(block_w) *
+                            static_cast<std::size_t>(block_h);
+    for (index_t r = 0; r < rows; ++r) y[static_cast<std::size_t>(r)] = 0.0;
+    for (index_t br = 0; br < block_rows; ++br) {
+      for (index_t p = block_row_ptr[static_cast<std::size_t>(br)];
+           p < block_row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+        const index_t bc = block_col[static_cast<std::size_t>(p)];
+        const real_t* blk = &vals[static_cast<std::size_t>(p) * bsz];
+        for (index_t lr = 0; lr < block_h; ++lr) {
+          const index_t row = br * block_h + lr;
+          if (row >= rows) break;
+          real_t acc = 0.0;
+          for (index_t lc = 0; lc < block_w; ++lc) {
+            const index_t col = bc * block_w + lc;
+            if (col < cols) {
+              acc += blk[static_cast<std::size_t>(lr) *
+                             static_cast<std::size_t>(block_w) +
+                         static_cast<std::size_t>(lc)] *
+                     x[static_cast<std::size_t>(col)];
+            }
+          }
+          y[static_cast<std::size_t>(row)] += acc;
+        }
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return (static_cast<std::size_t>(block_rows) + 1) * bytes::kIndex +
+           num_blocks() * bytes::kIndex + vals.size() * bytes::kValue;
+  }
+};
+
+struct Bell {
+  index_t rows = 0, cols = 0;
+  index_t block_w = 1, block_h = 1;
+  index_t block_rows = 0;
+  index_t width = 0;  ///< blocks stored per block-row
+  std::vector<index_t> block_col;  ///< width * block_rows, block-column-major
+  std::vector<real_t> vals;        ///< per slot: bh*bw
+
+  static Bell from_coo(const Coo& c, index_t bw, index_t bh) {
+    auto d = BlockDecomposition::build(c, bw, bh);
+    Bell m;
+    m.rows = c.rows;
+    m.cols = c.cols;
+    m.block_w = bw;
+    m.block_h = bh;
+    m.block_rows = d.block_rows;
+    for (auto& rb : d.by_row) {
+      m.width = std::max(m.width, static_cast<index_t>(rb.size()));
+    }
+    const std::size_t bsz = static_cast<std::size_t>(bw) *
+                            static_cast<std::size_t>(bh);
+    const std::size_t slots = static_cast<std::size_t>(m.width) *
+                              static_cast<std::size_t>(m.block_rows);
+    m.block_col.assign(slots, -1);
+    m.vals.assign(slots * bsz, 0.0);
+    for (index_t br = 0; br < d.block_rows; ++br) {
+      const auto& rb = d.by_row[static_cast<std::size_t>(br)];
+      for (std::size_t k = 0; k < rb.size(); ++k) {
+        const std::size_t slot = k * static_cast<std::size_t>(m.block_rows) +
+                                 static_cast<std::size_t>(br);
+        m.block_col[slot] = rb[k].first;
+        std::copy(rb[k].second.begin(), rb[k].second.end(),
+                  m.vals.begin() + static_cast<std::ptrdiff_t>(slot * bsz));
+      }
+    }
+    return m;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    const std::size_t bsz = static_cast<std::size_t>(block_w) *
+                            static_cast<std::size_t>(block_h);
+    for (index_t r = 0; r < rows; ++r) y[static_cast<std::size_t>(r)] = 0.0;
+    for (index_t br = 0; br < block_rows; ++br) {
+      for (index_t k = 0; k < width; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(block_rows) +
+                                 static_cast<std::size_t>(br);
+        const index_t bc = block_col[slot];
+        if (bc < 0) continue;
+        const real_t* blk = &vals[slot * bsz];
+        for (index_t lr = 0; lr < block_h; ++lr) {
+          const index_t row = br * block_h + lr;
+          if (row >= rows) break;
+          real_t acc = 0.0;
+          for (index_t lc = 0; lc < block_w; ++lc) {
+            const index_t col = bc * block_w + lc;
+            if (col < cols) {
+              acc += blk[static_cast<std::size_t>(lr) *
+                             static_cast<std::size_t>(block_w) +
+                         static_cast<std::size_t>(lc)] *
+                     x[static_cast<std::size_t>(col)];
+            }
+          }
+          y[static_cast<std::size_t>(row)] += acc;
+        }
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    const std::size_t bsz = static_cast<std::size_t>(block_w) *
+                            static_cast<std::size_t>(block_h);
+    return block_col.size() * bytes::kIndex +
+           block_col.size() * bsz * bytes::kValue;
+  }
+};
+
+}  // namespace yaspmv::fmt

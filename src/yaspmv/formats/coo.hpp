@@ -1,0 +1,122 @@
+// Common coordinate (COO) format — Section 2.1, Figure 1.
+//
+// COO is the exchange format of this library: every other format (including
+// BCCOO/BCCOO+) is built from a canonical, row-major-sorted, deduplicated
+// COO instance.  It also carries the exact Table 3 footprint model: explicit
+// 4-byte row index + 4-byte column index + 4-byte value per non-zero.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<real_t> vals;
+
+  std::size_t nnz() const { return vals.size(); }
+
+  /// Builds a canonical COO (row-major sorted, duplicates summed, explicit
+  /// zeros dropped) from arbitrary triplets.
+  static Coo from_triplets(index_t rows, index_t cols,
+                           std::vector<index_t> ri, std::vector<index_t> ci,
+                           std::vector<real_t> v) {
+    require(ri.size() == ci.size() && ci.size() == v.size(),
+            "COO triplet arrays must have equal length");
+    for (std::size_t i = 0; i < ri.size(); ++i) {
+      require(ri[i] >= 0 && ri[i] < rows && ci[i] >= 0 && ci[i] < cols,
+              "COO triplet index out of range");
+    }
+    std::vector<std::size_t> order(ri.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (ri[a] != ri[b]) return ri[a] < ri[b];
+      return ci[a] < ci[b];
+    });
+    Coo out;
+    out.rows = rows;
+    out.cols = cols;
+    out.row_idx.reserve(ri.size());
+    out.col_idx.reserve(ri.size());
+    out.vals.reserve(v.size());
+    for (std::size_t k : order) {
+      if (!out.vals.empty() && out.row_idx.back() == ri[k] &&
+          out.col_idx.back() == ci[k]) {
+        out.vals.back() += v[k];
+      } else {
+        out.row_idx.push_back(ri[k]);
+        out.col_idx.push_back(ci[k]);
+        out.vals.push_back(v[k]);
+      }
+    }
+    // Drop entries that canceled to exactly zero during deduplication.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < out.vals.size(); ++i) {
+      if (out.vals[i] != 0.0) {
+        out.row_idx[w] = out.row_idx[i];
+        out.col_idx[w] = out.col_idx[i];
+        out.vals[w] = out.vals[i];
+        ++w;
+      }
+    }
+    out.row_idx.resize(w);
+    out.col_idx.resize(w);
+    out.vals.resize(w);
+    return out;
+  }
+
+  /// True when triplets are row-major sorted with no duplicates (the
+  /// canonical invariant every consumer relies on).
+  bool is_canonical() const {
+    for (std::size_t i = 1; i < nnz(); ++i) {
+      if (row_idx[i] < row_idx[i - 1]) return false;
+      if (row_idx[i] == row_idx[i - 1] && col_idx[i] <= col_idx[i - 1]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Serial reference SpMV: y = A * x.
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    require(x.size() == static_cast<std::size_t>(cols) &&
+                y.size() == static_cast<std::size_t>(rows),
+            "COO spmv: vector size mismatch");
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t i = 0; i < nnz(); ++i) {
+      y[static_cast<std::size_t>(row_idx[i])] +=
+          vals[i] * x[static_cast<std::size_t>(col_idx[i])];
+    }
+  }
+
+  /// Table 3 footprint: explicit row + column + value per non-zero.
+  std::size_t footprint_bytes() const {
+    return nnz() * (bytes::kIndex + bytes::kIndex + bytes::kValue);
+  }
+
+  /// Dense row-major expansion (tests only; guards against huge sizes).
+  std::vector<real_t> to_dense() const {
+    require(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) <=
+                (std::size_t{1} << 26),
+            "to_dense: matrix too large");
+    std::vector<real_t> d(static_cast<std::size_t>(rows) *
+                          static_cast<std::size_t>(cols));
+    for (std::size_t i = 0; i < nnz(); ++i) {
+      d[static_cast<std::size_t>(row_idx[i]) *
+            static_cast<std::size_t>(cols) +
+        static_cast<std::size_t>(col_idx[i])] = vals[i];
+    }
+    return d;
+  }
+};
+
+}  // namespace yaspmv::fmt

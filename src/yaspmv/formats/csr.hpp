@@ -1,0 +1,90 @@
+// Compressed sparse row (CSR) — the reference format.
+//
+// CSR serves two roles: (1) the golden serial SpMV every simulated kernel is
+// validated against, and (2) the substrate for the CUSPARSE-style CSR-scalar
+// and CSR-vector baseline kernels.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ptr;  ///< size rows+1
+  std::vector<index_t> col_idx;  ///< size nnz
+  std::vector<real_t> vals;      ///< size nnz
+
+  std::size_t nnz() const { return vals.size(); }
+
+  static Csr from_coo(const Coo& c) {
+    Csr m;
+    m.rows = c.rows;
+    m.cols = c.cols;
+    m.row_ptr.assign(static_cast<std::size_t>(c.rows) + 1, 0);
+    for (index_t r : c.row_idx) m.row_ptr[static_cast<std::size_t>(r) + 1]++;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(c.rows); ++r) {
+      m.row_ptr[r + 1] += m.row_ptr[r];
+    }
+    m.col_idx = c.col_idx;
+    m.vals = c.vals;
+    return m;
+  }
+
+  Coo to_coo() const {
+    Coo c;
+    c.rows = rows;
+    c.cols = cols;
+    c.row_idx.reserve(nnz());
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        c.row_idx.push_back(r);
+      }
+    }
+    c.col_idx = col_idx;
+    c.vals = vals;
+    return c;
+  }
+
+  index_t row_len(index_t r) const {
+    return row_ptr[static_cast<std::size_t>(r) + 1] -
+           row_ptr[static_cast<std::size_t>(r)];
+  }
+
+  index_t max_row_len() const {
+    index_t mx = 0;
+    for (index_t r = 0; r < rows; ++r) mx = std::max(mx, row_len(r));
+    return mx;
+  }
+
+  /// Golden serial SpMV: y = A * x.
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    require(x.size() == static_cast<std::size_t>(cols) &&
+                y.size() == static_cast<std::size_t>(rows),
+            "CSR spmv: vector size mismatch");
+    for (index_t r = 0; r < rows; ++r) {
+      real_t acc = 0.0;
+      for (index_t k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        acc += vals[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+
+  /// Footprint: row pointer + column index + value arrays.
+  std::size_t footprint_bytes() const {
+    return (static_cast<std::size_t>(rows) + 1) * bytes::kIndex +
+           nnz() * (bytes::kIndex + bytes::kValue);
+  }
+};
+
+}  // namespace yaspmv::fmt

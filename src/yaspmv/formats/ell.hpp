@@ -1,0 +1,125 @@
+// ELLPACK (ELL) and ELL-R formats.
+//
+// ELL pads every row to the maximum row length K and stores column-major
+// (val[k*rows + r]), which gives perfectly coalesced loads with one thread
+// per row — but explodes in size when row lengths vary (Table 3 labels such
+// matrices N/A).  ELL-R (Vázquez et al. [21]) adds an explicit row-length
+// array so threads stop early, removing the padding *compute* but not the
+// padding *storage*.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct Ell {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t width = 0;              ///< K: entries stored per row
+  std::vector<index_t> col_idx;   ///< K*rows, column-major, -1 = padding
+  std::vector<real_t> vals;       ///< K*rows, column-major
+
+  std::size_t nnz_stored() const { return vals.size(); }
+
+  static Ell from_csr(const Csr& m, index_t width = -1) {
+    Ell e;
+    e.rows = m.rows;
+    e.cols = m.cols;
+    e.width = width < 0 ? m.max_row_len() : width;
+    const std::size_t total = static_cast<std::size_t>(e.width) *
+                              static_cast<std::size_t>(e.rows);
+    e.col_idx.assign(total, -1);
+    e.vals.assign(total, 0.0);
+    for (index_t r = 0; r < m.rows; ++r) {
+      index_t k = 0;
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+           p < m.row_ptr[static_cast<std::size_t>(r) + 1] && k < e.width;
+           ++p, ++k) {
+        const std::size_t slot = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(e.rows) +
+                                 static_cast<std::size_t>(r);
+        e.col_idx[slot] = m.col_idx[static_cast<std::size_t>(p)];
+        e.vals[slot] = m.vals[static_cast<std::size_t>(p)];
+      }
+    }
+    return e;
+  }
+
+  /// Number of real (non-padding) entries dropped because width < row len.
+  /// from_csr with default width never truncates; HYB uses explicit widths.
+  std::size_t truncated_count(const Csr& m) const {
+    std::size_t t = 0;
+    for (index_t r = 0; r < m.rows; ++r) {
+      const index_t len = m.row_len(r);
+      if (len > width) t += static_cast<std::size_t>(len - width);
+    }
+    return t;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    for (index_t r = 0; r < rows; ++r) {
+      real_t acc = 0.0;
+      for (index_t k = 0; k < width; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(rows) +
+                                 static_cast<std::size_t>(r);
+        const index_t c = col_idx[slot];
+        if (c >= 0) acc += vals[slot] * x[static_cast<std::size_t>(c)];
+      }
+      y[static_cast<std::size_t>(r)] = acc;  // width==0 -> zero fill
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return nnz_stored() * (bytes::kIndex + bytes::kValue);
+  }
+
+  /// Padding ratio = stored slots / real non-zeros; Table 3's N/A entries are
+  /// matrices where this explodes (power-law rows).
+  static double padding_ratio(const Csr& m) {
+    const double stored = static_cast<double>(m.max_row_len()) *
+                          static_cast<double>(m.rows);
+    return m.nnz() == 0 ? 1.0 : stored / static_cast<double>(m.nnz());
+  }
+};
+
+struct EllR {
+  Ell ell;
+  std::vector<index_t> row_len;
+
+  static EllR from_csr(const Csr& m) {
+    EllR e;
+    e.ell = Ell::from_csr(m);
+    e.row_len.resize(static_cast<std::size_t>(m.rows));
+    for (index_t r = 0; r < m.rows; ++r) {
+      e.row_len[static_cast<std::size_t>(r)] = m.row_len(r);
+    }
+    return e;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    for (index_t r = 0; r < ell.rows; ++r) {
+      real_t acc = 0.0;
+      for (index_t k = 0; k < row_len[static_cast<std::size_t>(r)]; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(ell.rows) +
+                                 static_cast<std::size_t>(r);
+        acc += ell.vals[slot] *
+               x[static_cast<std::size_t>(ell.col_idx[slot])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return ell.footprint_bytes() +
+           row_len.size() * bytes::kIndex;
+  }
+};
+
+}  // namespace yaspmv::fmt

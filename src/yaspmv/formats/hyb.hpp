@@ -1,0 +1,85 @@
+// Hybrid (HYB) format — Bell & Garland [1], the format behind CUSPARSE's
+// best average performance in the paper's comparison.
+//
+// Rows are split at a configurable ELL width K: the first K entries of each
+// row go to an ELL part (coalesced, balanced), the remainder spills into a
+// COO part (processed by segmented reduction).  The paper manually searched
+// K per matrix; `choose_width` implements the standard heuristic (largest K
+// such that at least `occupancy_threshold` of rows have >= K entries) and
+// the bench additionally sweeps K like the authors did.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/ell.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct Hyb {
+  Ell ell;
+  Coo coo;
+
+  static index_t choose_width(const Csr& m, double occupancy_threshold = 1.0 / 3.0) {
+    // Histogram of row lengths -> pick max K with |{rows len >= K}| >=
+    // threshold * rows (Bell & Garland's rule of thumb).
+    const index_t maxlen = m.max_row_len();
+    std::vector<std::size_t> ge(static_cast<std::size_t>(maxlen) + 2, 0);
+    for (index_t r = 0; r < m.rows; ++r) {
+      ge[static_cast<std::size_t>(m.row_len(r))]++;
+    }
+    // suffix-sum: ge[k] = #rows with len >= k
+    for (index_t k = maxlen - 1; k >= 0; --k) {
+      ge[static_cast<std::size_t>(k)] += ge[static_cast<std::size_t>(k) + 1];
+    }
+    const auto need = static_cast<std::size_t>(
+        occupancy_threshold * static_cast<double>(m.rows));
+    index_t best = 0;
+    for (index_t k = 1; k <= maxlen; ++k) {
+      if (ge[static_cast<std::size_t>(k)] >= std::max<std::size_t>(need, 1)) {
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  static Hyb from_csr(const Csr& m, index_t width = -1) {
+    if (width < 0) width = choose_width(m);
+    Hyb h;
+    h.ell = Ell::from_csr(m, width);
+    std::vector<index_t> ri, ci;
+    std::vector<real_t> v;
+    for (index_t r = 0; r < m.rows; ++r) {
+      index_t k = 0;
+      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+           p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p, ++k) {
+        if (k >= width) {
+          ri.push_back(r);
+          ci.push_back(m.col_idx[static_cast<std::size_t>(p)]);
+          v.push_back(m.vals[static_cast<std::size_t>(p)]);
+        }
+      }
+    }
+    h.coo = Coo::from_triplets(m.rows, m.cols, std::move(ri), std::move(ci),
+                               std::move(v));
+    return h;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    ell.spmv(x, y);
+    for (std::size_t i = 0; i < coo.nnz(); ++i) {
+      y[static_cast<std::size_t>(coo.row_idx[i])] +=
+          coo.vals[i] * x[static_cast<std::size_t>(coo.col_idx[i])];
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return ell.footprint_bytes() + coo.footprint_bytes();
+  }
+};
+
+}  // namespace yaspmv::fmt

@@ -1,0 +1,124 @@
+// Sliced blocked ELLPACK (SBELL) — one of clSpMV's single formats: the
+// matrix is blocked (bw x bh), block-rows are grouped into slices, and each
+// slice is stored in ELL layout with its own width, combining BELL's
+// index amortization with SELL's padding reduction.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/blocked.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct SBell {
+  index_t rows = 0, cols = 0;
+  index_t block_w = 1, block_h = 1;
+  index_t block_rows = 0;
+  index_t slice_height = 8;  ///< block-rows per slice
+  std::vector<std::size_t> slice_ptr;  ///< slot offset per slice
+  std::vector<index_t> slice_width;    ///< blocks per block-row in slice
+  std::vector<index_t> block_col;      ///< per slot, -1 = padding
+  std::vector<real_t> vals;            ///< per slot: bh*bw
+
+  index_t num_slices() const {
+    return static_cast<index_t>(slice_width.size());
+  }
+
+  static SBell from_coo(const Coo& c, index_t bw, index_t bh,
+                        index_t slice_height = 8) {
+    require(slice_height > 0, "SBELL slice height must be positive");
+    auto d = BlockDecomposition::build(c, bw, bh);
+    SBell m;
+    m.rows = c.rows;
+    m.cols = c.cols;
+    m.block_w = bw;
+    m.block_h = bh;
+    m.block_rows = d.block_rows;
+    m.slice_height = slice_height;
+    const index_t nslices = ceil_div(d.block_rows, slice_height);
+    const std::size_t bsz = static_cast<std::size_t>(bw) *
+                            static_cast<std::size_t>(bh);
+    m.slice_ptr.push_back(0);
+    for (index_t sl = 0; sl < nslices; ++sl) {
+      const index_t r0 = sl * slice_height;
+      const index_t r1 = std::min(d.block_rows, r0 + slice_height);
+      index_t w = 0;
+      for (index_t br = r0; br < r1; ++br) {
+        w = std::max(w, static_cast<index_t>(
+                            d.by_row[static_cast<std::size_t>(br)].size()));
+      }
+      m.slice_width.push_back(w);
+      const std::size_t count = static_cast<std::size_t>(w) *
+                                static_cast<std::size_t>(slice_height);
+      const std::size_t base = m.slice_ptr.back();
+      m.block_col.resize(base + count, -1);
+      m.vals.resize((base + count) * bsz, 0.0);
+      for (index_t br = r0; br < r1; ++br) {
+        const auto& rowblocks = d.by_row[static_cast<std::size_t>(br)];
+        for (std::size_t k = 0; k < rowblocks.size(); ++k) {
+          // Column-major within the slice: slot = base + k*H + (br - r0).
+          const std::size_t slot =
+              base + k * static_cast<std::size_t>(slice_height) +
+              static_cast<std::size_t>(br - r0);
+          m.block_col[slot] = rowblocks[k].first;
+          std::copy(rowblocks[k].second.begin(), rowblocks[k].second.end(),
+                    m.vals.begin() + static_cast<std::ptrdiff_t>(slot * bsz));
+        }
+      }
+      m.slice_ptr.push_back(base + count);
+    }
+    return m;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    const std::size_t bsz = static_cast<std::size_t>(block_w) *
+                            static_cast<std::size_t>(block_h);
+    std::fill(y.begin(), y.end(), 0.0);
+    for (index_t sl = 0; sl < num_slices(); ++sl) {
+      const index_t r0 = sl * slice_height;
+      const index_t r1 = std::min(block_rows, r0 + slice_height);
+      const std::size_t base = slice_ptr[static_cast<std::size_t>(sl)];
+      const index_t w = slice_width[static_cast<std::size_t>(sl)];
+      for (index_t br = r0; br < r1; ++br) {
+        for (index_t k = 0; k < w; ++k) {
+          const std::size_t slot =
+              base + static_cast<std::size_t>(k) *
+                         static_cast<std::size_t>(slice_height) +
+              static_cast<std::size_t>(br - r0);
+          const index_t bc = block_col[slot];
+          if (bc < 0) continue;
+          const real_t* blk = &vals[slot * bsz];
+          for (index_t lr = 0; lr < block_h; ++lr) {
+            const index_t row = br * block_h + lr;
+            if (row >= rows) break;
+            real_t acc = 0.0;
+            for (index_t lc = 0; lc < block_w; ++lc) {
+              const index_t col = bc * block_w + lc;
+              if (col < cols) {
+                acc += blk[static_cast<std::size_t>(lr) *
+                               static_cast<std::size_t>(block_w) +
+                           static_cast<std::size_t>(lc)] *
+                       x[static_cast<std::size_t>(col)];
+              }
+            }
+            y[static_cast<std::size_t>(row)] += acc;
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    const std::size_t bsz = static_cast<std::size_t>(block_w) *
+                            static_cast<std::size_t>(block_h);
+    return block_col.size() * bytes::kIndex +
+           block_col.size() * bsz * bytes::kValue +
+           slice_width.size() * bytes::kIndex +
+           slice_ptr.size() * bytes::kIndex;
+  }
+};
+
+}  // namespace yaspmv::fmt

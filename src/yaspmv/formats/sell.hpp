@@ -1,0 +1,99 @@
+// Sliced ELLPACK (SELL, Monakov et al. [12]).
+//
+// The matrix is cut horizontally into slices of `slice_height` rows; each
+// slice is stored in ELL layout with its *own* width (the maximum row length
+// inside the slice), which removes most of ELL's padding while keeping
+// coalesced row-per-thread access inside a slice.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::fmt {
+
+struct SEll {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t slice_height = 32;
+  std::vector<std::size_t> slice_ptr;  ///< start offset of each slice's data
+  std::vector<index_t> slice_width;    ///< per-slice ELL width
+  std::vector<index_t> col_idx;        ///< per slice: width*H, column-major
+  std::vector<real_t> vals;
+
+  index_t num_slices() const {
+    return static_cast<index_t>(slice_width.size());
+  }
+
+  static SEll from_csr(const Csr& m, index_t slice_height = 32) {
+    require(slice_height > 0, "SELL slice height must be positive");
+    SEll s;
+    s.rows = m.rows;
+    s.cols = m.cols;
+    s.slice_height = slice_height;
+    const index_t nslices = ceil_div(m.rows, slice_height);
+    s.slice_ptr.reserve(static_cast<std::size_t>(nslices) + 1);
+    s.slice_ptr.push_back(0);
+    s.slice_width.reserve(static_cast<std::size_t>(nslices));
+    for (index_t sl = 0; sl < nslices; ++sl) {
+      const index_t r0 = sl * slice_height;
+      const index_t r1 = std::min(m.rows, r0 + slice_height);
+      index_t w = 0;
+      for (index_t r = r0; r < r1; ++r) w = std::max(w, m.row_len(r));
+      s.slice_width.push_back(w);
+      const std::size_t count = static_cast<std::size_t>(w) *
+                                static_cast<std::size_t>(slice_height);
+      const std::size_t base = s.slice_ptr.back();
+      s.col_idx.resize(base + count, -1);
+      s.vals.resize(base + count, 0.0);
+      for (index_t r = r0; r < r1; ++r) {
+        index_t k = 0;
+        for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
+             p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p, ++k) {
+          const std::size_t slot =
+              base +
+              static_cast<std::size_t>(k) *
+                  static_cast<std::size_t>(slice_height) +
+              static_cast<std::size_t>(r - r0);
+          s.col_idx[slot] = m.col_idx[static_cast<std::size_t>(p)];
+          s.vals[slot] = m.vals[static_cast<std::size_t>(p)];
+        }
+      }
+      s.slice_ptr.push_back(base + count);
+    }
+    return s;
+  }
+
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const {
+    for (index_t sl = 0; sl < num_slices(); ++sl) {
+      const index_t r0 = sl * slice_height;
+      const index_t r1 = std::min(rows, r0 + slice_height);
+      const std::size_t base = slice_ptr[static_cast<std::size_t>(sl)];
+      const index_t w = slice_width[static_cast<std::size_t>(sl)];
+      for (index_t r = r0; r < r1; ++r) {
+        real_t acc = 0.0;
+        for (index_t k = 0; k < w; ++k) {
+          const std::size_t slot =
+              base +
+              static_cast<std::size_t>(k) *
+                  static_cast<std::size_t>(slice_height) +
+              static_cast<std::size_t>(r - r0);
+          const index_t c = col_idx[slot];
+          if (c >= 0) acc += vals[slot] * x[static_cast<std::size_t>(c)];
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    return vals.size() * (bytes::kIndex + bytes::kValue) +
+           slice_width.size() * bytes::kIndex +
+           slice_ptr.size() * bytes::kIndex;
+  }
+};
+
+}  // namespace yaspmv::fmt

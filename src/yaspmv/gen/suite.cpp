@@ -1,0 +1,376 @@
+#include "yaspmv/gen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv::gen {
+
+namespace {
+
+real_t val(SplitMix64& rng) { return rng.next_double(-1.0, 1.0); }
+
+index_t scaled(index_t full, double scale) {
+  const auto v = static_cast<index_t>(
+      std::llround(static_cast<double>(full) * scale));
+  return std::max<index_t>(v, 1);
+}
+
+/// Deduplicating column sampler for one row.
+class RowCols {
+ public:
+  void reset() { cols_.clear(); }
+  bool add(index_t c) { return cols_.insert(c).second; }
+  template <class F>
+  void emit(index_t row, F&& f) const {
+    for (index_t c : cols_) f(row, c);
+  }
+  std::size_t size() const { return cols_.size(); }
+
+ private:
+  std::unordered_set<index_t> cols_;
+};
+
+}  // namespace
+
+fmt::Coo dense(index_t rows, index_t cols, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const std::size_t n = static_cast<std::size_t>(rows) *
+                        static_cast<std::size_t>(cols);
+  ri.reserve(n);
+  ci.reserve(n);
+  v.reserve(n);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      ri.push_back(r);
+      ci.push_back(c);
+      v.push_back(val(rng));
+    }
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo stencil2d(index_t nx, index_t ny, bool self, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const index_t n = nx * ny;
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  ri.reserve(static_cast<std::size_t>(n) * 5);
+  ci.reserve(static_cast<std::size_t>(n) * 5);
+  v.reserve(static_cast<std::size_t>(n) * 5);
+  auto at = [&](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t r = at(x, y);
+      auto push = [&](index_t c) {
+        ri.push_back(r);
+        ci.push_back(c);
+        v.push_back(val(rng));
+      };
+      if (self) push(r);
+      if (x > 0) push(at(x - 1, y));
+      if (x + 1 < nx) push(at(x + 1, y));
+      if (y > 0) push(at(x, y - 1));
+      if (y + 1 < ny) push(at(x, y + 1));
+    }
+  }
+  return fmt::Coo::from_triplets(n, n, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo fem_mesh(index_t rows, index_t nnz_row, index_t dof,
+                  double bandwidth_frac, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const index_t nodes = ceil_div(rows, dof);
+  rows = nodes * dof;
+  const index_t nbr_blocks =
+      std::max<index_t>(1, ceil_div(nnz_row, dof));
+  const double band = std::max(
+      2.0, bandwidth_frac * static_cast<double>(nodes));
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const std::size_t est = static_cast<std::size_t>(rows) *
+                          static_cast<std::size_t>(nnz_row) * 11 / 10;
+  ri.reserve(est);
+  ci.reserve(est);
+  v.reserve(est);
+  RowCols blocks;  // block-column set per node row
+  for (index_t node = 0; node < nodes; ++node) {
+    blocks.reset();
+    blocks.add(node);  // diagonal block always present
+    int attempts = 0;
+    while (static_cast<index_t>(blocks.size()) < nbr_blocks &&
+           attempts < 8 * nbr_blocks) {
+      ++attempts;
+      // Gaussian-ish banded offset: sum of two uniforms, signed.
+      const double u =
+          (rng.next_double() + rng.next_double() - 1.0) * band;
+      index_t nb = node + static_cast<index_t>(u);
+      nb = std::clamp<index_t>(nb, 0, nodes - 1);
+      blocks.add(nb);
+    }
+    blocks.emit(node, [&](index_t, index_t bc) {
+      for (index_t lr = 0; lr < dof; ++lr) {
+        for (index_t lc = 0; lc < dof; ++lc) {
+          ri.push_back(node * dof + lr);
+          ci.push_back(bc * dof + lc);
+          v.push_back(val(rng));
+        }
+      }
+    });
+  }
+  return fmt::Coo::from_triplets(rows, rows, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo powerlaw(index_t rows, index_t cols, double avg_nnz_row,
+                  double alpha, double locality, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const std::size_t est = static_cast<std::size_t>(
+      static_cast<double>(rows) * avg_nnz_row * 1.2);
+  ri.reserve(est);
+  ci.reserve(est);
+  v.reserve(est);
+  // Power-law lengths have mean ~ (alpha-1)/(alpha-2) for alpha>2; rescale
+  // the draw so the empirical mean tracks avg_nnz_row.
+  const double mean_raw =
+      alpha > 2.0 ? (alpha - 1.0) / (alpha - 2.0) : 3.0;
+  const double boost = avg_nnz_row / mean_raw;
+  RowCols rc;
+  for (index_t r = 0; r < rows; ++r) {
+    const auto cap = static_cast<std::uint64_t>(cols);
+    auto len = static_cast<index_t>(std::min<std::uint64_t>(
+        cap, static_cast<std::uint64_t>(
+                 std::llround(static_cast<double>(
+                                  rng.next_powerlaw(alpha, cap)) *
+                              boost))));
+    len = std::max<index_t>(len, 1);
+    rc.reset();
+    int attempts = 0;
+    while (static_cast<index_t>(rc.size()) < len && attempts < 4 * len) {
+      ++attempts;
+      index_t c;
+      if (rng.next_double() < locality) {
+        // near-diagonal (graph locality): small offset from r scaled to cols
+        const double diag = static_cast<double>(r) /
+                            static_cast<double>(rows) *
+                            static_cast<double>(cols);
+        const double off = (rng.next_double() + rng.next_double() - 1.0) *
+                           0.01 * static_cast<double>(cols);
+        c = static_cast<index_t>(diag + off);
+      } else {
+        c = static_cast<index_t>(rng.next_below(cap));
+      }
+      c = std::clamp<index_t>(c, 0, cols - 1);
+      rc.add(c);
+    }
+    rc.emit(r, [&](index_t rr, index_t cc) {
+      ri.push_back(rr);
+      ci.push_back(cc);
+      v.push_back(val(rng));
+    });
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo wide_rows(index_t rows, index_t cols, index_t nnz_row,
+                   std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const std::size_t est = static_cast<std::size_t>(rows) *
+                          static_cast<std::size_t>(nnz_row);
+  ri.reserve(est);
+  ci.reserve(est);
+  v.reserve(est);
+  RowCols rc;
+  for (index_t r = 0; r < rows; ++r) {
+    rc.reset();
+    // Clustered runs of ~32 consecutive columns (LP constraint structure).
+    while (static_cast<index_t>(rc.size()) < nnz_row) {
+      const auto start =
+          static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols)));
+      const index_t run = std::min<index_t>(
+          32, std::min<index_t>(nnz_row - static_cast<index_t>(rc.size()),
+                                cols - start));
+      for (index_t k = 0; k < run; ++k) rc.add(start + k);
+    }
+    rc.emit(r, [&](index_t rr, index_t cc) {
+      ri.push_back(rr);
+      ci.push_back(cc);
+      v.push_back(val(rng));
+    });
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo random_scattered(index_t rows, index_t cols, index_t avg_nnz_row,
+                          std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  RowCols rc;
+  for (index_t r = 0; r < rows; ++r) {
+    // Uniform length in [1, 2*avg-1]: mean = avg, high relative variance.
+    const auto len = static_cast<index_t>(
+        1 + rng.next_below(static_cast<std::uint64_t>(2 * avg_nnz_row - 1)));
+    rc.reset();
+    int attempts = 0;
+    while (static_cast<index_t>(rc.size()) < len && attempts < 4 * len) {
+      ++attempts;
+      rc.add(static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(cols))));
+    }
+    rc.emit(r, [&](index_t rr, index_t cc) {
+      ri.push_back(rr);
+      ci.push_back(cc);
+      v.push_back(val(rng));
+    });
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+fmt::Coo quantum_chem(index_t rows, index_t nnz_row, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  RowCols rc;
+  for (index_t r = 0; r < rows; ++r) {
+    // Lognormal-ish length around the mean.
+    const double f = std::exp((rng.next_double() + rng.next_double() +
+                               rng.next_double() - 1.5) *
+                              0.6);
+    auto len = static_cast<index_t>(
+        std::max(1.0, static_cast<double>(nnz_row) * f));
+    len = std::min(len, rows);
+    rc.reset();
+    // 70% clustered dense runs near the diagonal, 30% scattered far field.
+    while (static_cast<index_t>(rc.size()) < len * 7 / 10 + 1) {
+      const double off = (rng.next_double() + rng.next_double() - 1.0) *
+                         static_cast<double>(nnz_row) * 4.0;
+      const index_t start =
+          std::clamp<index_t>(r + static_cast<index_t>(off), 0, rows - 1);
+      const index_t run =
+          std::min<index_t>(8, rows - start);
+      for (index_t k = 0; k < run; ++k) rc.add(start + k);
+    }
+    int attempts = 0;
+    while (static_cast<index_t>(rc.size()) < len && attempts < 4 * len) {
+      ++attempts;
+      rc.add(static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(rows))));
+    }
+    rc.emit(r, [&](index_t rr, index_t cc) {
+      ri.push_back(rr);
+      ci.push_back(cc);
+      v.push_back(val(rng));
+    });
+  }
+  return fmt::Coo::from_triplets(rows, rows, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+const std::vector<SuiteEntry>& suite() {
+  static const std::vector<SuiteEntry> s = [] {
+    std::vector<SuiteEntry> e;
+    auto add = [&](std::string name, index_t fr, index_t fc, std::size_t fn,
+                   double fpr, double bscale,
+                   std::function<fmt::Coo(double)> make) {
+      e.push_back({std::move(name), fr, fc, fn, fpr, bscale,
+                   std::move(make)});
+    };
+    // Name, full rows/cols/nnz/nnz-row from Table 2; bench_scale keeps the
+    // default instance around or below ~1.5M non-zeros.
+    add("Dense", 2000, 2000, 4000000, 2000, 0.35, [](double sc) {
+      const index_t n = scaled(2000, sc);
+      return dense(n, n, 0xD5E5E);
+    });
+    add("Protein", 36000, 36000, 4344765, 119, 0.30, [](double sc) {
+      return fem_mesh(scaled(36000, sc), 119, 3, 0.02, 0x9207E1);
+    });
+    add("FEM/Spheres", 83000, 83000, 6010480, 72, 0.25, [](double sc) {
+      return fem_mesh(scaled(83000, sc), 72, 3, 0.01, 0x59E7E5);
+    });
+    add("FEM/Cantilever", 62000, 62000, 4007383, 65, 0.30, [](double sc) {
+      return fem_mesh(scaled(62000, sc), 65, 2, 0.015, 0xCA47);
+    });
+    add("Wind Tunnel", 218000, 218000, 11634424, 53, 0.15, [](double sc) {
+      return fem_mesh(scaled(218000, sc), 53, 3, 0.005, 0x817D);
+    });
+    add("FEM/Harbor", 47000, 47000, 2374001, 59, 0.40, [](double sc) {
+      return fem_mesh(scaled(47000, sc), 59, 3, 0.02, 0x4A86);
+    });
+    add("QCD", 49000, 49000, 1916928, 39, 0.50, [](double sc) {
+      return fem_mesh(scaled(49000, sc), 39, 3, 0.05, 0x9CD);
+    });
+    add("FEM/Ship", 141000, 141000, 7813404, 28, 0.25, [](double sc) {
+      return fem_mesh(scaled(141000, sc), 28, 2, 0.01, 0x5817);
+    });
+    add("Economics", 207000, 207000, 1273389, 6, 0.60, [](double sc) {
+      return random_scattered(scaled(207000, sc), scaled(207000, sc), 6,
+                              0xEC0);
+    });
+    add("Epidemiology", 526000, 526000, 2100225, 4, 0.50, [](double sc) {
+      const index_t nx = scaled(725, std::sqrt(sc));
+      return stencil2d(nx, nx, false, 0xE81D);
+    });
+    add("FEM/Accelerator", 121000, 121000, 2620000, 22, 0.40, [](double sc) {
+      return fem_mesh(scaled(121000, sc), 22, 1, 0.03, 0xACCE1);
+    });
+    add("Circuit", 171000, 171000, 958936, 6, 0.70, [](double sc) {
+      const index_t n = scaled(171000, sc);
+      return powerlaw(n, n, 5.6, 2.6, 0.5, 0xC12C);
+    });
+    add("Webbase", 1000000, 1000000, 3105536, 3, 0.40, [](double sc) {
+      const index_t n = scaled(1000000, sc);
+      return powerlaw(n, n, 3.1, 2.1, 0.3, 0x3EBBA);
+    });
+    add("LP", 4284, 1092610, 11279748, 2825, 0.12, [](double sc) {
+      return wide_rows(scaled(4284, sc), scaled(1092610, sc),
+                       std::min<index_t>(2825, scaled(1092610, sc)), 0x19);
+    });
+    add("Circuit5M", 5558326, 5558326, 59524291, 11, 0.025, [](double sc) {
+      const index_t n = scaled(5558326, sc);
+      return powerlaw(n, n, 10.7, 2.3, 0.4, 0xC125);
+    });
+    add("eu-2005", 862664, 862664, 19235140, 22, 0.07, [](double sc) {
+      const index_t n = scaled(862664, sc);
+      return powerlaw(n, n, 22.3, 2.2, 0.6, 0xE02005);
+    });
+    add("Ga41As41H72", 268096, 268096, 18488476, 67, 0.08, [](double sc) {
+      return quantum_chem(scaled(268096, sc), 67, 0x6A41);
+    });
+    add("in-2004", 1382908, 1382908, 16917053, 12, 0.08, [](double sc) {
+      const index_t n = scaled(1382908, sc);
+      return powerlaw(n, n, 12.2, 2.15, 0.6, 0x12004);
+    });
+    add("mip1", 66463, 66463, 10352819, 152, 0.12, [](double sc) {
+      return quantum_chem(scaled(66463, sc), 152, 0x3171);
+    });
+    add("Si41Ge41H72", 185639, 185639, 15011265, 81, 0.09, [](double sc) {
+      return quantum_chem(scaled(185639, sc), 81, 0x5141);
+    });
+    return e;
+  }();
+  return s;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : suite()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("unknown suite matrix: " + name);
+}
+
+}  // namespace yaspmv::gen

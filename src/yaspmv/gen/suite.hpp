@@ -1,0 +1,76 @@
+// Synthetic generators for the 20-matrix evaluation suite of Table 2.
+//
+// The real matrices come from the UF/SuiteSparse collection and the clSpMV
+// set; what the paper's results depend on is their *pattern statistics* —
+// dimensions, nnz/row mean, row-length variance, block density, bandwidth —
+// which each generator reproduces (parameters documented per entry).  Every
+// generator accepts a linear `scale` in (0, 1]: dimensions shrink by the
+// factor while nnz/row statistics are preserved, so format footprints and
+// kernel balance keep their relative shape on a small machine; scale=1
+// regenerates paper-sized instances.  Real .mtx files can be substituted via
+// yaspmv::io.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "yaspmv/formats/coo.hpp"
+
+namespace yaspmv::gen {
+
+// --- primitive generators --------------------------------------------------
+
+/// Fully dense matrix ("Dense", 2K x 2K).
+fmt::Coo dense(index_t rows, index_t cols, std::uint64_t seed);
+
+/// 2D grid with a `points`-point neighbor stencil, no self loop when
+/// `self` is false ("Epidemiology": 4 nnz/row).
+fmt::Coo stencil2d(index_t nx, index_t ny, bool self, std::uint64_t seed);
+
+/// FEM-style mesh matrix: dense dof x dof blocks (dof = block size) placed
+/// at the diagonal and at ~(nnz_row/dof - 1) neighbor blocks drawn from a
+/// banded Gaussian offset distribution.  Models Protein/FEM*/QCD.
+fmt::Coo fem_mesh(index_t rows, index_t nnz_row, index_t dof,
+                  double bandwidth_frac, std::uint64_t seed);
+
+/// Power-law row lengths (alpha tail exponent, capped) with a mix of
+/// near-diagonal and uniformly random columns.  Models the web/circuit
+/// matrices (Webbase, eu-2005, in-2004, Circuit, Circuit5M).
+fmt::Coo powerlaw(index_t rows, index_t cols, double avg_nnz_row,
+                  double alpha, double locality, std::uint64_t seed);
+
+/// Short wide matrix with heavy dense-ish rows ("LP": 4K x 1.1M,
+/// 2825 nnz/row) — columns drawn in clustered runs.
+fmt::Coo wide_rows(index_t rows, index_t cols, index_t nnz_row,
+                   std::uint64_t seed);
+
+/// Uniformly scattered small rows with high relative variance
+/// ("Economics").
+fmt::Coo random_scattered(index_t rows, index_t cols, index_t avg_nnz_row,
+                          std::uint64_t seed);
+
+/// Quantum-chemistry style (Ga41As41H72 / Si41Ge41H72 / mip1): clustered
+/// dense row segments around the diagonal plus a scattered far field, row
+/// lengths lognormal-ish around the mean.
+fmt::Coo quantum_chem(index_t rows, index_t nnz_row, std::uint64_t seed);
+
+// --- the Table 2 suite ------------------------------------------------------
+
+struct SuiteEntry {
+  std::string name;          ///< Table 2 name
+  index_t full_rows;         ///< paper-reported dimensions
+  index_t full_cols;
+  std::size_t full_nnz;      ///< paper-reported non-zeros
+  double full_nnz_per_row;   ///< paper-reported nnz/row
+  double bench_scale;        ///< default scale for the bench harness
+  std::function<fmt::Coo(double scale)> make;
+};
+
+/// All 20 Table 2 entries, in paper order.
+const std::vector<SuiteEntry>& suite();
+
+/// Lookup by (case-sensitive) Table 2 name; throws if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+}  // namespace yaspmv::gen

@@ -1,0 +1,187 @@
+#include "yaspmv/io/binary.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace yaspmv::io {
+
+namespace {
+
+constexpr std::uint32_t kCooMagic = 0x4F4F4359;    // "YCOO"
+constexpr std::uint32_t kBccooMagic = 0x4F434359;  // "YCCO"
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("binary io: " + msg);
+}
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (!out) fail("write failed");
+}
+
+template <class T>
+T get(std::istream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) fail("truncated stream");
+  return v;
+}
+
+template <class T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  put<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+    if (!out) fail("write failed");
+  }
+}
+
+template <class T>
+std::vector<T> get_vec(std::istream& in, std::uint64_t limit = 1ull << 33) {
+  const auto n = get<std::uint64_t>(in);
+  if (n * sizeof(T) > limit) fail("array size implausible (corrupt file?)");
+  std::vector<T> v(n);
+  if (n != 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in) fail("truncated stream");
+  }
+  return v;
+}
+
+void check_header(std::istream& in, std::uint32_t magic) {
+  if (get<std::uint32_t>(in) != magic) fail("bad magic");
+  if (get<std::uint32_t>(in) != kVersion) fail("unsupported version");
+}
+
+}  // namespace
+
+void save_coo(std::ostream& out, const fmt::Coo& m) {
+  put(out, kCooMagic);
+  put(out, kVersion);
+  put<std::int32_t>(out, m.rows);
+  put<std::int32_t>(out, m.cols);
+  put_vec(out, m.row_idx);
+  put_vec(out, m.col_idx);
+  put_vec(out, m.vals);
+}
+
+fmt::Coo load_coo(std::istream& in) {
+  check_header(in, kCooMagic);
+  fmt::Coo m;
+  m.rows = get<std::int32_t>(in);
+  m.cols = get<std::int32_t>(in);
+  m.row_idx = get_vec<index_t>(in);
+  m.col_idx = get_vec<index_t>(in);
+  m.vals = get_vec<real_t>(in);
+  if (m.row_idx.size() != m.col_idx.size() ||
+      m.col_idx.size() != m.vals.size()) {
+    fail("inconsistent COO arrays");
+  }
+  if (!m.is_canonical()) fail("COO not canonical");
+  for (std::size_t i = 0; i < m.nnz(); ++i) {
+    if (m.row_idx[i] < 0 || m.row_idx[i] >= m.rows || m.col_idx[i] < 0 ||
+        m.col_idx[i] >= m.cols) {
+      fail("COO index out of range");
+    }
+  }
+  return m;
+}
+
+void save_bccoo(std::ostream& out, const core::Bccoo& m) {
+  put(out, kBccooMagic);
+  put(out, kVersion);
+  put<std::int32_t>(out, m.rows);
+  put<std::int32_t>(out, m.cols);
+  put<std::int32_t>(out, m.cfg.block_w);
+  put<std::int32_t>(out, m.cfg.block_h);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.cfg.bf_word));
+  put<std::int32_t>(out, m.cfg.slices);
+  put<std::int32_t>(out, m.block_rows);
+  put<std::int32_t>(out, m.block_cols);
+  put<std::int32_t>(out, m.stacked_block_rows);
+  put<std::uint64_t>(out, m.num_blocks);
+  put<std::uint64_t>(out, m.bit_flags.size());
+  put_vec(out, m.bit_flags.words());
+  put_vec(out, m.col_index);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(m.value_rows.size()));
+  for (const auto& vr : m.value_rows) put_vec(out, vr);
+  put_vec(out, m.seg_to_block_row);
+  put<std::uint8_t>(out, m.identity_segments ? 1 : 0);
+}
+
+core::Bccoo load_bccoo(std::istream& in) {
+  check_header(in, kBccooMagic);
+  core::Bccoo m;
+  m.rows = get<std::int32_t>(in);
+  m.cols = get<std::int32_t>(in);
+  m.cfg.block_w = get<std::int32_t>(in);
+  m.cfg.block_h = get<std::int32_t>(in);
+  m.cfg.bf_word = static_cast<BitFlagWord>(get<std::uint8_t>(in));
+  m.cfg.slices = get<std::int32_t>(in);
+  m.block_rows = get<std::int32_t>(in);
+  m.block_cols = get<std::int32_t>(in);
+  m.stacked_block_rows = get<std::int32_t>(in);
+  m.num_blocks = get<std::uint64_t>(in);
+  const auto nbits = get<std::uint64_t>(in);
+  const auto words = get_vec<std::uint32_t>(in);
+  if (words.size() != (nbits + 31) / 32 || nbits != m.num_blocks) {
+    fail("inconsistent bit-flag array");
+  }
+  m.bit_flags = BitArray(nbits);
+  for (std::uint64_t i = 0; i < nbits; ++i) {
+    m.bit_flags.set(i, (words[i >> 5] >> (i & 31u)) & 1u);
+  }
+  m.col_index = get_vec<index_t>(in);
+  const auto nrows_arrays = get<std::uint32_t>(in);
+  if (nrows_arrays != static_cast<std::uint32_t>(m.cfg.block_h)) {
+    fail("value-array count != block height");
+  }
+  m.value_rows.resize(nrows_arrays);
+  for (auto& vr : m.value_rows) {
+    vr = get_vec<real_t>(in);
+    if (vr.size() != m.num_blocks * static_cast<std::size_t>(m.cfg.block_w)) {
+      fail("value array size mismatch");
+    }
+  }
+  m.seg_to_block_row = get_vec<index_t>(in);
+  m.identity_segments = get<std::uint8_t>(in) != 0;
+  if (m.col_index.size() != m.num_blocks) fail("col array size mismatch");
+  if (m.seg_to_block_row.size() != m.bit_flags.count_zeros()) {
+    fail("segment map size mismatch");
+  }
+  return m;
+}
+
+void save_coo_file(const std::string& path, const fmt::Coo& m) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  save_coo(f, m);
+}
+
+fmt::Coo load_coo_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load_coo(f);
+}
+
+void save_bccoo_file(const std::string& path, const core::Bccoo& m) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  save_bccoo(f, m);
+}
+
+core::Bccoo load_bccoo_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load_bccoo(f);
+}
+
+}  // namespace yaspmv::io

@@ -1,0 +1,31 @@
+// Binary (de)serialization of COO matrices and built BCCOO formats.
+//
+// Format conversion is the offline step of the paper's pipeline (offline
+// transpose, auto-tuned format build); persisting the built format lets an
+// application pay the conversion cost once.  The container is a simple
+// little-endian TLV: magic, version, then the arrays with explicit sizes.
+// Files are not portable across endianness (checked via the magic).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/formats/coo.hpp"
+
+namespace yaspmv::io {
+
+/// Serializes canonical COO.  Throws std::runtime_error on I/O failure.
+void save_coo(std::ostream& out, const fmt::Coo& m);
+fmt::Coo load_coo(std::istream& in);
+void save_coo_file(const std::string& path, const fmt::Coo& m);
+fmt::Coo load_coo_file(const std::string& path);
+
+/// Serializes a built BCCOO/BCCOO+ format (everything needed to run SpMV
+/// without re-deriving it from COO).
+void save_bccoo(std::ostream& out, const core::Bccoo& m);
+core::Bccoo load_bccoo(std::istream& in);
+void save_bccoo_file(const std::string& path, const core::Bccoo& m);
+core::Bccoo load_bccoo_file(const std::string& path);
+
+}  // namespace yaspmv::io

@@ -1,0 +1,106 @@
+#include "yaspmv/io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace yaspmv::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("matrix market: " + msg);
+}
+
+}  // namespace
+
+fmt::Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty stream");
+  std::istringstream hdr(line);
+  std::string banner, object, format, field, symmetry;
+  hdr >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail("unsupported object: " + object);
+  if (lower(format) != "coordinate") fail("unsupported format: " + format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    fail("unsupported field: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general") {
+    fail("unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sz(line);
+  long rows = 0, cols = 0, entries = 0;
+  if (!(sz >> rows >> cols >> entries)) fail("bad size line");
+  if (rows < 0 || cols < 0 || entries < 0) fail("negative size");
+
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const std::size_t reserve =
+      static_cast<std::size_t>(entries) * ((symmetric || skew) ? 2 : 1);
+  ri.reserve(reserve);
+  ci.reserve(reserve);
+  v.reserve(reserve);
+  for (long k = 0; k < entries; ++k) {
+    long r = 0, c = 0;
+    double x = 1.0;
+    if (!(in >> r >> c)) fail("truncated entry list");
+    if (!pattern && !(in >> x)) fail("missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail("entry out of range");
+    ri.push_back(static_cast<index_t>(r - 1));
+    ci.push_back(static_cast<index_t>(c - 1));
+    v.push_back(x);
+    if ((symmetric || skew) && r != c) {
+      ri.push_back(static_cast<index_t>(c - 1));
+      ci.push_back(static_cast<index_t>(r - 1));
+      v.push_back(skew ? -x : x);
+    }
+  }
+  return fmt::Coo::from_triplets(static_cast<index_t>(rows),
+                                 static_cast<index_t>(cols), std::move(ri),
+                                 std::move(ci), std::move(v));
+}
+
+fmt::Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) fail("cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const fmt::Coo& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < m.nnz(); ++i) {
+    out << (m.row_idx[i] + 1) << ' ' << (m.col_idx[i] + 1) << ' ' << m.vals[i]
+        << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const fmt::Coo& m) {
+  std::ofstream f(path);
+  if (!f) fail("cannot open " + path);
+  write_matrix_market(f, m);
+}
+
+}  // namespace yaspmv::io

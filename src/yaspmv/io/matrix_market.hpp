@@ -1,0 +1,30 @@
+// Matrix Market (.mtx) I/O so the synthetic suite can be swapped for the
+// real UF/SuiteSparse matrices when they are available.
+//
+// Supports the coordinate format with real/integer/pattern fields and
+// general/symmetric/skew-symmetric symmetry, which covers every matrix in
+// Table 2.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "yaspmv/formats/coo.hpp"
+
+namespace yaspmv::io {
+
+/// Parses a Matrix Market stream into canonical COO.  Throws
+/// std::runtime_error on malformed input or unsupported variants (complex
+/// fields, array format).
+fmt::Coo read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws std::runtime_error when the file cannot
+/// be opened.
+fmt::Coo read_matrix_market_file(const std::string& path);
+
+/// Writes canonical COO as "coordinate real general".
+void write_matrix_market(std::ostream& out, const fmt::Coo& m);
+
+void write_matrix_market_file(const std::string& path, const fmt::Coo& m);
+
+}  // namespace yaspmv::io

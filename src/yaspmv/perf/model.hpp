@@ -1,0 +1,43 @@
+// Analytic performance model: KernelStats + DeviceSpec -> modeled time.
+//
+// SpMV is bandwidth-bound on both evaluation GPUs (machine balance ~16
+// flop/byte vs SpMV's ~0.2 flop/byte), so the first-order term is DRAM
+// traffic over achievable bandwidth.  Warp divergence (recorded by the
+// row-parallel baselines) throttles the rate at which warps can keep the
+// memory system fed, so it multiplies the memory term.  Kernel launches,
+// global atomics and adjacent-sync spins add fixed overheads.
+//
+// The model is calibrated by construction, not fitted: all inputs are
+// counted by the simulator from the actual access streams, and the device
+// constants come from public datasheets.  EXPERIMENTS.md compares the
+// resulting figure shapes against the paper.
+#pragma once
+
+#include <cstddef>
+
+#include "yaspmv/sim/counters.hpp"
+#include "yaspmv/sim/device.hpp"
+
+namespace yaspmv::perf {
+
+struct TimeBreakdown {
+  double mem_s = 0;      ///< DRAM traffic term (divergence-scaled)
+  double compute_s = 0;  ///< arithmetic term
+  double launch_s = 0;   ///< kernel-launch overhead
+  double sync_s = 0;     ///< atomics + adjacent-sync spin overhead
+  double total_s = 0;
+};
+
+/// Models the execution time of the launches summarized in `st`.
+TimeBreakdown model_time(const sim::DeviceSpec& dev,
+                         const sim::KernelStats& st);
+
+/// SpMV throughput in GFLOPS using the standard 2*nnz flop count (matching
+/// the paper's reporting) over the modeled time.
+double spmv_gflops(const sim::DeviceSpec& dev, const sim::KernelStats& st,
+                   std::size_t nnz);
+
+/// Harmonic mean of a positive sequence (the paper's average throughput).
+double harmonic_mean(const double* v, std::size_t n);
+
+}  // namespace yaspmv::perf

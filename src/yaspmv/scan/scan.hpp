@@ -1,0 +1,97 @@
+// Host-side (reference) scan primitives.
+//
+// These are the golden implementations the simulated kernels are tested
+// against, plus the helpers the format builders use (e.g. the
+// first-result-entry auxiliary array of Section 2.4 is an exclusive scan
+// over the bitwise inverse of the bit-flag array).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "yaspmv/util/bitops.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::scan {
+
+/// out[i] = sum of in[0..i]  (inclusive).
+template <class T>
+void inclusive_scan(std::span<const T> in, std::span<T> out) {
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+/// out[i] = sum of in[0..i-1]  (exclusive, identity first).
+template <class T>
+void exclusive_scan(std::span<const T> in, std::span<T> out) {
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T v = in[i];
+    out[i] = acc;
+    acc += v;
+  }
+}
+
+/// Segmented inclusive scan with *start flags*: flag[i] == 1 means element i
+/// begins a new segment (Figure 7 of the paper).
+template <class T>
+void segmented_inclusive_scan(std::span<const T> in,
+                              std::span<const std::uint8_t> start_flags,
+                              std::span<T> out) {
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (start_flags[i]) acc = T{};
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+/// Segmented sum driven by the BCCOO *bit flags* (0 = row stop, i.e. the
+/// element is the last of its segment).  Returns one sum per segment in
+/// order.  A trailing unterminated segment (all-ones padding) is dropped,
+/// matching the kernel semantics where padded blocks contribute nothing.
+template <class T>
+std::vector<T> segmented_sums_from_bitflags(std::span<const T> in,
+                                            const BitArray& bit_flags) {
+  std::vector<T> sums;
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    if (!bit_flags.get(i)) {
+      sums.push_back(acc);
+      acc = T{};
+    }
+  }
+  return sums;
+}
+
+/// Converts BCCOO bit flags to the start flags of a conventional segmented
+/// scan: element i starts a segment iff i == 0 or element i-1 was a row stop.
+inline std::vector<std::uint8_t> start_flags_from_bitflags(
+    const BitArray& bit_flags) {
+  std::vector<std::uint8_t> start(bit_flags.size());
+  for (std::size_t i = 0; i < bit_flags.size(); ++i) {
+    start[i] = (i == 0 || !bit_flags.get(i - 1)) ? 1 : 0;
+  }
+  return start;
+}
+
+/// Reconstructs the blocked row index of every block from the bit flags
+/// (lossless-compression check from Section 2.2): the row index of block i
+/// is the number of row stops strictly before i.
+inline std::vector<index_t> row_indices_from_bitflags(
+    const BitArray& bit_flags) {
+  std::vector<index_t> rows(bit_flags.size());
+  index_t r = 0;
+  for (std::size_t i = 0; i < bit_flags.size(); ++i) {
+    rows[i] = r;
+    if (!bit_flags.get(i)) ++r;
+  }
+  return rows;
+}
+
+}  // namespace yaspmv::scan

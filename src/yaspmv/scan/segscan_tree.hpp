@@ -1,0 +1,93 @@
+// Tree-based (Blelloch-style) workgroup segmented scan — the *baseline*
+// algorithm the paper replaces (Section 3.1 and Figure 14's "COO" stage).
+//
+// The up-sweep/down-sweep tree has 2*log2(n) barrier-separated stages, and at
+// stage d only n/2^(d+1) threads are active while the whole warp stays
+// resident — the load-imbalance cost the paper attributes to tree-based
+// scans.  We execute the real algorithm (correct results) and charge the
+// idle lanes to the divergence counters so the performance model sees the
+// inefficiency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::scan {
+
+/// In-place *inclusive* segmented scan over x[0..n) where n == wg.wg_size()
+/// (must be a power of two).  `heads[i]` = 1 iff element i starts a segment.
+/// `work_flags` and `input_copy` are scratch shared arrays of size n; `heads`
+/// is preserved.
+inline void wg_tree_segscan_inclusive(sim::WorkgroupCtx& wg,
+                                      std::span<double> x,
+                                      std::span<const std::uint8_t> heads,
+                                      std::span<std::uint8_t> work_flags,
+                                      std::span<double> input_copy) {
+  const int n = wg.wg_size();
+  if ((n & (n - 1)) != 0) {
+    throw sim::SimError("tree segmented scan requires power-of-two workgroup");
+  }
+
+  wg.phase([&](int t) {
+    const auto ti = static_cast<std::size_t>(t);
+    input_copy[ti] = x[ti];
+    work_flags[ti] = heads[ti];
+  });
+
+  // Up-sweep (reduce).
+  for (int d = 1; d < n; d <<= 1) {
+    const int active = n / (2 * d);
+    wg.phase([&](int t) {
+      if (t < active) {
+        const std::size_t ai = static_cast<std::size_t>(d * (2 * t + 1) - 1);
+        const std::size_t bi = static_cast<std::size_t>(d * (2 * t + 2) - 1);
+        if (!work_flags[bi]) {
+          x[bi] += x[ai];
+          wg.stats().flops += 1;
+        }
+        work_flags[bi] = work_flags[bi] | work_flags[ai];
+      }
+    });
+    // Charge idle lanes: the whole workgroup is resident for this stage.
+    wg.stats().ideal_lanes += static_cast<std::size_t>(active);
+    wg.stats().serialized_lanes += static_cast<std::size_t>(n);
+  }
+
+  // Down-sweep (exclusive scan with segment resets).
+  wg.phase([&](int t) {
+    if (t == 0) x[static_cast<std::size_t>(n - 1)] = 0.0;
+  });
+  for (int d = n / 2; d >= 1; d >>= 1) {
+    const int active = n / (2 * d);
+    wg.phase([&](int t) {
+      if (t < active) {
+        const std::size_t ai = static_cast<std::size_t>(d * (2 * t + 1) - 1);
+        const std::size_t bi = static_cast<std::size_t>(d * (2 * t + 2) - 1);
+        const double tmp = x[ai];
+        x[ai] = x[bi];
+        if (ai + 1 < static_cast<std::size_t>(n) && heads[ai + 1]) {
+          x[bi] = 0.0;
+        } else if (work_flags[ai]) {
+          x[bi] = tmp;
+        } else {
+          x[bi] = tmp + x[bi];
+          wg.stats().flops += 1;
+        }
+        work_flags[ai] = 0;
+      }
+    });
+    wg.stats().ideal_lanes += static_cast<std::size_t>(active);
+    wg.stats().serialized_lanes += static_cast<std::size_t>(n);
+  }
+
+  // Exclusive -> inclusive: add back the original inputs.
+  wg.phase([&](int t) {
+    const auto ti = static_cast<std::size_t>(t);
+    x[ti] = (heads[ti] ? 0.0 : x[ti]) + input_copy[ti];
+    wg.stats().flops += 1;
+  });
+}
+
+}  // namespace yaspmv::scan

@@ -1,0 +1,66 @@
+// Workgroup-level parallel segmented scan on the simulator (the scan of the
+// last_partial_sums array, Section 3.2.2; algorithm of Sengupta et al. [18]).
+//
+// The scanned elements are h-vectors (h = block height): thread t's last
+// partial sums for the h rows inside a block-row.  We use the
+// Hillis–Steele-style segmented scan: log2(n) steps, each a barrier-delimited
+// phase, combining (value, start-flag) pairs.  Buffers ping-pong between two
+// shared arrays so a phase never reads what it wrote.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::scan {
+
+/// In-place segmented inclusive scan over `sums` (n entries of h doubles,
+/// entry t at sums[t*h .. t*h+h)) with `start_flags[t]` = 1 when entry t
+/// begins a segment.  `tmp`/`tmp_flags` are scratch shared arrays of the same
+/// shape.  n must equal wg.wg_size().
+inline void wg_segmented_scan_hvec(sim::WorkgroupCtx& wg,
+                                   std::span<double> sums,
+                                   std::span<std::uint8_t> start_flags,
+                                   std::span<double> tmp,
+                                   std::span<std::uint8_t> tmp_flags, int h) {
+  const int n = wg.wg_size();
+  std::span<double> src = sums, dst = tmp;
+  std::span<std::uint8_t> srcf = start_flags, dstf = tmp_flags;
+  for (int d = 1; d < n; d <<= 1) {
+    wg.phase([&](int t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      if (t >= d && !srcf[ti]) {
+        for (int k = 0; k < h; ++k) {
+          dst[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)] =
+              src[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)] +
+              src[(ti - static_cast<std::size_t>(d)) * static_cast<std::size_t>(h) +
+                  static_cast<std::size_t>(k)];
+        }
+        dstf[ti] = srcf[ti - static_cast<std::size_t>(d)];
+      } else {
+        for (int k = 0; k < h; ++k) {
+          dst[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)] =
+              src[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)];
+        }
+        dstf[ti] = srcf[ti];
+      }
+      wg.stats().flops += static_cast<std::size_t>(h);
+    });
+    std::swap(src, dst);
+    std::swap(srcf, dstf);
+  }
+  if (src.data() != sums.data()) {
+    // Odd number of steps: copy the result back into the caller's buffer.
+    wg.phase([&](int t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      for (int k = 0; k < h; ++k) {
+        sums[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)] =
+            src[ti * static_cast<std::size_t>(h) + static_cast<std::size_t>(k)];
+      }
+      start_flags[ti] = srcf[ti];
+    });
+  }
+}
+
+}  // namespace yaspmv::scan

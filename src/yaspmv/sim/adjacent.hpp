@@ -1,0 +1,101 @@
+// Adjacent synchronization (Section 3.2.4; StreamScan, PPoPP'13).
+//
+// For dot-product segments spanning workgroup boundaries, workgroup X must
+// accumulate the last partial sums of the preceding workgroups.  Instead of
+// finishing the kernel and launching a second one (global synchronization),
+// each workgroup publishes its last partial sum into Grp_sum[X]; a workgroup
+// whose tile contains no row stop waits for Grp_sum[X-1], adds its own sum,
+// and publishes the combined value, while a workgroup containing a row stop
+// breaks the chain and publishes its own tail sum directly.
+//
+// An entry is a small vector of block_h partial sums (one per row inside a
+// block-row).  The published flag uses release/acquire ordering so the pooled
+// dispatcher exercises the real synchronization; under sequential in-order
+// dispatch a wait on an unpublished entry is a protocol violation and throws.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <thread>
+
+#include "yaspmv/sim/counters.hpp"
+#include "yaspmv/sim/dispatch.hpp"
+
+namespace yaspmv::sim {
+
+class AdjacentBuffer {
+ public:
+  /// Maximum block height supported by a Grp_sum entry.  Table 1 limits
+  /// block height to 4; the extended-blocks tuning mode (the paper's noted
+  /// Dense-matrix limitation, Section 6) raises it to 8.
+  static constexpr int kMaxH = 8;
+
+  /// Spin budget before a blocking wait is declared dead (prevents a hang
+  /// when the publishing workgroup failed).
+  static constexpr std::size_t kMaxSpins = 200'000'000;
+
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
+  AdjacentBuffer(std::size_t num_workgroups, int h, bool blocking)
+      : n_(num_workgroups),
+        h_(h),
+        blocking_(blocking),
+        entries_(std::make_unique<Entry[]>(num_workgroups ? num_workgroups
+                                                          : 1)) {
+    if (h < 1 || h > kMaxH) throw SimError("AdjacentBuffer: bad block height");
+  }
+
+  int height() const { return h_; }
+  std::size_t size() const { return n_; }
+
+  /// Publishes workgroup `wg`'s last partial sums (h values).
+  void publish(std::size_t wg, std::span<const double> v) {
+    Entry& e = entries_[wg];
+    for (int i = 0; i < h_; ++i) e.v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)];
+    e.ready.store(1, std::memory_order_release);
+  }
+
+  bool is_published(std::size_t wg) const {
+    return entries_[wg].ready.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Waits for workgroup `wg`'s entry and copies it into `out`.  Spin count
+  /// is recorded in `stats`.  In non-blocking (sequential-dispatch) mode an
+  /// unpublished entry indicates a broken chain and throws.
+  void wait(std::size_t wg, std::span<double> out, KernelStats& stats) const {
+    const Entry& e = entries_[wg];
+    if (!e.ready.load(std::memory_order_acquire)) {
+      if (!blocking_) {
+        throw SimError(
+            "adjacent-sync protocol violation: Grp_sum entry consumed before "
+            "being published under in-order dispatch");
+      }
+      std::size_t spins = 0;
+      while (!e.ready.load(std::memory_order_acquire)) {
+        if (++spins % 64 == 0) std::this_thread::yield();
+        if (spins > kMaxSpins) {
+          throw SimError(
+              "adjacent-sync wait exceeded the spin budget (predecessor "
+              "workgroup died?)");
+        }
+      }
+      stats.spin_waits += spins;
+    }
+    for (int i = 0; i < h_; ++i) out[static_cast<std::size_t>(i)] = e.v[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  struct Entry {
+    std::array<double, kMaxH> v{};
+    std::atomic<std::uint32_t> ready{0};
+  };
+
+  std::size_t n_;
+  int h_;
+  bool blocking_;
+  std::unique_ptr<Entry[]> entries_;
+};
+
+}  // namespace yaspmv::sim

@@ -1,0 +1,52 @@
+// Warp-level memory-coalescing analysis.
+//
+// GPUs serve a warp's loads in aligned memory transactions; the number of
+// distinct segments touched by the 32 lanes determines the traffic.  The
+// helper below computes that count exactly from per-lane byte addresses —
+// used by baselines whose access pattern depends on the data (CSR-scalar's
+// lane-per-row streaming) instead of a fixed analytic stride.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "yaspmv/sim/counters.hpp"
+
+namespace yaspmv::sim {
+
+/// Inactive-lane marker for warp_transactions.
+inline constexpr std::size_t kInactiveLane =
+    std::numeric_limits<std::size_t>::max();
+
+/// Number of `segment_bytes`-aligned transactions needed to serve one warp
+/// access where lane i reads from byte address `addrs[i]` (kInactiveLane =
+/// predicated off).  segment_bytes must be a power of two.
+inline std::size_t warp_transactions(std::span<const std::size_t> addrs,
+                                     std::size_t segment_bytes = 32) {
+  // Up to 32 lanes: collect segment ids, sort, count distinct.
+  std::size_t segs[64];
+  std::size_t n = 0;
+  for (std::size_t a : addrs) {
+    if (a != kInactiveLane && n < 64) segs[n++] = a / segment_bytes;
+  }
+  if (n == 0) return 0;
+  std::sort(segs, segs + n);
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (segs[i] != segs[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+/// Charges one warp load: `addrs` are per-lane byte addresses; traffic is
+/// distinct-segment count x segment size.
+inline void charge_warp_load(KernelStats& st,
+                             std::span<const std::size_t> addrs,
+                             std::size_t segment_bytes = 32) {
+  st.global_load_bytes += warp_transactions(addrs, segment_bytes) *
+                          segment_bytes;
+}
+
+}  // namespace yaspmv::sim

@@ -1,0 +1,146 @@
+// Memory/compute counters recorded while a simulated kernel executes.
+//
+// Kernels account their traffic through these helpers instead of raw loads so
+// that the performance model (yaspmv/perf) can translate the counts into
+// modeled time on a given DeviceSpec.  Two kinds of accounting are used:
+//
+//  * coalesced/strided bulk accounting for the format arrays (value, column
+//    index, bit flags) whose access pattern is statically known, and
+//  * a per-access direct-mapped cache simulation for the multiplied-vector
+//    reads, whose locality depends on the matrix structure (this is exactly
+//    the effect the BCCOO+ vertical slicing targets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::sim {
+
+/// Aggregate statistics for one kernel launch (or a sum over launches).
+struct KernelStats {
+  std::size_t global_load_bytes = 0;   ///< DRAM read traffic
+  std::size_t global_store_bytes = 0;  ///< DRAM write traffic
+  std::size_t vector_hits = 0;         ///< vector loads served by cache
+  std::size_t vector_misses = 0;       ///< vector loads going to DRAM
+  std::size_t flops = 0;               ///< useful floating-point ops
+  std::size_t ideal_lanes = 0;   ///< sum of per-lane work items (balanced)
+  std::size_t serialized_lanes = 0;  ///< sum over warps of max-lane work
+  std::size_t kernel_launches = 0;
+  std::size_t atomic_ops = 0;
+  std::size_t spin_waits = 0;      ///< adjacent-sync waits observed
+  std::size_t barriers = 0;        ///< workgroup-level barriers executed
+
+  KernelStats& operator+=(const KernelStats& o) {
+    global_load_bytes += o.global_load_bytes;
+    global_store_bytes += o.global_store_bytes;
+    vector_hits += o.vector_hits;
+    vector_misses += o.vector_misses;
+    flops += o.flops;
+    ideal_lanes += o.ideal_lanes;
+    serialized_lanes += o.serialized_lanes;
+    kernel_launches += o.kernel_launches;
+    atomic_ops += o.atomic_ops;
+    spin_waits += o.spin_waits;
+    barriers += o.barriers;
+    return *this;
+  }
+
+  /// Records a perfectly coalesced bulk transfer of `count` elements of
+  /// `elem_bytes` each (e.g. an offline-transposed value array).
+  void add_coalesced_load(std::size_t count, std::size_t elem_bytes) {
+    global_load_bytes += count * elem_bytes;
+  }
+
+  void add_coalesced_store(std::size_t count, std::size_t elem_bytes) {
+    global_store_bytes += count * elem_bytes;
+  }
+
+  /// Records `count` loads of `elem_bytes` with a fixed stride between
+  /// consecutive lanes of a warp.  The memory system fetches 128-byte
+  /// transactions, so a stride larger than elem_bytes inflates traffic by
+  /// min(stride, 128) / elem_bytes (this is the cost the paper's offline
+  /// transpose eliminates).
+  void add_strided_load(std::size_t count, std::size_t elem_bytes,
+                        std::size_t stride_bytes) {
+    const std::size_t eff =
+        stride_bytes <= elem_bytes ? elem_bytes
+                                   : (stride_bytes < 128 ? stride_bytes : 128);
+    global_load_bytes += count * eff;
+  }
+
+  void add_strided_store(std::size_t count, std::size_t elem_bytes,
+                         std::size_t stride_bytes) {
+    const std::size_t eff =
+        stride_bytes <= elem_bytes ? elem_bytes
+                                   : (stride_bytes < 128 ? stride_bytes : 128);
+    global_store_bytes += count * eff;
+  }
+
+  /// Records one warp's worth of divergent work: `lane_work[i]` items were
+  /// executed by lane i; lockstep execution serializes the warp to the
+  /// maximum.
+  void add_warp_work(const std::size_t* lane_work, int lanes) {
+    std::size_t mx = 0, sum = 0;
+    for (int i = 0; i < lanes; ++i) {
+      sum += lane_work[i];
+      if (lane_work[i] > mx) mx = lane_work[i];
+    }
+    ideal_lanes += sum;
+    serialized_lanes += mx * static_cast<std::size_t>(lanes);
+  }
+
+  /// Warp-divergence slowdown factor (>= 1).
+  double divergence_factor() const {
+    if (ideal_lanes == 0) return 1.0;
+    const double f = static_cast<double>(serialized_lanes) /
+                     static_cast<double>(ideal_lanes);
+    return f < 1.0 ? 1.0 : f;
+  }
+
+  double vector_hit_rate() const {
+    const std::size_t n = vector_hits + vector_misses;
+    return n == 0 ? 0.0 : static_cast<double>(vector_hits) /
+                              static_cast<double>(n);
+  }
+};
+
+/// Direct-mapped cache simulator for multiplied-vector accesses.  Tag array
+/// indexed by line; O(1) per access.  One instance models the read-only /
+/// texture cache of the SM a workgroup runs on.
+class VectorCacheSim {
+ public:
+  VectorCacheSim(std::size_t capacity_bytes, std::size_t line_bytes,
+                 std::size_t elem_bytes)
+      : line_elems_(line_bytes / elem_bytes),
+        num_lines_(capacity_bytes / line_bytes),
+        line_bytes_(line_bytes),
+        tags_(num_lines_ ? num_lines_ : 1, kInvalid) {}
+
+  /// Accesses vector element `idx`; updates `stats` hit/miss counters and
+  /// DRAM traffic on a miss.
+  void access(std::size_t idx, KernelStats& stats) {
+    const std::size_t line = idx / line_elems_;
+    const std::size_t slot = line % tags_.size();
+    if (tags_[slot] == line) {
+      stats.vector_hits++;
+    } else {
+      tags_[slot] = line;
+      stats.vector_misses++;
+      stats.global_load_bytes += line_bytes_;
+    }
+  }
+
+  void reset() { std::fill(tags_.begin(), tags_.end(), kInvalid); }
+
+ private:
+  static constexpr std::size_t kInvalid = ~std::size_t{0};
+  std::size_t line_elems_;
+  std::size_t num_lines_;
+  std::size_t line_bytes_;
+  std::vector<std::size_t> tags_;
+};
+
+}  // namespace yaspmv::sim

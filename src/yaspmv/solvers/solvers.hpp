@@ -1,0 +1,313 @@
+// Iterative solvers on top of the SpMV backends — the downstream workloads
+// (Krylov methods, eigensolvers) that motivate SpMV optimization in the
+// paper's introduction.
+//
+// Everything is written against the `Operator` duck type:
+//
+//   struct Operator {
+//     index_t rows() const; index_t cols() const;
+//     void apply(std::span<const real_t> x, std::span<real_t> y);  // y = A*x
+//   };
+//
+// Adapters are provided for the serial CSR reference, the native CPU
+// backend and the simulated GPU engine, so a solver can be moved between
+// backends with one line.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/formats/csr.hpp"
+
+namespace yaspmv::solver {
+
+// ---------------------------------------------------------------------------
+// Operator adapters
+// ---------------------------------------------------------------------------
+
+/// Serial CSR reference operator.
+class CsrOperator {
+ public:
+  explicit CsrOperator(fmt::Csr m) : m_(std::move(m)) {}
+  index_t rows() const { return m_.rows; }
+  index_t cols() const { return m_.cols; }
+  void apply(std::span<const real_t> x, std::span<real_t> y) {
+    m_.spmv(x, y);
+  }
+  const fmt::Csr& matrix() const { return m_; }
+
+ private:
+  fmt::Csr m_;
+};
+
+/// Native CPU-parallel BCCOO operator.
+class CpuOperator {
+ public:
+  CpuOperator(const fmt::Coo& a, core::FormatConfig fc = {},
+              unsigned threads = 0)
+      : eng_(std::make_shared<const core::Bccoo>(core::Bccoo::build(a, fc)),
+             threads) {}
+  index_t rows() const { return eng_.format().rows; }
+  index_t cols() const { return eng_.format().cols; }
+  void apply(std::span<const real_t> x, std::span<real_t> y) {
+    eng_.spmv(x, y);
+  }
+
+ private:
+  cpu::CpuSpmv eng_;
+};
+
+/// Simulated-device operator (accumulates the kernel statistics so a solve
+/// can be performance-modeled end to end).
+class SimOperator {
+ public:
+  SimOperator(const fmt::Coo& a, const core::FormatConfig& fc,
+              const core::ExecConfig& ec, sim::DeviceSpec dev)
+      : eng_(a, fc, ec, std::move(dev)) {}
+  index_t rows() const { return eng_.format().rows; }
+  index_t cols() const { return eng_.format().cols; }
+  void apply(std::span<const real_t> x, std::span<real_t> y) {
+    stats_ += eng_.run(x, y).stats;
+    applies_++;
+  }
+  const sim::KernelStats& stats() const { return stats_; }
+  std::size_t applies() const { return applies_; }
+
+ private:
+  core::SpmvEngine eng_;
+  sim::KernelStats stats_;
+  std::size_t applies_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Solver drivers
+// ---------------------------------------------------------------------------
+
+struct SolveOptions {
+  double tolerance = 1e-10;  ///< relative residual target ||r||/||b||
+  long max_iterations = 10000;
+};
+
+struct SolveReport {
+  bool converged = false;
+  long iterations = 0;
+  double relative_residual = 0;
+};
+
+namespace detail {
+inline double dot(std::span<const real_t> a, std::span<const real_t> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+inline double norm(std::span<const real_t> a) { return std::sqrt(dot(a, a)); }
+}  // namespace detail
+
+/// Conjugate gradient for symmetric positive-definite A.  `x` is the
+/// initial guess on entry, the solution on exit.
+template <class Operator>
+SolveReport cg(Operator& A, std::span<const real_t> b, std::span<real_t> x,
+               const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "cg: operator must be square");
+  const std::size_t n = b.size();
+  std::vector<real_t> r(n), p(n), Ap(n);
+  A.apply(x, Ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+  p.assign(r.begin(), r.end());
+  double rr = detail::dot(r, r);
+  const double bnorm = std::max(detail::norm(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = std::sqrt(rr) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    A.apply(p, Ap);
+    const double alpha = rr / detail::dot(p, Ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    const double rr_new = detail::dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rep.iterations++;
+  }
+  rep.relative_residual = std::sqrt(rr) / bnorm;
+  return rep;
+}
+
+/// Jacobi-preconditioned conjugate gradient: M = diag(A).  Converges in
+/// fewer iterations than plain CG when the diagonal varies strongly.
+template <class Operator>
+SolveReport pcg_jacobi(Operator& A, std::span<const real_t> diag,
+                       std::span<const real_t> b, std::span<real_t> x,
+                       const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "pcg: operator must be square");
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    require(diag[i] != 0.0, "pcg: zero diagonal entry");
+  }
+  std::vector<real_t> r(n), z(n), p(n), Ap(n);
+  A.apply(x, Ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  p.assign(z.begin(), z.end());
+  double rz = detail::dot(r, z);
+  const double bnorm = std::max(detail::norm(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = detail::norm(r) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    A.apply(p, Ap);
+    const double alpha = rz / detail::dot(p, Ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    const double rz_new = detail::dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rep.iterations++;
+  }
+  rep.relative_residual = detail::norm(r) / bnorm;
+  return rep;
+}
+
+/// Extracts the diagonal of a matrix in canonical COO (helper for the
+/// Jacobi-based methods).
+inline std::vector<real_t> extract_diagonal(const fmt::Coo& a) {
+  std::vector<real_t> d(static_cast<std::size_t>(a.rows), 0.0);
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    if (a.row_idx[i] == a.col_idx[i]) {
+      d[static_cast<std::size_t>(a.row_idx[i])] = a.vals[i];
+    }
+  }
+  return d;
+}
+
+/// BiCGSTAB for general (nonsymmetric) A.
+template <class Operator>
+SolveReport bicgstab(Operator& A, std::span<const real_t> b,
+                     std::span<real_t> x, const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "bicgstab: operator must be square");
+  const std::size_t n = b.size();
+  std::vector<real_t> r(n), r0(n), p(n), v(n), s(n), t(n);
+  A.apply(x, v);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - v[i];
+  r0.assign(r.begin(), r.end());
+  double rho = 1, alpha = 1, omega = 1;
+  std::fill(p.begin(), p.end(), 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
+  const double bnorm = std::max(detail::norm(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = detail::norm(r) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    const double rho_new = detail::dot(r0, r);
+    if (rho_new == 0.0) break;  // breakdown
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    A.apply(p, v);
+    alpha = rho / detail::dot(r0, v);
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    A.apply(s, t);
+    const double tt = detail::dot(t, t);
+    omega = tt == 0.0 ? 0.0 : detail::dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i] + omega * s[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    rep.iterations++;
+    if (omega == 0.0) break;  // breakdown
+  }
+  rep.relative_residual = detail::norm(r) / bnorm;
+  return rep;
+}
+
+/// Weighted Jacobi iteration; `diag` is the matrix diagonal (must be
+/// non-zero everywhere).
+template <class Operator>
+SolveReport jacobi(Operator& A, std::span<const real_t> diag,
+                   std::span<const real_t> b, std::span<real_t> x,
+                   const SolveOptions& opt = {}, double weight = 2.0 / 3.0) {
+  require(A.rows() == A.cols(), "jacobi: operator must be square");
+  const std::size_t n = b.size();
+  std::vector<real_t> Ax(n);
+  const double bnorm = std::max(detail::norm(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    A.apply(x, Ax);
+    double rnorm = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = b[i] - Ax[i];
+      rnorm += r * r;
+      x[i] += weight * r / diag[i];
+    }
+    rep.iterations++;
+    rep.relative_residual = std::sqrt(rnorm) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+  }
+  return rep;
+}
+
+struct EigenReport {
+  double eigenvalue = 0;
+  long iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration: dominant eigenvalue/eigenvector of A.  `v` holds the
+/// start vector on entry (must be non-zero) and the eigenvector on exit.
+template <class Operator>
+EigenReport power_iteration(Operator& A, std::span<real_t> v,
+                            double tolerance = 1e-10,
+                            long max_iterations = 10000) {
+  require(A.rows() == A.cols(), "power_iteration: operator must be square");
+  const std::size_t n = v.size();
+  std::vector<real_t> w(n);
+  double lambda = 0;
+  EigenReport rep;
+  double nv = detail::norm(v);
+  require(nv > 0, "power_iteration: start vector must be non-zero");
+  for (std::size_t i = 0; i < n; ++i) v[i] /= nv;
+  while (rep.iterations < max_iterations) {
+    A.apply(v, w);
+    const double lambda_new = detail::dot(v, w);
+    const double wn = detail::norm(w);
+    if (wn == 0.0) break;  // A v = 0
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / wn;
+    rep.iterations++;
+    if (std::abs(lambda_new - lambda) <=
+        tolerance * std::max(1.0, std::abs(lambda_new))) {
+      rep.eigenvalue = lambda_new;
+      rep.converged = true;
+      return rep;
+    }
+    lambda = lambda_new;
+  }
+  rep.eigenvalue = lambda;
+  return rep;
+}
+
+}  // namespace yaspmv::solver

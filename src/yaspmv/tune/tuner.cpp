@@ -1,0 +1,219 @@
+#include "yaspmv/tune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/formats/blocked.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/perf/model.hpp"
+#include "yaspmv/util/rng.hpp"
+#include "yaspmv/util/stopwatch.hpp"
+
+namespace yaspmv::tune {
+
+namespace {
+
+/// Cache key for built formats (the "compiled kernel cache" analog).
+struct FormatKey {
+  index_t bw, bh, slices;
+  int bf_word;
+  bool operator<(const FormatKey& o) const {
+    if (bw != o.bw) return bw < o.bw;
+    if (bh != o.bh) return bh < o.bh;
+    if (slices != o.slices) return slices < o.slices;
+    return bf_word < o.bf_word;
+  }
+};
+
+std::vector<real_t> make_x(index_t cols) {
+  SplitMix64 rng(0x7E57);
+  std::vector<real_t> x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  return x;
+}
+
+bool close(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    if (std::abs(a[i] - b[i]) > 1e-9 * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::pair<index_t, index_t>> pruned_block_dims(
+    const fmt::Coo& a, bool extended) {
+  struct Dim {
+    index_t w, h;
+    std::size_t fp;
+  };
+  const std::vector<index_t> ws =
+      extended ? std::vector<index_t>{1, 2, 4, 8} : std::vector<index_t>{1, 2, 4};
+  const std::vector<index_t> hs = extended
+                                      ? std::vector<index_t>{1, 2, 3, 4, 6, 8}
+                                      : std::vector<index_t>{1, 2, 3, 4};
+  std::vector<Dim> dims;
+  for (index_t w : ws) {
+    for (index_t h : hs) {
+      const std::size_t blocks = fmt::BlockDecomposition::count_blocks(a, w, h);
+      const std::size_t fp =
+          blocks * (static_cast<std::size_t>(w) * static_cast<std::size_t>(h) *
+                        bytes::kValue +
+                    bytes::kShortIndex) +
+          blocks / 8 + 1;
+      dims.push_back({w, h, fp});
+    }
+  }
+  std::sort(dims.begin(), dims.end(),
+            [](const Dim& l, const Dim& r) { return l.fp < r.fp; });
+  dims.resize(std::min<std::size_t>(dims.size(), extended ? 6 : 4));
+  std::vector<std::pair<index_t, index_t>> out;
+  out.reserve(dims.size());
+  for (const auto& d : dims) out.emplace_back(d.w, d.h);
+  return out;
+}
+
+TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
+                const TuneOptions& opt) {
+  require(a.rows > 0 && a.cols > 0, "tune: empty matrix");
+  Stopwatch sw;
+  TuneResult res;
+
+  const auto x = make_x(a.cols);
+  std::vector<real_t> y_ref(static_cast<std::size_t>(a.rows));
+  fmt::Csr::from_coo(a).spmv(x, y_ref);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+
+  // ---- enumerate the Table 1 space ---------------------------------------
+  const auto block_dims = pruned_block_dims(a, opt.extended_blocks);
+  const std::vector<index_t> slice_menu =
+      opt.exhaustive ? std::vector<index_t>{1, 2, 4, 8, 16, 32}
+                     : std::vector<index_t>{1, 4};
+  const std::vector<BitFlagWord> bf_menu =
+      opt.exhaustive
+          ? std::vector<BitFlagWord>{BitFlagWord::kU8, BitFlagWord::kU16,
+                                     BitFlagWord::kU32}
+          : std::vector<BitFlagWord>{BitFlagWord::kU16};
+  const std::vector<int> wg_menu =
+      opt.exhaustive ? std::vector<int>{64, 128, 256, 512}
+                     : std::vector<int>{64, 256};
+  const std::vector<bool> tex_menu =
+      opt.exhaustive ? std::vector<bool>{true, false}
+                     : std::vector<bool>{true};
+  const std::vector<core::Transpose> tr_menu =
+      opt.exhaustive
+          ? std::vector<core::Transpose>{core::Transpose::kOffline,
+                                         core::Transpose::kOnline}
+          : std::vector<core::Transpose>{core::Transpose::kOffline};
+  const std::vector<bool> dcol_menu{false, true};
+  const std::vector<int> s1_reg_menu =
+      opt.exhaustive ? std::vector<int>{8, 16, 24, 32}
+                     : std::vector<int>{16, 32};
+  std::vector<int> s2_tile_menu = opt.exhaustive
+                                      ? std::vector<int>{4, 8, 16, 32}
+                                      : std::vector<int>{8, 16};
+  if (opt.extended_blocks) {
+    s2_tile_menu.push_back(24);
+    s2_tile_menu.push_back(40);  // the paper's Dense observation
+  }
+  const std::vector<int> s2_cache_menu{1, 2};
+
+  std::map<FormatKey, std::shared_ptr<const core::Bccoo>> format_cache;
+
+  auto get_format = [&](const core::FormatConfig& fc) {
+    const FormatKey key{fc.block_w, fc.block_h, fc.slices,
+                        static_cast<int>(fc.bf_word)};
+    auto it = format_cache.find(key);
+    if (it != format_cache.end()) return it->second;
+    auto built =
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(a, fc));
+    format_cache.emplace(key, built);
+    return built;
+  };
+
+  auto evaluate = [&](const core::FormatConfig& fc,
+                      const core::ExecConfig& ec) {
+    try {
+      // The format cache plays the role of the paper's compiled-kernel hash
+      // table: one Bccoo per (block dims, slices) serves every ExecConfig.
+      core::SpmvEngine eng(get_format(fc), ec, dev);
+      auto run = eng.run(x, y);
+      if (opt.verify && !close(y, y_ref)) {
+        throw sim::SimError("tuner: candidate produced wrong results for " +
+                            fc.to_string() + " / " + ec.to_string());
+      }
+      Candidate c;
+      c.format = fc;
+      c.exec = ec;
+      c.gflops = perf::spmv_gflops(dev, run.stats, a.nnz());
+      c.footprint = eng.footprint_bytes();
+      res.evaluated++;
+      res.top.push_back(c);
+      if (c.gflops > res.best.gflops) res.best = c;
+    } catch (const sim::SimError&) {
+      res.skipped++;
+    }
+  };
+
+  for (const auto& [bw, bh] : block_dims) {
+    for (index_t slices : slice_menu) {
+      if (slices > 1 && ceil_div(a.cols, bw) < slices) continue;
+      for (BitFlagWord bfw : bf_menu) {
+        core::FormatConfig fc;
+        fc.block_w = bw;
+        fc.block_h = bh;
+        fc.bf_word = bfw;
+        fc.slices = slices;
+        for (int wg : wg_menu) {
+          for (bool tex : tex_menu) {
+            for (bool dcol : dcol_menu) {
+              core::ExecConfig base;
+              base.workgroup_size = wg;
+              base.use_texture = tex;
+              base.compress_col_delta = dcol;
+              base.workers = opt.workers;
+              // Strategy 1 over the register-size menu (ShM_size = 0 in the
+              // pruned space, per Section 4).
+              for (core::Transpose tr : tr_menu) {
+                for (int reg : s1_reg_menu) {
+                  core::ExecConfig ec = base;
+                  ec.strategy = core::Strategy::kIntermediateSums;
+                  ec.thread_tile = reg;
+                  ec.shm_tile = 0;
+                  ec.transpose = tr;
+                  evaluate(fc, ec);
+                }
+              }
+              // Strategy 2 over tile x cache (offline transpose required).
+              for (int tile : s2_tile_menu) {
+                for (int cm : s2_cache_menu) {
+                  core::ExecConfig ec = base;
+                  ec.strategy = core::Strategy::kResultCache;
+                  ec.thread_tile = tile;
+                  ec.result_cache_multiple = cm;
+                  ec.transpose = core::Transpose::kOffline;
+                  evaluate(fc, ec);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(res.top.begin(), res.top.end(),
+            [](const Candidate& l, const Candidate& r) {
+              return l.gflops > r.gflops;
+            });
+  if (res.top.size() > 8) res.top.resize(8);
+  res.tuning_seconds = sw.elapsed_seconds();
+  require(res.evaluated > 0, "tune: every configuration was rejected");
+  return res;
+}
+
+}  // namespace yaspmv::tune

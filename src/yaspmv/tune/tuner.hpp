@@ -1,0 +1,61 @@
+// Auto-tuning framework (Section 4).
+//
+// Explores the Table 1 parameter space for a given matrix and device and
+// returns the best configuration by modeled execution time.  The paper's
+// accelerations are reproduced in spirit:
+//   * format objects are cached per FormatConfig (the analog of caching
+//     compiled kernels in a hash table),
+//   * the block-dimension space is pruned to the 4 smallest memory
+//     footprints (counted analytically, without materializing the format),
+//   * the pruned mode fixes texture=on, transpose=offline, result cache
+//     multiple in {1,2} and ShM_size=0 for strategy 1 — the same heuristics
+//     as the paper; exhaustive mode sweeps everything for the
+//     pruned-vs-optimal comparison the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "yaspmv/core/config.hpp"
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/sim/device.hpp"
+
+namespace yaspmv::tune {
+
+struct TuneOptions {
+  bool exhaustive = false;  ///< full Table 1 sweep instead of the pruned one
+  bool verify = true;       ///< check every candidate against the reference
+  unsigned workers = 1;     ///< simulator dispatch threads per candidate
+  /// Extension beyond the paper (Section 6 notes Dense loses because the
+  /// block height is capped at 4): widen the block menu to 8x8 and add
+  /// finer thread-tile sizes (the paper observes tile = 40 helps Dense).
+  bool extended_blocks = false;
+};
+
+struct Candidate {
+  core::FormatConfig format;
+  core::ExecConfig exec;
+  double gflops = 0;
+  std::size_t footprint = 0;
+};
+
+struct TuneResult {
+  Candidate best;
+  double tuning_seconds = 0;
+  int evaluated = 0;  ///< configurations actually run
+  int skipped = 0;    ///< rejected (shared memory / register budget / ...)
+  std::vector<Candidate> top;  ///< best few, for the ablation benches
+};
+
+/// Tunes `a` for `dev`.  Throws only on empty/invalid input; candidate
+/// failures (resource overflows) are counted in `skipped`.
+TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
+                const TuneOptions& opt = {});
+
+/// The pruned block-dimension menu: the 4 (block_w, block_h) pairs from
+/// Table 1's menu with the smallest analytic footprint for this matrix
+/// (6 pairs from the widened menu when `extended` is set).
+std::vector<std::pair<index_t, index_t>> pruned_block_dims(
+    const fmt::Coo& a, bool extended = false);
+
+}  // namespace yaspmv::tune

@@ -1,0 +1,54 @@
+// Minimal --key=value command-line parser shared by the bench binaries and
+// the examples (kept dependency-free on purpose).
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace yaspmv {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        auto eq = a.find('=');
+        if (eq == std::string::npos) {
+          kv_[a.substr(2)] = "1";
+        } else {
+          kv_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& def = "") const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace yaspmv

@@ -1,0 +1,113 @@
+// Bit-packing utilities for the BCCOO bit-flag array (Section 2.2 of the
+// paper).  The bit-flag array replaces the blocked row-index array: bit i is
+// 0 when block i is the last non-zero block of its block-row (a "row stop")
+// and 1 otherwise.  The array is stored packed into words whose width is one
+// of the tunable parameters of Table 1 (uchar/ushort/uint).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv {
+
+/// Word widths available for the packed bit-flag array (Table 1: "Data type
+/// for the bit flag array").
+enum class BitFlagWord : std::uint8_t { kU8 = 8, kU16 = 16, kU32 = 32 };
+
+inline std::size_t bits_per_word(BitFlagWord w) {
+  return static_cast<std::size_t>(w);
+}
+
+/// A packed bit array with a configurable logical word size.
+///
+/// Physically the bits live in a uint32 vector (bit i of the array is bit
+/// (i % 32) of word (i / 32)); the logical word size only affects the
+/// reported footprint and the per-thread load granularity modeled by the
+/// performance layer.  Bits are appended MSB-agnostic (LSB-first within each
+/// physical word), which keeps get/set O(1).
+class BitArray {
+ public:
+  BitArray() = default;
+
+  explicit BitArray(std::size_t n, bool fill = false)
+      : n_(n), words_((n + 31) / 32, fill ? ~0u : 0u) {
+    if (fill) clear_tail();
+  }
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 5] >> (i & 31u)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    const std::uint32_t mask = 1u << (i & 31u);
+    if (v) {
+      words_[i >> 5] |= mask;
+    } else {
+      words_[i >> 5] &= ~mask;
+    }
+  }
+
+  void push_back(bool v) {
+    if ((n_ & 31u) == 0) words_.push_back(0);
+    n_++;
+    set(n_ - 1, v);
+  }
+
+  /// Appends `count` copies of `v`.
+  void append(std::size_t count, bool v) {
+    for (std::size_t i = 0; i < count; ++i) push_back(v);
+  }
+
+  /// Number of zero bits (row stops) in [0, end).
+  std::size_t count_zeros_before(std::size_t end) const {
+    std::size_t zeros = 0;
+    std::size_t full_words = end >> 5;
+    for (std::size_t w = 0; w < full_words; ++w) {
+      zeros += 32u - static_cast<unsigned>(__builtin_popcount(words_[w]));
+    }
+    const std::size_t rem = end & 31u;
+    if (rem != 0) {
+      const std::uint32_t mask = (1u << rem) - 1u;
+      zeros += rem - static_cast<unsigned>(
+                         __builtin_popcount(words_[full_words] & mask));
+    }
+    return zeros;
+  }
+
+  std::size_t count_zeros() const { return count_zeros_before(n_); }
+
+  /// True when any bit in [begin, end) is zero.
+  bool has_zero_in(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!get(i)) return true;
+    }
+    return false;
+  }
+
+  /// Footprint in bytes when stored with logical word type `w` (the packed
+  /// length is rounded up to whole logical words, as on the device).
+  std::size_t footprint_bytes(BitFlagWord w) const {
+    const std::size_t bpw = bits_per_word(w);
+    return ceil_div(n_, bpw) * (bpw / 8);
+  }
+
+  const std::vector<std::uint32_t>& words() const { return words_; }
+
+ private:
+  void clear_tail() {
+    const std::size_t rem = n_ & 31u;
+    if (rem != 0 && !words_.empty()) {
+      words_.back() &= (1u << rem) - 1u;
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace yaspmv

@@ -1,0 +1,59 @@
+// Common type aliases and small helpers shared by every yaSpMV module.
+//
+// The paper's GPU kernels operate on 32-bit floats and 32-bit indices; we
+// compute in double precision on the host simulator (so correctness tests can
+// use tight tolerances) while the *footprint accounting* stays parameterized
+// on the on-device element width (4 bytes by default, matching Table 3 of the
+// paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace yaspmv {
+
+/// Row/column index type used across all sparse formats (the paper uses
+/// 32-bit integers for uncompressed index arrays).
+using index_t = std::int32_t;
+
+/// Host-side arithmetic type.  Device footprints are modeled separately; see
+/// `bytes::kValue`.
+using real_t = double;
+
+/// On-device element widths used by the footprint model (Table 3 is computed
+/// with 4-byte values and 4-byte indices).
+namespace bytes {
+inline constexpr std::size_t kValue = 4;       ///< float on device
+inline constexpr std::size_t kIndex = 4;       ///< int   on device
+inline constexpr std::size_t kShortIndex = 2;  ///< unsigned short / short
+}  // namespace bytes
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.  Used for
+/// public-API argument validation (always on, unlike assert).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Integer ceiling division for non-negative operands.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+template <class T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True when `v` fits in a signed 16-bit delta (used by the column-index
+/// compression of Section 2.2; -1 is reserved as the escape sentinel).
+constexpr bool fits_short_delta(std::int64_t v) {
+  return v >= std::numeric_limits<std::int16_t>::min() + 1 &&
+         v <= std::numeric_limits<std::int16_t>::max();
+}
+
+}  // namespace yaspmv

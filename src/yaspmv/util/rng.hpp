@@ -1,0 +1,56 @@
+// Deterministic, seed-stable pseudo-random number generation for the matrix
+// generators and property tests.  We avoid std::mt19937 + distributions in
+// hot paths because libstdc++ distributions are not guaranteed to be
+// reproducible across versions; the generators below are fully specified.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace yaspmv {
+
+/// splitmix64: tiny, high-quality 64-bit generator, used both directly and to
+/// seed derived streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n) for n > 0 (Lemire's multiply-shift).
+  std::uint64_t next_below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Sample from a (discretized) power-law tail: returns k >= 1 with
+  /// P(K >= k) ~ k^(1-alpha), alpha > 1.  Used for web-graph row lengths.
+  std::uint64_t next_powerlaw(double alpha, std::uint64_t cap) {
+    const double u = next_double();
+    const double k = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+    auto v = static_cast<std::uint64_t>(k);
+    if (v < 1) v = 1;
+    if (v > cap) v = cap;
+    return v;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace yaspmv

@@ -1,0 +1,51 @@
+// A small fixed-size worker pool used by the simulator's workgroup
+// dispatcher.  Workgroups are claimed strictly in order (an atomic ticket
+// counter), which mirrors the paper's in-order workgroup-dispatch assumption
+// (Section 3.2.4) and guarantees the adjacent-synchronization chain cannot
+// deadlock: workgroup X is only executed after workgroup X-1 has been
+// *claimed* by some worker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace yaspmv {
+
+/// Runs `body(worker, i)` for i in [0, n) using `workers` OS threads; the
+/// first argument identifies the executing worker in [0, workers).  Indices
+/// are handed out in increasing order.  `workers == 1` (or n == 1)
+/// degenerates to a plain sequential loop on the calling thread, which keeps
+/// unit tests deterministic.
+inline void parallel_for_ordered(
+    std::size_t n, unsigned workers,
+    const std::function<void(unsigned, std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  std::atomic<std::size_t> ticket{0};
+  auto work = [&](unsigned worker) {
+    for (;;) {
+      const std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(worker, i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (auto& t : pool) t.join();
+}
+
+/// Default worker count for pooled dispatch (at least 1).
+inline unsigned default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1u : hc;
+}
+
+}  // namespace yaspmv

@@ -1,0 +1,317 @@
+// Baseline kernel tests: every comparator computes the reference result and
+// reports a sensible memory/divergence profile.
+#include "yaspmv/baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/baselines/clspmv.hpp"
+#include "yaspmv/baselines/coo_cusp.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+fmt::Coo random_matrix(index_t rows, index_t cols, double density,
+                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const auto target = static_cast<std::uint64_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (std::uint64_t i = 0; i < std::max<std::uint64_t>(target, 1); ++i) {
+    ri.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows))));
+    ci.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols))));
+    v.push_back(rng.next_double(-1, 1));
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+struct Fixture {
+  fmt::Coo A;
+  fmt::Csr csr;
+  std::vector<real_t> x;
+  std::vector<real_t> want;
+  sim::DeviceSpec dev = sim::gtx680();
+
+  explicit Fixture(std::uint64_t seed, index_t rows = 200, index_t cols = 160,
+                   double density = 0.04)
+      : A(random_matrix(rows, cols, density, seed)),
+        csr(fmt::Csr::from_coo(A)),
+        x(static_cast<std::size_t>(cols)),
+        want(static_cast<std::size_t>(rows)) {
+    SplitMix64 rng(seed + 1);
+    for (auto& v : x) v = rng.next_double(-1, 1);
+    csr.spmv(x, want);
+  }
+
+  void check(const std::vector<real_t>& y, const std::string& what) const {
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(y[i], want[i], 1e-9 * std::max(1.0, std::abs(want[i])))
+          << what << " row " << i;
+    }
+  }
+};
+
+TEST(Baselines, CsrScalarCorrectAndDivergent) {
+  Fixture f(1);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_csr_scalar(f.csr, f.dev, f.x, y);
+  f.check(y, "csr-scalar");
+  EXPECT_GE(r.stats.divergence_factor(), 1.0);
+  EXPECT_GT(r.stats.global_load_bytes, f.A.nnz() * 8);  // uncoalesced
+  EXPECT_EQ(r.stats.kernel_launches, 1u);
+}
+
+TEST(Baselines, CsrVectorCorrectAndCoalesced) {
+  Fixture f(2);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_csr_vector(f.csr, f.dev, f.x, y);
+  f.check(y, "csr-vector");
+  auto rs = baseline::run_csr_scalar(f.csr, f.dev, f.x, y);
+  EXPECT_LT(r.stats.global_load_bytes, rs.stats.global_load_bytes);
+}
+
+TEST(Baselines, EllCorrect) {
+  Fixture f(3);
+  const auto ell = fmt::Ell::from_csr(f.csr);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_ell(ell, f.dev, f.x, y);
+  f.check(y, "ell");
+  // ELL loads its padding: traffic reflects stored, not real, non-zeros.
+  EXPECT_GE(r.stats.global_load_bytes, ell.nnz_stored() * 8);
+}
+
+TEST(Baselines, SellCorrect) {
+  Fixture f(4);
+  const auto sell = fmt::SEll::from_csr(f.csr, 32);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_sell(sell, f.dev, f.x, y);
+  f.check(y, "sell");
+  const auto ell = fmt::Ell::from_csr(f.csr);
+  std::vector<real_t> y2(f.want.size());
+  auto re = baseline::run_ell(ell, f.dev, f.x, y2);
+  EXPECT_LE(r.stats.global_load_bytes, re.stats.global_load_bytes);
+}
+
+TEST(Baselines, DiaCorrectOnBanded) {
+  // Tridiagonal matrix.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t i = 0; i < 300; ++i) {
+    for (index_t d = -1; d <= 1; ++d) {
+      const index_t c = i + d;
+      if (c >= 0 && c < 300) {
+        ri.push_back(i);
+        ci.push_back(c);
+        v.push_back(static_cast<real_t>(d + 2));
+      }
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(300, 300, std::move(ri),
+                                         std::move(ci), std::move(v));
+  const auto csr = fmt::Csr::from_coo(A);
+  std::vector<real_t> x(300, 1.0), want(300), y(300);
+  csr.spmv(x, want);
+  auto r = baseline::run_dia(fmt::Dia::from_csr(csr), sim::gtx680(), x, y);
+  for (std::size_t i = 0; i < 300; ++i) ASSERT_NEAR(y[i], want[i], 1e-12);
+  EXPECT_GT(r.stats.vector_hit_rate(), 0.8);  // contiguous accesses
+}
+
+TEST(Baselines, HybCorrectTwoLaunches) {
+  Fixture f(5);
+  const auto hyb = fmt::Hyb::from_csr(f.csr);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_hyb(hyb, f.dev, f.x, y);
+  f.check(y, "hyb");
+  EXPECT_EQ(r.stats.kernel_launches, 2u);
+  // Spill pass writes one RMW transaction per spill row.
+  EXPECT_GT(r.stats.global_store_bytes, 0u);
+}
+
+TEST(Baselines, SbellCorrectAndSmallerThanBell) {
+  // Block-structured matrix with varying block-row lengths.
+  Fixture f(20, 300, 300, 0.03);
+  for (auto [bw, bh] : {std::pair<index_t, index_t>{2, 2}, {1, 4}}) {
+    const auto sb = fmt::SBell::from_coo(f.A, bw, bh, 8);
+    std::vector<real_t> y(f.want.size());
+    baseline::run_sbell(sb, f.dev, f.x, y);
+    f.check(y, "sbell");
+    const auto be = fmt::Bell::from_coo(f.A, bw, bh);
+    EXPECT_LE(sb.footprint_bytes(), be.footprint_bytes())
+        << bw << "x" << bh;
+  }
+}
+
+TEST(Baselines, BdiaCorrectAndCompactOnBanded) {
+  // Tridiagonal + a detached far diagonal -> exactly two bands.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t i = 0; i < 400; ++i) {
+    for (index_t d = -1; d <= 1; ++d) {
+      const index_t c = i + d;
+      if (c >= 0 && c < 400) {
+        ri.push_back(i);
+        ci.push_back(c);
+        v.push_back(static_cast<real_t>(d + 2));
+      }
+    }
+    if (i + 100 < 400) {
+      ri.push_back(i);
+      ci.push_back(i + 100);
+      v.push_back(0.5);
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(400, 400, std::move(ri),
+                                         std::move(ci), std::move(v));
+  const auto csr = fmt::Csr::from_coo(A);
+  const auto b = fmt::Bdia::from_csr(csr);
+  EXPECT_EQ(b.num_bands(), 2);
+  EXPECT_EQ(b.band_offset[0], -1);
+  EXPECT_EQ(b.band_width[0], 3);
+  EXPECT_EQ(b.band_offset[1], 100);
+  EXPECT_EQ(b.band_width[1], 1);
+  // One offset per band instead of per diagonal.
+  EXPECT_LT(b.footprint_bytes(), fmt::Dia::from_csr(csr).footprint_bytes() +
+                                     4 * 4);
+  std::vector<real_t> x(400, 1.0), want(400), y(400);
+  csr.spmv(x, want);
+  baseline::run_bdia(b, sim::gtx680(), x, y);
+  for (std::size_t i = 0; i < 400; ++i) ASSERT_NEAR(y[i], want[i], 1e-12);
+}
+
+TEST(Baselines, BdiaMatchesReferenceOnRandom) {
+  Fixture f(21, 150, 150, 0.05);
+  const auto b = fmt::Bdia::from_csr(f.csr);
+  std::vector<real_t> y(f.want.size());
+  baseline::run_bdia(b, f.dev, f.x, y);
+  f.check(y, "bdia random");
+}
+
+TEST(Baselines, BcsrAndBellCorrect) {
+  Fixture f(6);
+  for (auto [bw, bh] : {std::pair<index_t, index_t>{2, 2}, {4, 3}}) {
+    std::vector<real_t> y(f.want.size());
+    baseline::run_bcsr(fmt::Bcsr::from_coo(f.A, bw, bh), f.dev, f.x, y);
+    f.check(y, "bcsr");
+    baseline::run_bell(fmt::Bell::from_coo(f.A, bw, bh), f.dev, f.x, y);
+    f.check(y, "bell");
+  }
+}
+
+class CooTreeShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CooTreeShapes, MatchesReference) {
+  const auto [seed, wgsize] = GetParam();
+  Fixture f(static_cast<std::uint64_t>(seed), 257, 129, 0.05);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_coo_tree(f.A, f.dev, f.x, y, wgsize);
+  f.check(y, "coo-tree");
+  EXPECT_EQ(r.stats.kernel_launches, 2u);  // scan + carry pass
+  EXPECT_GT(r.stats.divergence_factor(), 1.0);  // idle tree lanes
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CooTreeShapes,
+                         ::testing::Combine(::testing::Values(7, 8, 9),
+                                            ::testing::Values(64, 256)));
+
+TEST(Baselines, CooTreeLongRow) {
+  // Single row spanning many workgroups: the serial carry chain must
+  // propagate across every block.
+  std::vector<index_t> ri(5000, 0), ci(5000);
+  std::vector<real_t> v(5000);
+  SplitMix64 rng(10);
+  for (index_t i = 0; i < 5000; ++i) {
+    ci[static_cast<std::size_t>(i)] = i;
+    v[static_cast<std::size_t>(i)] = rng.next_double(-1, 1);
+  }
+  const auto A = fmt::Coo::from_triplets(1, 5000, std::move(ri), std::move(ci),
+                                         std::move(v));
+  std::vector<real_t> x(5000, 1.0), want(1), y(1);
+  A.spmv(x, want);
+  baseline::run_coo_tree(A, sim::gtx680(), x, y, 256);
+  EXPECT_NEAR(y[0], want[0], 1e-9 * std::abs(want[0]));
+}
+
+TEST(Baselines, CooTreeCarryAfterBlockEndingAtRowStop) {
+  // Regression: workgroup 0 ends *exactly* at a row stop (carry out must be
+  // 0), workgroup 1 has no stop, and workgroup 2 consumes the carry for a
+  // segment spanning wg1+wg2.  A tail that wrongly exports the finished
+  // segment sum corrupts row 1.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t c = 0; c < 4; ++c) {  // row 0: exactly one 4-wide workgroup
+    ri.push_back(0);
+    ci.push_back(c);
+    v.push_back(1.0);
+  }
+  for (index_t c = 0; c < 8; ++c) {  // row 1: spans workgroups 1 and 2
+    ri.push_back(1);
+    ci.push_back(c);
+    v.push_back(10.0);
+  }
+  const auto A = fmt::Coo::from_triplets(2, 8, std::move(ri), std::move(ci),
+                                         std::move(v));
+  std::vector<real_t> x(8, 1.0), want(2), y(2);
+  A.spmv(x, want);
+  baseline::run_coo_tree(A, sim::gtx680(), x, y, /*workgroup_size=*/4);
+  EXPECT_NEAR(y[0], want[0], 1e-12);
+  EXPECT_NEAR(y[1], want[1], 1e-12);
+}
+
+TEST(ClSpmv, SinglesAllApplicableAndSorted) {
+  Fixture f(11);
+  std::vector<real_t> y(f.want.size());
+  auto singles = baseline::evaluate_singles(f.A, f.dev, f.x, y);
+  ASSERT_GE(singles.size(), 4u);  // COO, CSR-scalar, CSR-vector, SELL, ...
+  for (std::size_t i = 1; i < singles.size(); ++i) {
+    EXPECT_GE(singles[i - 1].gflops, singles[i].gflops);
+  }
+  f.check(y, "best-single output");
+  for (const auto& s : singles) {
+    EXPECT_GT(s.footprint, 0u) << s.name;
+    EXPECT_GT(s.gflops, 0.0) << s.name;
+  }
+}
+
+TEST(ClSpmv, CocktailAtLeastAsFastAsBestSingle) {
+  Fixture f(12, 400, 300, 0.02);
+  std::vector<real_t> y1(f.want.size()), y2(f.want.size());
+  auto single = baseline::best_single(f.A, f.dev, f.x, y1);
+  auto cocktail = baseline::run_cocktail(f.A, f.dev, f.x, y2);
+  f.check(y2, "cocktail output");
+  EXPECT_GE(cocktail.gflops, single.gflops * 0.999);
+}
+
+TEST(ClSpmv, CusparseProxyCorrect) {
+  Fixture f(13);
+  std::vector<real_t> y(f.want.size());
+  auto r = baseline::run_cusparse(f.A, f.dev, f.x, y);
+  f.check(y, "cusparse proxy");
+  EXPECT_FALSE(r.name.empty());
+}
+
+TEST(ClSpmv, EllFootprintAnalyticNaForPowerLaw) {
+  // A matrix with one enormous row makes ELL inapplicable (Table 3 N/A).
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t c = 0; c < 60000; ++c) {
+    ri.push_back(0);
+    ci.push_back(c);
+    v.push_back(1.0);
+  }
+  for (index_t r = 1; r < 50000; ++r) {
+    ri.push_back(r);
+    ci.push_back(r % 60000);
+    v.push_back(1.0);
+  }
+  const auto A = fmt::Coo::from_triplets(50000, 60000, std::move(ri),
+                                         std::move(ci), std::move(v));
+  EXPECT_EQ(baseline::ell_footprint_analytic(A),
+            std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace yaspmv

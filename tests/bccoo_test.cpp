@@ -1,0 +1,257 @@
+// BCCOO/BCCOO+ format builder tests, anchored on the paper's running example
+// (matrix A, Eq. 1; Figures 1-4) and matrix C (Eq. 2; Figure 6).
+#include "yaspmv/core/bccoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/scan/scan.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+// Matrix A of Eq. 1 with symbolic entries a..p mapped to 1..16.
+//      [ 0 0 a 0 0 0 b c ]
+//      [ 0 0 d e 0 0 f 0 ]
+//      [ 0 0 0 0 g h i j ]
+//      [ k l 0 0 m n o p ]
+fmt::Coo matrix_A() {
+  const double a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8, i = 9,
+               j = 10, k = 11, l = 12, m = 13, n = 14, o = 15, p = 16;
+  std::vector<index_t> ri = {0, 0, 0, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3};
+  std::vector<index_t> ci = {2, 6, 7, 2, 3, 6, 4, 5, 6, 7, 0, 1, 4, 5, 6, 7};
+  std::vector<real_t> v = {a, b, c, d, e, f, g, h, i, j, k, l, m, n, o, p};
+  return fmt::Coo::from_triplets(4, 8, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+std::vector<int> bits_of(const BitArray& b) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < b.size(); ++i) out.push_back(b.get(i) ? 1 : 0);
+  return out;
+}
+
+TEST(Bccoo, Figure3_BccooOfMatrixA) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  const auto m = core::Bccoo::build(matrix_A(), fc);
+
+  EXPECT_EQ(m.num_blocks, 5u);
+  // Figure 3: Bit Flag = [1 0 1 1 0], Col_index = [1 3 0 2 3].
+  EXPECT_EQ(bits_of(m.bit_flags), (std::vector<int>{1, 0, 1, 1, 0}));
+  EXPECT_EQ(m.col_index, (std::vector<index_t>{1, 3, 0, 2, 3}));
+  // Figure 3 value arrays: top rows [a 0 b c 0 0 g h i j],
+  //                        bottom   [d e f 0 k l m n o p].
+  EXPECT_EQ(m.value_rows[0],
+            (std::vector<real_t>{1, 0, 2, 3, 0, 0, 7, 8, 9, 10}));
+  EXPECT_EQ(m.value_rows[1],
+            (std::vector<real_t>{4, 5, 6, 0, 11, 12, 13, 14, 15, 16}));
+  EXPECT_TRUE(m.identity_segments);
+  EXPECT_EQ(m.num_segments(), 2u);
+}
+
+TEST(Bccoo, Figure4_BccooPlusOfMatrixA) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  fc.slices = 2;
+  const auto m = core::Bccoo::build(matrix_A(), fc);
+
+  EXPECT_EQ(m.num_blocks, 5u);
+  // Figure 4(b): Bit Flag = [0 0 0 1 0], Col_index = [1 0 3 2 3] (original
+  // matrix block coordinates).
+  EXPECT_EQ(bits_of(m.bit_flags), (std::vector<int>{0, 0, 0, 1, 0}));
+  EXPECT_EQ(m.col_index, (std::vector<index_t>{1, 0, 3, 2, 3}));
+  // Figure 4(b) value arrays: [a 0 0 0 b c g h i j] / [d e k l f 0 m n o p].
+  EXPECT_EQ(m.value_rows[0],
+            (std::vector<real_t>{1, 0, 0, 0, 2, 3, 7, 8, 9, 10}));
+  EXPECT_EQ(m.value_rows[1],
+            (std::vector<real_t>{4, 5, 11, 12, 6, 0, 13, 14, 15, 16}));
+  // Stacked block-rows: 0 (slice0,brow0), 1 (slice0,brow1), 2 (slice1,brow0),
+  // 3 (slice1,brow1) — all non-empty here.
+  EXPECT_EQ(m.seg_to_block_row, (std::vector<index_t>{0, 1, 2, 3}));
+  EXPECT_EQ(m.stacked_block_rows, 4);
+}
+
+TEST(Bccoo, RowIndexReconstructionIsLossless) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  const auto m = core::Bccoo::build(matrix_A(), fc);
+  const auto rows = scan::row_indices_from_bitflags(m.bit_flags);
+  // Figure 2: Row_index = [0 0 1 1 1].
+  EXPECT_EQ(rows, (std::vector<index_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(Bccoo, ReferenceSpmvMatchesCoo) {
+  const auto A = matrix_A();
+  std::vector<real_t> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<real_t> want(4), got(4);
+  A.spmv(x, want);
+  for (index_t bw : {1, 2, 4}) {
+    for (index_t bh : {1, 2, 3, 4}) {
+      for (index_t slices : {1, 2, 4}) {
+        core::FormatConfig fc;
+        fc.block_w = bw;
+        fc.block_h = bh;
+        fc.slices = slices;
+        if (ceil_div(A.cols, bw) < slices) continue;
+        const auto m = core::Bccoo::build(A, fc);
+        m.spmv_reference(x, got);
+        for (int r = 0; r < 4; ++r) {
+          EXPECT_NEAR(got[static_cast<std::size_t>(r)],
+                      want[static_cast<std::size_t>(r)], 1e-12)
+              << "bw=" << bw << " bh=" << bh << " slices=" << slices;
+        }
+      }
+    }
+  }
+}
+
+TEST(Bccoo, FootprintAccountsAllArrays) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  fc.bf_word = BitFlagWord::kU8;
+  const auto m = core::Bccoo::build(matrix_A(), fc);
+  // 5 blocks: bit flags ceil(5/8)=1 byte; col 5*4=20; values 5*2*2*4=80.
+  EXPECT_EQ(m.footprint_bytes(), 1u + 20u + 80u);
+  // Short col indices: 5*2=10.
+  EXPECT_EQ(m.footprint_bytes(/*short_col=*/true), 1u + 10u + 80u);
+}
+
+TEST(Bccoo, FootprintBeatsCooOnBlockedMatrix) {
+  const auto A = matrix_A();
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  const auto m = core::Bccoo::build(A, fc);
+  EXPECT_LT(m.footprint_bytes(true), A.footprint_bytes());
+}
+
+TEST(Bccoo, EmptyBlockRowsGetSegmentMap) {
+  // Rows 2..5 empty: bit-flag reconstruction alone cannot place results.
+  std::vector<index_t> ri = {0, 1, 6};
+  std::vector<index_t> ci = {0, 1, 2};
+  std::vector<real_t> v = {1, 2, 3};
+  const auto A =
+      fmt::Coo::from_triplets(7, 4, std::move(ri), std::move(ci), std::move(v));
+  core::FormatConfig fc;  // 1x1 blocks
+  const auto m = core::Bccoo::build(A, fc);
+  EXPECT_FALSE(m.identity_segments);
+  EXPECT_EQ(m.seg_to_block_row, (std::vector<index_t>{0, 1, 6}));
+  std::vector<real_t> x = {1, 1, 1, 1}, y(7);
+  m.spmv_reference(x, y);
+  EXPECT_EQ(y, (std::vector<real_t>{1, 2, 0, 0, 0, 0, 3}));
+}
+
+TEST(Bccoo, SingleBlockMatrix) {
+  std::vector<index_t> ri = {0};
+  std::vector<index_t> ci = {0};
+  std::vector<real_t> v = {5};
+  const auto A =
+      fmt::Coo::from_triplets(1, 1, std::move(ri), std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  const auto m = core::Bccoo::build(A, fc);
+  EXPECT_EQ(m.num_blocks, 1u);
+  EXPECT_EQ(bits_of(m.bit_flags), (std::vector<int>{0}));
+}
+
+TEST(Bccoo, RejectsBadConfig) {
+  core::FormatConfig fc;
+  fc.block_w = 0;
+  EXPECT_THROW(core::Bccoo::build(matrix_A(), fc), std::invalid_argument);
+  fc.block_w = 2;
+  fc.slices = 0;
+  EXPECT_THROW(core::Bccoo::build(matrix_A(), fc), std::invalid_argument);
+}
+
+TEST(Bccoo, ToCooIsLosslessForAllConfigs) {
+  const auto A = matrix_A();
+  for (index_t bw : {1, 2, 4}) {
+    for (index_t bh : {1, 2, 3}) {
+      for (index_t slices : {1, 2}) {
+        core::FormatConfig fc;
+        fc.block_w = bw;
+        fc.block_h = bh;
+        fc.slices = slices;
+        if (ceil_div(A.cols, bw) < slices) continue;
+        const auto back = core::Bccoo::build(A, fc).to_coo();
+        ASSERT_EQ(back.row_idx, A.row_idx) << fc.to_string();
+        ASSERT_EQ(back.col_idx, A.col_idx) << fc.to_string();
+        ASSERT_EQ(back.vals, A.vals) << fc.to_string();
+      }
+    }
+  }
+}
+
+TEST(Bccoo, ToCooWithEmptyRowsAndRandomMatrices) {
+  SplitMix64 rng(0x70C0);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto rows = static_cast<index_t>(2 + rng.next_below(80));
+    const auto cols = static_cast<index_t>(2 + rng.next_below(80));
+    std::vector<index_t> ri, ci;
+    std::vector<real_t> v;
+    const auto n = 1 + rng.next_below(200);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ri.push_back(static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(rows))));
+      ci.push_back(static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(cols))));
+      v.push_back(rng.next_double(0.5, 1.5));  // never exactly zero
+    }
+    const auto A = fmt::Coo::from_triplets(rows, cols, std::move(ri),
+                                           std::move(ci), std::move(v));
+    core::FormatConfig fc;
+    fc.block_w = static_cast<index_t>(1 + rng.next_below(4));
+    fc.block_h = static_cast<index_t>(1 + rng.next_below(4));
+    fc.slices = static_cast<index_t>(1 + rng.next_below(3));
+    if (ceil_div(cols, fc.block_w) < fc.slices) fc.slices = 1;
+    const auto back = core::Bccoo::build(A, fc).to_coo();
+    ASSERT_EQ(back.row_idx, A.row_idx) << "iter " << iter;
+    ASSERT_EQ(back.col_idx, A.col_idx) << "iter " << iter;
+    ASSERT_EQ(back.vals, A.vals) << "iter " << iter;
+  }
+}
+
+TEST(Bccoo, RandomMatricesRoundTrip) {
+  SplitMix64 rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto rows = static_cast<index_t>(1 + rng.next_below(60));
+    const auto cols = static_cast<index_t>(1 + rng.next_below(60));
+    const auto n = 1 + rng.next_below(
+                           static_cast<std::uint64_t>(rows) *
+                           static_cast<std::uint64_t>(cols) / 2 + 1);
+    std::vector<index_t> ri, ci;
+    std::vector<real_t> v;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ri.push_back(static_cast<index_t>(rng.next_below(
+          static_cast<std::uint64_t>(rows))));
+      ci.push_back(static_cast<index_t>(rng.next_below(
+          static_cast<std::uint64_t>(cols))));
+      v.push_back(rng.next_double(-1, 1));
+    }
+    const auto A = fmt::Coo::from_triplets(rows, cols, std::move(ri),
+                                           std::move(ci), std::move(v));
+    std::vector<real_t> x(static_cast<std::size_t>(cols));
+    for (auto& xv : x) xv = rng.next_double(-1, 1);
+    std::vector<real_t> want(static_cast<std::size_t>(rows)),
+        got(static_cast<std::size_t>(rows));
+    A.spmv(x, want);
+    core::FormatConfig fc;
+    fc.block_w = static_cast<index_t>(1 + rng.next_below(4));
+    fc.block_h = static_cast<index_t>(1 + rng.next_below(4));
+    fc.slices = static_cast<index_t>(1 + rng.next_below(4));
+    if (ceil_div(cols, fc.block_w) < fc.slices) fc.slices = 1;
+    const auto m = core::Bccoo::build(A, fc);
+    m.spmv_reference(x, got);
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      ASSERT_NEAR(got[r], want[r], 1e-10)
+          << "iter=" << iter << " cfg=" << fc.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,125 @@
+// Binary serialization tests: COO and built-BCCOO round trips, corruption
+// rejection, and SpMV equivalence of a reloaded format.
+#include "yaspmv/io/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+TEST(BinaryIo, CooRoundTrip) {
+  const auto m = gen::powerlaw(300, 280, 5, 2.2, 0.4, 1);
+  std::stringstream buf;
+  io::save_coo(buf, m);
+  const auto back = io::load_coo(buf);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.row_idx, m.row_idx);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.vals, m.vals);  // bitwise: binary format
+}
+
+TEST(BinaryIo, BccooRoundTripAllConfigs) {
+  const auto A = gen::fem_mesh(500, 24, 3, 0.05, 2);
+  for (index_t bw : {1, 2}) {
+    for (index_t bh : {1, 3}) {
+      for (index_t slices : {1, 4}) {
+        core::FormatConfig fc;
+        fc.block_w = bw;
+        fc.block_h = bh;
+        fc.slices = slices;
+        const auto m = core::Bccoo::build(A, fc);
+        std::stringstream buf;
+        io::save_bccoo(buf, m);
+        const auto back = io::load_bccoo(buf);
+        EXPECT_EQ(back.num_blocks, m.num_blocks);
+        EXPECT_EQ(back.col_index, m.col_index);
+        EXPECT_EQ(back.seg_to_block_row, m.seg_to_block_row);
+        EXPECT_EQ(back.identity_segments, m.identity_segments);
+        for (std::size_t i = 0; i < m.bit_flags.size(); ++i) {
+          ASSERT_EQ(back.bit_flags.get(i), m.bit_flags.get(i));
+        }
+        for (std::size_t k = 0; k < m.value_rows.size(); ++k) {
+          ASSERT_EQ(back.value_rows[k], m.value_rows[k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BinaryIo, ReloadedFormatComputesSameSpmv) {
+  const auto A = gen::random_scattered(400, 400, 6, 3);
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  const auto m = core::Bccoo::build(A, fc);
+  std::stringstream buf;
+  io::save_bccoo(buf, m);
+  auto back = std::make_shared<const core::Bccoo>(io::load_bccoo(buf));
+
+  SplitMix64 rng(4);
+  std::vector<real_t> x(400), want(400), got(400);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  fmt::Csr::from_coo(A).spmv(x, want);
+  cpu::CpuSpmv eng(back, 2);
+  eng.spmv(x, got);
+  for (std::size_t i = 0; i < 400; ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-9 * std::max(1.0, std::abs(want[i])));
+  }
+}
+
+TEST(BinaryIo, RejectsCorruption) {
+  const auto A = gen::stencil2d(10, 10, true, 5);
+  const auto m = core::Bccoo::build(A, {});
+  std::stringstream buf;
+  io::save_bccoo(buf, m);
+  std::string bytes = buf.str();
+
+  // Wrong magic.
+  {
+    std::string b2 = bytes;
+    b2[0] = 'X';
+    std::istringstream in(b2);
+    EXPECT_THROW(io::load_bccoo(in), std::runtime_error);
+  }
+  // Truncation.
+  {
+    std::istringstream in(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(io::load_bccoo(in), std::runtime_error);
+  }
+  // COO loader on BCCOO bytes.
+  {
+    std::istringstream in(bytes);
+    EXPECT_THROW(io::load_coo(in), std::runtime_error);
+  }
+}
+
+TEST(BinaryIo, RejectsNonCanonicalCoo) {
+  fmt::Coo m;
+  m.rows = 2;
+  m.cols = 2;
+  m.row_idx = {1, 0};  // unsorted
+  m.col_idx = {0, 0};
+  m.vals = {1.0, 2.0};
+  std::stringstream buf;
+  io::save_coo(buf, m);
+  EXPECT_THROW(io::load_coo(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const auto A = gen::stencil2d(12, 9, false, 6);
+  const std::string path = ::testing::TempDir() + "/yaspmv_bin_test.ycoo";
+  io::save_coo_file(path, A);
+  const auto back = io::load_coo_file(path);
+  EXPECT_EQ(back.nnz(), A.nnz());
+  EXPECT_THROW(io::load_coo_file("/nonexistent/x.ycoo"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace yaspmv

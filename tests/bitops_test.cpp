@@ -1,0 +1,109 @@
+#include "yaspmv/util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+TEST(BitArray, EmptyByDefault) {
+  BitArray b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count_zeros(), 0u);
+}
+
+TEST(BitArray, ConstructFilled) {
+  BitArray ones(70, true);
+  EXPECT_EQ(ones.size(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(ones.get(i));
+  EXPECT_EQ(ones.count_zeros(), 0u);
+
+  BitArray zeros(70, false);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_FALSE(zeros.get(i));
+  EXPECT_EQ(zeros.count_zeros(), 70u);
+}
+
+TEST(BitArray, SetGetRoundTrip) {
+  BitArray b(100, true);
+  b.set(0, false);
+  b.set(31, false);
+  b.set(32, false);
+  b.set(99, false);
+  EXPECT_FALSE(b.get(0));
+  EXPECT_FALSE(b.get(31));
+  EXPECT_FALSE(b.get(32));
+  EXPECT_FALSE(b.get(99));
+  EXPECT_TRUE(b.get(1));
+  EXPECT_TRUE(b.get(33));
+  EXPECT_EQ(b.count_zeros(), 4u);
+}
+
+TEST(BitArray, PushBackAcrossWordBoundary) {
+  BitArray b;
+  for (int i = 0; i < 65; ++i) b.push_back(i % 3 == 0);
+  EXPECT_EQ(b.size(), 65u);
+  for (int i = 0; i < 65; ++i) EXPECT_EQ(b.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitArray, AppendExtends) {
+  BitArray b(5, false);
+  b.append(40, true);
+  EXPECT_EQ(b.size(), 45u);
+  EXPECT_EQ(b.count_zeros(), 5u);
+  for (std::size_t i = 5; i < 45; ++i) EXPECT_TRUE(b.get(i));
+}
+
+TEST(BitArray, CountZerosBeforeMatchesNaive) {
+  SplitMix64 rng(42);
+  BitArray b;
+  std::vector<bool> ref;
+  for (int i = 0; i < 300; ++i) {
+    const bool v = rng.next_double() < 0.7;
+    b.push_back(v);
+    ref.push_back(v);
+  }
+  for (std::size_t end = 0; end <= ref.size(); ++end) {
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < end; ++i) naive += ref[i] ? 0 : 1;
+    EXPECT_EQ(b.count_zeros_before(end), naive) << "end=" << end;
+  }
+}
+
+TEST(BitArray, HasZeroIn) {
+  BitArray b(64, true);
+  b.set(40, false);
+  EXPECT_TRUE(b.has_zero_in(0, 64));
+  EXPECT_TRUE(b.has_zero_in(40, 41));
+  EXPECT_FALSE(b.has_zero_in(0, 40));
+  EXPECT_FALSE(b.has_zero_in(41, 64));
+  EXPECT_FALSE(b.has_zero_in(10, 10));
+}
+
+TEST(BitArray, FootprintRoundsToWordType) {
+  BitArray b(17, true);
+  // 17 bits -> 3 bytes as u8 words, 4 bytes as u16, 4 bytes as u32.
+  EXPECT_EQ(b.footprint_bytes(BitFlagWord::kU8), 3u);
+  EXPECT_EQ(b.footprint_bytes(BitFlagWord::kU16), 4u);
+  EXPECT_EQ(b.footprint_bytes(BitFlagWord::kU32), 4u);
+}
+
+TEST(BitArray, CompressionRatioVsIntRowIndex) {
+  // Section 2.2: "Assuming that integers are used for row indices, a
+  // compression ratio of 32 is achieved".
+  BitArray b(320, true);
+  const std::size_t int_bytes = 320 * 4;
+  EXPECT_EQ(int_bytes / b.footprint_bytes(BitFlagWord::kU32), 32u);
+}
+
+TEST(FitsShortDelta, Boundaries) {
+  EXPECT_TRUE(fits_short_delta(0));
+  EXPECT_TRUE(fits_short_delta(32767));
+  EXPECT_FALSE(fits_short_delta(32768));
+  EXPECT_TRUE(fits_short_delta(-32767));
+  EXPECT_FALSE(fits_short_delta(-32768));
+}
+
+}  // namespace
+}  // namespace yaspmv

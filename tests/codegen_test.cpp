@@ -1,0 +1,214 @@
+// OpenCL code-generation tests: structural checks on the emitted kernels
+// (parameter macros, kernel set per configuration, barrier/sync placement,
+// brace balance, cache-key behavior).
+#include "yaspmv/codegen/opencl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace yaspmv {
+namespace {
+
+using codegen::generate_opencl;
+
+bool contains(const std::string& s, const std::string& sub) {
+  return s.find(sub) != std::string::npos;
+}
+
+int brace_balance(const std::string& s) {
+  int b = 0;
+  for (char c : s) {
+    if (c == '{') ++b;
+    if (c == '}') --b;
+  }
+  return b;
+}
+
+core::FormatConfig fc_default() { return {}; }
+
+TEST(Codegen, ParameterMacrosMatchConfig) {
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 3;
+  fc.bf_word = BitFlagWord::kU8;
+  core::ExecConfig ec;
+  ec.workgroup_size = 128;
+  ec.thread_tile = 12;
+  const auto ks = generate_opencl(fc, ec, sim::gtx680());
+  ASSERT_EQ(ks.size(), 1u);
+  const auto& src = ks[0].source;
+  EXPECT_TRUE(contains(src, "#define WG_SIZE 128"));
+  EXPECT_TRUE(contains(src, "#define THREAD_TILE 12"));
+  EXPECT_TRUE(contains(src, "#define BLOCK_W 2"));
+  EXPECT_TRUE(contains(src, "#define BLOCK_H 3"));
+  EXPECT_TRUE(contains(src, "typedef uchar bitflag_t;"));
+  EXPECT_TRUE(contains(src, "__kernel void bccoo_spmv"));
+}
+
+TEST(Codegen, StrategySelectsKernelBody) {
+  core::ExecConfig s1;
+  s1.strategy = core::Strategy::kIntermediateSums;
+  s1.thread_tile = 16;
+  s1.shm_tile = 4;
+  core::ExecConfig s2;
+  s2.strategy = core::Strategy::kResultCache;
+  s2.result_cache_multiple = 2;
+  const auto k1 = generate_opencl(fc_default(), s1, sim::gtx680());
+  const auto k2 = generate_opencl(fc_default(), s2, sim::gtx680());
+  EXPECT_TRUE(contains(k1[0].source, "#define STRATEGY 1"));
+  EXPECT_TRUE(contains(k1[0].source, "#define SHM_TILE 4"));
+  EXPECT_TRUE(contains(k1[0].source, "inter_reg"));
+  EXPECT_TRUE(contains(k2[0].source, "#define STRATEGY 2"));
+  EXPECT_TRUE(contains(k2[0].source, "RESULT_CACHE_SIZE (2 * WG_SIZE)"));
+  EXPECT_TRUE(contains(k2[0].source, "__local float cache"));
+  EXPECT_FALSE(contains(k2[0].source, "inter_reg"));
+}
+
+TEST(Codegen, AdjacentSyncEmitsSpinChainSingleKernel) {
+  core::ExecConfig ec;
+  ec.adjacent_sync = true;
+  const auto ks = generate_opencl(fc_default(), ec, sim::gtx680());
+  ASSERT_EQ(ks.size(), 1u);  // the paper's single-kernel claim
+  EXPECT_TRUE(contains(ks[0].source, "grp_ready[wid - 1] == 0"));
+  EXPECT_TRUE(contains(ks[0].source, "mem_fence(CLK_GLOBAL_MEM_FENCE)"));
+}
+
+TEST(Codegen, GlobalSyncEmitsCarryKernel) {
+  core::ExecConfig ec;
+  ec.adjacent_sync = false;
+  const auto ks = generate_opencl(fc_default(), ec, sim::gtx680());
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[1].name, "bccoo_carry");
+  EXPECT_TRUE(contains(ks[0].source, "wg_tails"));
+  EXPECT_FALSE(contains(ks[0].source, "grp_ready"));
+}
+
+TEST(Codegen, BccooPlusEmitsCombineKernel) {
+  core::FormatConfig fc;
+  fc.slices = 8;
+  const auto ks = generate_opencl(fc, {}, sim::gtx680());
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[1].name, "bccoo_combine");
+  EXPECT_TRUE(contains(ks[1].source, "#define SLICES 8"));
+}
+
+TEST(Codegen, FineGrainFlagsToggleMacros) {
+  core::ExecConfig on;
+  on.skip_scan_opt = true;
+  on.short_col_index = true;
+  core::ExecConfig off;
+  off.skip_scan_opt = false;
+  off.short_col_index = false;
+  off.compress_col_delta = true;
+  const auto a = generate_opencl(fc_default(), on, sim::gtx680());
+  const auto b = generate_opencl(fc_default(), off, sim::gtx680());
+  EXPECT_TRUE(contains(a[0].source, "#define SKIP_SCAN_OPT 1"));
+  EXPECT_TRUE(contains(a[0].source, "#define SHORT_COL_INDEX 1"));
+  EXPECT_FALSE(contains(b[0].source, "#define SKIP_SCAN_OPT"));
+  EXPECT_TRUE(contains(b[0].source, "#define DELTA_COL_INDEX 1"));
+}
+
+TEST(Codegen, LogicalIdsUseAtomicCounter) {
+  core::ExecConfig ec;
+  ec.logical_ids = true;
+  const auto ks = generate_opencl(fc_default(), ec, sim::gtx680());
+  EXPECT_TRUE(contains(ks[0].source, "atomic_add(logical_counter, 1)"));
+}
+
+TEST(Codegen, EveryKernelIsBraceBalanced) {
+  for (auto strat : {core::Strategy::kIntermediateSums,
+                     core::Strategy::kResultCache}) {
+    for (bool adj : {true, false}) {
+      for (index_t slices : {1, 4}) {
+        core::FormatConfig fc;
+        fc.slices = slices;
+        core::ExecConfig ec;
+        ec.strategy = strat;
+        ec.adjacent_sync = adj;
+        for (const auto& k : generate_opencl(fc, ec, sim::gtx480())) {
+          EXPECT_EQ(brace_balance(k.source), 0) << k.name;
+          EXPECT_TRUE(contains(k.source, "__kernel void " + k.name))
+              << k.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(Codegen, RejectsInvalidCombination) {
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kResultCache;
+  ec.transpose = core::Transpose::kOnline;
+  EXPECT_THROW(generate_opencl(fc_default(), ec, sim::gtx680()),
+               std::invalid_argument);
+}
+
+TEST(Codegen, CacheKeyDistinguishesConfigs) {
+  core::ExecConfig a;
+  core::ExecConfig b;
+  b.thread_tile = a.thread_tile + 8;
+  core::ExecConfig c;
+  c.adjacent_sync = false;
+  EXPECT_EQ(codegen::cache_key(fc_default(), a),
+            codegen::cache_key(fc_default(), a));
+  EXPECT_NE(codegen::cache_key(fc_default(), a),
+            codegen::cache_key(fc_default(), b));
+  EXPECT_NE(codegen::cache_key(fc_default(), a),
+            codegen::cache_key(fc_default(), c));
+  core::FormatConfig fc2;
+  fc2.block_w = 4;
+  EXPECT_NE(codegen::cache_key(fc_default(), a), codegen::cache_key(fc2, a));
+}
+
+TEST(Codegen, CudaTranslationRemovesOpenClTokens) {
+  for (auto strat : {core::Strategy::kIntermediateSums,
+                     core::Strategy::kResultCache}) {
+    for (bool adj : {true, false}) {
+      core::FormatConfig fc;
+      fc.slices = 2;
+      core::ExecConfig ec;
+      ec.strategy = strat;
+      ec.adjacent_sync = adj;
+      ec.logical_ids = true;
+      const auto ks = codegen::generate_cuda(fc, ec, sim::gtx680());
+      for (const auto& k : ks) {
+        EXPECT_EQ(brace_balance(k.source), 0) << k.name;
+        EXPECT_FALSE(contains(k.source, "__kernel")) << k.name;
+        EXPECT_FALSE(contains(k.source, "__global ")) << k.name;
+        EXPECT_FALSE(contains(k.source, "__local ")) << k.name;
+        EXPECT_FALSE(contains(k.source, "CLK_LOCAL_MEM_FENCE")) << k.name;
+        EXPECT_FALSE(contains(k.source, "get_local_id")) << k.name;
+        EXPECT_FALSE(contains(k.source, "get_group_id")) << k.name;
+        EXPECT_FALSE(contains(k.source, "get_global_id")) << k.name;
+        EXPECT_TRUE(contains(k.source, "extern \"C\" __global__ void " +
+                                           k.name))
+            << k.name;
+      }
+      // The main kernel keeps its barrier structure.
+      EXPECT_TRUE(contains(ks[0].source, "__syncthreads()"));
+      EXPECT_TRUE(contains(ks[0].source, "__shared__ float lps"));
+      EXPECT_TRUE(contains(ks[0].source, "atomicAdd(logical_counter, 1)"));
+      if (adj) {
+        EXPECT_TRUE(contains(ks[0].source, "__threadfence()"));
+      }
+    }
+  }
+}
+
+TEST(Codegen, CudaTranslationIsTokenExact) {
+  EXPECT_EQ(codegen::opencl_to_cuda("__kernel void f() { barrier(CLK_LOCAL_"
+                                    "MEM_FENCE); }"),
+            "// CUDA translation of the generated OpenCL kernel.\n"
+            "typedef unsigned char uchar;\n"
+            "typedef unsigned short ushort;\n"
+            "typedef unsigned int uint;\n"
+            "extern \"C\" __global__ void f() { __syncthreads(); }");
+}
+
+TEST(Codegen, DeterministicOutput) {
+  const auto a = generate_opencl(fc_default(), {}, sim::gtx680());
+  const auto b = generate_opencl(fc_default(), {}, sim::gtx680());
+  EXPECT_EQ(a[0].source, b[0].source);
+}
+
+}  // namespace
+}  // namespace yaspmv

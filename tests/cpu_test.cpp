@@ -1,0 +1,203 @@
+// Native CPU-parallel backend tests: correctness across thread counts,
+// chunk-boundary segment handling, determinism, and the parallel CSR
+// baseline.
+#include "yaspmv/cpu/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+std::shared_ptr<const core::Bccoo> build(const fmt::Coo& A,
+                                         core::FormatConfig fc = {}) {
+  return std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc));
+}
+
+void expect_matches(const fmt::Coo& A, core::FormatConfig fc,
+                    unsigned threads, const std::string& what) {
+  SplitMix64 rng(0xC0FFEE);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> want(static_cast<std::size_t>(A.rows)),
+      got(static_cast<std::size_t>(A.rows));
+  fmt::Csr::from_coo(A).spmv(x, want);
+  cpu::CpuSpmv eng(build(A, fc), threads);
+  eng.spmv(x, got);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-9 * std::max(1.0, std::abs(want[i])))
+        << what << " row " << i;
+  }
+}
+
+class CpuThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CpuThreads, MatchesReferenceAcrossGenerators) {
+  const unsigned threads = GetParam();
+  expect_matches(gen::stencil2d(20, 20, false, 1), {}, threads, "stencil");
+  expect_matches(gen::powerlaw(800, 800, 5, 2.2, 0.4, 2), {}, threads,
+                 "powerlaw");
+  expect_matches(gen::fem_mesh(600, 30, 3, 0.05, 3), {}, threads, "fem");
+  core::FormatConfig blocked;
+  blocked.block_w = 2;
+  blocked.block_h = 2;
+  expect_matches(gen::fem_mesh(600, 30, 3, 0.05, 4), blocked, threads,
+                 "fem 2x2");
+  core::FormatConfig plus;
+  plus.slices = 4;
+  expect_matches(gen::random_scattered(700, 700, 5, 5), plus, threads,
+                 "bccoo+");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CpuThreads,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(Cpu, LongSegmentSpanningManyChunks) {
+  // One dense row: the segment spans every chunk; only the serial fix-up
+  // pass can produce the result.
+  std::vector<index_t> ri(6000, 0), ci(6000);
+  std::vector<real_t> v(6000);
+  SplitMix64 rng(7);
+  for (index_t i = 0; i < 6000; ++i) {
+    ci[static_cast<std::size_t>(i)] = i;
+    v[static_cast<std::size_t>(i)] = rng.next_double(-1, 1);
+  }
+  const auto A = fmt::Coo::from_triplets(1, 6000, std::move(ri), std::move(ci),
+                                         std::move(v));
+  expect_matches(A, {}, 8, "long row");
+}
+
+TEST(Cpu, ChunkEndingExactlyAtRowStop) {
+  // Carefully sized rows so chunk boundaries coincide with row stops
+  // (regression twin of the GPU-side carry bug).
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  index_t col = 0;
+  for (index_t r = 0; r < 16; ++r) {
+    for (index_t k = 0; k < 8; ++k) {  // 8 nnz per row, 128 total
+      ri.push_back(r);
+      ci.push_back(col++ % 64);
+      v.push_back(1.0 + r);
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(16, 64, std::move(ri), std::move(ci),
+                                         std::move(v));
+  for (unsigned t : {1u, 2u, 4u, 16u}) {
+    expect_matches(A, {}, t, "boundary stop t=" + std::to_string(t));
+  }
+}
+
+TEST(Cpu, DeterministicAcrossRuns) {
+  const auto A = gen::powerlaw(1000, 1000, 6, 2.2, 0.4, 11);
+  cpu::CpuSpmv eng(build(A), 4);
+  SplitMix64 rng(1);
+  std::vector<real_t> x(1000);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y1(1000), y2(1000);
+  eng.spmv(x, y1);
+  eng.spmv(x, y2);
+  EXPECT_EQ(y1, y2);  // bitwise: fixed summation order
+}
+
+TEST(Cpu, EmptyRowsProduceZero) {
+  const auto A = fmt::Coo::from_triplets(10, 4, {0, 9}, {1, 2}, {3.0, 4.0});
+  std::vector<real_t> x = {1, 1, 1, 1}, y(10, -1.0);
+  cpu::CpuSpmv eng(build(A), 2);
+  eng.spmv(x, y);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[9], 4.0);
+  for (int r = 1; r < 9; ++r) EXPECT_EQ(y[static_cast<std::size_t>(r)], 0.0);
+}
+
+TEST(Cpu, RejectsTallBlocks) {
+  core::FormatConfig fc;
+  fc.block_h = 9;  // beyond even the extended menu
+  const auto A = fmt::Coo::from_triplets(10, 10, {0}, {0}, {1.0});
+  EXPECT_THROW(cpu::CpuSpmv(build(A, fc)), std::invalid_argument);
+  fc.block_h = 8;
+  EXPECT_NO_THROW(cpu::CpuSpmv(build(A, fc)));
+}
+
+TEST(Cpu, RejectsWrongVectorSizes) {
+  const auto A = fmt::Coo::from_triplets(4, 4, {0}, {0}, {1.0});
+  cpu::CpuSpmv eng(build(A));
+  std::vector<real_t> x(3), y(4);
+  EXPECT_THROW(eng.spmv(x, y), std::invalid_argument);
+}
+
+class CpuSpmmTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CpuSpmmTest, MatchesPerVectorReference) {
+  const auto [k, threads] = GetParam();
+  const auto A = gen::powerlaw(500, 450, 5, 2.3, 0.4, 21);
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(static_cast<std::uint64_t>(k * 131 + threads));
+  const auto kz = static_cast<std::size_t>(k);
+  std::vector<real_t> X(450 * kz), Y(500 * kz), want(500);
+  for (auto& v : X) v = rng.next_double(-1, 1);
+  cpu::CpuSpmm eng(build(A), static_cast<unsigned>(threads));
+  eng.spmm(X, Y, k);
+  for (std::size_t j = 0; j < kz; ++j) {
+    csr.spmv(std::span<const real_t>(X).subspan(j * 450, 450), want);
+    for (std::size_t r = 0; r < 500; ++r) {
+      ASSERT_NEAR(Y[j * 500 + r], want[r],
+                  1e-9 * std::max(1.0, std::abs(want[r])))
+          << "k=" << k << " j=" << j << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Panels, CpuSpmmTest,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4)));
+
+TEST(Cpu, SpmmBlockedFallback) {
+  const auto A = gen::fem_mesh(300, 18, 3, 0.05, 22);
+  const auto csr = fmt::Csr::from_coo(A);
+  core::FormatConfig fc;
+  fc.block_w = 3;
+  fc.block_h = 3;
+  const auto n = static_cast<std::size_t>(A.rows);
+  SplitMix64 rng(23);
+  std::vector<real_t> X(n * 2), Y(n * 2), want(n);
+  for (auto& v : X) v = rng.next_double(-1, 1);
+  cpu::CpuSpmm eng(build(A, fc), 2);
+  eng.spmm(X, Y, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    csr.spmv(std::span<const real_t>(X).subspan(j * n, n), want);
+    for (std::size_t r = 0; r < n; ++r) {
+      ASSERT_NEAR(Y[j * n + r], want[r],
+                  1e-9 * std::max(1.0, std::abs(want[r])));
+    }
+  }
+}
+
+TEST(Cpu, SpmmRejectsBadPanel) {
+  const auto A = fmt::Coo::from_triplets(4, 4, {0}, {0}, {1.0});
+  cpu::CpuSpmm eng(build(A));
+  std::vector<real_t> X(8), Y(7);
+  EXPECT_THROW(eng.spmm(X, Y, 2), std::invalid_argument);
+  EXPECT_THROW(eng.spmm(X, Y, 0), std::invalid_argument);
+}
+
+TEST(Cpu, CsrParallelMatchesSerial) {
+  const auto A = gen::quantum_chem(800, 25, 9);
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(2);
+  std::vector<real_t> x(800);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> want(800), got(800);
+  csr.spmv(x, want);
+  for (unsigned t : {1u, 2u, 7u}) {
+    cpu::spmv_csr_parallel(csr, x, got, t);
+    for (std::size_t i = 0; i < 800; ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-12) << "threads=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,342 @@
+// End-to-end tests of the simulated SpMV pipeline (SpmvEngine): every
+// combination of strategy, synchronization mode, transpose, compression and
+// tile shape must reproduce the serial CSR reference exactly.
+#include "yaspmv/core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+fmt::Coo random_matrix(index_t rows, index_t cols, double density,
+                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const auto target = static_cast<std::uint64_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (std::uint64_t i = 0; i < std::max<std::uint64_t>(target, 1); ++i) {
+    ri.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows))));
+    ci.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols))));
+    v.push_back(rng.next_double(-1, 1));
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+void expect_engine_matches(const fmt::Coo& A, const core::FormatConfig& fc,
+                           const core::ExecConfig& ec,
+                           const std::string& what) {
+  SplitMix64 rng(0xBEEF);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> want(static_cast<std::size_t>(A.rows)),
+      got(static_cast<std::size_t>(A.rows));
+  fmt::Csr::from_coo(A).spmv(x, want);
+  core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+  eng.run(x, got);
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    ASSERT_NEAR(got[r], want[r], 1e-9 * std::max(1.0, std::abs(want[r])))
+        << what << " row " << r;
+  }
+}
+
+TEST(Engine, Strategy1Basic) {
+  const auto A = random_matrix(100, 80, 0.05, 1);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kIntermediateSums;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 4;
+  expect_engine_matches(A, fc, ec, "s1 basic");
+}
+
+TEST(Engine, Strategy2Basic) {
+  const auto A = random_matrix(100, 80, 0.05, 2);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kResultCache;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 4;
+  expect_engine_matches(A, fc, ec, "s2 basic");
+}
+
+TEST(Engine, GlobalSyncMatchesAdjacentSync) {
+  const auto A = random_matrix(300, 120, 0.02, 3);
+  core::FormatConfig fc;
+  for (auto strat : {core::Strategy::kIntermediateSums,
+                     core::Strategy::kResultCache}) {
+    core::ExecConfig ec;
+    ec.strategy = strat;
+    ec.workgroup_size = 64;
+    ec.thread_tile = 2;
+    ec.adjacent_sync = false;  // two-kernel carry propagation
+    expect_engine_matches(A, fc, ec, "global sync");
+    ec.adjacent_sync = true;
+    expect_engine_matches(A, fc, ec, "adjacent sync");
+  }
+}
+
+TEST(Engine, LongRowsSpanningManyWorkgroups) {
+  // One row with thousands of non-zeros: its segment spans several
+  // workgroups, exercising the full adjacent-sync chain.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  SplitMix64 rng(4);
+  for (index_t c = 0; c < 3000; ++c) {
+    ri.push_back(1);
+    ci.push_back(c);
+    v.push_back(rng.next_double(-1, 1));
+  }
+  ri.push_back(0);
+  ci.push_back(5);
+  v.push_back(2.5);
+  ri.push_back(2);
+  ci.push_back(7);
+  v.push_back(-1.5);
+  const auto A = fmt::Coo::from_triplets(3, 3000, std::move(ri),
+                                         std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  for (auto strat : {core::Strategy::kIntermediateSums,
+                     core::Strategy::kResultCache}) {
+    core::ExecConfig ec;
+    ec.strategy = strat;
+    ec.workgroup_size = 64;
+    ec.thread_tile = 4;
+    expect_engine_matches(A, fc, ec, "long row");
+  }
+}
+
+TEST(Engine, WorkgroupsWithoutRowStops) {
+  // Dense single row -> every interior workgroup has zero row stops and must
+  // chain its sum through Grp_sum.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t c = 0; c < 2048; ++c) {
+    ri.push_back(0);
+    ci.push_back(c);
+    v.push_back(1.0);
+  }
+  const auto A = fmt::Coo::from_triplets(1, 2048, std::move(ri),
+                                         std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 2;
+  expect_engine_matches(A, fc, ec, "no-stop workgroups");
+}
+
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(EngineSweep, MatchesReference) {
+  const auto [bw, bh, slices, wg, tile] = GetParam();
+  const auto A = random_matrix(257, 193, 0.03, 42);
+  core::FormatConfig fc;
+  fc.block_w = bw;
+  fc.block_h = bh;
+  fc.slices = slices;
+  if (ceil_div<index_t>(A.cols, bw) < slices) GTEST_SKIP();
+  for (auto strat : {core::Strategy::kIntermediateSums,
+                     core::Strategy::kResultCache}) {
+    core::ExecConfig ec;
+    ec.strategy = strat;
+    ec.workgroup_size = wg;
+    ec.thread_tile = tile;
+    expect_engine_matches(A, fc, ec,
+                          "sweep " + fc.to_string() + " " + ec.to_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),    // block_w
+                       ::testing::Values(1, 2, 3),    // block_h
+                       ::testing::Values(1, 4),       // slices
+                       ::testing::Values(64, 128),    // workgroup size
+                       ::testing::Values(1, 3, 8)));  // thread tile
+
+TEST(Engine, OnlineTransposeStrategy1) {
+  const auto A = random_matrix(200, 150, 0.04, 5);
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kIntermediateSums;
+  ec.transpose = core::Transpose::kOnline;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 4;
+  expect_engine_matches(A, fc, ec, "online transpose");
+}
+
+TEST(Engine, OnlineTransposeRejectedForStrategy2) {
+  const auto A = random_matrix(50, 50, 0.1, 6);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kResultCache;
+  ec.transpose = core::Transpose::kOnline;
+  EXPECT_THROW(core::SpmvEngine(A, fc, ec, sim::gtx680()),
+               std::invalid_argument);
+}
+
+TEST(Engine, ColumnDeltaCompression) {
+  const auto A = random_matrix(150, 40000, 0.0005, 7);  // wide: big deltas
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.compress_col_delta = true;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 4;
+  expect_engine_matches(A, fc, ec, "delta compression");
+}
+
+TEST(Engine, ShortColumnIndexDisabledForWideMatrix) {
+  const auto A = random_matrix(20, 70000, 0.0005, 8);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.short_col_index = true;  // must be ignored: block_cols > 65535
+  core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+  EXPECT_FALSE(eng.plan().col_u16_valid);
+  expect_engine_matches(A, fc, ec, "wide matrix");
+}
+
+TEST(Engine, ResultCacheOverflowSpillsToGlobal) {
+  // Diagonal matrix: one row stop per block -> many more segments per
+  // workgroup than cache entries with multiple=1 and a big tile.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t i = 0; i < 4096; ++i) {
+    ri.push_back(i);
+    ci.push_back(i);
+    v.push_back(static_cast<real_t>(i + 1));
+  }
+  const auto A = fmt::Coo::from_triplets(4096, 4096, std::move(ri),
+                                         std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.strategy = core::Strategy::kResultCache;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 8;            // 512 stops per workgroup
+  ec.result_cache_multiple = 1;  // only 64 cache entries
+  expect_engine_matches(A, fc, ec, "cache overflow");
+}
+
+TEST(Engine, FineGrainOptsOffStillCorrect) {
+  const auto A = random_matrix(300, 300, 0.02, 9);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.skip_scan_opt = false;
+  ec.short_col_index = false;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 4;
+  expect_engine_matches(A, fc, ec, "fine-grain off");
+}
+
+TEST(Engine, PooledDispatchMatches) {
+  const auto A = random_matrix(500, 400, 0.02, 10);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.workers = 4;  // exercises the real atomic adjacent-sync chain
+  ec.workgroup_size = 64;
+  ec.thread_tile = 2;
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_engine_matches(A, fc, ec, "pooled rep " + std::to_string(rep));
+  }
+}
+
+TEST(Engine, LogicalWorkgroupIdsMatch) {
+  const auto A = random_matrix(200, 200, 0.03, 11);
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  ec.logical_ids = true;
+  expect_engine_matches(A, fc, ec, "logical ids");
+}
+
+TEST(Engine, EmptyRowsHandled) {
+  std::vector<index_t> ri = {0, 500};
+  std::vector<index_t> ci = {3, 4};
+  std::vector<real_t> v = {2.0, 3.0};
+  const auto A = fmt::Coo::from_triplets(501, 10, std::move(ri),
+                                         std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  core::ExecConfig ec;
+  expect_engine_matches(A, fc, ec, "empty rows");
+}
+
+TEST(Engine, RejectsWrongVectorSizes) {
+  const auto A = random_matrix(10, 10, 0.3, 12);
+  core::SpmvEngine eng(A, {}, {}, sim::gtx680());
+  std::vector<real_t> x(9), y(10);
+  EXPECT_THROW(eng.run(x, y), std::invalid_argument);
+}
+
+TEST(Engine, FootprintIncludesAuxiliaryInfo) {
+  const auto A = random_matrix(100, 100, 0.05, 13);
+  core::SpmvEngine eng(A, {}, {}, sim::gtx680());
+  EXPECT_GT(eng.footprint_bytes(),
+            eng.format().footprint_bytes(true, false, 0));
+}
+
+TEST(Engine, ReusableAcrossRunsAndVectors) {
+  // One engine, many SpMVs with different x (the iterative-solver usage
+  // pattern): no state may leak between runs.
+  const auto A = random_matrix(150, 150, 0.04, 77);
+  core::FormatConfig fc;
+  fc.slices = 4;  // exercises the zero-init + combine path repeatedly
+  core::SpmvEngine eng(A, fc, {}, sim::gtx680());
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(78);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<real_t> x(150), want(150), got(150);
+    for (auto& v : x) v = rng.next_double(-1, 1);
+    csr.spmv(x, want);
+    eng.run(x, got);
+    for (std::size_t r = 0; r < 150; ++r) {
+      ASSERT_NEAR(got[r], want[r], 1e-9 * std::max(1.0, std::abs(want[r])))
+          << "rep " << rep;
+    }
+  }
+}
+
+TEST(Engine, Gtx480DeviceModelAlsoCorrect) {
+  const auto A = random_matrix(200, 180, 0.03, 79);
+  SplitMix64 rng(80);
+  std::vector<real_t> x(180), want(200), got(200);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  fmt::Csr::from_coo(A).spmv(x, want);
+  core::SpmvEngine eng(A, {}, {}, sim::gtx480());
+  eng.run(x, got);
+  for (std::size_t r = 0; r < 200; ++r) {
+    ASSERT_NEAR(got[r], want[r], 1e-9 * std::max(1.0, std::abs(want[r])));
+  }
+}
+
+TEST(Engine, LaunchCountMatchesConfiguration) {
+  const auto A = random_matrix(100, 100, 0.05, 14);
+  SplitMix64 rng(1);
+  std::vector<real_t> x(100), y(100);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  {
+    core::SpmvEngine eng(A, {}, {}, sim::gtx680());
+    EXPECT_EQ(eng.run(x, y).launches, 1);  // single-kernel claim (Section 3)
+  }
+  {
+    core::ExecConfig ec;
+    ec.adjacent_sync = false;
+    core::SpmvEngine eng(A, {}, ec, sim::gtx680());
+    EXPECT_EQ(eng.run(x, y).launches, 2);
+  }
+  {
+    core::FormatConfig fc;
+    fc.slices = 4;
+    core::SpmvEngine eng(A, fc, {}, sim::gtx680());
+    EXPECT_EQ(eng.run(x, y).launches, 2);  // main + combine
+  }
+}
+
+}  // namespace
+}  // namespace yaspmv

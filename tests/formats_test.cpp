@@ -1,0 +1,316 @@
+// Baseline sparse-format tests: construction, round trips, SpMV correctness
+// and exact footprint accounting.
+#include <gtest/gtest.h>
+
+#include "yaspmv/formats/bdia.hpp"
+#include "yaspmv/formats/blocked.hpp"
+#include "yaspmv/formats/coo.hpp"
+#include "yaspmv/formats/sbell.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/dia.hpp"
+#include "yaspmv/formats/ell.hpp"
+#include "yaspmv/formats/hyb.hpp"
+#include "yaspmv/formats/sell.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+fmt::Coo random_matrix(index_t rows, index_t cols, double density,
+                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const auto target = static_cast<std::uint64_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (std::uint64_t i = 0; i < std::max<std::uint64_t>(target, 1); ++i) {
+    ri.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows))));
+    ci.push_back(
+        static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols))));
+    v.push_back(rng.next_double(-1, 1));
+  }
+  return fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+std::vector<real_t> reference_y(const fmt::Coo& A,
+                                const std::vector<real_t>& x) {
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  A.spmv(x, y);
+  return y;
+}
+
+// --- COO --------------------------------------------------------------------
+
+TEST(Coo, FromTripletsSortsAndDeduplicates) {
+  std::vector<index_t> ri = {1, 0, 1, 0};
+  std::vector<index_t> ci = {1, 1, 1, 0};
+  std::vector<real_t> v = {2, 3, 4, 5};
+  const auto m =
+      fmt::Coo::from_triplets(2, 2, std::move(ri), std::move(ci), std::move(v));
+  EXPECT_TRUE(m.is_canonical());
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row_idx, (std::vector<index_t>{0, 0, 1}));
+  EXPECT_EQ(m.col_idx, (std::vector<index_t>{0, 1, 1}));
+  EXPECT_EQ(m.vals, (std::vector<real_t>{5, 3, 6}));  // duplicates summed
+}
+
+TEST(Coo, DroppedCancellation) {
+  std::vector<index_t> ri = {0, 0};
+  std::vector<index_t> ci = {0, 0};
+  std::vector<real_t> v = {1.0, -1.0};
+  const auto m =
+      fmt::Coo::from_triplets(1, 1, std::move(ri), std::move(ci), std::move(v));
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(Coo, RejectsOutOfRange) {
+  EXPECT_THROW(fmt::Coo::from_triplets(2, 2, {2}, {0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fmt::Coo::from_triplets(2, 2, {0}, {-1}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Coo, FootprintIsTwelveBytesPerNonZero) {
+  const auto m = random_matrix(50, 50, 0.1, 1);
+  EXPECT_EQ(m.footprint_bytes(), m.nnz() * 12u);
+}
+
+// --- CSR --------------------------------------------------------------------
+
+TEST(Csr, RoundTripThroughCoo) {
+  const auto A = random_matrix(64, 48, 0.07, 2);
+  const auto csr = fmt::Csr::from_coo(A);
+  const auto back = csr.to_coo();
+  EXPECT_EQ(back.row_idx, A.row_idx);
+  EXPECT_EQ(back.col_idx, A.col_idx);
+  EXPECT_EQ(back.vals, A.vals);
+}
+
+TEST(Csr, SpmvMatchesCoo) {
+  const auto A = random_matrix(80, 70, 0.05, 3);
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(3);
+  std::vector<real_t> x(70);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(80);
+  csr.spmv(x, y);
+  const auto want = reference_y(A, x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], want[i], 1e-12);
+}
+
+TEST(Csr, RowLenAndMax) {
+  const auto A = fmt::Coo::from_triplets(3, 5, {0, 0, 2}, {0, 4, 1},
+                                         {1.0, 2.0, 3.0});
+  const auto csr = fmt::Csr::from_coo(A);
+  EXPECT_EQ(csr.row_len(0), 2);
+  EXPECT_EQ(csr.row_len(1), 0);
+  EXPECT_EQ(csr.row_len(2), 1);
+  EXPECT_EQ(csr.max_row_len(), 2);
+}
+
+// --- every format agrees with the reference --------------------------------
+
+TEST(Formats, AllSpmvAgree) {
+  const auto A = random_matrix(120, 90, 0.06, 4);
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(4);
+  std::vector<real_t> x(90);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  const auto want = reference_y(A, x);
+  std::vector<real_t> y(120);
+
+  fmt::Ell::from_csr(csr).spmv(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], want[i], 1e-12) << "ELL";
+
+  fmt::EllR::from_csr(csr).spmv(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], want[i], 1e-12) << "ELL-R";
+
+  for (index_t sh : {1, 7, 32, 200}) {
+    fmt::SEll::from_csr(csr, sh).spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], want[i], 1e-12) << "SELL h=" << sh;
+  }
+
+  fmt::Dia::from_csr(csr).spmv(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], want[i], 1e-12) << "DIA";
+
+  for (index_t k : {0, 1, 3, -1}) {
+    fmt::Hyb::from_csr(csr, k).spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], want[i], 1e-12) << "HYB k=" << k;
+  }
+
+  for (auto [bw, bh] : {std::pair<index_t, index_t>{2, 2}, {4, 3}, {1, 4}}) {
+    fmt::Bcsr::from_coo(A, bw, bh).spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], want[i], 1e-12) << "BCSR " << bw << "x" << bh;
+    fmt::Bell::from_coo(A, bw, bh).spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], want[i], 1e-12) << "BELL " << bw << "x" << bh;
+    for (index_t sh : {1, 4, 64}) {
+      fmt::SBell::from_coo(A, bw, bh, sh).spmv(x, y);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        ASSERT_NEAR(y[i], want[i], 1e-12)
+            << "SBELL " << bw << "x" << bh << " sh=" << sh;
+    }
+  }
+
+  fmt::Bdia::from_csr(csr).spmv(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], want[i], 1e-12) << "BDIA";
+}
+
+// --- format-specific structure ----------------------------------------------
+
+TEST(Ell, PaddingStructure) {
+  const auto A = fmt::Coo::from_triplets(3, 4, {0, 0, 0, 1, 2}, {0, 1, 3, 2, 0},
+                                         {1, 2, 3, 4, 5});
+  const auto ell = fmt::Ell::from_csr(fmt::Csr::from_coo(A));
+  EXPECT_EQ(ell.width, 3);
+  EXPECT_EQ(ell.nnz_stored(), 9u);
+  EXPECT_EQ(ell.footprint_bytes(), 9u * 8u);
+  EXPECT_NEAR(fmt::Ell::padding_ratio(fmt::Csr::from_coo(A)), 9.0 / 5.0,
+              1e-12);
+}
+
+TEST(Hyb, ChooseWidthSplitsSpill) {
+  // 7 rows of length 2 and one of length 20: K should stay small and the
+  // long row's tail must land in COO.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t r = 0; r < 7; ++r) {
+    for (index_t c = 0; c < 2; ++c) {
+      ri.push_back(r);
+      ci.push_back(c + r);
+      v.push_back(1.0);
+    }
+  }
+  for (index_t c = 0; c < 20; ++c) {
+    ri.push_back(7);
+    ci.push_back(c);
+    v.push_back(1.0);
+  }
+  const auto A = fmt::Coo::from_triplets(8, 30, std::move(ri), std::move(ci),
+                                         std::move(v));
+  const auto csr = fmt::Csr::from_coo(A);
+  const index_t k = fmt::Hyb::choose_width(csr);
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, 2);
+  const auto hyb = fmt::Hyb::from_csr(csr);
+  EXPECT_GT(hyb.coo.nnz(), 0u);
+  EXPECT_LT(hyb.footprint_bytes(), fmt::Ell::from_csr(csr).footprint_bytes());
+}
+
+TEST(Dia, DiagonalDetection) {
+  const auto A = fmt::Coo::from_triplets(4, 4, {0, 1, 2, 3, 0, 1, 2},
+                                         {0, 1, 2, 3, 1, 2, 3},
+                                         {1, 1, 1, 1, 2, 2, 2});
+  const auto csr = fmt::Csr::from_coo(A);
+  EXPECT_EQ(fmt::Dia::count_diagonals(csr), 2);
+  const auto dia = fmt::Dia::from_csr(csr);
+  EXPECT_EQ(dia.offsets, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(dia.footprint_bytes(), 2u * 4u * 4u + 2u * 4u);
+}
+
+TEST(Dia, RejectsTooManyDiagonals) {
+  const auto A = random_matrix(200, 200, 0.05, 5);
+  const auto csr = fmt::Csr::from_coo(A);
+  EXPECT_THROW(fmt::Dia::from_csr(csr, 4), std::invalid_argument);
+}
+
+TEST(Blocked, CountBlocksMatchesDecomposition) {
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto A =
+        random_matrix(60, 60, 0.05, 100 + static_cast<std::uint64_t>(iter));
+    for (auto [bw, bh] :
+         {std::pair<index_t, index_t>{1, 1}, {2, 2}, {3, 4}, {4, 1}}) {
+      const auto d = fmt::BlockDecomposition::build(A, bw, bh);
+      EXPECT_EQ(fmt::BlockDecomposition::count_blocks(A, bw, bh),
+                d.num_blocks);
+    }
+  }
+}
+
+TEST(Blocked, FillRatioDenseBlocksIsOne) {
+  // Perfect 2x2 block diagonal: fill ratio exactly 1.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t b = 0; b < 10; ++b) {
+    for (index_t lr = 0; lr < 2; ++lr) {
+      for (index_t lc = 0; lc < 2; ++lc) {
+        ri.push_back(2 * b + lr);
+        ci.push_back(2 * b + lc);
+        v.push_back(1.0);
+      }
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(20, 20, std::move(ri), std::move(ci),
+                                         std::move(v));
+  EXPECT_DOUBLE_EQ(fmt::BlockDecomposition::fill_ratio(A, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(fmt::BlockDecomposition::fill_ratio(A, 1, 1), 1.0);
+  EXPECT_GT(fmt::BlockDecomposition::fill_ratio(A, 4, 4), 1.0);
+}
+
+TEST(Bcsr, FootprintSmallerThanCsrOnBlockDense) {
+  // Dense 4x4 blocks: BCSR amortizes one index over 16 values.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  SplitMix64 rng(7);
+  for (index_t b = 0; b < 50; ++b) {
+    const auto bc = static_cast<index_t>(rng.next_below(50));
+    for (index_t lr = 0; lr < 4; ++lr) {
+      for (index_t lc = 0; lc < 4; ++lc) {
+        ri.push_back(4 * b + lr);
+        ci.push_back(4 * bc + lc);
+        v.push_back(1.0);
+      }
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(200, 200, std::move(ri),
+                                         std::move(ci), std::move(v));
+  const auto bcsr = fmt::Bcsr::from_coo(A, 4, 4);
+  const auto csr = fmt::Csr::from_coo(A);
+  EXPECT_LT(bcsr.footprint_bytes(), csr.footprint_bytes());
+}
+
+TEST(SEll, SliceWidthsFollowRows) {
+  // First 32 rows long, rest short: slice 0 wide, slice 1 narrow.
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t r = 0; r < 64; ++r) {
+    const index_t len = r < 32 ? 10 : 2;
+    for (index_t k = 0; k < len; ++k) {
+      ri.push_back(r);
+      ci.push_back(k);
+      v.push_back(1.0);
+    }
+  }
+  const auto A = fmt::Coo::from_triplets(64, 16, std::move(ri), std::move(ci),
+                                         std::move(v));
+  const auto sell = fmt::SEll::from_csr(fmt::Csr::from_coo(A), 32);
+  ASSERT_EQ(sell.num_slices(), 2);
+  EXPECT_EQ(sell.slice_width[0], 10);
+  EXPECT_EQ(sell.slice_width[1], 2);
+  EXPECT_LT(sell.footprint_bytes(),
+            fmt::Ell::from_csr(fmt::Csr::from_coo(A)).footprint_bytes());
+}
+
+TEST(Formats, EdgeCaseSingleElement) {
+  const auto A = fmt::Coo::from_triplets(1, 1, {0}, {0}, {3.5});
+  const auto csr = fmt::Csr::from_coo(A);
+  std::vector<real_t> x = {2.0}, y(1);
+  fmt::Ell::from_csr(csr).spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  fmt::Dia::from_csr(csr).spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  fmt::Bcsr::from_coo(A, 4, 4).spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,125 @@
+// Randomized deep sweep ("fuzz"): random matrices from random generator
+// classes x random format/exec configurations x random dispatch modes, all
+// validated against the CSR reference.  Catches interaction bugs the
+// directed tests miss (odd tile sizes, padding corner cases, slice counts
+// that do not divide the width, pooled dispatch with adjacent sync, ...).
+#include <gtest/gtest.h>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+fmt::Coo random_case(SplitMix64& rng) {
+  switch (rng.next_below(6)) {
+    case 0: {
+      const auto nx = static_cast<index_t>(3 + rng.next_below(25));
+      const auto ny = static_cast<index_t>(3 + rng.next_below(25));
+      return gen::stencil2d(nx, ny, rng.next_double() < 0.5, rng.next());
+    }
+    case 1:
+      return gen::fem_mesh(static_cast<index_t>(50 + rng.next_below(800)),
+                           static_cast<index_t>(6 + rng.next_below(40)),
+                           static_cast<index_t>(1 + rng.next_below(4)), 0.05,
+                           rng.next());
+    case 2:
+      return gen::powerlaw(static_cast<index_t>(50 + rng.next_below(900)),
+                           static_cast<index_t>(50 + rng.next_below(900)),
+                           2.0 + rng.next_double() * 8.0,
+                           2.05 + rng.next_double(), rng.next_double(),
+                           rng.next());
+    case 3:
+      return gen::wide_rows(static_cast<index_t>(1 + rng.next_below(20)),
+                            static_cast<index_t>(100 + rng.next_below(4000)),
+                            static_cast<index_t>(10 + rng.next_below(200)),
+                            rng.next());
+    case 4:
+      return gen::random_scattered(
+          static_cast<index_t>(20 + rng.next_below(700)),
+          static_cast<index_t>(20 + rng.next_below(700)),
+          static_cast<index_t>(1 + rng.next_below(10)), rng.next());
+    default:
+      return gen::quantum_chem(static_cast<index_t>(50 + rng.next_below(400)),
+                               static_cast<index_t>(5 + rng.next_below(60)),
+                               rng.next());
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomConfigMatchesReference) {
+  SplitMix64 rng(0xF022 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  const auto A = random_case(rng);
+  const auto csr = fmt::Csr::from_coo(A);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-2, 2);
+  std::vector<real_t> want(static_cast<std::size_t>(A.rows)),
+      got(static_cast<std::size_t>(A.rows));
+  csr.spmv(x, want);
+
+  for (int round = 0; round < 4; ++round) {
+    core::FormatConfig fc;
+    fc.block_w = static_cast<index_t>(1 + rng.next_below(4));
+    fc.block_h = static_cast<index_t>(1 + rng.next_below(4));
+    fc.bf_word = std::array<BitFlagWord, 3>{
+        BitFlagWord::kU8, BitFlagWord::kU16,
+        BitFlagWord::kU32}[rng.next_below(3)];
+    fc.slices = static_cast<index_t>(1 + rng.next_below(8));
+    if (ceil_div(A.cols, fc.block_w) < fc.slices) fc.slices = 1;
+
+    core::ExecConfig ec;
+    ec.strategy = rng.next_double() < 0.5
+                      ? core::Strategy::kIntermediateSums
+                      : core::Strategy::kResultCache;
+    ec.workgroup_size = 1 << (6 + rng.next_below(3));  // 64..256
+    ec.thread_tile = static_cast<int>(1 + rng.next_below(20));
+    if (ec.strategy == core::Strategy::kIntermediateSums) {
+      ec.shm_tile = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(ec.thread_tile) + 1));
+      ec.transpose = rng.next_double() < 0.5 ? core::Transpose::kOffline
+                                             : core::Transpose::kOnline;
+    } else {
+      ec.result_cache_multiple = static_cast<int>(1 + rng.next_below(2));
+    }
+    ec.use_texture = rng.next_double() < 0.5;
+    ec.compress_col_delta = rng.next_double() < 0.5;
+    ec.short_col_index = rng.next_double() < 0.5;
+    ec.adjacent_sync = rng.next_double() < 0.7;
+    ec.skip_scan_opt = rng.next_double() < 0.7;
+    ec.logical_ids = rng.next_double() < 0.2;
+    ec.workers = 1 + static_cast<unsigned>(rng.next_below(4));
+
+    const std::string what = "fuzz " + fc.to_string() + " " + ec.to_string();
+    try {
+      core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+      eng.run(x, got);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_NEAR(got[i], want[i],
+                    1e-8 * std::max(1.0, std::abs(want[i])))
+            << what << " row " << i;
+      }
+    } catch (const sim::SimError&) {
+      // Resource-limit rejection (shared memory / register budget) is a
+      // valid outcome for a random config; correctness violations are not.
+    }
+
+    // CPU backend under the same format (block_h <= 8 guaranteed above).
+    cpu::CpuSpmv eng(std::make_shared<const core::Bccoo>(
+                         core::Bccoo::build(A, fc)),
+                     1 + static_cast<unsigned>(rng.next_below(6)));
+    eng.spmv(x, got);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-8 * std::max(1.0, std::abs(want[i])))
+          << what << " (cpu) row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,106 @@
+// Matrix Market reader/writer tests.
+#include "yaspmv/io/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "yaspmv/gen/suite.hpp"
+
+namespace yaspmv {
+namespace {
+
+TEST(Io, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 4 -1\n"
+      "2 2 7\n");
+  const auto m = io::read_matrix_market(in);
+  EXPECT_EQ(m.rows, 3);
+  EXPECT_EQ(m.cols, 4);
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row_idx, (std::vector<index_t>{0, 1, 2}));
+  EXPECT_EQ(m.col_idx, (std::vector<index_t>{0, 1, 3}));
+  EXPECT_EQ(m.vals, (std::vector<real_t>{2.5, 7, -1}));
+}
+
+TEST(Io, ReadSymmetricMirrors) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 1\n");
+  const auto m = io::read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 3u);  // (1,0), (0,1) mirrored, (2,2) diagonal once
+  std::vector<real_t> x = {1, 1, 1}, y(3);
+  m.spmv(x, y);
+  EXPECT_EQ(y, (std::vector<real_t>{5, 5, 1}));
+}
+
+TEST(Io, ReadSkewSymmetricNegates) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  const auto m = io::read_matrix_market(in);
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.vals, (std::vector<real_t>{-3, 3}));
+}
+
+TEST(Io, ReadPatternDefaultsToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto m = io::read_matrix_market(in);
+  EXPECT_EQ(m.vals, (std::vector<real_t>{1, 1}));
+}
+
+TEST(Io, RejectsMalformed) {
+  std::istringstream bad_banner("%%NotMM matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(io::read_matrix_market(bad_banner), std::runtime_error);
+  std::istringstream bad_field(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_THROW(io::read_matrix_market(bad_field), std::runtime_error);
+  std::istringstream bad_format(
+      "%%MatrixMarket matrix array real general\n1 1\n");
+  EXPECT_THROW(io::read_matrix_market(bad_format), std::runtime_error);
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(out_of_range), std::runtime_error);
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(Io, WriteReadRoundTrip) {
+  const auto m = gen::random_scattered(60, 50, 4, 99);
+  std::stringstream buf;
+  io::write_matrix_market(buf, m);
+  const auto back = io::read_matrix_market(buf);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.row_idx, m.row_idx);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  ASSERT_EQ(back.vals.size(), m.vals.size());
+  for (std::size_t i = 0; i < m.vals.size(); ++i) {
+    EXPECT_NEAR(back.vals[i], m.vals[i], 1e-15);
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const auto m = gen::stencil2d(8, 8, true, 1);
+  const std::string path = ::testing::TempDir() + "/yaspmv_io_test.mtx";
+  io::write_matrix_market_file(path, m);
+  const auto back = io::read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), m.nnz());
+  EXPECT_THROW(io::read_matrix_market_file("/nonexistent/path.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,107 @@
+// Performance-model tests: the modeled time must respond to each counter
+// the way the paper's argument requires (bandwidth-bound, divergence
+// penalty, launch overhead, device differences).
+#include "yaspmv/perf/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace yaspmv {
+namespace {
+
+sim::KernelStats bandwidth_bound(std::size_t mb) {
+  sim::KernelStats st;
+  st.global_load_bytes = mb * 1000 * 1000;
+  st.flops = 1000;  // negligible
+  st.kernel_launches = 1;
+  return st;
+}
+
+TEST(PerfModel, MemoryTermDominatesSpMV) {
+  const auto dev = sim::gtx680();
+  const auto t = perf::model_time(dev, bandwidth_bound(100));
+  EXPECT_GT(t.mem_s, t.compute_s * 100);
+  EXPECT_NEAR(t.total_s,
+              100e6 / (dev.mem_bandwidth_gbps * 1e9 * dev.mem_efficiency) +
+                  t.launch_s,
+              1e-6);
+}
+
+TEST(PerfModel, HalfTheBytesTwiceTheThroughput) {
+  const auto dev = sim::gtx680();
+  const double g1 = perf::spmv_gflops(dev, bandwidth_bound(100), 1000000);
+  const double g2 = perf::spmv_gflops(dev, bandwidth_bound(50), 1000000);
+  EXPECT_NEAR(g2 / g1, 2.0, 0.05);  // footprint reduction argument (Table 3)
+}
+
+TEST(PerfModel, DivergenceThrottlesMemoryPartially) {
+  auto st = bandwidth_bound(100);
+  st.ideal_lanes = 100;
+  st.serialized_lanes = 300;  // 3x divergent
+  const auto dev = sim::gtx680();
+  const auto t = perf::model_time(dev, st);
+  const auto t0 = perf::model_time(dev, bandwidth_bound(100));
+  // Only the exposed fraction of the 3x slowdown is charged.
+  const double expect = 1.0 + (3.0 - 1.0) * dev.divergence_exposure;
+  EXPECT_NEAR(t.mem_s / t0.mem_s, expect, 1e-9);
+  EXPECT_GT(t.mem_s, t0.mem_s);
+  EXPECT_LT(t.mem_s, t0.mem_s * 3.0);
+  // Fermi exposes more of the divergence than Kepler.
+  const auto t480 = perf::model_time(sim::gtx480(), st);
+  const auto t480_0 = perf::model_time(sim::gtx480(), bandwidth_bound(100));
+  EXPECT_GT(t480.mem_s / t480_0.mem_s, t.mem_s / t0.mem_s);
+}
+
+TEST(PerfModel, LaunchOverheadPerKernel) {
+  auto one = bandwidth_bound(1);
+  auto two = bandwidth_bound(1);
+  two.kernel_launches = 2;
+  const auto dev = sim::gtx680();
+  const auto t1 = perf::model_time(dev, one);
+  const auto t2 = perf::model_time(dev, two);
+  EXPECT_NEAR(t2.total_s - t1.total_s, dev.kernel_launch_us * 1e-6, 1e-12);
+}
+
+TEST(PerfModel, AtomicAndSpinOverheadCounted) {
+  auto st = bandwidth_bound(1);
+  st.atomic_ops = 1000;
+  st.spin_waits = 1000;
+  const auto dev = sim::gtx680();
+  const auto t = perf::model_time(dev, st);
+  EXPECT_GT(t.sync_s, 0.0);
+  EXPECT_NEAR(t.sync_s,
+              1000 * dev.atomic_op_ns * 1e-9 + 1000 * dev.spin_wait_ns * 1e-9,
+              1e-15);
+}
+
+TEST(PerfModel, Gtx680FasterThanGtx480OnSameTraffic) {
+  const auto st = bandwidth_bound(100);
+  EXPECT_GT(perf::spmv_gflops(sim::gtx680(), st, 1000000),
+            perf::spmv_gflops(sim::gtx480(), st, 1000000));
+}
+
+TEST(PerfModel, ComputeBoundKernelUsesPeak) {
+  sim::KernelStats st;
+  st.flops = 1'000'000'000;
+  st.global_load_bytes = 8;
+  st.kernel_launches = 1;
+  const auto dev = sim::gtx680();
+  const auto t = perf::model_time(dev, st);
+  EXPECT_NEAR(t.compute_s, 1.0 / dev.peak_gflops_sp, 1e-9);
+  EXPECT_GT(t.compute_s, t.mem_s);
+}
+
+TEST(PerfModel, HarmonicMean) {
+  const double v[3] = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(perf::harmonic_mean(v, 3), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+  EXPECT_EQ(perf::harmonic_mean(v, 0), 0.0);
+  const double z[2] = {1.0, 0.0};
+  EXPECT_EQ(perf::harmonic_mean(z, 2), 0.0);
+}
+
+TEST(PerfModel, ZeroStatsZeroGflops) {
+  sim::KernelStats st;
+  EXPECT_EQ(perf::spmv_gflops(sim::gtx680(), st, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,200 @@
+// Execution-plan tests: padding, auxiliary arrays (Section 2.4), column
+// compression (Sections 2.2/4) and the offline transpose layout.
+#include "yaspmv/core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+// Matrix C of Eq. 2 with 1x1 blocks: 16 non-zero blocks, bit flags of
+// Figure 6(a).
+fmt::Coo matrix_C() {
+  // Row 0: cols 0,2,4,6,7; row 1: 3,6; row 2: 1,3,5; row 3: 1,2,3,5,6,7.
+  std::vector<index_t> ri = {0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 3, 3, 3, 3, 3, 3};
+  std::vector<index_t> ci = {0, 2, 4, 6, 7, 3, 6, 1, 3, 5, 1, 2, 3, 5, 6, 7};
+  std::vector<real_t> v(16, 1.0);
+  return fmt::Coo::from_triplets(4, 8, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+TEST(Plan, Figure6FirstResultEntries) {
+  // 4 threads x 4 blocks/thread: entries [0, 0, 2, 3] per Figure 6(b).
+  const auto m = core::Bccoo::build(matrix_C(), {});
+  core::ExecConfig ec;
+  ec.workgroup_size = 4;
+  ec.thread_tile = 4;
+  const auto p = core::BccooPlan::build(m, ec);
+  EXPECT_EQ(p.num_workgroups, 1);
+  ASSERT_EQ(p.first_result_entry.size(), 4u);
+  EXPECT_EQ(p.first_result_entry,
+            (std::vector<index_t>{0, 0, 2, 3}));
+  EXPECT_EQ(p.wg_first_entry, (std::vector<index_t>{0, 4}));
+}
+
+TEST(Plan, PaddingToWorkgroupTile) {
+  const auto m = core::Bccoo::build(matrix_C(), {});  // 16 blocks
+  core::ExecConfig ec;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 8;  // workgroup tile = 512
+  const auto p = core::BccooPlan::build(m, ec);
+  EXPECT_EQ(p.padded_blocks, 512u);
+  EXPECT_EQ(p.num_workgroups, 1);
+  EXPECT_EQ(p.bit_flags.size(), 512u);
+  // Padding bits are 1 (never a row stop).
+  for (std::size_t i = 16; i < 512; ++i) EXPECT_TRUE(p.bit_flags.get(i));
+  EXPECT_EQ(p.col_abs.size(), 512u);
+  EXPECT_EQ(p.value_rows[0].size(), 512u);
+}
+
+TEST(Plan, SkipScanFlagPerWorkgroup) {
+  // Diagonal matrix: every thread tile contains a row stop -> skip = 1.
+  std::vector<index_t> ri(128), ci(128);
+  std::vector<real_t> v(128, 1.0);
+  for (index_t i = 0; i < 128; ++i) ri[static_cast<std::size_t>(i)] =
+      ci[static_cast<std::size_t>(i)] = i;
+  const auto diag = fmt::Coo::from_triplets(128, 128, std::move(ri),
+                                            std::move(ci), std::move(v));
+  core::ExecConfig ec;
+  ec.workgroup_size = 16;
+  ec.thread_tile = 4;
+  {
+    const auto m = core::Bccoo::build(diag, {});
+    const auto p = core::BccooPlan::build(m, ec);
+    ASSERT_EQ(p.skip_scan.size(), 2u);
+    EXPECT_EQ(p.skip_scan[0], 1);
+    EXPECT_EQ(p.skip_scan[1], 1);
+  }
+  // One long row spanning everything: no stops except the last tile.
+  std::vector<index_t> ri2(128, 0), ci2(128);
+  std::vector<real_t> v2(128, 1.0);
+  for (index_t i = 0; i < 128; ++i) ci2[static_cast<std::size_t>(i)] = i;
+  const auto wide = fmt::Coo::from_triplets(1, 128, std::move(ri2),
+                                            std::move(ci2), std::move(v2));
+  {
+    const auto m = core::Bccoo::build(wide, {});
+    const auto p = core::BccooPlan::build(m, ec);
+    for (auto s : p.skip_scan) EXPECT_EQ(s, 0);
+  }
+}
+
+TEST(Plan, ShortColIndexWhenNarrow) {
+  const auto m = core::Bccoo::build(matrix_C(), {});
+  core::ExecConfig ec;
+  const auto p = core::BccooPlan::build(m, ec);
+  EXPECT_TRUE(p.col_u16_valid);
+  for (std::size_t i = 0; i < m.num_blocks; ++i) {
+    EXPECT_EQ(static_cast<index_t>(p.col_u16[i]), p.col_abs[i]);
+  }
+  EXPECT_EQ(p.col_bytes_per_block(), bytes::kShortIndex);
+  core::ExecConfig no_short = ec;
+  no_short.short_col_index = false;
+  const auto p2 = core::BccooPlan::build(m, no_short);
+  EXPECT_EQ(p2.col_bytes_per_block(), bytes::kIndex);
+}
+
+TEST(Plan, DeltaCompressionRoundTrip) {
+  SplitMix64 rng(11);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (int i = 0; i < 500; ++i) {
+    ri.push_back(static_cast<index_t>(rng.next_below(40)));
+    ci.push_back(static_cast<index_t>(rng.next_below(100000)));
+    v.push_back(1.0);
+  }
+  const auto A = fmt::Coo::from_triplets(40, 100000, std::move(ri),
+                                         std::move(ci), std::move(v));
+  const auto m = core::Bccoo::build(A, {});
+  core::ExecConfig ec;
+  ec.compress_col_delta = true;
+  ec.thread_tile = 8;
+  const auto p = core::BccooPlan::build(m, ec);
+  // Decode every block like the kernel does and compare to the absolute
+  // column array.
+  index_t prev = 0;
+  for (std::size_t i = 0; i < p.padded_blocks; ++i) {
+    const int j = static_cast<int>(i % 8);
+    const index_t got = p.decode_col(i, j, prev);
+    prev = got;
+    EXPECT_EQ(got, p.col_abs[i]) << "block " << i;
+  }
+  // Wide matrix: some escapes are inevitable.
+  EXPECT_GT(p.delta_escapes, 0u);
+}
+
+TEST(Plan, DeltaEscapeOnGenuineMinusOne) {
+  // Columns 5 then 4 in one tile: genuine delta of -1 must escape and still
+  // decode correctly.
+  const auto A = fmt::Coo::from_triplets(1, 6, {0, 0}, {4, 5}, {1.0, 1.0});
+  // Build reversed access by using two rows so order is (5 after 4)... the
+  // canonical order sorts ascending, so construct with rows to force a -1
+  // delta: row0 col5 then row1 col4.
+  const auto B = fmt::Coo::from_triplets(2, 6, {0, 1}, {5, 4}, {1.0, 1.0});
+  (void)A;
+  const auto m = core::Bccoo::build(B, {});
+  core::ExecConfig ec;
+  ec.compress_col_delta = true;
+  ec.thread_tile = 2;
+  const auto p = core::BccooPlan::build(m, ec);
+  EXPECT_EQ(p.col_delta[1], -1);  // escaped
+  EXPECT_EQ(p.decode_col(1, 1, 5), 4);
+}
+
+TEST(Plan, OfflineTransposeLayout) {
+  const auto m = core::Bccoo::build(matrix_C(), {});
+  core::ExecConfig ec;
+  ec.workgroup_size = 4;
+  ec.thread_tile = 4;
+  ec.transpose = core::Transpose::kOffline;
+  const auto p = core::BccooPlan::build(m, ec);
+  // Element e of thread t lives at e*W + t (single workgroup, bw = 1).
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t e = 0; e < 4; ++e) {
+      EXPECT_EQ(p.value_rows_t[0][e * 4 + t], p.value_rows[0][t * 4 + e]);
+      EXPECT_EQ(p.col_abs_t[e * 4 + t], p.col_abs[t * 4 + e]);
+    }
+  }
+}
+
+TEST(Plan, ValidatesExecConfig) {
+  const auto m = core::Bccoo::build(matrix_C(), {});
+  core::ExecConfig ec;
+  ec.workgroup_size = 48;  // not a power of two
+  EXPECT_THROW(core::BccooPlan::build(m, ec), std::invalid_argument);
+  ec.workgroup_size = 64;
+  ec.thread_tile = 0;
+  EXPECT_THROW(core::BccooPlan::build(m, ec), std::invalid_argument);
+  ec.thread_tile = 4;
+  ec.shm_tile = 5;
+  EXPECT_THROW(core::BccooPlan::build(m, ec), std::invalid_argument);
+}
+
+TEST(Plan, FootprintGrowsWithAux) {
+  const auto m = core::Bccoo::build(matrix_C(), {});
+  core::ExecConfig small;
+  small.workgroup_size = 4;
+  small.thread_tile = 4;
+  core::ExecConfig big;
+  big.workgroup_size = 64;
+  big.thread_tile = 1;  // many more threads -> more aux entries
+  const auto ps = core::BccooPlan::build(m, small);
+  const auto pb = core::BccooPlan::build(m, big);
+  EXPECT_LT(ps.footprint_bytes(), pb.footprint_bytes());
+}
+
+TEST(Plan, EmptyMatrix) {
+  const auto A = fmt::Coo::from_triplets(4, 4, {}, {}, {});
+  const auto m = core::Bccoo::build(A, {});
+  EXPECT_EQ(m.num_blocks, 0u);
+  core::ExecConfig ec;
+  ec.workgroup_size = 64;
+  ec.thread_tile = 2;
+  const auto p = core::BccooPlan::build(m, ec);
+  EXPECT_EQ(p.num_workgroups, 1);  // one all-padding workgroup
+  EXPECT_EQ(p.padded_blocks, 128u);
+}
+
+}  // namespace
+}  // namespace yaspmv

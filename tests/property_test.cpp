@@ -1,0 +1,182 @@
+// Property-based cross-validation: randomized matrices from every generator
+// class, swept through every SpMV path in the library — all must agree with
+// the serial CSR reference bit-for-bit (within floating-point reassociation
+// tolerance).
+#include <gtest/gtest.h>
+
+#include "yaspmv/baselines/baselines.hpp"
+#include "yaspmv/baselines/clspmv.hpp"
+#include "yaspmv/baselines/coo_cusp.hpp"
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/core/kernels_tree.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/scan/scan.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+struct Case {
+  const char* name;
+  fmt::Coo matrix;
+};
+
+std::vector<Case> property_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"stencil", gen::stencil2d(17, 23, false, 1)});
+  cases.push_back({"fem3", gen::fem_mesh(601, 27, 3, 0.05, 2)});
+  cases.push_back({"powerlaw", gen::powerlaw(700, 700, 5.0, 2.2, 0.4, 3)});
+  cases.push_back({"wide", gen::wide_rows(9, 4000, 700, 4)});
+  cases.push_back({"scattered", gen::random_scattered(900, 777, 4, 5)});
+  cases.push_back({"qchem", gen::quantum_chem(500, 30, 6)});
+  cases.push_back({"dense", gen::dense(48, 37, 7)});
+  return cases;
+}
+
+class PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertyTest, EveryPathMatchesReference) {
+  const auto cases = property_cases();
+  const auto& c = cases[static_cast<std::size_t>(GetParam())];
+  const auto& A = c.matrix;
+  const auto csr = fmt::Csr::from_coo(A);
+  SplitMix64 rng(0xABCD + static_cast<std::uint64_t>(GetParam()));
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> want(static_cast<std::size_t>(A.rows));
+  csr.spmv(x, want);
+
+  auto check = [&](const std::vector<real_t>& y, const std::string& what) {
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(y[i], want[i], 1e-8 * std::max(1.0, std::abs(want[i])))
+          << c.name << " / " << what << " row " << i;
+    }
+  };
+
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+
+  // Every BCCOO/BCCOO+ configuration class.
+  for (index_t bw : {1, 2, 4}) {
+    for (index_t bh : {1, 3}) {
+      for (index_t slices : {1, 4}) {
+        if (ceil_div(A.cols, bw) < slices) continue;
+        core::FormatConfig fc;
+        fc.block_w = bw;
+        fc.block_h = bh;
+        fc.slices = slices;
+        for (auto strat : {core::Strategy::kIntermediateSums,
+                           core::Strategy::kResultCache}) {
+          core::ExecConfig ec;
+          ec.strategy = strat;
+          ec.workgroup_size = 64;
+          ec.thread_tile = 1 + static_cast<int>(rng.next_below(12));
+          ec.compress_col_delta = rng.next_double() < 0.5;
+          ec.adjacent_sync = rng.next_double() < 0.7;
+          ec.skip_scan_opt = rng.next_double() < 0.7;
+          core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+          eng.run(x, y);
+          check(y, "engine " + fc.to_string() + " " + ec.to_string());
+        }
+      }
+    }
+  }
+
+  // Baselines.
+  baseline::run_csr_scalar(csr, sim::gtx680(), x, y);
+  check(y, "csr-scalar");
+  baseline::run_csr_vector(csr, sim::gtx680(), x, y);
+  check(y, "csr-vector");
+  baseline::run_coo_tree(A, sim::gtx680(), x, y);
+  check(y, "coo-tree");
+  if (fmt::Ell::padding_ratio(csr) < 16.0) {
+    baseline::run_ell(fmt::Ell::from_csr(csr), sim::gtx680(), x, y);
+    check(y, "ell");
+  }
+  baseline::run_sell(fmt::SEll::from_csr(csr, 32), sim::gtx680(), x, y);
+  check(y, "sell");
+  baseline::run_hyb(fmt::Hyb::from_csr(csr), sim::gtx680(), x, y);
+  check(y, "hyb");
+  baseline::run_bcsr(fmt::Bcsr::from_coo(A, 2, 2), sim::gtx680(), x, y);
+  check(y, "bcsr");
+  baseline::run_bell(fmt::Bell::from_coo(A, 2, 2), sim::gtx680(), x, y);
+  check(y, "bell");
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, PropertyTest,
+                         ::testing::Range(0, 7));
+
+TEST(PropertyTest, BccooTreeStageMatchesReference) {
+  // The Figure 14 "BCCOO + tree scan" intermediate configuration.
+  for (int seed = 0; seed < 3; ++seed) {
+    const auto A = gen::random_scattered(500, 500, 5,
+                                         100 + static_cast<std::uint64_t>(seed));
+    const auto m = std::make_shared<const core::Bccoo>(
+        core::Bccoo::build(A, {}));
+    core::ExecConfig ec;
+    ec.thread_tile = 1;
+    ec.workgroup_size = 64;
+    const auto p = core::BccooPlan::build(*m, ec);
+    SplitMix64 rng(static_cast<std::uint64_t>(seed));
+    std::vector<real_t> x(500), want(500);
+    for (auto& v : x) v = rng.next_double(-1, 1);
+    fmt::Csr::from_coo(A).spmv(x, want);
+
+    std::vector<real_t> xp(static_cast<std::size_t>(m->block_cols), 0.0);
+    std::copy(x.begin(), x.end(), xp.begin());
+    std::vector<real_t> res(static_cast<std::size_t>(m->stacked_block_rows),
+                            0.0);
+    core::WgTails tails;
+    core::run_spmv_bccoo_tree(p, sim::gtx680(), xp, res, &tails);
+    core::run_carry_kernel(p, sim::gtx680(), tails, res);
+    for (std::size_t r = 0; r < 500; ++r) {
+      ASSERT_NEAR(res[r], want[r], 1e-9 * std::max(1.0, std::abs(want[r])))
+          << "seed " << seed << " row " << r;
+    }
+  }
+}
+
+TEST(PropertyTest, FootprintInvariants) {
+  // BCCOO's bit flags can never exceed blocked-COO's integer row indices;
+  // the whole format never exceeds plain COO for 1x1 blocks.
+  for (int seed = 0; seed < 5; ++seed) {
+    const auto A = gen::powerlaw(400, 400, 6.0, 2.3, 0.5,
+                                 200 + static_cast<std::uint64_t>(seed));
+    const auto m = core::Bccoo::build(A, {});
+    EXPECT_EQ(m.num_blocks, A.nnz());  // 1x1 blocks = non-zeros
+    const std::size_t bcoo_rows = m.num_blocks * bytes::kIndex;
+    EXPECT_LT(m.bit_flags.footprint_bytes(BitFlagWord::kU32), bcoo_rows / 16);
+    EXPECT_LT(m.footprint_bytes(true), A.footprint_bytes());
+  }
+}
+
+TEST(PropertyTest, SegmentSumsEqualRowSums) {
+  // Invariant: segmented sums over the bit flags equal per-(block-)row sums.
+  for (int seed = 0; seed < 5; ++seed) {
+    const auto A = gen::random_scattered(300, 300, 5,
+                                         300 + static_cast<std::uint64_t>(seed));
+    const auto m = core::Bccoo::build(A, {});
+    std::vector<real_t> per_block(m.num_blocks);
+    for (std::size_t i = 0; i < m.num_blocks; ++i) {
+      per_block[i] = m.value_rows[0][i];
+    }
+    const auto sums =
+        scan::segmented_sums_from_bitflags<real_t>(per_block, m.bit_flags);
+    ASSERT_EQ(sums.size(), m.num_segments());
+    // Compare with row sums from CSR.
+    const auto csr = fmt::Csr::from_coo(A);
+    std::size_t seg = 0;
+    for (index_t r = 0; r < A.rows; ++r) {
+      if (csr.row_len(r) == 0) continue;
+      real_t rs = 0;
+      for (index_t p = csr.row_ptr[static_cast<std::size_t>(r)];
+           p < csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        rs += csr.vals[static_cast<std::size_t>(p)];
+      }
+      ASSERT_NEAR(sums[seg], rs, 1e-9) << "row " << r;
+      ++seg;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yaspmv

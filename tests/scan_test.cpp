@@ -1,0 +1,212 @@
+#include "yaspmv/scan/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yaspmv/scan/segscan_tree.hpp"
+#include "yaspmv/scan/wg_scan.hpp"
+#include "yaspmv/sim/dispatch.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+// The paper's Figure 7 worked example: bit flags from Figure 6(a) plus the
+// final padding row stop, inputs and expected inclusive segmented scan.
+const std::vector<double> kFig7Input = {3, 2, 0, 2, 1, 0, 4, 2,
+                                        4, 3, 2, 2, 0, 1, 3, 1};
+const std::vector<int> kFig7BitFlags = {1, 1, 1, 1, 0, 1, 0, 1,
+                                        1, 0, 1, 1, 1, 1, 1, 0};
+const std::vector<double> kFig7Result = {3, 5, 5, 7, 8, 0, 4, 2,
+                                         6, 9, 2, 4, 4, 5, 8, 9};
+
+BitArray make_bits(const std::vector<int>& v) {
+  BitArray b;
+  for (int x : v) b.push_back(x != 0);
+  return b;
+}
+
+TEST(Scan, InclusiveExclusive) {
+  const std::vector<double> in = {1, 2, 3, 4};
+  std::vector<double> out(4);
+  scan::inclusive_scan<double>(in, out);
+  EXPECT_EQ(out, (std::vector<double>{1, 3, 6, 10}));
+  scan::exclusive_scan<double>(in, out);
+  EXPECT_EQ(out, (std::vector<double>{0, 1, 3, 6}));
+}
+
+TEST(Scan, ExclusiveScanAliasesInput) {
+  std::vector<double> v = {5, 7, 9};
+  scan::exclusive_scan<double>(v, v);
+  EXPECT_EQ(v, (std::vector<double>{0, 5, 12}));
+}
+
+TEST(Scan, Figure7SegmentedScan) {
+  const BitArray bits = make_bits(kFig7BitFlags);
+  const auto start = scan::start_flags_from_bitflags(bits);
+  std::vector<double> out(kFig7Input.size());
+  scan::segmented_inclusive_scan<double>(kFig7Input, start, out);
+  EXPECT_EQ(out, kFig7Result);
+}
+
+TEST(Scan, Figure7SegmentSums) {
+  const BitArray bits = make_bits(kFig7BitFlags);
+  const auto sums =
+      scan::segmented_sums_from_bitflags<double>(kFig7Input, bits);
+  // Underscored values in Figure 7: 8, 4, 9, 9.
+  EXPECT_EQ(sums, (std::vector<double>{8, 4, 9, 9}));
+}
+
+TEST(Scan, StartFlagsFromBitFlags) {
+  const BitArray bits = make_bits({1, 0, 1, 1, 0, 0});
+  const auto start = scan::start_flags_from_bitflags(bits);
+  EXPECT_EQ(start, (std::vector<std::uint8_t>{1, 0, 1, 0, 0, 1}));
+}
+
+TEST(Scan, RowIndicesFromBitFlagsAreLossless) {
+  // Figure 6(a)'s bit flags reconstruct the row indices of matrix C (Eq. 2).
+  const BitArray bits = make_bits({1, 1, 1, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1,
+                                   1, 0});
+  const auto rows = scan::row_indices_from_bitflags(bits);
+  const std::vector<index_t> expect = {0, 0, 0, 0, 0, 1, 1, 2,
+                                       2, 2, 3, 3, 3, 3, 3, 3};
+  EXPECT_EQ(rows, expect);
+}
+
+TEST(Scan, TrailingOpenSegmentIsDropped) {
+  const BitArray bits = make_bits({1, 0, 1, 1});  // padding-style tail
+  const std::vector<double> in = {1, 2, 3, 4};
+  const auto sums = scan::segmented_sums_from_bitflags<double>(in, bits);
+  EXPECT_EQ(sums, (std::vector<double>{3}));
+}
+
+// --- workgroup-level scans on the simulator --------------------------------
+
+class WgScanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WgScanTest, MatchesSerialReference) {
+  const int W = GetParam();
+  SplitMix64 rng(1234 + static_cast<std::uint64_t>(W));
+  for (int h = 1; h <= 3; ++h) {
+    std::vector<double> vals(static_cast<std::size_t>(W * h));
+    std::vector<std::uint8_t> starts(static_cast<std::size_t>(W));
+    for (auto& v : vals) v = rng.next_double(-2, 2);
+    for (auto& s : starts) s = rng.next_double() < 0.3 ? 1 : 0;
+    starts[0] = 1;
+
+    // Serial reference per lane.
+    std::vector<double> expect(vals);
+    for (int k = 0; k < h; ++k) {
+      double acc = 0;
+      for (int t = 0; t < W; ++t) {
+        if (starts[static_cast<std::size_t>(t)]) acc = 0;
+        acc += vals[static_cast<std::size_t>(t * h + k)];
+        expect[static_cast<std::size_t>(t * h + k)] = acc;
+      }
+    }
+
+    sim::LaunchConfig lc;
+    lc.num_workgroups = 1;
+    lc.workgroup_size = W;
+    std::vector<double> got(vals);
+    std::vector<std::uint8_t> gf(starts);
+    sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+      auto s = wg.shared_array<double>(vals.size(), bytes::kValue);
+      auto tmp = wg.shared_array<double>(vals.size(), bytes::kValue);
+      auto f = wg.shared_array<std::uint8_t>(starts.size(), 1);
+      auto ftmp = wg.shared_array<std::uint8_t>(starts.size(), 1);
+      std::copy(got.begin(), got.end(), s.begin());
+      std::copy(gf.begin(), gf.end(), f.begin());
+      scan::wg_segmented_scan_hvec(wg, s, f, tmp, ftmp, h);
+      std::copy(s.begin(), s.end(), got.begin());
+    });
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-12) << "W=" << W << " h=" << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WgScanTest,
+                         ::testing::Values(2, 4, 8, 64, 128, 256));
+
+class TreeScanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeScanTest, MatchesSerialReference) {
+  const int W = GetParam();
+  SplitMix64 rng(99 + static_cast<std::uint64_t>(W));
+  std::vector<double> vals(static_cast<std::size_t>(W));
+  std::vector<std::uint8_t> heads(static_cast<std::size_t>(W));
+  for (auto& v : vals) v = rng.next_double(-1, 1);
+  for (auto& s : heads) s = rng.next_double() < 0.25 ? 1 : 0;
+  heads[0] = 1;
+
+  std::vector<double> expect(vals);
+  {
+    double acc = 0;
+    for (int t = 0; t < W; ++t) {
+      if (heads[static_cast<std::size_t>(t)]) acc = 0;
+      acc += vals[static_cast<std::size_t>(t)];
+      expect[static_cast<std::size_t>(t)] = acc;
+    }
+  }
+
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = W;
+  std::vector<double> got(vals);
+  sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    auto x = wg.shared_array<double>(vals.size(), bytes::kValue);
+    auto hd = wg.shared_array<std::uint8_t>(heads.size(), 1);
+    auto wf = wg.shared_array<std::uint8_t>(heads.size(), 1);
+    auto ic = wg.shared_array<double>(vals.size(), bytes::kValue);
+    std::copy(got.begin(), got.end(), x.begin());
+    std::copy(heads.begin(), heads.end(), hd.begin());
+    scan::wg_tree_segscan_inclusive(wg, x, hd, wf, ic);
+    std::copy(x.begin(), x.end(), got.begin());
+  });
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(got[i], expect[i], 1e-12) << "i=" << i << " W=" << W;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeScanTest,
+                         ::testing::Values(2, 4, 8, 32, 64, 256));
+
+TEST(TreeScan, RejectsNonPowerOfTwo) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 48;
+  EXPECT_THROW(
+      sim::launch(sim::gtx680(), lc,
+                  [&](sim::WorkgroupCtx& wg) {
+                    auto x = wg.shared_array<double>(48, bytes::kValue);
+                    auto hd = wg.shared_array<std::uint8_t>(48, 1);
+                    auto wf = wg.shared_array<std::uint8_t>(48, 1);
+                    auto ic = wg.shared_array<double>(48, bytes::kValue);
+                    scan::wg_tree_segscan_inclusive(wg, x, hd, wf, ic);
+                  }),
+      sim::SimError);
+}
+
+TEST(TreeScan, ChargesIdleLanes) {
+  // The tree scan's divergence counters must report serialized > ideal work
+  // (this is the inefficiency Figure 14's first stage pays for).
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 64;
+  auto st = sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    auto x = wg.shared_array<double>(64, bytes::kValue);
+    auto hd = wg.shared_array<std::uint8_t>(64, 1);
+    auto wf = wg.shared_array<std::uint8_t>(64, 1);
+    auto ic = wg.shared_array<double>(64, bytes::kValue);
+    wg.phase([&](int t) {
+      x[static_cast<std::size_t>(t)] = 1.0;
+      hd[static_cast<std::size_t>(t)] = t == 0 ? 1 : 0;
+    });
+    scan::wg_tree_segscan_inclusive(wg, x, hd, wf, ic);
+  });
+  EXPECT_GT(st.serialized_lanes, st.ideal_lanes);
+  EXPECT_GT(st.divergence_factor(), 1.5);
+}
+
+}  // namespace
+}  // namespace yaspmv

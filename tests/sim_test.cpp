@@ -1,0 +1,258 @@
+// Simulator substrate tests: dispatch ordering, barriers/phases, shared
+// memory accounting, adjacent synchronization, counters and the vector
+// cache model.
+#include "yaspmv/sim/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "yaspmv/sim/adjacent.hpp"
+#include "yaspmv/sim/coalescing.hpp"
+
+namespace yaspmv {
+namespace {
+
+TEST(Device, Presets) {
+  const auto d680 = sim::gtx680();
+  const auto d480 = sim::gtx480();
+  EXPECT_EQ(d680.name, "GTX680");
+  EXPECT_EQ(d480.name, "GTX480");
+  EXPECT_GT(d680.peak_gflops_sp, d480.peak_gflops_sp);
+  EXPECT_GT(d680.tex_cache_per_sm, d480.tex_cache_per_sm);
+  EXPECT_GT(d480.vector_cache_bytes(true), d480.vector_cache_bytes(false));
+}
+
+TEST(Dispatch, RunsEveryWorkgroupInOrderSequentially) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 17;
+  lc.workgroup_size = 4;
+  std::vector<int> order;
+  sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    order.push_back(wg.wg_id());
+  });
+  std::vector<int> want(17);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+}
+
+TEST(Dispatch, PhaseVisitsEveryThread) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 2;
+  lc.workgroup_size = 8;
+  std::vector<int> counts(2, 0);
+  auto st = sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    wg.phase([&](int t) {
+      (void)t;
+      counts[static_cast<std::size_t>(wg.wg_id())]++;
+    });
+    wg.phase([&](int) {});
+  });
+  EXPECT_EQ(counts, (std::vector<int>{8, 8}));
+  EXPECT_EQ(st.barriers, 4u);  // 2 phases x 2 workgroups
+  EXPECT_EQ(st.kernel_launches, 1u);
+}
+
+TEST(Dispatch, SharedMemoryLimitEnforced) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 1;
+  const auto dev = sim::gtx680();
+  EXPECT_THROW(sim::launch(dev, lc,
+                           [&](sim::WorkgroupCtx& wg) {
+                             wg.shared_array<double>(
+                                 dev.shared_mem_per_workgroup, bytes::kValue);
+                           }),
+               sim::SimError);
+}
+
+TEST(Dispatch, SharedMemoryChargedByDeviceBytes) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 1;
+  sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    wg.shared_array<double>(100, bytes::kValue);  // host doubles, device floats
+    EXPECT_EQ(wg.device_shared_bytes(), 400u);
+    wg.shared_array<int>(10, 0);  // register-modeled: free
+    EXPECT_EQ(wg.device_shared_bytes(), 400u);
+  });
+}
+
+TEST(Dispatch, SharedArrayZeroInitialized) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 3;
+  lc.workgroup_size = 2;
+  sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    auto a = wg.shared_array<double>(16, bytes::kValue);
+    for (double v : a) EXPECT_EQ(v, 0.0);
+    a[0] = 42.0;  // must not leak into the next workgroup
+  });
+}
+
+TEST(Dispatch, InvalidWorkgroupSizeThrows) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 1;
+  lc.workgroup_size = 0;
+  EXPECT_THROW(sim::launch(sim::gtx680(), lc, [](sim::WorkgroupCtx&) {}),
+               sim::SimError);
+  lc.workgroup_size = 4096;
+  EXPECT_THROW(sim::launch(sim::gtx680(), lc, [](sim::WorkgroupCtx&) {}),
+               sim::SimError);
+}
+
+TEST(Dispatch, LogicalIdsCountAtomics) {
+  sim::LaunchConfig lc;
+  lc.num_workgroups = 10;
+  lc.workgroup_size = 1;
+  lc.logical_ids = true;
+  std::vector<int> ids;
+  auto st = sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    ids.push_back(wg.wg_id());
+  });
+  EXPECT_EQ(st.atomic_ops, 10u);
+  std::vector<int> want(10);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(ids, want);  // ticket order == dispatch order
+}
+
+TEST(Counters, StridedLoadInflatesTraffic) {
+  sim::KernelStats st;
+  st.add_coalesced_load(100, 4);
+  EXPECT_EQ(st.global_load_bytes, 400u);
+  sim::KernelStats st2;
+  st2.add_strided_load(100, 4, 64);  // 64-byte stride -> 64 bytes/element
+  EXPECT_EQ(st2.global_load_bytes, 6400u);
+  sim::KernelStats st3;
+  st3.add_strided_load(100, 4, 4096);  // capped at the 128B transaction
+  EXPECT_EQ(st3.global_load_bytes, 12800u);
+}
+
+TEST(Counters, WarpWorkDivergence) {
+  sim::KernelStats st;
+  std::size_t balanced[4] = {5, 5, 5, 5};
+  st.add_warp_work(balanced, 4);
+  EXPECT_DOUBLE_EQ(st.divergence_factor(), 1.0);
+  std::size_t skewed[4] = {20, 0, 0, 0};
+  st.add_warp_work(skewed, 4);
+  // total ideal = 40, serialized = 20 + 80.
+  EXPECT_DOUBLE_EQ(st.divergence_factor(), 100.0 / 40.0);
+}
+
+TEST(Counters, VectorCacheHitsAndMisses) {
+  sim::KernelStats st;
+  sim::VectorCacheSim vc(1024, 32, 4);  // 32 lines of 8 elements
+  vc.access(0, st);   // miss
+  vc.access(1, st);   // hit (same line)
+  vc.access(7, st);   // hit
+  vc.access(8, st);   // miss (next line)
+  vc.access(0, st);   // hit (still resident)
+  vc.access(256, st); // miss, conflicts with line 0 (direct-mapped)
+  vc.access(0, st);   // miss again (evicted)
+  EXPECT_EQ(st.vector_misses, 4u);
+  EXPECT_EQ(st.vector_hits, 3u);
+  EXPECT_EQ(st.global_load_bytes, 4u * 32u);
+  EXPECT_NEAR(st.vector_hit_rate(), 3.0 / 7.0, 1e-12);
+}
+
+TEST(Adjacent, PublishWaitRoundTrip) {
+  sim::AdjacentBuffer buf(4, 2, /*blocking=*/false);
+  const double v[2] = {1.5, -2.5};
+  buf.publish(0, std::span<const double>(v, 2));
+  EXPECT_TRUE(buf.is_published(0));
+  EXPECT_FALSE(buf.is_published(1));
+  double out[2] = {0, 0};
+  sim::KernelStats st;
+  buf.wait(0, std::span<double>(out, 2), st);
+  EXPECT_EQ(out[0], 1.5);
+  EXPECT_EQ(out[1], -2.5);
+}
+
+TEST(Adjacent, NonBlockingWaitOnUnpublishedThrows) {
+  sim::AdjacentBuffer buf(2, 1, /*blocking=*/false);
+  double out[1];
+  sim::KernelStats st;
+  EXPECT_THROW(buf.wait(1, std::span<double>(out, 1), st), sim::SimError);
+}
+
+TEST(Adjacent, RejectsBadHeight) {
+  EXPECT_THROW(sim::AdjacentBuffer(1, 0, false), sim::SimError);
+  EXPECT_THROW(sim::AdjacentBuffer(1, 9, false), sim::SimError);
+  EXPECT_NO_THROW(sim::AdjacentBuffer(1, 8, false));  // extended blocks
+}
+
+TEST(Adjacent, BlockingChainAcrossThreads) {
+  // Workers chain sums through the buffer exactly like the kernel does:
+  // wg X waits for X-1, adds 1, publishes.  The final entry must be N.
+  const int N = 64;
+  sim::AdjacentBuffer buf(static_cast<std::size_t>(N), 1, /*blocking=*/true);
+  sim::LaunchConfig lc;
+  lc.num_workgroups = N;
+  lc.workgroup_size = 1;
+  lc.workers = 4;
+  sim::launch(sim::gtx680(), lc, [&](sim::WorkgroupCtx& wg) {
+    double carry = 0.0;
+    if (wg.wg_id() > 0) {
+      buf.wait(static_cast<std::size_t>(wg.wg_id()) - 1,
+               std::span<double>(&carry, 1), wg.stats());
+    }
+    const double v = carry + 1.0;
+    buf.publish(static_cast<std::size_t>(wg.wg_id()),
+                std::span<const double>(&v, 1));
+  });
+  double last = 0.0;
+  sim::KernelStats st;
+  buf.wait(static_cast<std::size_t>(N) - 1, std::span<double>(&last, 1), st);
+  EXPECT_EQ(last, static_cast<double>(N));
+}
+
+TEST(Coalescing, TransactionCounting) {
+  using sim::kInactiveLane;
+  using sim::warp_transactions;
+  // All 32 lanes in one 32B segment -> 1 transaction.
+  std::vector<std::size_t> a(32);
+  for (std::size_t i = 0; i < 32; ++i) a[i] = i;  // bytes 0..31
+  EXPECT_EQ(warp_transactions(a), 1u);
+  // Unit-stride 4B elements: 32 lanes x 4B = 128B = 4 segments of 32B.
+  for (std::size_t i = 0; i < 32; ++i) a[i] = i * 4;
+  EXPECT_EQ(warp_transactions(a), 4u);
+  // Fully scattered: one transaction per lane.
+  for (std::size_t i = 0; i < 32; ++i) a[i] = i * 4096;
+  EXPECT_EQ(warp_transactions(a), 32u);
+  // Predicated-off lanes do not count.
+  for (std::size_t i = 1; i < 32; ++i) a[i] = kInactiveLane;
+  a[0] = 12345;
+  EXPECT_EQ(warp_transactions(a), 1u);
+  for (auto& v : a) v = kInactiveLane;
+  EXPECT_EQ(warp_transactions(a), 0u);
+  // Larger segment size coalesces more.
+  for (std::size_t i = 0; i < 32; ++i) a[i] = i * 4;
+  EXPECT_EQ(warp_transactions(a, 128), 1u);
+}
+
+TEST(Coalescing, ChargeWarpLoadBytes) {
+  sim::KernelStats st;
+  std::vector<std::size_t> a(32);
+  for (std::size_t i = 0; i < 32; ++i) a[i] = i * 64;  // every other segment
+  sim::charge_warp_load(st, a);
+  EXPECT_EQ(st.global_load_bytes, 32u * 32u);
+}
+
+TEST(Dispatch, PooledStatsMatchSequential) {
+  sim::LaunchConfig seq;
+  seq.num_workgroups = 32;
+  seq.workgroup_size = 16;
+  auto body = [&](sim::WorkgroupCtx& wg) {
+    wg.phase([&](int) { wg.stats().flops += 3; });
+    wg.stats().add_coalesced_load(10, 4);
+  };
+  auto a = sim::launch(sim::gtx680(), seq, body);
+  sim::LaunchConfig par = seq;
+  par.workers = 4;
+  auto b = sim::launch(sim::gtx680(), par, body);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
+  EXPECT_EQ(a.barriers, b.barriers);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,176 @@
+// Counter-accounting tests: the simulated kernels must charge traffic,
+// barriers and synchronization in the amounts the paper's analysis
+// predicts — these invariants are what make the performance model's
+// figure shapes meaningful.
+#include <gtest/gtest.h>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+struct RunResult {
+  sim::KernelStats stats;
+  int launches;
+};
+
+RunResult run_once(const fmt::Coo& A, const core::FormatConfig& fc,
+                   const core::ExecConfig& ec) {
+  core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+  SplitMix64 rng(1);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  const auto r = eng.run(x, y);
+  return {r.stats, r.launches};
+}
+
+fmt::Coo fem_matrix() { return gen::fem_mesh(2000, 30, 2, 0.03, 0x57A7); }
+
+TEST(Stats, ValueTrafficMatchesPaddedBlocks) {
+  const auto A = fem_matrix();
+  core::FormatConfig fc;
+  fc.block_w = 2;
+  fc.block_h = 2;
+  core::ExecConfig ec;
+  core::SpmvEngine eng(A, fc, ec, sim::gtx680());
+  const auto& p = eng.plan();
+  const auto r = run_once(A, fc, ec);
+  // Lower bound: every padded block's values are streamed exactly once
+  // (4 bytes/element on device).
+  const std::size_t value_bytes = p.padded_blocks * 2 * 2 * bytes::kValue;
+  EXPECT_GE(r.stats.global_load_bytes, value_bytes);
+  // Upper bound: values + cols + flags + aux + vector misses can't blow up
+  // beyond a small multiple.
+  EXPECT_LT(r.stats.global_load_bytes, 4 * value_bytes);
+}
+
+TEST(Stats, ShortColumnsSaveExactlyTwoBytesPerBlock) {
+  const auto A = fem_matrix();
+  core::FormatConfig fc;
+  core::ExecConfig with_u16;
+  with_u16.short_col_index = true;
+  core::ExecConfig with_int;
+  with_int.short_col_index = false;
+  const auto a = run_once(A, fc, with_u16);
+  const auto b = run_once(A, fc, with_int);
+  core::SpmvEngine eng(A, fc, with_u16, sim::gtx680());
+  EXPECT_EQ(b.stats.global_load_bytes - a.stats.global_load_bytes,
+            eng.plan().padded_blocks * 2);
+}
+
+TEST(Stats, BitFlagWordTypeChangesFlagTraffic) {
+  const auto A = fem_matrix();
+  core::ExecConfig ec;
+  ec.thread_tile = 4;  // one u8 word covers 8 >= tile bits either way
+  core::FormatConfig f8;
+  f8.bf_word = BitFlagWord::kU8;
+  core::FormatConfig f32;
+  f32.bf_word = BitFlagWord::kU32;
+  const auto a = run_once(A, f8, ec);
+  const auto b = run_once(A, f32, ec);
+  // u32 words load 4 bytes per tile instead of 1.
+  EXPECT_GT(b.stats.global_load_bytes, a.stats.global_load_bytes);
+}
+
+TEST(Stats, SkipScanRemovesBarriers) {
+  // Diagonal matrix: every thread tile has a row stop -> scan skippable.
+  std::vector<index_t> ri(4096), ci(4096);
+  std::vector<real_t> v(4096, 1.0);
+  for (index_t i = 0; i < 4096; ++i) {
+    ri[static_cast<std::size_t>(i)] = ci[static_cast<std::size_t>(i)] = i;
+  }
+  const auto A = fmt::Coo::from_triplets(4096, 4096, std::move(ri),
+                                         std::move(ci), std::move(v));
+  core::FormatConfig fc;
+  core::ExecConfig on;
+  on.skip_scan_opt = true;
+  core::ExecConfig off;
+  off.skip_scan_opt = false;
+  const auto a = run_once(A, fc, on);
+  const auto b = run_once(A, fc, off);
+  EXPECT_LT(a.stats.barriers, b.stats.barriers);
+  EXPECT_GT(b.stats.flops, a.stats.flops);  // the scan's adds
+}
+
+TEST(Stats, AdjacentSyncSavesALaunch) {
+  const auto A = fem_matrix();
+  core::FormatConfig fc;
+  core::ExecConfig adj;
+  adj.adjacent_sync = true;
+  core::ExecConfig glob;
+  glob.adjacent_sync = false;
+  const auto a = run_once(A, fc, adj);
+  const auto b = run_once(A, fc, glob);
+  EXPECT_EQ(a.stats.kernel_launches, 1u);
+  EXPECT_EQ(b.stats.kernel_launches, 2u);
+  EXPECT_EQ(a.launches, 1);
+  EXPECT_EQ(b.launches, 2);
+}
+
+TEST(Stats, TextureToggleChangesVectorHitRate) {
+  // Scattered matrix: the smaller no-texture cache must miss more.
+  const auto A = gen::random_scattered(20000, 20000, 8, 0xCAFE);
+  core::FormatConfig fc;
+  core::ExecConfig tex;
+  tex.use_texture = true;
+  core::ExecConfig notex;
+  notex.use_texture = false;
+  const auto a = run_once(A, fc, tex);
+  const auto b = run_once(A, fc, notex);
+  EXPECT_GE(a.stats.vector_hit_rate(), b.stats.vector_hit_rate());
+}
+
+TEST(Stats, SlicingImprovesVectorLocalityOnWideMatrix) {
+  // Wide LP-style rows: slicing narrows the active vector window.
+  const auto A = gen::wide_rows(64, 300000, 2000, 0x11);
+  core::ExecConfig ec;
+  core::FormatConfig one;
+  core::FormatConfig sliced;
+  sliced.slices = 16;
+  const auto a = run_once(A, one, ec);
+  const auto b = run_once(A, sliced, ec);
+  EXPECT_GT(b.stats.vector_hit_rate(), a.stats.vector_hit_rate());
+}
+
+TEST(Stats, DeltaCompressionReducesColumnTraffic) {
+  // Narrow matrix where every delta fits int16 and u16 is disabled:
+  // compressed columns load 2 bytes instead of 4.
+  const auto A = gen::fem_mesh(3000, 20, 1, 0.01, 0x22);
+  core::FormatConfig fc;
+  core::ExecConfig dc;
+  dc.compress_col_delta = true;
+  dc.short_col_index = false;
+  core::ExecConfig nc;
+  nc.compress_col_delta = false;
+  nc.short_col_index = false;
+  const auto a = run_once(A, fc, dc);
+  const auto b = run_once(A, fc, nc);
+  EXPECT_LT(a.stats.global_load_bytes, b.stats.global_load_bytes);
+}
+
+TEST(Stats, BalancedKernelHasNoDivergencePenalty) {
+  const auto A = fem_matrix();
+  const auto r = run_once(A, {}, {});
+  EXPECT_DOUBLE_EQ(r.stats.divergence_factor(), 1.0);
+}
+
+TEST(Stats, CombineKernelChargedForBccooPlus) {
+  const auto A = fem_matrix();
+  core::FormatConfig one;
+  core::FormatConfig plus;
+  plus.slices = 4;
+  core::ExecConfig ec;
+  const auto a = run_once(A, one, ec);
+  const auto b = run_once(A, plus, ec);
+  EXPECT_EQ(b.stats.kernel_launches, a.stats.kernel_launches + 1);
+  // Temp-buffer memset + combine traffic make BCCOO+ strictly heavier on
+  // stores.
+  EXPECT_GT(b.stats.global_store_bytes, a.stats.global_store_bytes);
+}
+
+}  // namespace
+}  // namespace yaspmv

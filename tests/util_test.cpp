@@ -1,0 +1,145 @@
+// Unit tests for the util layer: common helpers, RNG determinism and
+// distributions, CLI args, table printer, ordered parallel-for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "yaspmv/util/args.hpp"
+#include "yaspmv/util/common.hpp"
+#include "yaspmv/util/rng.hpp"
+#include "yaspmv/util/table.hpp"
+#include "yaspmv/util/thread_pool.hpp"
+
+namespace yaspmv {
+namespace {
+
+TEST(Common, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(std::size_t{5}, std::size_t{8}), 8u);
+}
+
+TEST(Common, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  try {
+    require(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Rng, DeterministicStream) {
+  SplitMix64 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  SplitMix64 a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  // Rough uniformity: every residue hit.
+  std::vector<int> hits(17, 0);
+  SplitMix64 rng2(8);
+  for (int i = 0; i < 17000; ++i) hits[rng2.next_below(17)]++;
+  for (int h : hits) EXPECT_GT(h, 500);
+}
+
+TEST(Rng, DoublesInHalfOpenInterval) {
+  SplitMix64 rng(9);
+  double mn = 1, mx = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  for (int i = 0; i < 100; ++i) {
+    const double d = rng.next_double(-3, 5);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Rng, PowerlawTailProperties) {
+  SplitMix64 rng(10);
+  std::size_t ones = 0, big = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = rng.next_powerlaw(2.2, 100000);
+    EXPECT_GE(k, 1u);
+    if (k == 1) ++ones;
+    if (k > 50) ++big;
+  }
+  EXPECT_GT(ones, n / 3);  // mass at the head
+  EXPECT_GT(big, 10u);     // heavy tail exists
+}
+
+TEST(Args, ParsesFlagsValuesPositionals) {
+  const char* argv[] = {"prog", "--alpha=3", "--flag", "pos1",
+                        "--name=x=y", "pos2"};
+  Args a(6, argv);
+  EXPECT_EQ(a.get_int("alpha", 0), 3);
+  EXPECT_TRUE(a.has("flag"));
+  EXPECT_EQ(a.get("flag"), "1");
+  EXPECT_EQ(a.get("name"), "x=y");
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.get("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0), 3.0);
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  TablePrinter t({"a", "long header"});
+  t.add_row({"xxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPool, VisitsEveryIndexOnceAnyWorkerCount) {
+  for (unsigned workers : {1u, 2u, 5u}) {
+    std::vector<std::atomic<int>> hits(97);
+    parallel_for_ordered(97, workers, [&](unsigned w, std::size_t i) {
+      EXPECT_LT(w, std::max(workers, 1u));
+      hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  bool called = false;
+  parallel_for_ordered(0, 4, [&](unsigned, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SequentialModeIsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_ordered(10, 1, [&](unsigned, std::size_t i) {
+    order.push_back(i);
+  });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,187 @@
+// yaspmv_cli — command-line front end for the library.
+//
+//   yaspmv_cli gen     --matrix=Protein [--scale=0.5] --out=m.mtx
+//   yaspmv_cli info    --mtx=m.mtx | --matrix=Protein
+//   yaspmv_cli tune    --mtx=m.mtx [--device=gtx680] [--exhaustive]
+//                      [--extended]
+//   yaspmv_cli convert --mtx=m.mtx --out=m.bccoo [--bw=1 --bh=1 --slices=1]
+//   yaspmv_cli spmv    --format=m.bccoo [--threads=N] [--reps=10]
+//                      [--out=y.txt]
+#include <fstream>
+#include <iostream>
+
+#include "yaspmv/codegen/opencl.hpp"
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/formats/dia.hpp"
+#include "yaspmv/formats/ell.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/io/binary.hpp"
+#include "yaspmv/io/matrix_market.hpp"
+#include "yaspmv/tune/tuner.hpp"
+#include "yaspmv/util/args.hpp"
+#include "yaspmv/util/rng.hpp"
+#include "yaspmv/util/stopwatch.hpp"
+
+namespace {
+
+using namespace yaspmv;
+
+int usage() {
+  std::cerr <<
+      "usage: yaspmv_cli <gen|info|tune|convert|spmv> [options]\n"
+      "  gen     --matrix=<Table2 name> [--scale=f] --out=<file.mtx>\n"
+      "  info    --mtx=<file.mtx> | --matrix=<name> [--scale=f]\n"
+      "  tune    --mtx=<file.mtx> | --matrix=<name> [--device=gtx680|gtx480]\n"
+      "          [--exhaustive] [--extended]\n"
+      "  convert --mtx=<file.mtx> --out=<file.bccoo> [--bw=N --bh=N"
+      " --slices=N]\n"
+      "  spmv    --format=<file.bccoo> [--threads=N] [--reps=N]"
+      " [--out=<y.txt>]\n"
+      "  codegen --mtx=<file.mtx> | --matrix=<name>"
+      " [--device=gtx680|gtx480] [--cuda] --out-dir=<dir>\n";
+  return 2;
+}
+
+fmt::Coo load_input(const Args& args) {
+  if (args.has("mtx")) return io::read_matrix_market_file(args.get("mtx"));
+  const auto& e = gen::suite_entry(args.get("matrix", "Protein"));
+  return e.make(e.bench_scale * args.get_double("scale", 0.5));
+}
+
+int cmd_gen(const Args& args) {
+  const auto A = load_input(args);
+  const std::string out = args.get("out");
+  require(!out.empty(), "gen: --out is required");
+  io::write_matrix_market_file(out, A);
+  std::cout << "wrote " << A.rows << "x" << A.cols << " (" << A.nnz()
+            << " nnz) to " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const auto A = load_input(args);
+  const auto csr = fmt::Csr::from_coo(A);
+  std::cout << A.rows << " x " << A.cols << ", " << A.nnz()
+            << " non-zeros\n"
+            << "nnz/row: mean "
+            << (A.rows ? static_cast<double>(A.nnz()) /
+                             static_cast<double>(A.rows)
+                       : 0)
+            << ", max " << csr.max_row_len() << "\n"
+            << "occupied diagonals: " << fmt::Dia::count_diagonals(csr)
+            << "\nELL padding ratio: " << fmt::Ell::padding_ratio(csr)
+            << "\nCOO footprint: " << A.footprint_bytes() << " bytes\n";
+  const auto m = core::Bccoo::build(A, {});
+  std::cout << "BCCOO(1x1) footprint: "
+            << m.footprint_bytes(m.block_cols <= 65535) << " bytes\n";
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const auto A = load_input(args);
+  const auto dev =
+      args.get("device", "gtx680") == "gtx480" ? sim::gtx480() : sim::gtx680();
+  tune::TuneOptions opt;
+  opt.exhaustive = args.has("exhaustive");
+  opt.extended_blocks = args.has("extended");
+  const auto r = tune::tune(A, dev, opt);
+  std::cout << "tuned in " << r.tuning_seconds << " s (" << r.evaluated
+            << " configs, " << r.skipped << " skipped)\n"
+            << "best: " << r.best.format.to_string() << " | "
+            << r.best.exec.to_string() << "\n"
+            << "modeled " << r.best.gflops << " GFLOPS on " << dev.name
+            << ", footprint " << r.best.footprint << " bytes\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const auto A = load_input(args);
+  const std::string out = args.get("out");
+  require(!out.empty(), "convert: --out is required");
+  core::FormatConfig fc;
+  fc.block_w = static_cast<index_t>(args.get_int("bw", 1));
+  fc.block_h = static_cast<index_t>(args.get_int("bh", 1));
+  fc.slices = static_cast<index_t>(args.get_int("slices", 1));
+  Stopwatch sw;
+  const auto m = core::Bccoo::build(A, fc);
+  io::save_bccoo_file(out, m);
+  std::cout << "built " << fc.to_string() << " in " << sw.elapsed_ms()
+            << " ms: " << m.num_blocks << " blocks, "
+            << m.footprint_bytes(m.block_cols <= 65535)
+            << " bytes (COO: " << A.footprint_bytes() << ")\nwrote " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_spmv(const Args& args) {
+  const std::string in = args.get("format");
+  require(!in.empty(), "spmv: --format is required");
+  auto m = std::make_shared<const core::Bccoo>(io::load_bccoo_file(in));
+  const auto threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  const long reps = args.get_int("reps", 10);
+  cpu::CpuSpmv eng(m, threads);
+  SplitMix64 rng(0x5eed);
+  std::vector<real_t> x(static_cast<std::size_t>(m->cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(static_cast<std::size_t>(m->rows));
+  eng.spmv(x, y);  // warm up
+  Stopwatch sw;
+  for (long r = 0; r < reps; ++r) eng.spmv(x, y);
+  const double ms = sw.elapsed_ms() / static_cast<double>(reps);
+  std::cout << m->rows << " x " << m->cols << ": " << ms << " ms/SpMV on "
+            << eng.threads() << " thread(s)\n";
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    f.precision(17);
+    for (real_t v : y) f << v << "\n";
+    std::cout << "wrote y to " << args.get("out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_codegen(const Args& args) {
+  const auto A = load_input(args);
+  const auto dev =
+      args.get("device", "gtx680") == "gtx480" ? sim::gtx480() : sim::gtx680();
+  const std::string dir = args.get("out-dir", ".");
+  const auto r = tune::tune(A, dev);
+  const bool cuda = args.has("cuda");
+  const auto kernels =
+      cuda ? codegen::generate_cuda(r.best.format, r.best.exec, dev)
+           : codegen::generate_opencl(r.best.format, r.best.exec, dev);
+  std::cout << "tuned: " << r.best.format.to_string() << " | "
+            << r.best.exec.to_string() << "\n"
+            << "cache key: "
+            << codegen::cache_key(r.best.format, r.best.exec) << "\n";
+  for (const auto& k : kernels) {
+    const std::string path = dir + "/" + k.name + (cuda ? ".cu" : ".cl");
+    std::ofstream f(path);
+    require(static_cast<bool>(f), "codegen: cannot open " + path);
+    f << k.source;
+    std::cout << "wrote " << path << " (" << k.source.size() << " bytes)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "spmv") return cmd_spmv(args);
+    if (cmd == "codegen") return cmd_codegen(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
