@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extended.dir/bench_ablation_extended.cpp.o"
+  "CMakeFiles/bench_ablation_extended.dir/bench_ablation_extended.cpp.o.d"
+  "bench_ablation_extended"
+  "bench_ablation_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

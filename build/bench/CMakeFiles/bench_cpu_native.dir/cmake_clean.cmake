@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_native.dir/bench_cpu_native.cpp.o"
+  "CMakeFiles/bench_cpu_native.dir/bench_cpu_native.cpp.o.d"
+  "bench_cpu_native"
+  "bench_cpu_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_gtx680.dir/bench_fig13_gtx680.cpp.o"
+  "CMakeFiles/bench_fig13_gtx680.dir/bench_fig13_gtx680.cpp.o.d"
+  "bench_fig13_gtx680"
+  "bench_fig13_gtx680.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gtx680.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
