@@ -238,6 +238,7 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /root/repo/src/yaspmv/core/config.hpp \
  /root/repo/src/yaspmv/util/bitops.hpp \
  /root/repo/src/yaspmv/util/common.hpp \
+ /root/repo/src/yaspmv/core/status.hpp \
  /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -255,7 +256,8 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/yaspmv/sim/counters.hpp \
- /root/repo/src/yaspmv/sim/device.hpp \
+ /root/repo/src/yaspmv/sim/device.hpp /root/repo/src/yaspmv/sim/fault.hpp \
+ /root/repo/src/yaspmv/util/rng.hpp \
  /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

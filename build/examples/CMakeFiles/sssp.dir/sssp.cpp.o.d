@@ -203,6 +203,7 @@ examples/CMakeFiles/sssp.dir/sssp.cpp.o: /root/repo/examples/sssp.cpp \
  /root/repo/src/yaspmv/core/config.hpp \
  /root/repo/src/yaspmv/util/bitops.hpp \
  /root/repo/src/yaspmv/util/common.hpp \
+ /root/repo/src/yaspmv/core/status.hpp \
  /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \

@@ -1,6 +1,6 @@
 src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /root/repo/src/yaspmv/tune/tuner.cpp /usr/include/stdc-predef.h \
- /root/repo/src/yaspmv/tune/tuner.hpp /usr/include/c++/12/string \
+ /root/repo/src/yaspmv/tune/tuner.hpp /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,7 +12,8 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -20,7 +21,6 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -125,9 +125,9 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/yaspmv/core/config.hpp \
  /root/repo/src/yaspmv/util/bitops.hpp \
- /root/repo/src/yaspmv/util/common.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/yaspmv/util/common.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/algorithm \
@@ -240,6 +240,7 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/yaspmv/core/engine.hpp \
  /root/repo/src/yaspmv/core/bccoo.hpp \
+ /root/repo/src/yaspmv/core/status.hpp \
  /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/yaspmv/core/plan.hpp \
@@ -254,6 +255,7 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/yaspmv/sim/counters.hpp \
+ /root/repo/src/yaspmv/sim/fault.hpp /root/repo/src/yaspmv/util/rng.hpp \
  /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -265,7 +267,7 @@ src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o: \
  /root/repo/src/yaspmv/sim/adjacent.hpp \
  /root/repo/src/yaspmv/formats/blocked.hpp \
  /root/repo/src/yaspmv/formats/csr.hpp \
- /root/repo/src/yaspmv/perf/model.hpp /root/repo/src/yaspmv/util/rng.hpp \
+ /root/repo/src/yaspmv/perf/model.hpp \
  /root/repo/src/yaspmv/util/stopwatch.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

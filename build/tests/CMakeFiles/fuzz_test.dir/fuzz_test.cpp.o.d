@@ -297,34 +297,8 @@ tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o: \
  /root/repo/src/yaspmv/core/bccoo.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/yaspmv/core/config.hpp \
- /root/repo/src/yaspmv/util/bitops.hpp \
- /root/repo/src/yaspmv/util/common.hpp \
- /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
- /root/repo/src/yaspmv/core/plan.hpp \
- /root/repo/src/yaspmv/scan/segscan_tree.hpp \
- /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/yaspmv/sim/counters.hpp \
- /root/repo/src/yaspmv/sim/device.hpp \
- /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/yaspmv/scan/wg_scan.hpp \
- /root/repo/src/yaspmv/sim/adjacent.hpp \
- /root/repo/src/yaspmv/cpu/spmv.hpp /root/repo/src/yaspmv/formats/csr.hpp \
- /root/repo/src/yaspmv/gen/suite.hpp /root/repo/src/yaspmv/util/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -344,4 +318,31 @@ tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/yaspmv/core/config.hpp \
+ /root/repo/src/yaspmv/util/bitops.hpp \
+ /root/repo/src/yaspmv/util/common.hpp \
+ /root/repo/src/yaspmv/core/status.hpp \
+ /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/yaspmv/core/plan.hpp \
+ /root/repo/src/yaspmv/scan/segscan_tree.hpp \
+ /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/yaspmv/sim/counters.hpp \
+ /root/repo/src/yaspmv/sim/device.hpp /root/repo/src/yaspmv/sim/fault.hpp \
+ /root/repo/src/yaspmv/util/rng.hpp \
+ /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/yaspmv/scan/wg_scan.hpp \
+ /root/repo/src/yaspmv/sim/adjacent.hpp \
+ /root/repo/src/yaspmv/cpu/spmv.hpp /root/repo/src/yaspmv/formats/csr.hpp \
+ /root/repo/src/yaspmv/gen/suite.hpp

@@ -215,9 +215,32 @@ tests/CMakeFiles/sim_test.dir/sim_test.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /root/repo/src/yaspmv/core/status.hpp \
  /root/repo/src/yaspmv/sim/counters.hpp \
  /root/repo/src/yaspmv/util/common.hpp \
- /root/repo/src/yaspmv/sim/device.hpp \
+ /root/repo/src/yaspmv/sim/device.hpp /root/repo/src/yaspmv/sim/fault.hpp \
+ /root/repo/src/yaspmv/util/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -1,6 +1,6 @@
 tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /root/repo/tests/tuner_test.cpp /usr/include/stdc-predef.h \
- /root/repo/src/yaspmv/tune/tuner.hpp /usr/include/c++/12/string \
+ /root/repo/src/yaspmv/tune/tuner.hpp /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,7 +12,8 @@ tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -20,7 +21,6 @@ tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -125,9 +125,9 @@ tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/yaspmv/core/config.hpp \
  /root/repo/src/yaspmv/util/bitops.hpp \
- /root/repo/src/yaspmv/util/common.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/yaspmv/util/common.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/algorithm \
@@ -304,28 +304,8 @@ tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/yaspmv/core/engine.hpp \
- /root/repo/src/yaspmv/core/bccoo.hpp \
- /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
- /root/repo/src/yaspmv/core/plan.hpp \
- /root/repo/src/yaspmv/scan/segscan_tree.hpp \
- /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/yaspmv/sim/counters.hpp \
- /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/yaspmv/scan/wg_scan.hpp \
- /root/repo/src/yaspmv/sim/adjacent.hpp \
- /root/repo/src/yaspmv/formats/blocked.hpp \
- /root/repo/src/yaspmv/formats/csr.hpp \
- /root/repo/src/yaspmv/gen/suite.hpp /root/repo/src/yaspmv/util/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/yaspmv/core/bccoo.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -345,4 +325,25 @@ tests/CMakeFiles/tuner_test.dir/tuner_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/yaspmv/core/status.hpp \
+ /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/yaspmv/core/plan.hpp \
+ /root/repo/src/yaspmv/scan/segscan_tree.hpp \
+ /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/yaspmv/sim/counters.hpp \
+ /root/repo/src/yaspmv/sim/fault.hpp /root/repo/src/yaspmv/util/rng.hpp \
+ /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/yaspmv/scan/wg_scan.hpp \
+ /root/repo/src/yaspmv/sim/adjacent.hpp \
+ /root/repo/src/yaspmv/formats/blocked.hpp \
+ /root/repo/src/yaspmv/formats/csr.hpp \
+ /root/repo/src/yaspmv/gen/suite.hpp

@@ -25,3 +25,5 @@ include("/root/repo/build/tests/codegen_test[1]_include.cmake")
 include("/root/repo/build/tests/semiring_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/malformed_io_test[1]_include.cmake")

@@ -214,45 +214,7 @@ tools/CMakeFiles/yaspmv_cli.dir/yaspmv_cli.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/yaspmv/core/plan.hpp \
- /root/repo/src/yaspmv/scan/segscan_tree.hpp \
- /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/yaspmv/sim/counters.hpp \
- /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/yaspmv/scan/wg_scan.hpp \
- /root/repo/src/yaspmv/sim/adjacent.hpp \
- /root/repo/src/yaspmv/cpu/spmv.hpp /root/repo/src/yaspmv/formats/csr.hpp \
- /root/repo/src/yaspmv/formats/dia.hpp \
- /root/repo/src/yaspmv/formats/ell.hpp \
- /root/repo/src/yaspmv/gen/suite.hpp /root/repo/src/yaspmv/io/binary.hpp \
- /root/repo/src/yaspmv/io/matrix_market.hpp \
- /root/repo/src/yaspmv/tune/tuner.hpp /root/repo/src/yaspmv/util/args.hpp \
- /root/repo/src/yaspmv/util/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -273,6 +235,47 @@ tools/CMakeFiles/yaspmv_cli.dir/yaspmv_cli.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/yaspmv/core/status.hpp \
+ /root/repo/src/yaspmv/formats/coo.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/yaspmv/core/kernels.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/yaspmv/core/plan.hpp \
+ /root/repo/src/yaspmv/scan/segscan_tree.hpp \
+ /root/repo/src/yaspmv/sim/dispatch.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/yaspmv/sim/counters.hpp \
+ /root/repo/src/yaspmv/sim/fault.hpp /root/repo/src/yaspmv/util/rng.hpp \
+ /root/repo/src/yaspmv/util/thread_pool.hpp /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/yaspmv/scan/wg_scan.hpp \
+ /root/repo/src/yaspmv/sim/adjacent.hpp \
+ /root/repo/src/yaspmv/core/resilient.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/yaspmv/formats/csr.hpp /root/repo/src/yaspmv/cpu/spmv.hpp \
+ /root/repo/src/yaspmv/formats/dia.hpp \
+ /root/repo/src/yaspmv/formats/ell.hpp \
+ /root/repo/src/yaspmv/gen/suite.hpp /root/repo/src/yaspmv/io/binary.hpp \
+ /root/repo/src/yaspmv/io/matrix_market.hpp \
+ /root/repo/src/yaspmv/tune/tuner.hpp /root/repo/src/yaspmv/util/args.hpp \
  /root/repo/src/yaspmv/util/stopwatch.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <span>
 #include <vector>
 
 #include "yaspmv/core/config.hpp"
+#include "yaspmv/core/status.hpp"
 #include "yaspmv/formats/coo.hpp"
 #include "yaspmv/util/bitops.hpp"
 #include "yaspmv/util/common.hpp"
@@ -133,6 +135,69 @@ struct Bccoo {
     }
     if (blk_i > 0) m.bit_flags.set(blk_i - 1, false);  // final row stop
     return m;
+  }
+
+  /// Structural invariant checker, run before planning (ResilientEngine) and
+  /// after deserialization (load_bccoo): every relation the kernels assume
+  /// between the arrays must hold, otherwise the SpMV would read out of
+  /// bounds or scatter results to the wrong rows.  Throws FormatInvalid with
+  /// the violated invariant; NaN/Inf values are rejected unless
+  /// `allow_nonfinite` (they would silently poison every segment downstream
+  /// of theirs).
+  void validate(bool allow_nonfinite = false) const {
+    const auto check = [](bool ok, const std::string& what) {
+      if (!ok) throw FormatInvalid("Bccoo: " + what);
+    };
+    check(rows >= 0 && cols >= 0, "negative matrix shape");
+    check(cfg.block_w >= 1 && cfg.block_h >= 1, "block dims must be >= 1");
+    check(cfg.slices >= 1, "slice count must be >= 1");
+    check(block_rows == ceil_div(rows, cfg.block_h),
+          "block_rows inconsistent with rows/block_h");
+    check(block_cols == ceil_div(cols, cfg.block_w),
+          "block_cols inconsistent with cols/block_w");
+    check(stacked_block_rows == block_rows * cfg.slices,
+          "stacked_block_rows != block_rows * slices");
+    check(bit_flags.size() == num_blocks, "bit-flag length != block count");
+    check(col_index.size() == num_blocks, "col-index length != block count");
+    check(value_rows.size() == static_cast<std::size_t>(cfg.block_h),
+          "value-array count != block height");
+    const std::size_t row_len =
+        num_blocks * static_cast<std::size_t>(cfg.block_w);
+    for (const auto& vr : value_rows) {
+      check(vr.size() == row_len, "per-row value-array length mismatch");
+    }
+    // Bit-flag <-> segment relation: row stops (0-bits) enumerate exactly
+    // the non-empty block-rows, and the last block always closes its row.
+    check(bit_flags.count_zeros() == seg_to_block_row.size(),
+          "row-stop count != segment-map length");
+    if (num_blocks > 0) {
+      check(!bit_flags.get(num_blocks - 1),
+            "final block does not terminate its block-row");
+    }
+    index_t prev = -1;
+    for (std::size_t s = 0; s < seg_to_block_row.size(); ++s) {
+      const index_t b = seg_to_block_row[s];
+      check(b > prev, "segment map not strictly increasing");
+      check(b >= 0 && b < stacked_block_rows,
+            "segment map entry out of range");
+      prev = b;
+    }
+    if (identity_segments) {
+      for (std::size_t s = 0; s < seg_to_block_row.size(); ++s) {
+        check(seg_to_block_row[s] == static_cast<index_t>(s),
+              "identity_segments set but segment map is not the identity");
+      }
+    }
+    for (const index_t c : col_index) {
+      check(c >= 0 && c < block_cols, "block-column index out of range");
+    }
+    if (!allow_nonfinite) {
+      for (const auto& vr : value_rows) {
+        for (const real_t v : vr) {
+          check(std::isfinite(v), "non-finite block value");
+        }
+      }
+    }
   }
 
   /// Table 3 footprint model of the stored arrays: packed bit flags +

@@ -54,6 +54,11 @@ class SpmvEngine {
   const BccooPlan& plan() const { return plan_; }
   const sim::DeviceSpec& device() const { return dev_; }
 
+  /// Attaches a fault injector (nullptr detaches).  The engine does not own
+  /// it; the fault-free path stays a single null check per injection site.
+  void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+  sim::FaultInjector* fault_injector() const { return fault_; }
+
   /// Total bytes the kernel streams once per SpMV (Table 3 accounting).
   std::size_t footprint_bytes() const { return plan_.footprint_bytes(); }
 
@@ -77,18 +82,21 @@ class SpmvEngine {
 
     if (plan_.exec.adjacent_sync) {
       sim::AdjacentBuffer grp(static_cast<std::size_t>(plan_.num_workgroups),
-                              fmt().cfg.block_h, plan_.exec.workers > 1);
-      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, &grp, nullptr);
+                              fmt().cfg.block_h, plan_.exec.workers > 1,
+                              fault_);
+      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, &grp, nullptr,
+                                   fault_);
       out.launches += 1;
     } else {
       WgTails tails;
-      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, nullptr, &tails);
-      out.stats += run_carry_kernel(plan_, dev_, tails, res_);
+      out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, nullptr, &tails,
+                                   fault_);
+      out.stats += run_carry_kernel(plan_, dev_, tails, res_, fault_);
       out.launches += 2;
     }
 
     if (fmt().cfg.slices > 1) {
-      out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y);
+      out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y, fault_);
       out.launches += 1;
     } else {
       // One slice: the stacked result *is* y (modulo block padding); on the
@@ -105,6 +113,7 @@ class SpmvEngine {
 
   sim::DeviceSpec dev_;
   std::shared_ptr<const Bccoo> fmt_ptr_;
+  sim::FaultInjector* fault_ = nullptr;  ///< non-owning fault hook
   BccooPlan plan_;
   std::vector<real_t> xp_;   ///< padded multiplied vector
   std::vector<real_t> res_;  ///< per-segment results (stacked block-rows)

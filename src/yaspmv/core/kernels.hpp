@@ -46,13 +46,15 @@ struct WgTails {
 /// Main BCCOO SpMV kernel.  `xp` is the multiplied vector padded to
 /// block_cols*block_w; `res` (stacked_block_rows*block_h, zero-initialized)
 /// receives one h-vector per segment.  Exactly one of `grp` (adjacent sync)
-/// or `tails_out` (global sync) must be non-null.
+/// or `tails_out` (global sync) must be non-null.  `fault` is the optional
+/// fault-injection hook (null = zero-cost fault-free path).
 inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
                                         const sim::DeviceSpec& dev,
                                         std::span<const real_t> xp,
                                         std::span<real_t> res,
                                         sim::AdjacentBuffer* grp,
-                                        WgTails* tails_out) {
+                                        WgTails* tails_out,
+                                        sim::FaultInjector* fault = nullptr) {
   const Bccoo& m = *p.fmt;
   const ExecConfig& ex = p.exec;
   const int W = ex.workgroup_size;
@@ -91,6 +93,8 @@ inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
   lc.workers = ex.workers;
   lc.use_texture = ex.use_texture;
   lc.logical_ids = ex.logical_ids;
+  lc.fault = fault;
+  lc.kind = sim::LaunchKind::kMain;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     const int wid = wg.wg_id();
@@ -295,6 +299,13 @@ inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
       }
     });
 
+    // Fault-injection site: a kCorruptCache plan perturbs this workgroup's
+    // result cache after phase A computed it (models a silent shared-memory
+    // bit error; only a residual check can see it).
+    if (fault && ex.strategy == Strategy::kResultCache) {
+      fault->corrupt_result_cache(static_cast<std::size_t>(wid), cache);
+    }
+
     // ---- prefix of start flags (for first-stop ownership) ---------------
     wg.phase([&](int t) {
       if (t == 0) {
@@ -480,7 +491,8 @@ inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
 inline sim::KernelStats run_carry_kernel(const BccooPlan& p,
                                          const sim::DeviceSpec& dev,
                                          const WgTails& tails,
-                                         std::span<real_t> res) {
+                                         std::span<real_t> res,
+                                         sim::FaultInjector* fault = nullptr) {
   const Bccoo& m = *p.fmt;
   const int h = m.cfg.block_h;
   const auto hz = static_cast<std::size_t>(h);
@@ -490,6 +502,8 @@ inline sim::KernelStats run_carry_kernel(const BccooPlan& p,
   lc.workgroup_size = 1;
   lc.workers = 1;
   lc.use_texture = false;
+  lc.fault = fault;
+  lc.kind = sim::LaunchKind::kCarry;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     sim::KernelStats& st = wg.stats();
@@ -539,7 +553,8 @@ inline sim::KernelStats run_combine_kernel(const Bccoo& m,
                                            const sim::DeviceSpec& dev,
                                            const ExecConfig& ex,
                                            std::span<const real_t> res,
-                                           std::span<real_t> y) {
+                                           std::span<real_t> y,
+                                           sim::FaultInjector* fault = nullptr) {
   const int h = m.cfg.block_h;
   const auto hz = static_cast<std::size_t>(h);
   const int W = 256;
@@ -550,6 +565,8 @@ inline sim::KernelStats run_combine_kernel(const Bccoo& m,
   lc.workgroup_size = W;
   lc.workers = ex.workers;
   lc.use_texture = false;
+  lc.fault = fault;
+  lc.kind = sim::LaunchKind::kCombine;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     sim::KernelStats& st = wg.stats();

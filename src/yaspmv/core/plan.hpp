@@ -19,6 +19,7 @@
 
 #include "yaspmv/core/bccoo.hpp"
 #include "yaspmv/core/config.hpp"
+#include "yaspmv/core/status.hpp"
 #include "yaspmv/util/common.hpp"
 
 namespace yaspmv::core {
@@ -152,6 +153,21 @@ struct BccooPlan {
           p.col_delta[i] = -1;  // escape to the uncompressed array
           p.delta_escapes++;
         }
+      }
+      // Round-trip self-check: decoding every delta (through the same path
+      // the kernel uses) must reproduce the absolute column exactly — a
+      // mismatch means the compression lost information and the SpMV would
+      // silently gather from the wrong vector elements.
+      index_t prev = 0;
+      for (std::size_t i = 0; i < p.padded_blocks; ++i) {
+        const int j = static_cast<int>(i % tile);
+        const index_t dec = p.decode_col(i, j, prev);
+        if (dec != p.col_abs[i]) {
+          throw FormatInvalid(
+              "column delta compression round-trip failed at block " +
+              std::to_string(i));
+        }
+        prev = dec;
       }
     }
 

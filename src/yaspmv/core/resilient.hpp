@@ -1,0 +1,262 @@
+// ResilientEngine — verify-and-fallback execution on top of SpmvEngine.
+//
+// The paper's fast path is fragile by construction: adjacent synchronization
+// hangs if one workgroup dies, the strategy-2 result cache can be silently
+// corrupted, and a failed carry/combine launch loses results.  Following the
+// speculative-segmented-sum pattern (Liu & Vinter, PAPERS.md) we run the
+// fast path, *detect* that it went wrong — a classified SpmvError or a
+// sampled-row residual check against the CPU reference — and recover through
+// a bounded degradation ladder:
+//
+//   step 0  the configured fast path
+//   step 1  flip the synchronization mode (adjacent spin chain <-> two-kernel
+//           global-sync carry propagation)
+//   step 2  strategy 2 result cache -> strategy 1 intermediate sums
+//   step 3  BCCOO+ -> BCCOO (slices = 1, drops the combine kernel)
+//   step 4  COO baseline on the CPU reference path (cannot fail)
+//
+// Degradations are cumulative: once a mechanism is implicated it stays off
+// for the rest of the run.  Faults are recorded per attempt so callers (the
+// chaos tests, yaspmv_cli --inject) can report what happened and where the
+// ladder stopped.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/core/status.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/sim/fault.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv::core {
+
+struct ResilientOptions {
+  /// Run the sampled-row residual check after every simulated attempt (the
+  /// only way to catch *silent* corruption; classified errors are always
+  /// detected).
+  bool verify = false;
+  int sample_rows = 16;      ///< rows compared against the CPU reference
+  double tolerance = 1e-6;   ///< relative residual bound per sampled row
+  int max_attempts = 8;      ///< hard bound on engine runs before giving up
+};
+
+/// One failed attempt: which rung, how it failed.
+struct FaultRecord {
+  std::string path;     ///< label of the rung that failed
+  Status status = Status::kOk;
+  std::string detail;   ///< diagnostic (exception what(), residual info)
+};
+
+/// Outcome of a resilient run.  `run` holds the stats of the attempt that
+/// produced `y`; `faults` holds everything that went wrong on the way there.
+struct ResilientRun {
+  SpmvRun run;
+  int attempts = 0;      ///< engine runs performed (>= 1)
+  int ladder_step = 0;   ///< rung index that finally succeeded
+  bool recovered = false;  ///< true when any fallback was needed
+  bool verified = false;   ///< sampled-row residual check passed (or CPU path)
+  std::string path;        ///< label of the successful rung
+  std::vector<FaultRecord> faults;
+
+  int retries() const { return attempts > 0 ? attempts - 1 : 0; }
+};
+
+class ResilientEngine {
+ public:
+  ResilientEngine(const fmt::Coo& a, const FormatConfig& fc,
+                  const ExecConfig& ec, sim::DeviceSpec dev,
+                  ResilientOptions opt = {})
+      : a_(a),
+        csr_(fmt::Csr::from_coo(a)),
+        dev_(std::move(dev)),
+        opt_(opt) {
+    build_ladder(fc, ec);
+  }
+
+  /// Attaches the fault injector forwarded to every simulated attempt.
+  void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+
+  /// Rung labels, fast path first, CPU baseline last (for reporting/tests).
+  std::vector<std::string> ladder() const {
+    std::vector<std::string> out;
+    out.reserve(rungs_.size() + 1);
+    for (const auto& r : rungs_) out.push_back(r.label);
+    out.push_back(kCpuLabel);
+    return out;
+  }
+
+  ResilientRun run(std::span<const real_t> x, std::span<real_t> y) {
+    require(x.size() == static_cast<std::size_t>(a_.cols) &&
+                y.size() == static_cast<std::size_t>(a_.rows),
+            "ResilientEngine::run: vector size mismatch");
+    ResilientRun out;
+    for (std::size_t step = 0; step < rungs_.size(); ++step) {
+      if (out.attempts >= opt_.max_attempts) break;
+      Rung& rung = rungs_[step];
+      try {
+        if (!rung.engine) {
+          // Validate the format's invariants *before* planning: a corrupted
+          // format must surface as FormatInvalid here, not as a bad scatter
+          // inside the kernel.
+          if (!rung.format) {
+            rung.format = std::make_shared<const Bccoo>(
+                Bccoo::build(a_, rung.fc));
+          }
+          rung.format->validate();
+          rung.engine = std::make_unique<SpmvEngine>(rung.format, rung.ec,
+                                                     dev_);
+        }
+        rung.engine->set_fault_injector(fault_);
+        out.attempts++;
+        SpmvRun r = rung.engine->run(x, y);
+        if (opt_.verify) {
+          std::string residual;
+          if (!sampled_residual_ok(x, y, residual)) {
+            throw DataCorruption("sampled-row residual check failed: " +
+                                 residual);
+          }
+          out.verified = true;
+        }
+        out.run = r;
+        out.ladder_step = static_cast<int>(step);
+        out.recovered = step > 0;
+        out.path = rung.label;
+        return out;
+      } catch (const SpmvError& e) {
+        out.faults.push_back({rung.label, e.code(), e.what()});
+      }
+    }
+    // Terminal rung: the CPU COO/CSR reference path.  No simulated kernels,
+    // no synchronization, no cache — it cannot fail, and it *is* the
+    // reference, so the run is verified by definition.
+    csr_.spmv(x, y);
+    out.attempts++;
+    out.ladder_step = static_cast<int>(rungs_.size());
+    out.recovered = !rungs_.empty();
+    out.verified = true;
+    out.path = kCpuLabel;
+    return out;
+  }
+
+ private:
+  static constexpr const char* kCpuLabel = "coo-cpu-baseline";
+
+  struct Rung {
+    FormatConfig fc;
+    ExecConfig ec;
+    std::string label;
+    std::shared_ptr<const Bccoo> format;   ///< built lazily, shared per fc
+    std::unique_ptr<SpmvEngine> engine;    ///< built lazily
+  };
+
+  void build_ladder(const FormatConfig& fc0, const ExecConfig& ec0) {
+    FormatConfig fc = fc0;
+    ExecConfig ec = ec0;
+    add_rung(fc, ec, std::string("fast-path (") + fc.to_string() + " | " +
+                         ec.to_string() + ")");
+    // Step 1: flip the synchronization mode.  adjacent -> global-sync routes
+    // around a dead spin chain; global -> adjacent routes around a failing
+    // carry-kernel launch.
+    ec.adjacent_sync = !ec.adjacent_sync;
+    add_rung(fc, ec, ec.adjacent_sync
+                         ? "sync-fallback: adjacent-sync single kernel"
+                         : "sync-fallback: global-sync carry kernel");
+    // Step 2: abandon the strategy-2 result cache for strategy 1
+    // intermediate sums (routes around shared-memory cache corruption).
+    if (ec.strategy == Strategy::kResultCache) {
+      ec.strategy = Strategy::kIntermediateSums;
+      ec.shm_tile = 0;
+      const int max_tile =
+          std::max(1, 128 / std::max<index_t>(fc.block_h, 1));
+      ec.thread_tile = std::min(ec.thread_tile, max_tile);
+      add_rung(fc, ec, "strategy-fallback: result cache -> intermediate sums");
+    }
+    // Step 3: BCCOO+ -> BCCOO (drops the combine kernel entirely).
+    if (fc.slices > 1) {
+      fc.slices = 1;
+      add_rung(fc, ec, "format-fallback: BCCOO+ -> BCCOO (slices=1)");
+    }
+    // Share the built format between rungs with an identical FormatConfig
+    // (the expensive part of a rung is Bccoo::build).
+    for (std::size_t i = 1; i < rungs_.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (rungs_[i].fc.block_w == rungs_[j].fc.block_w &&
+            rungs_[i].fc.block_h == rungs_[j].fc.block_h &&
+            rungs_[i].fc.slices == rungs_[j].fc.slices &&
+            rungs_[i].fc.bf_word == rungs_[j].fc.bf_word) {
+          rungs_[i].format = rungs_[j].format;  // may still be null (lazy)
+        }
+      }
+    }
+  }
+
+  void add_rung(const FormatConfig& fc, const ExecConfig& ec,
+                std::string label) {
+    Rung r;
+    r.fc = fc;
+    r.ec = ec;
+    r.label = std::move(label);
+    rungs_.push_back(std::move(r));
+  }
+
+  /// Compares a deterministic sample of rows of `y` against the serial CSR
+  /// reference.  O(sample_rows * nnz/row) — cheap relative to the SpMV.
+  bool sampled_residual_ok(std::span<const real_t> x,
+                           std::span<const real_t> y,
+                           std::string& detail) const {
+    const auto rows = static_cast<std::uint64_t>(a_.rows);
+    if (rows == 0) return true;
+    // sample_rows >= rows upgrades to an exhaustive check (deterministic
+    // detection — random sampling with replacement can miss a single
+    // corrupted row no matter how many samples are drawn).
+    const bool full = static_cast<std::uint64_t>(
+                          std::max(0, opt_.sample_rows)) >= rows;
+    const auto n = full ? rows
+                        : static_cast<std::uint64_t>(std::min<std::int64_t>(
+                              opt_.sample_rows, a_.rows));
+    SplitMix64 rng(0xC0FFEE);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      // Cover the matrix ends (first/last rows hold the carry chain's
+      // boundary cases), fill the rest with seeded samples.
+      std::uint64_t r;
+      if (full) {
+        r = k;
+      } else if (k == 0) {
+        r = 0;
+      } else if (k == 1) {
+        r = rows - 1;
+      } else {
+        r = rng.next_below(rows);
+      }
+      real_t ref = 0.0;
+      for (index_t e = csr_.row_ptr[r]; e < csr_.row_ptr[r + 1]; ++e) {
+        ref += csr_.vals[static_cast<std::size_t>(e)] *
+               x[static_cast<std::size_t>(
+                   csr_.col_idx[static_cast<std::size_t>(e)])];
+      }
+      const real_t got = y[static_cast<std::size_t>(r)];
+      const double scale = std::max(1.0, std::abs(ref));
+      if (!(std::abs(got - ref) <= opt_.tolerance * scale)) {
+        detail = "row " + std::to_string(r) + ": got " + std::to_string(got) +
+                 ", reference " + std::to_string(ref);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  fmt::Coo a_;          ///< kept for format rebuilds on format-fallback rungs
+  fmt::Csr csr_;        ///< CPU reference: sampling + the terminal rung
+  sim::DeviceSpec dev_;
+  ResilientOptions opt_;
+  sim::FaultInjector* fault_ = nullptr;
+  std::vector<Rung> rungs_;
+};
+
+}  // namespace yaspmv::core

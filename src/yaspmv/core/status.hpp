@@ -1,0 +1,92 @@
+// Structured error taxonomy for the whole pipeline.
+//
+// Every runtime failure the engine, simulator, tuner or I/O layer can hit is
+// classified by a Status code and raised as a subclass of SpmvError, so
+// callers (most importantly core::ResilientEngine and tune::tune) can react
+// per failure class instead of string-matching what() of an ad-hoc
+// std::runtime_error.  Argument-contract violations keep throwing
+// std::invalid_argument via require() — those are caller bugs, not runtime
+// faults, and must not trigger the degradation ladder.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace yaspmv {
+
+/// Failure classes, ordered roughly by where in the pipeline they surface.
+enum class Status {
+  kOk = 0,
+  kSyncTimeout,       ///< adjacent-sync wait exceeded its spin budget / chain broke
+  kLaunchFailure,     ///< a kernel launch failed (device rejected or injected)
+  kDataCorruption,    ///< results or payload failed a verification check
+  kFormatInvalid,     ///< a format's structural invariants do not hold
+  kResourceExceeded,  ///< device resource limits (shared memory, registers, ...)
+  kIoError,           ///< file/stream level failure (open, read, write)
+};
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kSyncTimeout: return "sync-timeout";
+    case Status::kLaunchFailure: return "launch-failure";
+    case Status::kDataCorruption: return "data-corruption";
+    case Status::kFormatInvalid: return "format-invalid";
+    case Status::kResourceExceeded: return "resource-exceeded";
+    case Status::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+/// Base of the failure hierarchy.  what() is "<status>: <detail>".
+class SpmvError : public std::runtime_error {
+ public:
+  SpmvError(Status code, const std::string& msg)
+      : std::runtime_error(std::string(to_string(code)) + ": " + msg),
+        code_(code) {}
+
+  Status code() const { return code_; }
+
+ private:
+  Status code_;
+};
+
+/// An adjacent-synchronization wait gave up: the predecessor workgroup never
+/// published its Grp_sum entry (dead, stalled, or dropped by fault injection).
+class SyncTimeout : public SpmvError {
+ public:
+  explicit SyncTimeout(const std::string& msg)
+      : SpmvError(Status::kSyncTimeout, msg) {}
+};
+
+/// A kernel launch failed before any workgroup ran.
+class LaunchFailure : public SpmvError {
+ public:
+  explicit LaunchFailure(const std::string& msg)
+      : SpmvError(Status::kLaunchFailure, msg) {}
+};
+
+/// Computed or stored data failed an integrity check (sampled-row residual,
+/// payload checksum, round-trip mismatch).
+class DataCorruption : public SpmvError {
+ public:
+  explicit DataCorruption(const std::string& msg)
+      : SpmvError(Status::kDataCorruption, msg) {}
+};
+
+/// A format object violates its structural invariants (Bccoo::validate, the
+/// binary loader's cross-checks, a malformed Matrix Market stream).
+class FormatInvalid : public SpmvError {
+ public:
+  explicit FormatInvalid(const std::string& msg)
+      : SpmvError(Status::kFormatInvalid, msg) {}
+};
+
+/// Stream/file level failure: cannot open, short read/write.
+class IoError : public SpmvError {
+ public:
+  explicit IoError(const std::string& msg)
+      : SpmvError(Status::kIoError, msg) {}
+};
+
+}  // namespace yaspmv

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "yaspmv/core/status.hpp"
 
 namespace yaspmv::io {
 
@@ -19,12 +24,23 @@ std::string lower(std::string s) {
 }
 
 [[noreturn]] void fail(const std::string& msg) {
-  throw std::runtime_error("matrix market: " + msg);
+  throw FormatInvalid("matrix market: " + msg);
 }
+
+bool blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+/// Largest up-front reserve we honor from an untrusted size line; beyond
+/// this, vectors grow on demand so a hostile "99999999 99999999 9e15" header
+/// cannot OOM the process before the (truncated) entry list is even read.
+constexpr std::size_t kMaxTrustedReserve = std::size_t{1} << 24;
 
 }  // namespace
 
-fmt::Coo read_matrix_market(std::istream& in) {
+fmt::Coo read_matrix_market(std::istream& in, const MatrixMarketOptions& opt) {
   std::string line;
   if (!std::getline(in, line)) fail("empty stream");
   std::istringstream hdr(line);
@@ -45,28 +61,66 @@ fmt::Coo read_matrix_market(std::istream& in) {
     fail("unsupported symmetry: " + symmetry);
   }
 
-  // Skip comments, read the size line.
+  // Skip comments/blank lines, read the size line.
+  bool have_size = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (line.empty() || line[0] == '%' || blank(line)) continue;
+    have_size = true;
+    break;
   }
+  if (!have_size) fail("missing size line");
   std::istringstream sz(line);
-  long rows = 0, cols = 0, entries = 0;
+  long long rows = 0, cols = 0, entries = 0;
   if (!(sz >> rows >> cols >> entries)) fail("bad size line");
   if (rows < 0 || cols < 0 || entries < 0) fail("negative size");
+  constexpr long long kIndexMax = std::numeric_limits<index_t>::max();
+  if (rows > kIndexMax || cols > kIndexMax) {
+    fail("matrix dimensions overflow the 32-bit index type");
+  }
+  // Entry-count sanity: the stored count (doubled for the mirrored
+  // symmetric/skew halves) must fit index_t, and cannot exceed the number of
+  // cells in the matrix.  Both reject absurd size lines before any
+  // allocation happens.
+  const long long stored_max = (symmetric || skew) ? 2 * entries : entries;
+  if (entries > kIndexMax || stored_max > kIndexMax) {
+    fail("entry count overflows the 32-bit index type");
+  }
+  if (rows * cols < entries) {  // both factors <= 2^31, no int64 overflow
+    fail("entry count exceeds rows * cols");
+  }
 
   std::vector<index_t> ri, ci;
   std::vector<real_t> v;
-  const std::size_t reserve =
-      static_cast<std::size_t>(entries) * ((symmetric || skew) ? 2 : 1);
+  const std::size_t reserve = std::min<std::size_t>(
+      static_cast<std::size_t>(stored_max), kMaxTrustedReserve);
   ri.reserve(reserve);
   ci.reserve(reserve);
   v.reserve(reserve);
-  for (long k = 0; k < entries; ++k) {
-    long r = 0, c = 0;
+  // Line-based entry parsing: real-world .mtx files contain blank lines and
+  // stray comments inside the entry list; both are tolerated.
+  long long k = 0;
+  while (k < entries) {
+    if (!std::getline(in, line)) fail("truncated entry list");
+    if (line.empty() || line[0] == '%' || blank(line)) continue;
+    std::istringstream ent(line);
+    long long r = 0, c = 0;
     double x = 1.0;
-    if (!(in >> r >> c)) fail("truncated entry list");
-    if (!pattern && !(in >> x)) fail("missing value");
+    if (!(ent >> r >> c)) fail("bad entry line: " + line);
+    if (!pattern) {
+      // istream's num_get rejects "nan"/"inf", which real .mtx files do
+      // contain; parse the token with strtod so the nonfinite *policy*
+      // decides, not the parser.
+      std::string tok;
+      if (!(ent >> tok)) fail("missing value: " + line);
+      char* end = nullptr;
+      x = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') fail("bad value: " + line);
+    }
     if (r < 1 || r > rows || c < 1 || c > cols) fail("entry out of range");
+    if (!opt.allow_nonfinite && !std::isfinite(x)) {
+      fail("non-finite value at entry " + std::to_string(k + 1) +
+           " (pass allow_nonfinite to accept)");
+    }
     ri.push_back(static_cast<index_t>(r - 1));
     ci.push_back(static_cast<index_t>(c - 1));
     v.push_back(x);
@@ -75,16 +129,18 @@ fmt::Coo read_matrix_market(std::istream& in) {
       ci.push_back(static_cast<index_t>(r - 1));
       v.push_back(skew ? -x : x);
     }
+    ++k;
   }
   return fmt::Coo::from_triplets(static_cast<index_t>(rows),
                                  static_cast<index_t>(cols), std::move(ri),
                                  std::move(ci), std::move(v));
 }
 
-fmt::Coo read_matrix_market_file(const std::string& path) {
+fmt::Coo read_matrix_market_file(const std::string& path,
+                                 const MatrixMarketOptions& opt) {
   std::ifstream f(path);
-  if (!f) fail("cannot open " + path);
-  return read_matrix_market(f);
+  if (!f) throw IoError("matrix market: cannot open " + path);
+  return read_matrix_market(f, opt);
 }
 
 void write_matrix_market(std::ostream& out, const fmt::Coo& m) {
@@ -99,7 +155,7 @@ void write_matrix_market(std::ostream& out, const fmt::Coo& m) {
 
 void write_matrix_market_file(const std::string& path, const fmt::Coo& m) {
   std::ofstream f(path);
-  if (!f) fail("cannot open " + path);
+  if (!f) throw IoError("matrix market: cannot open " + path);
   write_matrix_market(f, m);
 }
 

@@ -3,7 +3,10 @@
 //
 // Supports the coordinate format with real/integer/pattern fields and
 // general/symmetric/skew-symmetric symmetry, which covers every matrix in
-// Table 2.
+// Table 2.  The reader is hardened against hostile input: entry counts that
+// overflow index_t (or would drive a huge up-front reserve) are rejected,
+// blank and comment lines inside the entry list are tolerated, and
+// non-finite values are rejected unless explicitly opted in.
 #pragma once
 
 #include <iosfwd>
@@ -13,14 +16,23 @@
 
 namespace yaspmv::io {
 
-/// Parses a Matrix Market stream into canonical COO.  Throws
-/// std::runtime_error on malformed input or unsupported variants (complex
-/// fields, array format).
-fmt::Coo read_matrix_market(std::istream& in);
+struct MatrixMarketOptions {
+  /// Accept NaN/Inf values instead of raising FormatInvalid.  Off by
+  /// default: one non-finite value silently poisons every partial sum in
+  /// its segment downstream.
+  bool allow_nonfinite = false;
+};
 
-/// Convenience file wrapper; throws std::runtime_error when the file cannot
+/// Parses a Matrix Market stream into canonical COO.  Throws
+/// yaspmv::FormatInvalid (a std::runtime_error) on malformed input or
+/// unsupported variants (complex fields, array format).
+fmt::Coo read_matrix_market(std::istream& in,
+                            const MatrixMarketOptions& opt = {});
+
+/// Convenience file wrapper; throws yaspmv::IoError when the file cannot
 /// be opened.
-fmt::Coo read_matrix_market_file(const std::string& path);
+fmt::Coo read_matrix_market_file(const std::string& path,
+                                 const MatrixMarketOptions& opt = {});
 
 /// Writes canonical COO as "coordinate real general".
 void write_matrix_market(std::ostream& out, const fmt::Coo& m);

@@ -23,6 +23,7 @@
 
 #include "yaspmv/sim/counters.hpp"
 #include "yaspmv/sim/dispatch.hpp"
+#include "yaspmv/sim/fault.hpp"
 
 namespace yaspmv::sim {
 
@@ -38,10 +39,15 @@ class AdjacentBuffer {
   static constexpr std::size_t kMaxSpins = 200'000'000;
 
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
-  AdjacentBuffer(std::size_t num_workgroups, int h, bool blocking)
+  AdjacentBuffer(std::size_t num_workgroups, int h, bool blocking,
+                 FaultInjector* fault = nullptr)
       : n_(num_workgroups),
         h_(h),
         blocking_(blocking),
+        fault_(fault),
+        spin_budget_(fault && fault->spin_budget_override != 0
+                         ? fault->spin_budget_override
+                         : kMaxSpins),
         entries_(std::make_unique<Entry[]>(num_workgroups ? num_workgroups
                                                           : 1)) {
     if (h < 1 || h > kMaxH) throw SimError("AdjacentBuffer: bad block height");
@@ -50,10 +56,17 @@ class AdjacentBuffer {
   int height() const { return h_; }
   std::size_t size() const { return n_; }
 
-  /// Publishes workgroup `wg`'s last partial sums (h values).
+  /// Publishes workgroup `wg`'s last partial sums (h values).  An armed
+  /// drop/stall fault suppresses the publish (successors will time out); a
+  /// corrupt fault perturbs the values before they become visible.
   void publish(std::size_t wg, std::span<const double> v) {
     Entry& e = entries_[wg];
     for (int i = 0; i < h_; ++i) e.v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)];
+    if (fault_) {
+      if (fault_->suppress_publish(wg)) return;
+      fault_->mutate_publish(wg, std::span<double>(e.v.data(),
+                                                   static_cast<std::size_t>(h_)));
+    }
     e.ready.store(1, std::memory_order_release);
   }
 
@@ -62,23 +75,27 @@ class AdjacentBuffer {
   }
 
   /// Waits for workgroup `wg`'s entry and copies it into `out`.  Spin count
-  /// is recorded in `stats`.  In non-blocking (sequential-dispatch) mode an
-  /// unpublished entry indicates a broken chain and throws.
+  /// is recorded in `stats`.  In non-blocking (sequential-dispatch) mode the
+  /// predecessor has already run, so an unpublished entry means its publish
+  /// was lost (broken chain / dead workgroup); in blocking mode the same
+  /// conclusion is reached after the spin budget expires.  Both raise
+  /// SyncTimeout — the trigger for the resilient engine's fallback ladder.
   void wait(std::size_t wg, std::span<double> out, KernelStats& stats) const {
     const Entry& e = entries_[wg];
     if (!e.ready.load(std::memory_order_acquire)) {
       if (!blocking_) {
-        throw SimError(
-            "adjacent-sync protocol violation: Grp_sum entry consumed before "
-            "being published under in-order dispatch");
+        throw SyncTimeout(
+            "Grp_sum[" + std::to_string(wg) +
+            "] consumed before being published under in-order dispatch "
+            "(predecessor workgroup died or its publish was dropped)");
       }
       std::size_t spins = 0;
       while (!e.ready.load(std::memory_order_acquire)) {
         if (++spins % 64 == 0) std::this_thread::yield();
-        if (spins > kMaxSpins) {
-          throw SimError(
-              "adjacent-sync wait exceeded the spin budget (predecessor "
-              "workgroup died?)");
+        if (spins > spin_budget_) {
+          throw SyncTimeout(
+              "adjacent-sync wait on Grp_sum[" + std::to_string(wg) +
+              "] exceeded the spin budget (predecessor workgroup died?)");
         }
       }
       stats.spin_waits += spins;
@@ -95,6 +112,8 @@ class AdjacentBuffer {
   std::size_t n_;
   int h_;
   bool blocking_;
+  FaultInjector* fault_ = nullptr;
+  std::size_t spin_budget_ = kMaxSpins;
   std::unique_ptr<Entry[]> entries_;
 };
 

@@ -25,17 +25,22 @@
 #include <stdexcept>
 #include <vector>
 
+#include "yaspmv/core/status.hpp"
 #include "yaspmv/sim/counters.hpp"
 #include "yaspmv/sim/device.hpp"
+#include "yaspmv/sim/fault.hpp"
 #include "yaspmv/util/thread_pool.hpp"
 
 namespace yaspmv::sim {
 
 /// Raised when a kernel violates a device constraint (shared-memory
-/// overflow, bad workgroup size, adjacent-sync protocol violation, ...).
-class SimError : public std::runtime_error {
+/// overflow, bad workgroup size, register budget, ...).  Part of the
+/// SpmvError taxonomy as Status::kResourceExceeded; the adjacent-sync
+/// failures raise the more specific yaspmv::SyncTimeout instead.
+class SimError : public SpmvError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit SimError(const std::string& msg)
+      : SpmvError(Status::kResourceExceeded, msg) {}
 };
 
 struct LaunchConfig {
@@ -44,6 +49,8 @@ struct LaunchConfig {
   unsigned workers = 1;      ///< OS threads dispatching workgroups
   bool use_texture = true;   ///< route vector loads via the texture cache
   bool logical_ids = false;  ///< fetch workgroup ids via a global atomic
+  FaultInjector* fault = nullptr;  ///< nullable; non-null only under injection
+  LaunchKind kind = LaunchKind::kMain;  ///< which launch this is, for kFailLaunch
 };
 
 /// Per-workgroup execution context handed to the kernel callable.
@@ -130,6 +137,10 @@ KernelStats launch(const DeviceSpec& dev, const LaunchConfig& cfg,
   if (cfg.workgroup_size <= 0 || cfg.workgroup_size > dev.max_workgroup_size) {
     throw SimError("invalid workgroup size " +
                    std::to_string(cfg.workgroup_size));
+  }
+  if (cfg.fault && cfg.fault->should_fail_launch(cfg.kind)) {
+    throw LaunchFailure(std::string("injected launch failure (") +
+                        to_string(cfg.kind) + " kernel)");
   }
   KernelStats total;
   total.kernel_launches = 1;

@@ -1,0 +1,151 @@
+// Deterministic fault injection for the simulated pipeline.
+//
+// The paper's single-kernel design leans on adjacent synchronization: one
+// stalled workgroup wedges every successor spinning on Grp_sum.  To grow a
+// resilient execution layer we first need a way to *cause* those failures on
+// demand.  A FaultInjector carries one armed FaultPlan; the simulator's
+// injection sites (AdjacentBuffer publish, the strategy-2 result cache in
+// run_spmv_kernel, sim::launch) consult it through a nullable pointer, so the
+// fault-free hot path costs a single null check per site.
+//
+// Plans are seeded and fully deterministic: the same plan against the same
+// matrix/config produces the same failure, which is what the chaos tests and
+// the --inject CLI mode rely on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv::sim {
+
+enum class FaultType : std::uint8_t {
+  kNone = 0,
+  kDropPublish,     ///< workgroup never publishes Grp_sum (values lost)
+  kStallPublish,    ///< publish withheld past any waiter's spin budget
+  kCorruptPublish,  ///< Grp_sum published with perturbed partial sums
+  kCorruptCache,    ///< strategy-2 result cache entry silently perturbed
+  kFailLaunch,      ///< a kernel launch fails before any workgroup runs
+};
+
+inline const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return "none";
+    case FaultType::kDropPublish: return "drop-publish";
+    case FaultType::kStallPublish: return "stall-publish";
+    case FaultType::kCorruptPublish: return "corrupt-publish";
+    case FaultType::kCorruptCache: return "corrupt-cache";
+    case FaultType::kFailLaunch: return "fail-launch";
+  }
+  return "unknown";
+}
+
+/// Which launch a kFailLaunch plan targets.
+enum class LaunchKind : std::uint8_t { kMain = 0, kCarry, kCombine };
+
+inline const char* to_string(LaunchKind k) {
+  switch (k) {
+    case LaunchKind::kMain: return "main";
+    case LaunchKind::kCarry: return "carry";
+    case LaunchKind::kCombine: return "combine";
+  }
+  return "unknown";
+}
+
+/// One deterministic fault.  Publish/cache faults hit `target_wg` (or every
+/// workgroup when it is negative); launch faults hit every launch of `launch`
+/// kind.  Faults are persistent — they fire on every retry that exercises the
+/// same site — so recovery must *route around* the site, exactly like a real
+/// broken SM or a systematically failing kernel.
+struct FaultPlan {
+  FaultType type = FaultType::kNone;
+  int target_wg = 0;
+  LaunchKind launch = LaunchKind::kCarry;
+  /// Additive perturbation for the corrupt faults; 0 derives a deterministic
+  /// non-zero value from the injector seed.
+  double magnitude = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x5eedf417u) : seed_(seed) {}
+
+  void arm(const FaultPlan& plan) {
+    plan_ = plan;
+    fired_.store(0, std::memory_order_relaxed);
+  }
+  void disarm() { plan_.type = FaultType::kNone; }
+  bool armed() const { return plan_.type != FaultType::kNone; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Times the armed fault actually fired at its site (across all retries).
+  std::size_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// When non-zero, AdjacentBuffer uses this instead of kMaxSpins so chaos
+  /// tests detect a dead predecessor in microseconds, not minutes.
+  std::size_t spin_budget_override = 0;
+
+  // ---- injection sites ----------------------------------------------------
+
+  /// AdjacentBuffer::publish.  Returns true when the publish must be
+  /// suppressed (drop keeps nothing; stall models a value computed but never
+  /// made visible — identical to waiters, kept distinct for reporting).
+  bool suppress_publish(std::size_t wg) {
+    if ((plan_.type != FaultType::kDropPublish &&
+         plan_.type != FaultType::kStallPublish) ||
+        !matches_wg(wg)) {
+      return false;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// AdjacentBuffer::publish, corrupt variant: perturbs the partial sums
+  /// right before they become visible to successors.
+  void mutate_publish(std::size_t wg, std::span<double> v) {
+    if (plan_.type != FaultType::kCorruptPublish || !matches_wg(wg)) return;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& x : v) x += perturbation(wg);
+  }
+
+  /// run_spmv_kernel, after phase A filled the strategy-2 result cache.
+  void corrupt_result_cache(std::size_t wg, std::span<double> cache) {
+    if (plan_.type != FaultType::kCorruptCache || !matches_wg(wg) ||
+        cache.empty()) {
+      return;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    cache[0] += perturbation(wg);
+  }
+
+  /// sim::launch, before dispatching any workgroup.  True = the launch must
+  /// fail (the caller raises LaunchFailure).
+  bool should_fail_launch(LaunchKind kind) {
+    if (plan_.type != FaultType::kFailLaunch || plan_.launch != kind) {
+      return false;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  bool matches_wg(std::size_t wg) const {
+    return plan_.target_wg < 0 ||
+           wg == static_cast<std::size_t>(plan_.target_wg);
+  }
+
+  /// Deterministic non-zero perturbation, stable per (seed, workgroup).
+  double perturbation(std::size_t wg) const {
+    if (plan_.magnitude != 0.0) return plan_.magnitude;
+    SplitMix64 rng(seed_ ^ (0x9e37u + wg));
+    return rng.next_double(1.0, 2.0) * 1e6;
+  }
+
+  std::uint64_t seed_;
+  FaultPlan plan_{};
+  std::atomic<std::size_t> fired_{0};
+};
+
+}  // namespace yaspmv::sim

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "yaspmv/core/engine.hpp"
+#include "yaspmv/core/status.hpp"
 #include "yaspmv/formats/blocked.hpp"
 #include "yaspmv/formats/csr.hpp"
 #include "yaspmv/perf/model.hpp"
@@ -143,8 +144,7 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
       core::SpmvEngine eng(get_format(fc), ec, dev);
       auto run = eng.run(x, y);
       if (opt.verify && !close(y, y_ref)) {
-        throw sim::SimError("tuner: candidate produced wrong results for " +
-                            fc.to_string() + " / " + ec.to_string());
+        throw DataCorruption("tuner: candidate produced wrong results");
       }
       Candidate c;
       c.format = fc;
@@ -154,8 +154,14 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
       res.evaluated++;
       res.top.push_back(c);
       if (c.gflops > res.best.gflops) res.best = c;
-    } catch (const sim::SimError&) {
+    } catch (const SpmvError& e) {
+      // One failing candidate (resource overflow, wrong results, injected
+      // fault, ...) must not abort the sweep: record it and move on.
       res.skipped++;
+      if (res.skipped_configs.size() < TuneResult::kMaxSkipRecords) {
+        res.skipped_configs.push_back(fc.to_string() + " / " + ec.to_string() +
+                                      ": " + e.what());
+      }
     }
   };
 

@@ -13,6 +13,7 @@
 //     pruned-vs-optimal comparison the paper reports.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ struct TuneResult {
   int evaluated = 0;  ///< configurations actually run
   int skipped = 0;    ///< rejected (shared memory / register budget / ...)
   std::vector<Candidate> top;  ///< best few, for the ablation benches
+  /// Why the first few skipped candidates failed ("fc / ec: reason"), so a
+  /// sweep that silently discards half the space is explainable.  Capped at
+  /// kMaxSkipRecords; `skipped` holds the true count.
+  std::vector<std::string> skipped_configs;
+  static constexpr std::size_t kMaxSkipRecords = 32;
 };
 
 /// Tunes `a` for `dev`.  Throws only on empty/invalid input; candidate

@@ -1,0 +1,310 @@
+// Chaos tests: every injectable fault must be (a) detected as a classified
+// SpmvError or by the sampled-row residual check, (b) recovered from by the
+// ResilientEngine's degradation ladder, and (c) invisible in the final y,
+// which always matches the CPU reference.  Faults are persistent at their
+// site, so each test also pins *where* the ladder lands — the first rung
+// that routes around the broken mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "yaspmv/core/resilient.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/sim/fault.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+/// 1024x1024 5-point stencil: ~5 blocks per row at 1x1, so every workgroup
+/// holds many row stops and the adjacent-sync chain spans ~10 workgroups.
+fmt::Coo test_matrix() { return gen::stencil2d(32, 32, true, 0xABCDEF); }
+
+std::vector<real_t> make_x(index_t cols) {
+  SplitMix64 rng(0x11);
+  std::vector<real_t> x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  return x;
+}
+
+std::vector<real_t> reference(const fmt::Coo& a,
+                              const std::vector<real_t>& x) {
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  fmt::Csr::from_coo(a).spmv(x, y);
+  return y;
+}
+
+void expect_matches_reference(const std::vector<real_t>& y,
+                              const std::vector<real_t>& want) {
+  ASSERT_EQ(y.size(), want.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], want[i], 1e-8 * std::max(1.0, std::abs(want[i])))
+        << "row " << i;
+  }
+}
+
+/// Verify-everything options: exhaustive residual check so silent
+/// corruption is detected deterministically.
+core::ResilientOptions verifying(index_t rows) {
+  core::ResilientOptions opt;
+  opt.verify = true;
+  opt.sample_rows = rows;  // >= rows -> exhaustive check
+  return opt;
+}
+
+struct Harness {
+  fmt::Coo a = test_matrix();
+  std::vector<real_t> x = make_x(a.cols);
+  std::vector<real_t> want = reference(a, x);
+  std::vector<real_t> y = std::vector<real_t>(
+      static_cast<std::size_t>(a.rows), -1e30);  // poison: must be rewritten
+};
+
+TEST(Chaos, FaultFreeFastPathSingleAttempt) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  const auto r = eng.run(h.x, h.y);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.ladder_step, 0);
+  EXPECT_FALSE(r.recovered);
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(r.faults.empty());
+  expect_matches_reference(h.y, h.want);
+}
+
+// The acceptance scenario: a dropped Grp_sum publish wedges the adjacent
+// spin chain; the engine classifies it as SyncTimeout and falls back to the
+// two-kernel global-sync carry path, which does not use Grp_sum at all.
+TEST(Chaos, DropPublishRecoversViaGlobalSync) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  inj.arm({sim::FaultType::kDropPublish, /*target_wg=*/1});
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  EXPECT_GE(inj.fired(), 1u);  // the fault actually hit its site
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].status, Status::kSyncTimeout);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.retries(), 1);
+  EXPECT_EQ(r.ladder_step, 1);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.path, "sync-fallback: global-sync carry kernel");
+  expect_matches_reference(h.y, h.want);
+}
+
+TEST(Chaos, StallPublishDetectedAsSyncTimeout) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  inj.arm({sim::FaultType::kStallPublish, /*target_wg=*/2});
+  inj.spin_budget_override = 64;  // pooled waiters would give up fast too
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].status, Status::kSyncTimeout);
+  EXPECT_EQ(r.ladder_step, 1);
+  EXPECT_TRUE(r.recovered);
+  expect_matches_reference(h.y, h.want);
+}
+
+// Corrupted Grp_sum values are *silent* — no exception, wrong carries.  Only
+// the residual check catches them; the global-sync path bypasses Grp_sum.
+TEST(Chaos, CorruptPublishCaughtByVerification) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  inj.arm({sim::FaultType::kCorruptPublish, /*target_wg=*/1});
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  EXPECT_GE(inj.fired(), 1u);
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].status, Status::kDataCorruption);
+  EXPECT_EQ(r.ladder_step, 1);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_TRUE(r.verified);
+  expect_matches_reference(h.y, h.want);
+}
+
+// A corrupted strategy-2 result cache survives the sync flip (rung 1 still
+// uses the cache) and is only routed around by strategy 1, which keeps
+// per-thread intermediate sums instead.
+TEST(Chaos, CorruptCacheRecoversViaStrategyFallback) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  inj.arm({sim::FaultType::kCorruptCache, /*target_wg=*/1});
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  EXPECT_GE(inj.fired(), 2u);  // fired on rung 0 and rung 1
+  ASSERT_EQ(r.faults.size(), 2u);
+  EXPECT_EQ(r.faults[0].status, Status::kDataCorruption);
+  EXPECT_EQ(r.faults[1].status, Status::kDataCorruption);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(r.ladder_step, 2);
+  EXPECT_EQ(r.path, "strategy-fallback: result cache -> intermediate sums");
+  EXPECT_TRUE(r.recovered);
+  expect_matches_reference(h.y, h.want);
+}
+
+// Under global sync the carry kernel is a separate launch; when that launch
+// systematically fails, the ladder flips to adjacent sync, which needs no
+// second kernel.
+TEST(Chaos, FailCarryLaunchRecoversViaAdjacentSync) {
+  Harness h;
+  core::ExecConfig ec;
+  ec.adjacent_sync = false;  // start on the two-kernel path
+  core::ResilientEngine eng(h.a, {}, ec, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kFailLaunch;
+  plan.launch = sim::LaunchKind::kCarry;
+  inj.arm(plan);
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].status, Status::kLaunchFailure);
+  EXPECT_EQ(r.ladder_step, 1);
+  EXPECT_EQ(r.path, "sync-fallback: adjacent-sync single kernel");
+  EXPECT_TRUE(r.recovered);
+  expect_matches_reference(h.y, h.want);
+}
+
+// BCCOO+ needs the combine kernel on every rung until the format fallback
+// drops to one slice, which writes y directly.
+TEST(Chaos, FailCombineLaunchRecoversViaSliceFallback) {
+  Harness h;
+  core::FormatConfig fc;
+  fc.slices = 4;
+  core::ResilientEngine eng(h.a, fc, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kFailLaunch;
+  plan.launch = sim::LaunchKind::kCombine;
+  inj.arm(plan);
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  ASSERT_EQ(r.faults.size(), 3u);  // fast path, sync flip, strategy flip
+  for (const auto& f : r.faults) {
+    EXPECT_EQ(f.status, Status::kLaunchFailure);
+  }
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_EQ(r.ladder_step, 3);
+  EXPECT_EQ(r.path, "format-fallback: BCCOO+ -> BCCOO (slices=1)");
+  EXPECT_TRUE(r.recovered);
+  expect_matches_reference(h.y, h.want);
+}
+
+// When the main kernel itself cannot launch, every simulated rung fails and
+// the terminal CPU baseline — which shares nothing with the simulator —
+// must still produce the right answer.
+TEST(Chaos, FailMainLaunchFallsBackToCpuBaseline) {
+  Harness h;
+  core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kFailLaunch;
+  plan.launch = sim::LaunchKind::kMain;
+  inj.arm(plan);
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  EXPECT_EQ(r.faults.size(), 3u);
+  EXPECT_EQ(r.path, "coo-cpu-baseline");
+  EXPECT_EQ(r.ladder_step, 3);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_TRUE(r.verified);
+  expect_matches_reference(h.y, h.want);
+}
+
+TEST(Chaos, LadderReportsAllRungs) {
+  Harness h;
+  core::FormatConfig fc;
+  fc.slices = 4;
+  core::ResilientEngine eng(h.a, fc, {}, sim::gtx680());
+  const auto rungs = eng.ladder();
+  ASSERT_EQ(rungs.size(), 5u);  // fast, sync, strategy, slices, cpu
+  EXPECT_EQ(rungs.back(), "coo-cpu-baseline");
+}
+
+// Faults recorded against a pooled (multi-worker) dispatch as well: the
+// blocking wait path must classify a withheld publish the same way.
+TEST(Chaos, StallPublishUnderPooledDispatch) {
+  Harness h;
+  core::ExecConfig ec;
+  ec.workers = 4;
+  core::ResilientEngine eng(h.a, {}, ec, sim::gtx680(), verifying(h.a.rows));
+  sim::FaultInjector inj;
+  inj.arm({sim::FaultType::kStallPublish, /*target_wg=*/1});
+  inj.spin_budget_override = 256;  // bounded wait instead of minutes
+  eng.set_fault_injector(&inj);
+  const auto r = eng.run(h.x, h.y);
+
+  ASSERT_GE(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].status, Status::kSyncTimeout);
+  EXPECT_TRUE(r.recovered);
+  expect_matches_reference(h.y, h.want);
+}
+
+// ---- format invariant checking (Bccoo::validate) --------------------------
+
+TEST(Validate, AcceptsFreshlyBuiltFormats) {
+  const auto a = test_matrix();
+  for (index_t slices : {index_t{1}, index_t{4}}) {
+    core::FormatConfig fc;
+    fc.block_w = 2;
+    fc.block_h = 2;
+    fc.slices = slices;
+    EXPECT_NO_THROW(core::Bccoo::build(a, fc).validate());
+  }
+}
+
+TEST(Validate, RejectsClearedFinalRowStop) {
+  const auto a = test_matrix();
+  auto m = core::Bccoo::build(a, {});
+  // The final block must terminate its row (bit 0 = stop, so set it to 1).
+  m.bit_flags.set(m.num_blocks - 1, true);
+  EXPECT_THROW(m.validate(), FormatInvalid);
+}
+
+TEST(Validate, RejectsTruncatedSegmentMap) {
+  const auto a = test_matrix();
+  auto m = core::Bccoo::build(a, {});
+  m.seg_to_block_row.pop_back();
+  EXPECT_THROW(m.validate(), FormatInvalid);
+}
+
+TEST(Validate, RejectsOutOfRangeColumnIndex) {
+  const auto a = test_matrix();
+  auto m = core::Bccoo::build(a, {});
+  m.col_index[0] = m.block_cols;  // one past the end
+  EXPECT_THROW(m.validate(), FormatInvalid);
+}
+
+TEST(Validate, RejectsNonFiniteValueUnlessOptedIn) {
+  const auto a = test_matrix();
+  auto m = core::Bccoo::build(a, {});
+  m.value_rows[0][0] = std::numeric_limits<real_t>::quiet_NaN();
+  EXPECT_THROW(m.validate(), FormatInvalid);
+  EXPECT_NO_THROW(m.validate(/*allow_nonfinite=*/true));
+}
+
+TEST(Validate, RejectsValueArrayLengthMismatch) {
+  const auto a = test_matrix();
+  auto m = core::Bccoo::build(a, {});
+  m.value_rows[0].pop_back();
+  EXPECT_THROW(m.validate(), FormatInvalid);
+}
+
+}  // namespace
+}  // namespace yaspmv

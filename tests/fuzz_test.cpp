@@ -102,7 +102,7 @@ TEST_P(FuzzTest, RandomConfigMatchesReference) {
                     1e-8 * std::max(1.0, std::abs(want[i])))
             << what << " row " << i;
       }
-    } catch (const sim::SimError&) {
+    } catch (const SpmvError&) {
       // Resource-limit rejection (shared memory / register budget) is a
       // valid outcome for a random config; correctness violations are not.
     }

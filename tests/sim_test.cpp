@@ -171,7 +171,10 @@ TEST(Adjacent, NonBlockingWaitOnUnpublishedThrows) {
   sim::AdjacentBuffer buf(2, 1, /*blocking=*/false);
   double out[1];
   sim::KernelStats st;
-  EXPECT_THROW(buf.wait(1, std::span<double>(out, 1), st), sim::SimError);
+  // A consumed-before-published Grp_sum entry is classified as a sync
+  // failure (the predecessor workgroup died), not a resource error.
+  EXPECT_THROW(buf.wait(1, std::span<double>(out, 1), st),
+               yaspmv::SyncTimeout);
 }
 
 TEST(Adjacent, RejectsBadHeight) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Builds the test suite with AddressSanitizer + UBSan and runs it.
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${YASPMV_ASAN_BUILD_DIR:-$repo/build-asan}"
+
+cmake -B "$build" -S "$repo" \
+  -DYASPMV_SANITIZE=ON \
+  -DYASPMV_BUILD_BENCH=OFF \
+  -DYASPMV_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+
+cd "$build"
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --output-on-failure "$@"

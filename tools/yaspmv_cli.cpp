@@ -12,6 +12,7 @@
 
 #include "yaspmv/codegen/opencl.hpp"
 #include "yaspmv/core/engine.hpp"
+#include "yaspmv/core/resilient.hpp"
 #include "yaspmv/cpu/spmv.hpp"
 #include "yaspmv/formats/csr.hpp"
 #include "yaspmv/formats/dia.hpp"
@@ -39,6 +40,9 @@ int usage() {
       " --slices=N]\n"
       "  spmv    --format=<file.bccoo> [--threads=N] [--reps=N]"
       " [--out=<y.txt>]\n"
+      "          [--verify] [--inject=<fault>[:wg=N]]   (fault: drop_publish,\n"
+      "          stall_publish, corrupt_publish, corrupt_cache, fail_main,\n"
+      "          fail_carry, fail_combine; runs the resilient engine)\n"
       "  codegen --mtx=<file.mtx> | --matrix=<name>"
       " [--device=gtx680|gtx480] [--cuda] --out-dir=<dir>\n";
   return 2;
@@ -88,8 +92,12 @@ int cmd_tune(const Args& args) {
   opt.extended_blocks = args.has("extended");
   const auto r = tune::tune(A, dev, opt);
   std::cout << "tuned in " << r.tuning_seconds << " s (" << r.evaluated
-            << " configs, " << r.skipped << " skipped)\n"
-            << "best: " << r.best.format.to_string() << " | "
+            << " configs, " << r.skipped << " skipped)\n";
+  if (!r.skipped_configs.empty()) {
+    std::cout << "skipped (first " << r.skipped_configs.size() << "):\n";
+    for (const auto& s : r.skipped_configs) std::cout << "  " << s << "\n";
+  }
+  std::cout << "best: " << r.best.format.to_string() << " | "
             << r.best.exec.to_string() << "\n"
             << "modeled " << r.best.gflops << " GFLOPS on " << dev.name
             << ", footprint " << r.best.footprint << " bytes\n";
@@ -115,10 +123,100 @@ int cmd_convert(const Args& args) {
   return 0;
 }
 
+/// Parses "--inject=<fault>[:wg=N]" into a FaultPlan.
+sim::FaultPlan parse_fault(const std::string& spec) {
+  std::string name = spec;
+  int wg = 0;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const std::string rest = spec.substr(colon + 1);
+    require(rest.rfind("wg=", 0) == 0, "spmv: bad --inject suffix: " + rest);
+    const std::string num = rest.substr(3);
+    require(!num.empty() && num.find_first_not_of("0123456789") ==
+                                std::string::npos,
+            "spmv: --inject workgroup must be a number, got: " + num);
+    wg = std::stoi(num);
+  }
+  sim::FaultPlan plan;
+  plan.target_wg = wg;
+  if (name == "drop_publish") {
+    plan.type = sim::FaultType::kDropPublish;
+  } else if (name == "stall_publish") {
+    plan.type = sim::FaultType::kStallPublish;
+  } else if (name == "corrupt_publish") {
+    plan.type = sim::FaultType::kCorruptPublish;
+  } else if (name == "corrupt_cache") {
+    plan.type = sim::FaultType::kCorruptCache;
+  } else if (name == "fail_main") {
+    plan.type = sim::FaultType::kFailLaunch;
+    plan.launch = sim::LaunchKind::kMain;
+  } else if (name == "fail_carry") {
+    plan.type = sim::FaultType::kFailLaunch;
+    plan.launch = sim::LaunchKind::kCarry;
+  } else if (name == "fail_combine") {
+    plan.type = sim::FaultType::kFailLaunch;
+    plan.launch = sim::LaunchKind::kCombine;
+  } else {
+    require(false, "spmv: unknown fault: " + name);
+  }
+  return plan;
+}
+
+/// Resilient path for `spmv --verify` / `spmv --inject=...`: run through the
+/// degradation ladder and report what failed and where recovery landed.
+int cmd_spmv_resilient(const Args& args, const core::Bccoo& m) {
+  const auto A = m.to_coo();
+  core::ExecConfig ec;
+  ec.workers = static_cast<unsigned>(args.get_int("threads", 1));
+  core::ResilientOptions opt;
+  opt.verify = args.has("verify");
+  // Exhaustive residual check: sampling can miss a single corrupted row,
+  // and at CLI scale one extra CPU SpMV is free.
+  opt.sample_rows = A.rows;
+  core::ResilientEngine eng(A, m.cfg, ec, sim::gtx680(), opt);
+
+  sim::FaultInjector inj;
+  if (args.has("inject")) {
+    inj.arm(parse_fault(args.get("inject")));
+    inj.spin_budget_override = 10000;  // detect stalls fast
+    eng.set_fault_injector(&inj);
+    std::cout << "injecting: " << sim::to_string(inj.plan().type) << " (wg "
+              << inj.plan().target_wg << ")\n";
+  }
+
+  SplitMix64 rng(0x5eed);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  const auto r = eng.run(x, y);
+
+  for (const auto& f : r.faults) {
+    std::cout << "fault: [" << to_string(f.status) << "] at " << f.path
+              << "\n       " << f.detail << "\n";
+  }
+  std::cout << "path: " << r.path << " (ladder step " << r.ladder_step
+            << ")\nattempts: " << r.attempts << " (" << r.retries()
+            << " retries), recovered: " << (r.recovered ? "yes" : "no")
+            << ", verified: " << (r.verified ? "yes" : "no") << "\n";
+  if (args.has("inject")) {
+    std::cout << "fault sites hit: " << inj.fired() << "\n";
+  }
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    f.precision(17);
+    for (real_t v : y) f << v << "\n";
+    std::cout << "wrote y to " << args.get("out") << "\n";
+  }
+  return 0;
+}
+
 int cmd_spmv(const Args& args) {
   const std::string in = args.get("format");
   require(!in.empty(), "spmv: --format is required");
   auto m = std::make_shared<const core::Bccoo>(io::load_bccoo_file(in));
+  if (args.has("inject") || args.has("verify")) {
+    return cmd_spmv_resilient(args, *m);
+  }
   const auto threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const long reps = args.get_int("reps", 10);
