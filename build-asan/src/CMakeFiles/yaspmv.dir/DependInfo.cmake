@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yaspmv/baselines/cocktail.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/baselines/cocktail.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/baselines/cocktail.cpp.o.d"
+  "/root/repo/src/yaspmv/codegen/opencl.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/codegen/opencl.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/codegen/opencl.cpp.o.d"
+  "/root/repo/src/yaspmv/gen/suite.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/gen/suite.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/gen/suite.cpp.o.d"
+  "/root/repo/src/yaspmv/io/binary.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/io/binary.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/io/binary.cpp.o.d"
+  "/root/repo/src/yaspmv/io/matrix_market.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/io/matrix_market.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/io/matrix_market.cpp.o.d"
+  "/root/repo/src/yaspmv/perf/model.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/perf/model.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/perf/model.cpp.o.d"
+  "/root/repo/src/yaspmv/tune/tuner.cpp" "src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o" "gcc" "src/CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

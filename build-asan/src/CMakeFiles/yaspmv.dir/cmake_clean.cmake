@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaspmv.dir/yaspmv/baselines/cocktail.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/baselines/cocktail.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/codegen/opencl.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/codegen/opencl.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/gen/suite.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/gen/suite.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/io/binary.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/io/binary.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/io/matrix_market.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/io/matrix_market.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/perf/model.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/perf/model.cpp.o.d"
+  "CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o"
+  "CMakeFiles/yaspmv.dir/yaspmv/tune/tuner.cpp.o.d"
+  "libyaspmv.a"
+  "libyaspmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaspmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bccoo_test.dir/bccoo_test.cpp.o"
+  "CMakeFiles/bccoo_test.dir/bccoo_test.cpp.o.d"
+  "bccoo_test"
+  "bccoo_test.pdb"
+  "bccoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bccoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitops_test.dir/bitops_test.cpp.o"
+  "CMakeFiles/bitops_test.dir/bitops_test.cpp.o.d"
+  "bitops_test"
+  "bitops_test.pdb"
+  "bitops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malformed_io_test.dir/malformed_io_test.cpp.o"
+  "CMakeFiles/malformed_io_test.dir/malformed_io_test.cpp.o.d"
+  "malformed_io_test"
+  "malformed_io_test.pdb"
+  "malformed_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malformed_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

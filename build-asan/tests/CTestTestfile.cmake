@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/bitops_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/scan_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/formats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/bccoo_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/plan_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gen_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/io_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/perf_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/binary_io_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/semiring_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/malformed_io_test[1]_include.cmake")

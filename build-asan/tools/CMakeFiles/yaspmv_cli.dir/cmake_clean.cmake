@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaspmv_cli.dir/yaspmv_cli.cpp.o"
+  "CMakeFiles/yaspmv_cli.dir/yaspmv_cli.cpp.o.d"
+  "yaspmv_cli"
+  "yaspmv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaspmv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
