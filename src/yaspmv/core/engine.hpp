@@ -59,6 +59,13 @@ class SpmvEngine {
   void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
   sim::FaultInjector* fault_injector() const { return fault_; }
 
+  /// Attaches a flight recorder (nullptr detaches).  Non-owning, same
+  /// pattern as the fault injector: every simulator site (dispatch tickets,
+  /// phases, Grp_sum publish/wait) journals through it, and an attached
+  /// ReplayCoordinator turns those sites into schedule gates.
+  void set_recorder(sim::FlightRecorder* recorder) { recorder_ = recorder; }
+  sim::FlightRecorder* recorder() const { return recorder_; }
+
   /// Total bytes the kernel streams once per SpMV (Table 3 accounting).
   std::size_t footprint_bytes() const { return plan_.footprint_bytes(); }
 
@@ -83,20 +90,22 @@ class SpmvEngine {
     if (plan_.exec.adjacent_sync) {
       sim::AdjacentBuffer grp(static_cast<std::size_t>(plan_.num_workgroups),
                               fmt().cfg.block_h, plan_.exec.workers > 1,
-                              fault_);
+                              fault_, recorder_, sim::LaunchKind::kMain);
       out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, &grp, nullptr,
-                                   fault_);
+                                   fault_, recorder_);
       out.launches += 1;
     } else {
       WgTails tails;
       out.stats += run_spmv_kernel(plan_, dev_, xp_, res_, nullptr, &tails,
-                                   fault_);
-      out.stats += run_carry_kernel(plan_, dev_, tails, res_, fault_);
+                                   fault_, recorder_);
+      out.stats += run_carry_kernel(plan_, dev_, tails, res_, fault_,
+                                    recorder_);
       out.launches += 2;
     }
 
     if (fmt().cfg.slices > 1) {
-      out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y, fault_);
+      out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y,
+                                      fault_, recorder_);
       out.launches += 1;
     } else {
       // One slice: the stacked result *is* y (modulo block padding); on the
@@ -113,7 +122,8 @@ class SpmvEngine {
 
   sim::DeviceSpec dev_;
   std::shared_ptr<const Bccoo> fmt_ptr_;
-  sim::FaultInjector* fault_ = nullptr;  ///< non-owning fault hook
+  sim::FaultInjector* fault_ = nullptr;        ///< non-owning fault hook
+  sim::FlightRecorder* recorder_ = nullptr;    ///< non-owning recorder hook
   BccooPlan plan_;
   std::vector<real_t> xp_;   ///< padded multiplied vector
   std::vector<real_t> res_;  ///< per-segment results (stacked block-rows)

@@ -47,14 +47,16 @@ struct WgTails {
 /// block_cols*block_w; `res` (stacked_block_rows*block_h, zero-initialized)
 /// receives one h-vector per segment.  Exactly one of `grp` (adjacent sync)
 /// or `tails_out` (global sync) must be non-null.  `fault` is the optional
-/// fault-injection hook (null = zero-cost fault-free path).
+/// fault-injection hook and `recorder` the optional flight recorder (null =
+/// zero-cost idle path for both).
 inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
                                         const sim::DeviceSpec& dev,
                                         std::span<const real_t> xp,
                                         std::span<real_t> res,
                                         sim::AdjacentBuffer* grp,
                                         WgTails* tails_out,
-                                        sim::FaultInjector* fault = nullptr) {
+                                        sim::FaultInjector* fault = nullptr,
+                                        sim::FlightRecorder* recorder = nullptr) {
   const Bccoo& m = *p.fmt;
   const ExecConfig& ex = p.exec;
   const int W = ex.workgroup_size;
@@ -95,6 +97,7 @@ inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
   lc.logical_ids = ex.logical_ids;
   lc.fault = fault;
   lc.kind = sim::LaunchKind::kMain;
+  lc.recorder = recorder;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     const int wid = wg.wg_id();
@@ -342,13 +345,13 @@ inline sim::KernelStats run_spmv_kernel(const BccooPlan& p,
         st.global_store_bytes += hz * bytes::kValue + 4;
         if (wid > 0) {
           grp->wait(static_cast<std::size_t>(wid) - 1,
-                    std::span<real_t>(carry_in, hz), st);
+                    std::span<real_t>(carry_in, hz), st, wid);
           st.add_coalesced_load(1, hz * bytes::kValue + 4);
         }
       } else {
         if (wid > 0) {
           grp->wait(static_cast<std::size_t>(wid) - 1,
-                    std::span<real_t>(carry_in, hz), st);
+                    std::span<real_t>(carry_in, hz), st, wid);
           st.add_coalesced_load(1, hz * bytes::kValue + 4);
         }
         real_t chained[sim::AdjacentBuffer::kMaxH];
@@ -492,7 +495,8 @@ inline sim::KernelStats run_carry_kernel(const BccooPlan& p,
                                          const sim::DeviceSpec& dev,
                                          const WgTails& tails,
                                          std::span<real_t> res,
-                                         sim::FaultInjector* fault = nullptr) {
+                                         sim::FaultInjector* fault = nullptr,
+                                         sim::FlightRecorder* recorder = nullptr) {
   const Bccoo& m = *p.fmt;
   const int h = m.cfg.block_h;
   const auto hz = static_cast<std::size_t>(h);
@@ -504,6 +508,7 @@ inline sim::KernelStats run_carry_kernel(const BccooPlan& p,
   lc.use_texture = false;
   lc.fault = fault;
   lc.kind = sim::LaunchKind::kCarry;
+  lc.recorder = recorder;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     sim::KernelStats& st = wg.stats();
@@ -554,7 +559,8 @@ inline sim::KernelStats run_combine_kernel(const Bccoo& m,
                                            const ExecConfig& ex,
                                            std::span<const real_t> res,
                                            std::span<real_t> y,
-                                           sim::FaultInjector* fault = nullptr) {
+                                           sim::FaultInjector* fault = nullptr,
+                                           sim::FlightRecorder* recorder = nullptr) {
   const int h = m.cfg.block_h;
   const auto hz = static_cast<std::size_t>(h);
   const int W = 256;
@@ -567,6 +573,7 @@ inline sim::KernelStats run_combine_kernel(const Bccoo& m,
   lc.use_texture = false;
   lc.fault = fault;
   lc.kind = sim::LaunchKind::kCombine;
+  lc.recorder = recorder;
 
   auto kernel = [&](sim::WorkgroupCtx& wg) {
     sim::KernelStats& st = wg.stats();

@@ -19,6 +19,12 @@
 // for the rest of the run.  Faults are recorded per attempt so callers (the
 // chaos tests, yaspmv_cli --inject) can report what happened and where the
 // ladder stopped.
+//
+// Every simulated attempt runs under the engine's flight recorder (owned
+// here): the adjacent-sync watchdog gets its progress table, and when an
+// attempt fails its journal is captured — and, with `journal_prefix` set,
+// dumped to disk — before the ladder moves on, so the exact interleaving
+// that failed is available for --replay / --minimize.
 #pragma once
 
 #include <cmath>
@@ -31,7 +37,9 @@
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/core/status.hpp"
 #include "yaspmv/formats/csr.hpp"
+#include "yaspmv/io/journal_io.hpp"
 #include "yaspmv/sim/fault.hpp"
+#include "yaspmv/sim/journal.hpp"
 #include "yaspmv/util/rng.hpp"
 
 namespace yaspmv::core {
@@ -44,6 +52,9 @@ struct ResilientOptions {
   int sample_rows = 16;      ///< rows compared against the CPU reference
   double tolerance = 1e-6;   ///< relative residual bound per sampled row
   int max_attempts = 8;      ///< hard bound on engine runs before giving up
+  /// When non-empty, every failed attempt's journal is written here: the
+  /// first to `<prefix>`, later ones to `<prefix>.2`, `<prefix>.3`, ...
+  std::string journal_prefix;
 };
 
 /// One failed attempt: which rung, how it failed.
@@ -51,6 +62,7 @@ struct FaultRecord {
   std::string path;     ///< label of the rung that failed
   Status status = Status::kOk;
   std::string detail;   ///< diagnostic (exception what(), residual info)
+  std::string journal_file;  ///< on-disk journal dump ("" unless requested)
 };
 
 /// Outcome of a resilient run.  `run` holds the stats of the attempt that
@@ -81,6 +93,31 @@ class ResilientEngine {
 
   /// Attaches the fault injector forwarded to every simulated attempt.
   void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+
+  /// The engine-owned flight recorder (attached to every simulated attempt).
+  sim::FlightRecorder& recorder() { return recorder_; }
+
+  /// Journal of the most recent *failed* attempt (valid when
+  /// has_last_failure(); overwritten by each new failure).
+  bool has_last_failure() const { return has_last_failure_; }
+  const sim::RecordedRun& last_failure() const { return last_failure_; }
+
+  /// Journal of the most recent attempt, failed or not (e.g. to record a
+  /// healthy run's schedule for later comparison).
+  sim::RecordedRun capture_last_run() const {
+    sim::RecordedRun run;
+    if (last_rung_ && last_rung_->engine) {
+      run.num_workgroups = last_rung_->engine->plan().num_workgroups;
+      run.workgroup_size = last_rung_->ec.workgroup_size;
+      run.workers = last_rung_->ec.workers;
+    }
+    if (fault_) {
+      run.fault = fault_->plan();
+      run.spin_budget_override = fault_->spin_budget_override;
+    }
+    run.events = recorder_.journal().snapshot();
+    return run;
+  }
 
   /// Rung labels, fast path first, CPU baseline last (for reporting/tests).
   std::vector<std::string> ladder() const {
@@ -113,6 +150,9 @@ class ResilientEngine {
                                                      dev_);
         }
         rung.engine->set_fault_injector(fault_);
+        rung.engine->set_recorder(&recorder_);
+        recorder_.reset();
+        last_rung_ = &rung;
         out.attempts++;
         SpmvRun r = rung.engine->run(x, y);
         if (opt_.verify) {
@@ -129,7 +169,9 @@ class ResilientEngine {
         out.path = rung.label;
         return out;
       } catch (const SpmvError& e) {
-        out.faults.push_back({rung.label, e.code(), e.what()});
+        FaultRecord rec{rung.label, e.code(), e.what(), ""};
+        capture_failure(rung, rec);
+        out.faults.push_back(std::move(rec));
       }
     }
     // Terminal rung: the CPU COO/CSR reference path.  No simulated kernels,
@@ -196,6 +238,32 @@ class ResilientEngine {
     }
   }
 
+  /// Freezes the failed attempt's journal into a RecordedRun (and dumps it
+  /// when journal_prefix asks for files).  The geometry comes from the
+  /// rung's plan when the engine got far enough to build one.
+  void capture_failure(const Rung& rung, FaultRecord& rec) {
+    sim::RecordedRun run;
+    if (rung.engine) {
+      run.num_workgroups = rung.engine->plan().num_workgroups;
+      run.workgroup_size = rung.ec.workgroup_size;
+      run.workers = rung.ec.workers;
+    }
+    if (fault_) {
+      run.fault = fault_->plan();
+      run.spin_budget_override = fault_->spin_budget_override;
+    }
+    run.events = recorder_.journal().snapshot();
+    last_failure_ = run;
+    has_last_failure_ = true;
+    failure_count_++;
+    if (!opt_.journal_prefix.empty()) {
+      std::string path = opt_.journal_prefix;
+      if (failure_count_ > 1) path += "." + std::to_string(failure_count_);
+      io::save_journal_file(path, run);
+      rec.journal_file = path;
+    }
+  }
+
   void add_rung(const FormatConfig& fc, const ExecConfig& ec,
                 std::string label) {
     Rung r;
@@ -256,6 +324,11 @@ class ResilientEngine {
   sim::DeviceSpec dev_;
   ResilientOptions opt_;
   sim::FaultInjector* fault_ = nullptr;
+  sim::FlightRecorder recorder_;      ///< watchdog + journal for every attempt
+  sim::RecordedRun last_failure_;     ///< journal of the latest failed attempt
+  bool has_last_failure_ = false;
+  int failure_count_ = 0;             ///< across run() calls, names the dumps
+  const Rung* last_rung_ = nullptr;   ///< rung of the most recent attempt
   std::vector<Rung> rungs_;
 };
 

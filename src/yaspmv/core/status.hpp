@@ -23,6 +23,7 @@ enum class Status {
   kFormatInvalid,     ///< a format's structural invariants do not hold
   kResourceExceeded,  ///< device resource limits (shared memory, registers, ...)
   kIoError,           ///< file/stream level failure (open, read, write)
+  kScheduleDiverged,  ///< a replayed interleaving no longer matches reality
 };
 
 inline const char* to_string(Status s) {
@@ -34,6 +35,7 @@ inline const char* to_string(Status s) {
     case Status::kFormatInvalid: return "format-invalid";
     case Status::kResourceExceeded: return "resource-exceeded";
     case Status::kIoError: return "io-error";
+    case Status::kScheduleDiverged: return "schedule-diverged";
   }
   return "unknown";
 }
@@ -87,6 +89,17 @@ class IoError : public SpmvError {
  public:
   explicit IoError(const std::string& msg)
       : SpmvError(Status::kIoError, msg) {}
+};
+
+/// A replayed schedule stopped matching the re-executed run: the recorded
+/// step and the operation the kernel actually performed disagree (different
+/// fault plan, different matrix/config, or a schedule edited into
+/// inconsistency).  Distinct from SyncTimeout so replay tooling can tell "the
+/// bug reproduced" from "the repro is stale".
+class ScheduleDiverged : public SpmvError {
+ public:
+  explicit ScheduleDiverged(const std::string& msg)
+      : SpmvError(Status::kScheduleDiverged, msg) {}
 };
 
 }  // namespace yaspmv

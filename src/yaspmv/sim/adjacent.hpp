@@ -12,6 +12,15 @@
 // block-row).  The published flag uses release/acquire ordering so the pooled
 // dispatcher exercises the real synchronization; under sequential in-order
 // dispatch a wait on an unpublished entry is a protocol violation and throws.
+//
+// When a FlightRecorder is attached, publish/wait become journal sites (the
+// publish claims its journal sequence number *before* releasing the ready
+// flag, so every recorded log orders a publish ahead of the waits it
+// satisfied) and the blocking wait becomes a watchdog: instead of blindly
+// burning the full spin budget it consults the recorder's ProgressTable and
+// fails fast — with attribution — the moment the owning workgroup is done or
+// failed without publishing.  Under replay the same sites turn into gates
+// consuming the recorded schedule.
 #pragma once
 
 #include <array>
@@ -19,11 +28,14 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 
 #include "yaspmv/sim/counters.hpp"
 #include "yaspmv/sim/dispatch.hpp"
 #include "yaspmv/sim/fault.hpp"
+#include "yaspmv/sim/journal.hpp"
+#include "yaspmv/sim/replay.hpp"
 
 namespace yaspmv::sim {
 
@@ -34,17 +46,25 @@ class AdjacentBuffer {
   /// Dense-matrix limitation, Section 6) raises it to 8.
   static constexpr int kMaxH = 8;
 
-  /// Spin budget before a blocking wait is declared dead (prevents a hang
-  /// when the publishing workgroup failed).
+  /// Hard spin cap before a blocking wait is declared dead.  With a recorder
+  /// attached the watchdog almost never reaches it (a dead predecessor is
+  /// detected from its progress state); without one it is the only limit.
   static constexpr std::size_t kMaxSpins = 200'000'000;
+
+  /// Spins between watchdog looks at the owner's progress state.
+  static constexpr std::size_t kWatchdogInterval = 1024;
 
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   AdjacentBuffer(std::size_t num_workgroups, int h, bool blocking,
-                 FaultInjector* fault = nullptr)
+                 FaultInjector* fault = nullptr,
+                 FlightRecorder* recorder = nullptr,
+                 LaunchKind kind = LaunchKind::kMain)
       : n_(num_workgroups),
         h_(h),
         blocking_(blocking),
         fault_(fault),
+        recorder_(recorder),
+        kind_(kind),
         spin_budget_(fault && fault->spin_budget_override != 0
                          ? fault->spin_budget_override
                          : kMaxSpins),
@@ -61,13 +81,53 @@ class AdjacentBuffer {
   /// corrupt fault perturbs the values before they become visible.
   void publish(std::size_t wg, std::span<const double> v) {
     Entry& e = entries_[wg];
-    for (int i = 0; i < h_; ++i) e.v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)];
-    if (fault_) {
-      if (fault_->suppress_publish(wg)) return;
-      fault_->mutate_publish(wg, std::span<double>(e.v.data(),
-                                                   static_cast<std::size_t>(h_)));
+    for (int i = 0; i < h_; ++i) {
+      e.v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)];
     }
+    bool suppressed = false;
+    if (fault_) {
+      suppressed = fault_->suppress_publish(wg);
+      if (!suppressed) {
+        fault_->mutate_publish(
+            wg, std::span<double>(e.v.data(), static_cast<std::size_t>(h_)));
+      }
+    }
+
+    ReplayCoordinator* const coord = gate();
+    const std::int32_t id = static_cast<std::int32_t>(wg);
+    bool advance = false;
+    if (coord) {
+      const auto step = coord->await(id);
+      if (step) {
+        const EventType want = suppressed ? EventType::kPublishSuppressed
+                                          : EventType::kPublish;
+        if (step->type != want || step->wg != id) {
+          coord->diverge(
+              "workgroup " + std::to_string(wg) + " performed " +
+              std::string(to_string(want)) + " but the schedule expected " +
+              std::string(to_string(step->type)) + " of workgroup " +
+              std::to_string(step->wg) +
+              " (different fault plan or stale schedule?)");
+        }
+        advance = true;
+      }
+    }
+
+    if (suppressed) {
+      if (recorder_) {
+        recorder_->record(EventType::kPublishSuppressed, kind_, id);
+        recorder_->record(EventType::kFaultFired, kind_, id,
+                          static_cast<std::int32_t>(fault_->plan().type));
+      }
+      if (advance) coord->advance();
+      return;
+    }
+    // Causal-consistency invariant: claim the publish's journal sequence
+    // number before the release store, so no waiter's resolve can be logged
+    // ahead of the publish that satisfied it.
+    if (recorder_) recorder_->record(EventType::kPublish, kind_, id);
     e.ready.store(1, std::memory_order_release);
+    if (advance) coord->advance();
   }
 
   bool is_published(std::size_t wg) const {
@@ -75,32 +135,68 @@ class AdjacentBuffer {
   }
 
   /// Waits for workgroup `wg`'s entry and copies it into `out`.  Spin count
-  /// is recorded in `stats`.  In non-blocking (sequential-dispatch) mode the
-  /// predecessor has already run, so an unpublished entry means its publish
-  /// was lost (broken chain / dead workgroup); in blocking mode the same
-  /// conclusion is reached after the spin budget expires.  Both raise
-  /// SyncTimeout — the trigger for the resilient engine's fallback ladder.
-  void wait(std::size_t wg, std::span<double> out, KernelStats& stats) const {
+  /// is recorded in `stats`; `waiter` is the waiting workgroup (for journal
+  /// events and timeout attribution — defaults to wg+1, the adjacent chain).
+  ///
+  /// In non-blocking (sequential-dispatch) mode the predecessor has already
+  /// run, so an unpublished entry means its publish was lost (broken chain /
+  /// dead workgroup).  In blocking mode the watchdog reaches the same
+  /// conclusion when the owner is done/failed yet never published, or after
+  /// the hard spin budget.  Both raise SyncTimeout — the trigger for the
+  /// resilient engine's fallback ladder.
+  void wait(std::size_t wg, std::span<double> out, KernelStats& stats,
+            std::int32_t waiter = -1) const {
+    if (waiter < 0) waiter = static_cast<std::int32_t>(wg) + 1;
     const Entry& e = entries_[wg];
+
+    ReplayCoordinator* const coord = gate();
+    if (coord) {
+      const auto step = coord->await(waiter);
+      if (step) {
+        replay_wait(*coord, *step, wg, waiter, e, out);
+        return;
+      }
+      // No steps left (minimized tail): fall through and run free.
+    }
+
+    if (recorder_) {
+      recorder_->record(EventType::kWaitBegin, kind_, waiter,
+                        static_cast<std::int32_t>(wg));
+    }
     if (!e.ready.load(std::memory_order_acquire)) {
       if (!blocking_) {
-        throw SyncTimeout(
-            "Grp_sum[" + std::to_string(wg) +
-            "] consumed before being published under in-order dispatch "
-            "(predecessor workgroup died or its publish was dropped)");
+        fail_timeout(wg, waiter,
+                     "consumed before being published under in-order "
+                     "dispatch");
       }
       std::size_t spins = 0;
       while (!e.ready.load(std::memory_order_acquire)) {
         if (++spins % 64 == 0) std::this_thread::yield();
+        if (recorder_ && spins % kWatchdogInterval == 0) {
+          const std::int32_t st =
+              recorder_->progress().state(wg);
+          if (st == ProgressTable::kDone || st == ProgressTable::kFailed) {
+            // Re-check after the state read: the owner may have published
+            // right before finishing (acquire pairs with the release store).
+            if (e.ready.load(std::memory_order_acquire)) break;
+            stats.spin_waits += spins;
+            fail_timeout(wg, waiter, "owner will never publish");
+          }
+        }
         if (spins > spin_budget_) {
-          throw SyncTimeout(
-              "adjacent-sync wait on Grp_sum[" + std::to_string(wg) +
-              "] exceeded the spin budget (predecessor workgroup died?)");
+          stats.spin_waits += spins;
+          fail_timeout(wg, waiter, "spin budget exceeded");
         }
       }
       stats.spin_waits += spins;
     }
-    for (int i = 0; i < h_; ++i) out[static_cast<std::size_t>(i)] = e.v[static_cast<std::size_t>(i)];
+    if (recorder_) {
+      recorder_->record(EventType::kWaitResolve, kind_, waiter,
+                        static_cast<std::int32_t>(wg));
+    }
+    for (int i = 0; i < h_; ++i) {
+      out[static_cast<std::size_t>(i)] = e.v[static_cast<std::size_t>(i)];
+    }
   }
 
  private:
@@ -109,10 +205,89 @@ class AdjacentBuffer {
     std::atomic<std::uint32_t> ready{0};
   };
 
+  /// The replay coordinator when one is attached *and* it replays this
+  /// buffer's launch kind; nullptr otherwise (record-only or idle).
+  ReplayCoordinator* gate() const {
+    if (!recorder_) return nullptr;
+    ReplayCoordinator* c = recorder_->coordinator();
+    return (c && c->schedule().kind == kind_) ? c : nullptr;
+  }
+
+  /// Re-executes a recorded wait step: a resolve copies the (already
+  /// admitted) publish; a timeout reproduces the recorded failure.
+  void replay_wait(ReplayCoordinator& coord, const ScheduleStep& step,
+                   std::size_t wg, std::int32_t waiter, const Entry& e,
+                   std::span<double> out) const {
+    if (step.wg != waiter || (step.type != EventType::kWaitResolve &&
+                              step.type != EventType::kWaitTimeout)) {
+      coord.diverge("workgroup " + std::to_string(waiter) +
+                    " waited on Grp_sum[" + std::to_string(wg) +
+                    "] but the schedule expected " +
+                    std::string(to_string(step.type)) + " of workgroup " +
+                    std::to_string(step.wg));
+    }
+    if (step.aux != static_cast<std::int32_t>(wg)) {
+      coord.diverge("workgroup " + std::to_string(waiter) +
+                    " waited on Grp_sum[" + std::to_string(wg) +
+                    "] but the recorded wait targeted Grp_sum[" +
+                    std::to_string(step.aux) + "]");
+    }
+    if (step.type == EventType::kWaitTimeout) {
+      // Reproduce the recorded failure.  Deliberately no advance(): the
+      // dispatcher's catch stores this as the first error before aborting
+      // the replay, so the failing workgroup is stable across replays.
+      fail_timeout(wg, waiter, "replayed wait-timeout");
+    }
+    // The schedule ordered the publish before this resolve, and its gate
+    // released the entry before advancing the cursor — the value is there.
+    if (!e.ready.load(std::memory_order_acquire)) {
+      coord.diverge("replayed wait-resolve of workgroup " +
+                    std::to_string(waiter) + " found Grp_sum[" +
+                    std::to_string(wg) +
+                    "] unpublished (schedule violates publish-before-"
+                    "resolve)");
+    }
+    if (recorder_) {
+      recorder_->record(EventType::kWaitResolve, kind_, waiter,
+                        static_cast<std::int32_t>(wg));
+    }
+    for (int i = 0; i < h_; ++i) {
+      out[static_cast<std::size_t>(i)] = e.v[static_cast<std::size_t>(i)];
+    }
+    coord.advance();
+  }
+
+  /// Records the timeout and raises an attributed SyncTimeout: which
+  /// workgroup waited, which entry never arrived, what its owner was doing
+  /// (from the progress table) and whether an armed fault swallowed the
+  /// publish.
+  [[noreturn]] void fail_timeout(std::size_t wg, std::int32_t waiter,
+                                 const std::string& how) const {
+    if (recorder_) {
+      recorder_->record(EventType::kWaitTimeout, kind_, waiter,
+                        static_cast<std::int32_t>(wg));
+    }
+    std::string msg = "workgroup " + std::to_string(waiter) +
+                      " waiting on unpublished Grp_sum[" + std::to_string(wg) +
+                      "] (" + how;
+    if (recorder_) {
+      msg += "; owner workgroup " + std::to_string(wg) + " " +
+             recorder_->progress().describe(wg);
+    }
+    msg += ")";
+    if (fault_ && fault_->suppresses_publish(wg)) {
+      msg += "; its publish was suppressed by an armed " +
+             std::string(to_string(fault_->plan().type)) + " fault";
+    }
+    throw SyncTimeout(msg);
+  }
+
   std::size_t n_;
   int h_;
   bool blocking_;
   FaultInjector* fault_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  LaunchKind kind_ = LaunchKind::kMain;
   std::size_t spin_budget_ = kMaxSpins;
   std::unique_ptr<Entry[]> entries_;
 };

@@ -102,6 +102,16 @@ class FaultInjector {
     return true;
   }
 
+  /// Side-effect-free version of suppress_publish for timeout *attribution*:
+  /// would the armed plan swallow workgroup `wg`'s publish?  Used by the
+  /// adjacent-sync watchdog to say "its publish was suppressed by an armed
+  /// drop-publish fault" instead of guessing.
+  bool suppresses_publish(std::size_t wg) const {
+    return (plan_.type == FaultType::kDropPublish ||
+            plan_.type == FaultType::kStallPublish) &&
+           matches_wg(wg);
+  }
+
   /// AdjacentBuffer::publish, corrupt variant: perturbs the partial sums
   /// right before they become visible to successors.
   void mutate_publish(std::size_t wg, std::span<double> v) {

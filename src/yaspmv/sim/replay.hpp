@@ -1,0 +1,293 @@
+// Schedule replay and minimization for recorded interleavings.
+//
+// A Schedule is the gated-event subsequence of a journal (sim/journal.hpp):
+// workgroup begins, Grp_sum publishes (or their fault suppressions) and wait
+// resolutions/timeouts, in the exact order they were recorded.  The replay
+// dispatcher re-executes the launch with the recorded workgroup->worker
+// assignment and a ReplayCoordinator that admits gated operations one at a
+// time in schedule order, so a pooled-mode race or SyncTimeout becomes a
+// repeatable unit test.  Two properties make this deadlock-free:
+//
+//  * the schedule is consistent with each worker's program order (sequence
+//    numbers are claimed in program order per thread), and
+//  * a publish always precedes the waits it satisfied (the journal claims
+//    the publish's sequence number before releasing the ready flag).
+//
+// Any mismatch between the schedule and what the re-executed kernel actually
+// does — a publish where a suppression was recorded, a resolve on an entry
+// that is not published, a workgroup acting with no steps left — raises
+// ScheduleDiverged (Status::kScheduleDiverged) instead of silently
+// reinterpreting the schedule.
+//
+// minimize_schedule() delta-debugs a failing schedule: truncate after the
+// first timeout, then repeatedly drop whole workgroups while a caller-
+// provided oracle (which replays the candidate) confirms the failure still
+// reproduces.  The result is never longer than the input.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "yaspmv/core/status.hpp"
+#include "yaspmv/sim/journal.hpp"
+
+namespace yaspmv::sim {
+
+/// One admitted step of a replayed interleaving.
+struct ScheduleStep {
+  EventType type = EventType::kWgBegin;
+  std::int32_t wg = -1;
+  std::int32_t aux = 0;       ///< predecessor wg for waits
+  std::uint16_t worker = 0;   ///< executing worker (assignment, for kWgBegin)
+
+  friend bool operator==(const ScheduleStep& a, const ScheduleStep& b) {
+    return a.type == b.type && a.wg == b.wg && a.aux == b.aux &&
+           a.worker == b.worker;
+  }
+};
+
+/// A recorded interleaving of one launch.  Workgroups absent from the steps
+/// simply do not run under replay (that is what minimization removes).
+struct Schedule {
+  std::int32_t num_workgroups = 0;  ///< geometry of the recorded launch
+  std::int32_t workgroup_size = 0;
+  std::uint32_t workers = 1;
+  LaunchKind kind = LaunchKind::kMain;
+  std::vector<ScheduleStep> steps;
+
+  /// Per-worker workgroup lists in begin order — the replay dispatcher's
+  /// work assignment.  Workers beyond the recorded max id get empty lists.
+  std::vector<std::vector<std::int32_t>> worker_wgs() const {
+    std::vector<std::vector<std::int32_t>> lists(workers ? workers : 1);
+    for (const ScheduleStep& s : steps) {
+      if (s.type != EventType::kWgBegin) continue;
+      if (s.worker >= lists.size()) lists.resize(s.worker + 1u);
+      lists[s.worker].push_back(s.wg);
+    }
+    return lists;
+  }
+
+  friend bool operator==(const Schedule& a, const Schedule& b) {
+    return a.num_workgroups == b.num_workgroups &&
+           a.workgroup_size == b.workgroup_size && a.workers == b.workers &&
+           a.kind == b.kind && a.steps == b.steps;
+  }
+};
+
+/// Extracts the gated schedule of `kind`-launch events from a recorded run.
+inline Schedule schedule_from_journal(const RecordedRun& run,
+                                      LaunchKind kind = LaunchKind::kMain) {
+  Schedule s;
+  s.num_workgroups = run.num_workgroups;
+  s.workgroup_size = run.workgroup_size;
+  s.workers = run.workers;
+  s.kind = kind;
+  for (const Event& e : run.events) {
+    if (static_cast<LaunchKind>(e.kind) != kind || !is_gated_event(e.type)) {
+      continue;
+    }
+    s.steps.push_back({e.type, e.wg, e.aux, e.worker});
+  }
+  return s;
+}
+
+/// Re-expands a schedule into a synthetic event log so minimized schedules
+/// serialize through the same journal container as recorded ones.
+inline RecordedRun recorded_run_from_schedule(const Schedule& s,
+                                              const FaultPlan& fault,
+                                              std::uint64_t spin_override) {
+  RecordedRun run;
+  run.num_workgroups = s.num_workgroups;
+  run.workgroup_size = s.workgroup_size;
+  run.workers = s.workers;
+  run.fault = fault;
+  run.spin_budget_override = spin_override;
+  run.events.reserve(s.steps.size());
+  std::uint64_t seq = 0;
+  for (const ScheduleStep& st : s.steps) {
+    Event e;
+    e.seq = seq++;
+    e.type = st.type;
+    e.kind = static_cast<std::uint8_t>(s.kind);
+    e.worker = st.worker;
+    e.wg = st.wg;
+    e.aux = st.aux;
+    run.events.push_back(e);
+  }
+  return run;
+}
+
+/// Admits gated operations in schedule order.  Each workgroup consumes its
+/// own steps strictly in sequence; the global cursor serializes across
+/// threads.  Divergence and stalls raise ScheduleDiverged.
+class ReplayCoordinator {
+ public:
+  /// Spins this many iterations waiting for a turn before declaring the
+  /// replay stalled (a diverged schedule can deadlock the gates; this turns
+  /// that into a classified error instead of a hang).
+  static constexpr std::uint64_t kStallSpins = 200'000'000;
+
+  explicit ReplayCoordinator(const Schedule& s) : sched_(s) {
+    std::size_t max_wg = 0;
+    for (const ScheduleStep& st : s.steps) {
+      if (st.wg >= 0) {
+        max_wg = std::max(max_wg, static_cast<std::size_t>(st.wg) + 1);
+      }
+    }
+    per_wg_.resize(max_wg);
+    next_pos_.assign(max_wg, 0);
+    for (std::size_t i = 0; i < s.steps.size(); ++i) {
+      if (s.steps[i].wg >= 0) {
+        per_wg_[static_cast<std::size_t>(s.steps[i].wg)].push_back(i);
+      }
+    }
+  }
+
+  const Schedule& schedule() const { return sched_; }
+
+  /// True when `wg` has at least one step in the schedule (workgroups
+  /// without steps are skipped entirely by the replay dispatcher).
+  bool scheduled(std::int32_t wg) const {
+    return wg >= 0 && static_cast<std::size_t>(wg) < per_wg_.size() &&
+           !per_wg_[static_cast<std::size_t>(wg)].empty();
+  }
+
+  /// Blocks until workgroup `wg`'s next step is at the cursor and returns
+  /// it.  The caller performs the admitted operation and then calls
+  /// advance(); until then every other gate stays blocked, which is exactly
+  /// the serialization that makes the replay deterministic.
+  ///
+  /// A workgroup with no steps left (its tail was minimized away) blocks
+  /// until every scheduled step has been admitted, then gets nullopt: it
+  /// runs free, which cannot perturb the already-fixed recorded prefix.
+  std::optional<ScheduleStep> await(std::int32_t wg) {
+    const auto wgz = static_cast<std::size_t>(wg);
+    if (wg < 0 || wgz >= per_wg_.size() ||
+        next_pos_[wgz] >= per_wg_[wgz].size()) {
+      wait_for_cursor(sched_.steps.size(), wg);
+      return std::nullopt;
+    }
+    const std::size_t my_index = per_wg_[wgz][next_pos_[wgz]];
+    wait_for_cursor(my_index, wg);
+    next_pos_[wgz]++;
+    return sched_.steps[my_index];
+  }
+
+  /// Releases the turn taken by the last await() on this thread.
+  void advance() { cursor_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Raises ScheduleDiverged for a step whose re-execution did not match
+  /// the recording.  Deliberately does *not* poison the coordinator here:
+  /// the dispatcher's per-workgroup catch stores the first error and only
+  /// then calls abort_replay(), so the original failure always wins the
+  /// race against the secondary "replay aborted" unwinds.
+  [[noreturn]] void diverge(const std::string& why) {
+    throw ScheduleDiverged(why);
+  }
+
+  /// Unblocks every spinning gate after a failure elsewhere; awaiting
+  /// threads throw a (secondary, swallowed) ScheduleDiverged.
+  void abort_replay() { aborted_.store(true, std::memory_order_release); }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+ private:
+  /// Spins until the cursor reaches `index` (== steps.size() means "all
+  /// scheduled steps admitted", the free-run gate).
+  void wait_for_cursor(std::size_t index, std::int32_t wg) {
+    std::uint64_t spins = 0;
+    while (cursor_.load(std::memory_order_acquire) < index) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        throw ScheduleDiverged(
+            "replay aborted (another workgroup failed first)");
+      }
+      if (++spins % 64 == 0) std::this_thread::yield();
+      if (spins > kStallSpins) {
+        diverge("replay stalled: workgroup " + std::to_string(wg) +
+                " waited for schedule step " + std::to_string(index) +
+                " but the cursor stopped at " +
+                std::to_string(cursor_.load(std::memory_order_acquire)) +
+                " (inconsistent or hand-edited schedule?)");
+      }
+    }
+  }
+
+  Schedule sched_;
+  std::vector<std::vector<std::size_t>> per_wg_;  ///< step indices per wg
+  std::vector<std::size_t> next_pos_;  ///< per-wg cursor (single-thread each)
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> aborted_{false};
+};
+
+/// Oracle for minimization: replays the candidate and reports whether the
+/// original failure (same class, same failing workgroup) still reproduces.
+using ReplayOracle = std::function<bool(const Schedule&)>;
+
+struct MinimizeStats {
+  int candidates = 0;   ///< oracle invocations
+  int accepted = 0;     ///< candidates that still reproduced
+};
+
+/// Delta-debugs a failing schedule down to a smaller one that still fails,
+/// in two moves: truncate everything after the first wait-timeout, then
+/// greedily drop whole workgroups (latest first) to a fixpoint.  Candidates
+/// are only kept when `reproduces` confirms them, so the result always
+/// reproduces and is never longer than the input.
+inline Schedule minimize_schedule(const Schedule& original,
+                                  const ReplayOracle& reproduces,
+                                  MinimizeStats* stats = nullptr) {
+  MinimizeStats local;
+  MinimizeStats& st = stats ? *stats : local;
+  Schedule cur = original;
+
+  // Move 1: the failure is the first timeout; later events are noise.
+  for (std::size_t i = 0; i < cur.steps.size(); ++i) {
+    if (cur.steps[i].type == EventType::kWaitTimeout) {
+      if (i + 1 < cur.steps.size()) {
+        Schedule cand = cur;
+        cand.steps.resize(i + 1);
+        st.candidates++;
+        if (reproduces(cand)) {
+          st.accepted++;
+          cur = std::move(cand);
+        }
+      }
+      break;
+    }
+  }
+
+  // Move 2: drop whole workgroups until no single removal reproduces.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::int32_t> wgs;
+    for (const ScheduleStep& s : cur.steps) {
+      if (s.type == EventType::kWgBegin) wgs.push_back(s.wg);
+    }
+    // Latest-first: workgroups far from the failure drop out early.
+    for (auto it = wgs.rbegin(); it != wgs.rend(); ++it) {
+      if (wgs.size() <= 1) break;  // keep at least the failing workgroup
+      Schedule cand = cur;
+      std::erase_if(cand.steps, [&](const ScheduleStep& s) {
+        return s.wg == *it;
+      });
+      if (cand.steps.empty() || cand.steps.size() == cur.steps.size()) {
+        continue;
+      }
+      st.candidates++;
+      if (reproduces(cand)) {
+        st.accepted++;
+        cur = std::move(cand);
+        changed = true;
+        break;  // wg list is stale; rebuild it
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace yaspmv::sim

@@ -89,6 +89,16 @@ TEST(Chaos, DropPublishRecoversViaGlobalSync) {
   EXPECT_GE(inj.fired(), 1u);  // the fault actually hit its site
   ASSERT_EQ(r.faults.size(), 1u);
   EXPECT_EQ(r.faults[0].status, Status::kSyncTimeout);
+  // Timeout attribution: the message names the stalled predecessor and the
+  // fault that swallowed its publish, not just "spin budget exceeded".
+  EXPECT_NE(r.faults[0].detail.find(
+                "workgroup 2 waiting on unpublished Grp_sum[1]"),
+            std::string::npos)
+      << r.faults[0].detail;
+  EXPECT_NE(r.faults[0].detail.find(
+                "suppressed by an armed drop-publish fault"),
+            std::string::npos)
+      << r.faults[0].detail;
   EXPECT_EQ(r.attempts, 2);
   EXPECT_EQ(r.retries(), 1);
   EXPECT_EQ(r.ladder_step, 1);

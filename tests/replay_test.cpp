@@ -1,0 +1,506 @@
+// Flight recorder + schedule replay tests.
+//
+// The contract under test: a pooled-mode run recorded to a journal replays
+// deterministically — same y bit for bit when healthy, same failing
+// workgroup and same gated event sequence when it hung — and a failing
+// schedule minimizes to one that is no longer and still fails.  Plus the
+// supporting machinery: journal serialization (checksummed), divergence
+// detection when a schedule stops matching reality, and the adjacent-sync
+// watchdog's timeout attribution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "yaspmv/core/engine.hpp"
+#include "yaspmv/core/resilient.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/io/journal_io.hpp"
+#include "yaspmv/sim/fault.hpp"
+#include "yaspmv/sim/journal.hpp"
+#include "yaspmv/sim/replay.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+/// 1024x1024 5-point stencil: every workgroup holds row stops and the
+/// adjacent-sync chain spans ~10 workgroups (same matrix as chaos_test).
+fmt::Coo test_matrix() { return gen::stencil2d(32, 32, true, 0xABCDEF); }
+
+std::vector<real_t> make_x(index_t cols) {
+  SplitMix64 rng(0x11);
+  std::vector<real_t> x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  return x;
+}
+
+core::ExecConfig pooled(unsigned workers) {
+  core::ExecConfig ec;
+  ec.workers = workers;
+  return ec;
+}
+
+/// Freezes the recorder's journal into a RecordedRun for `eng`'s geometry.
+sim::RecordedRun capture(const core::SpmvEngine& eng,
+                         const core::ExecConfig& ec,
+                         const sim::FlightRecorder& rec,
+                         const sim::FaultInjector* inj = nullptr) {
+  sim::RecordedRun run;
+  run.num_workgroups = eng.plan().num_workgroups;
+  run.workgroup_size = ec.workgroup_size;
+  run.workers = ec.workers;
+  if (inj) {
+    run.fault = inj->plan();
+    run.spin_budget_override = inj->spin_budget_override;
+  }
+  run.events = rec.journal().snapshot();
+  return run;
+}
+
+/// The gated main-kernel subsequence of a journal, as comparable steps.
+std::vector<sim::ScheduleStep> gated_steps(const sim::RecordedRun& run) {
+  return sim::schedule_from_journal(run).steps;
+}
+
+struct ReplayResult {
+  bool failed = false;
+  Status status = Status::kOk;
+  std::string what;
+  std::int32_t failing_wg = -1;
+  std::vector<sim::ScheduleStep> gated;
+  std::vector<real_t> y;
+};
+
+/// One deterministic re-execution of `sched` with `base`'s fault re-armed.
+ReplayResult replay_once(const std::shared_ptr<const core::Bccoo>& m,
+                         const core::ExecConfig& ec,
+                         const sim::RecordedRun& base,
+                         const sim::Schedule& sched,
+                         const std::vector<real_t>& x) {
+  sim::FaultInjector inj;
+  inj.spin_budget_override = base.spin_budget_override;
+  if (base.fault.type != sim::FaultType::kNone) inj.arm(base.fault);
+  sim::FlightRecorder rec;
+  sim::ReplayCoordinator coord(sched);
+  rec.set_coordinator(&coord);
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  eng.set_fault_injector(&inj);
+  eng.set_recorder(&rec);
+
+  ReplayResult out;
+  out.y.assign(static_cast<std::size_t>(m->rows), -1e30);  // poison
+  try {
+    eng.run(x, out.y);
+  } catch (const SpmvError& e) {
+    out.failed = true;
+    out.status = e.code();
+    out.what = e.what();
+  }
+  sim::RecordedRun replayed = base;
+  replayed.events = rec.journal().snapshot();
+  out.gated = gated_steps(replayed);
+  out.failing_wg = sim::first_timeout_event(replayed.events).wg;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: healthy pooled runs replay to bit-identical y and the exact
+// recorded gated event sequence.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, PooledRunsReplayBitIdentical) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(4);
+
+  constexpr int kRuns = 10;
+  for (int i = 0; i < kRuns; ++i) {
+    // Record one pooled run.  Interleavings vary run to run; each replay is
+    // checked against its own recording.
+    core::SpmvEngine eng(m, ec, sim::gtx680());
+    sim::FlightRecorder rec;
+    eng.set_recorder(&rec);
+    std::vector<real_t> y(static_cast<std::size_t>(a.rows), -1e30);
+    eng.run(x, y);
+    const sim::RecordedRun run = capture(eng, ec, rec);
+    ASSERT_EQ(rec.journal().dropped(), 0u);
+
+    const sim::Schedule sched = sim::schedule_from_journal(run);
+    ASSERT_FALSE(sched.steps.empty());
+    const ReplayResult r = replay_once(m, ec, run, sched, x);
+    ASSERT_FALSE(r.failed) << "run " << i << ": " << r.what;
+    // Bit-identical y: per-workgroup arithmetic is deterministic and the
+    // carry chain replays in the recorded order.
+    ASSERT_EQ(0, std::memcmp(y.data(), r.y.data(),
+                             y.size() * sizeof(real_t)))
+        << "run " << i;
+    // The replayed gated event sequence IS the schedule.
+    EXPECT_EQ(r.gated, sched.steps) << "run " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: a pooled SyncTimeout provoked by fault injection
+// is captured and replays deterministically across >= 20 replays.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, FailingRunReplaysSameWorkgroupTwentyTimes) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(4);
+
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kDropPublish;
+  plan.target_wg = 3;
+  inj.arm(plan);
+  inj.spin_budget_override = 10000;
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  sim::FlightRecorder rec;
+  eng.set_fault_injector(&inj);
+  eng.set_recorder(&rec);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  EXPECT_THROW(eng.run(x, y), SyncTimeout);
+
+  const sim::RecordedRun run = capture(eng, ec, rec, &inj);
+  const std::int32_t recorded_wg = sim::first_timeout_event(run.events).wg;
+  ASSERT_EQ(recorded_wg, 4);  // the waiter on Grp_sum[3]
+
+  const sim::Schedule sched = sim::schedule_from_journal(run);
+  std::vector<sim::ScheduleStep> first_gated;
+  for (int i = 0; i < 20; ++i) {
+    const ReplayResult r = replay_once(m, ec, run, sched, x);
+    ASSERT_TRUE(r.failed) << "replay " << i << " did not fail";
+    // The original failure must win the race against secondary
+    // "replay aborted" unwinds on every single replay.
+    ASSERT_EQ(r.status, Status::kSyncTimeout) << "replay " << i << ": "
+                                              << r.what;
+    ASSERT_EQ(r.failing_wg, recorded_wg) << "replay " << i;
+    if (i == 0) {
+      first_gated = r.gated;
+    } else {
+      ASSERT_EQ(r.gated, first_gated) << "replay " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canned deadlock schedule: three hand-written steps reproduce a hang with
+// no fault injector at all — the schedule alone is the repro.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, CannedDeadlockScheduleReproducesTimeout) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(2);
+  core::SpmvEngine probe(m, ec, sim::gtx680());
+
+  sim::Schedule sched;
+  sched.num_workgroups = probe.plan().num_workgroups;
+  sched.workgroup_size = ec.workgroup_size;
+  sched.workers = ec.workers;
+  ASSERT_GE(sched.num_workgroups, 2);
+  // Workgroup 1 begins, publishes its own tail, then times out waiting on
+  // Grp_sum[0] — whose owner is not scheduled and never runs.
+  sched.steps = {
+      {sim::EventType::kWgBegin, 1, 0, 0},
+      {sim::EventType::kPublish, 1, 0, 0},
+      {sim::EventType::kWaitTimeout, 1, 0, 0},
+  };
+
+  sim::RecordedRun base;  // no fault, default spin budget
+  base.num_workgroups = sched.num_workgroups;
+  base.workgroup_size = sched.workgroup_size;
+  base.workers = sched.workers;
+  const ReplayResult r = replay_once(m, ec, base, sched, x);
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.status, Status::kSyncTimeout);
+  EXPECT_EQ(r.failing_wg, 1);
+  EXPECT_NE(r.what.find("Grp_sum[0]"), std::string::npos) << r.what;
+  EXPECT_NE(r.what.find("never started"), std::string::npos) << r.what;
+}
+
+// ---------------------------------------------------------------------------
+// Minimization: the delta-debugged schedule is no longer than the original
+// and still reproduces the same failing workgroup.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, MinimizerShrinksFailingSchedule) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(4);
+
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kDropPublish;
+  plan.target_wg = 2;
+  inj.arm(plan);
+  inj.spin_budget_override = 10000;
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  sim::FlightRecorder rec;
+  eng.set_fault_injector(&inj);
+  eng.set_recorder(&rec);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  EXPECT_THROW(eng.run(x, y), SyncTimeout);
+  const sim::RecordedRun run = capture(eng, ec, rec, &inj);
+  const std::int32_t failing_wg = sim::first_timeout_event(run.events).wg;
+  ASSERT_EQ(failing_wg, 3);
+
+  const sim::Schedule sched = sim::schedule_from_journal(run);
+  const auto oracle = [&](const sim::Schedule& cand) {
+    const ReplayResult o = replay_once(m, ec, run, cand, x);
+    return o.failed && o.status == Status::kSyncTimeout &&
+           o.failing_wg == failing_wg;
+  };
+  ASSERT_TRUE(oracle(sched)) << "original schedule must reproduce";
+
+  sim::MinimizeStats st;
+  const sim::Schedule min = sim::minimize_schedule(sched, oracle, &st);
+  EXPECT_LE(min.steps.size(), sched.steps.size());
+  EXPECT_TRUE(oracle(min)) << "minimized schedule must still reproduce";
+  EXPECT_GT(st.candidates, 0);
+  // The stencil chain gives every workgroup its own publish; everything but
+  // the failing waiter's steps should delta away.
+  EXPECT_LE(min.steps.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Divergence: a schedule that no longer matches reality is classified as
+// kScheduleDiverged, never silently reinterpreted.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, DivergesWhenFaultPlanChanged) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(4);
+
+  // Record a healthy run...
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  sim::FlightRecorder rec;
+  eng.set_recorder(&rec);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  eng.run(x, y);
+  sim::RecordedRun run = capture(eng, ec, rec);
+
+  // ...then replay it with a drop-publish fault armed: the recorded
+  // kPublish of workgroup 0 cannot happen anymore.
+  run.fault.type = sim::FaultType::kDropPublish;
+  run.fault.target_wg = 0;
+  run.spin_budget_override = 10000;
+  const sim::Schedule sched = sim::schedule_from_journal(run);
+  const ReplayResult r = replay_once(m, ec, run, sched, x);
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.status, Status::kScheduleDiverged) << r.what;
+  EXPECT_NE(r.what.find("fault plan"), std::string::npos) << r.what;
+}
+
+TEST(Replay, DivergesOnGeometryMismatch) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(2);
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  sim::FlightRecorder rec;
+  eng.set_recorder(&rec);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  eng.run(x, y);
+  sim::RecordedRun run = capture(eng, ec, rec);
+
+  sim::Schedule sched = sim::schedule_from_journal(run);
+  sched.num_workgroups += 1;  // recorded against a different matrix/config
+  const ReplayResult r = replay_once(m, ec, run, sched, x);
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.status, Status::kScheduleDiverged) << r.what;
+  EXPECT_NE(r.what.find("geometry"), std::string::npos) << r.what;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: with a recorder attached, a dead predecessor is detected from
+// its progress state (no spin-budget override needed) and the timeout names
+// the owner's state and the suppressing fault.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, WatchdogAttributesTimeoutWithoutSpinBudgetOverride) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  auto m = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, {}));
+  const auto ec = pooled(4);
+
+  sim::FaultInjector inj;  // note: no spin_budget_override — the watchdog
+  sim::FaultPlan plan;     // must fire off the owner's done-state instead
+  plan.type = sim::FaultType::kDropPublish;
+  plan.target_wg = 0;
+  inj.arm(plan);
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  sim::FlightRecorder rec;
+  eng.set_fault_injector(&inj);
+  eng.set_recorder(&rec);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+  try {
+    eng.run(x, y);
+    FAIL() << "expected SyncTimeout";
+  } catch (const SyncTimeout& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("workgroup 1 waiting on unpublished Grp_sum[0]"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("owner workgroup 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("suppressed by an armed drop-publish fault"),
+              std::string::npos)
+        << msg;
+  }
+  // The journal captured the hang: a wait-timeout of workgroup 1 on entry 0.
+  const auto ev = sim::first_timeout_event(rec.journal().snapshot());
+  EXPECT_EQ(ev.wg, 1);
+  EXPECT_EQ(ev.aux, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Journal serialization: round trip, and corruption is detected.
+// ---------------------------------------------------------------------------
+
+sim::RecordedRun sample_run() {
+  sim::RecordedRun run;
+  run.num_workgroups = 7;
+  run.workgroup_size = 64;
+  run.workers = 3;
+  run.fault.type = sim::FaultType::kStallPublish;
+  run.fault.target_wg = 5;
+  run.fault.launch = sim::LaunchKind::kMain;
+  run.fault.magnitude = 2.5;
+  run.spin_budget_override = 12345;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    sim::Event e;
+    e.seq = i;
+    e.type = static_cast<sim::EventType>(i % 12);
+    e.kind = static_cast<std::uint8_t>(i % 3);
+    e.worker = static_cast<std::uint16_t>(i % 4);
+    e.wg = static_cast<std::int32_t>(i) - 1;
+    e.aux = static_cast<std::int32_t>(i * 7);
+    run.events.push_back(e);
+  }
+  return run;
+}
+
+TEST(JournalIo, RoundTrip) {
+  const sim::RecordedRun run = sample_run();
+  std::stringstream ss;
+  io::save_journal(ss, run);
+  const sim::RecordedRun back = io::load_journal(ss);
+  EXPECT_EQ(back.num_workgroups, run.num_workgroups);
+  EXPECT_EQ(back.workgroup_size, run.workgroup_size);
+  EXPECT_EQ(back.workers, run.workers);
+  EXPECT_EQ(back.fault.type, run.fault.type);
+  EXPECT_EQ(back.fault.target_wg, run.fault.target_wg);
+  EXPECT_EQ(back.fault.launch, run.fault.launch);
+  EXPECT_EQ(back.fault.magnitude, run.fault.magnitude);
+  EXPECT_EQ(back.spin_budget_override, run.spin_budget_override);
+  ASSERT_EQ(back.events.size(), run.events.size());
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    EXPECT_EQ(back.events[i], run.events[i]) << "event " << i;
+  }
+}
+
+TEST(JournalIo, DetectsCorruptionTruncationAndBadMagic) {
+  const sim::RecordedRun run = sample_run();
+  std::stringstream ss;
+  io::save_journal(ss, run);
+  const std::string bytes = ss.str();
+
+  // Flip one payload byte (past the 8-byte header): checksum mismatch.
+  {
+    std::string bad = bytes;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+    std::stringstream in(bad);
+    EXPECT_THROW(io::load_journal(in), DataCorruption);
+  }
+  // Truncate: IoError, not garbage events.
+  {
+    std::stringstream in(bytes.substr(0, bytes.size() - 12));
+    EXPECT_THROW(io::load_journal(in), IoError);
+  }
+  // Wrong magic: FormatInvalid.
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    std::stringstream in(bad);
+    EXPECT_THROW(io::load_journal(in), FormatInvalid);
+  }
+}
+
+TEST(JournalIo, MinimizedScheduleSerializesThroughSameContainer) {
+  sim::Schedule sched;
+  sched.num_workgroups = 4;
+  sched.workgroup_size = 64;
+  sched.workers = 2;
+  sched.steps = {
+      {sim::EventType::kWgBegin, 1, 0, 1},
+      {sim::EventType::kPublish, 1, 0, 1},
+      {sim::EventType::kWaitTimeout, 1, 0, 1},
+  };
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kDropPublish;
+  const sim::RecordedRun run =
+      sim::recorded_run_from_schedule(sched, plan, 777);
+  std::stringstream ss;
+  io::save_journal(ss, run);
+  const sim::RecordedRun back = io::load_journal(ss);
+  EXPECT_EQ(sim::schedule_from_journal(back), sched);
+  EXPECT_EQ(back.spin_budget_override, 777u);
+}
+
+// ---------------------------------------------------------------------------
+// ResilientEngine integration: every failed attempt dumps its journal.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, ResilientEngineDumpsJournalPerFailedAttempt) {
+  const auto a = test_matrix();
+  const auto x = make_x(a.cols);
+  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
+
+  core::ResilientOptions opt;
+  opt.verify = true;
+  opt.sample_rows = a.rows;
+  opt.journal_prefix = testing::TempDir() + "yaspmv_replay_test.journal";
+  core::ResilientEngine eng(a, {}, pooled(4), sim::gtx680(), opt);
+
+  sim::FaultInjector inj;
+  sim::FaultPlan plan;
+  plan.type = sim::FaultType::kDropPublish;
+  plan.target_wg = 0;
+  inj.arm(plan);
+  inj.spin_budget_override = 10000;
+  eng.set_fault_injector(&inj);
+
+  const auto r = eng.run(x, y);
+  EXPECT_TRUE(r.recovered);
+  ASSERT_FALSE(r.faults.empty());
+  EXPECT_EQ(r.faults[0].status, Status::kSyncTimeout);
+  ASSERT_FALSE(r.faults[0].journal_file.empty());
+  EXPECT_TRUE(eng.has_last_failure());
+
+  // The dump is a loadable journal holding the hang and the armed fault.
+  const sim::RecordedRun dump =
+      io::load_journal_file(r.faults[0].journal_file);
+  EXPECT_EQ(dump.fault.type, sim::FaultType::kDropPublish);
+  EXPECT_EQ(dump.spin_budget_override, 10000u);
+  EXPECT_EQ(sim::first_timeout_event(dump.events).wg, 1);
+  EXPECT_FALSE(sim::schedule_from_journal(dump).steps.empty());
+}
+
+}  // namespace
+}  // namespace yaspmv

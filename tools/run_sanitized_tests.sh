@@ -1,19 +1,47 @@
 #!/usr/bin/env sh
-# Builds the test suite with AddressSanitizer + UBSan and runs it.
+# Builds the test suite under sanitizers and runs it, in two passes:
+#
+#   address  ASan + UBSan over the full suite             (build-asan)
+#   thread   TSan over the tsan/replay-labeled suites     (build-tsan) —
+#            chaos_test + replay_test, the ones that exercise the pooled
+#            dispatcher, the adjacent-sync spin chain and the flight
+#            recorder's lock-free journal.
+#
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
+#        YASPMV_SANITIZE=address|thread limits the run to one pass.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${YASPMV_ASAN_BUILD_DIR:-$repo/build-asan}"
+mode="${YASPMV_SANITIZE:-both}"
 
-cmake -B "$build" -S "$repo" \
-  -DYASPMV_SANITIZE=ON \
-  -DYASPMV_BUILD_BENCH=OFF \
-  -DYASPMV_BUILD_EXAMPLES=OFF \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+run_asan() {
+  build="${YASPMV_ASAN_BUILD_DIR:-$repo/build-asan}"
+  cmake -B "$build" -S "$repo" \
+    -DYASPMV_SANITIZE=address \
+    -DYASPMV_BUILD_BENCH=OFF \
+    -DYASPMV_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$build" --output-on-failure "$@"
+}
 
-cd "$build"
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-  ctest --output-on-failure "$@"
+run_tsan() {
+  build="${YASPMV_TSAN_BUILD_DIR:-$repo/build-tsan}"
+  cmake -B "$build" -S "$repo" \
+    -DYASPMV_SANITIZE=thread \
+    -DYASPMV_BUILD_BENCH=OFF \
+    -DYASPMV_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target chaos_test replay_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$build" -L "tsan|replay" --output-on-failure "$@"
+}
+
+case "$mode" in
+  address) run_asan "$@" ;;
+  thread)  run_tsan "$@" ;;
+  *)       run_asan "$@"; run_tsan "$@" ;;
+esac

@@ -9,6 +9,7 @@
 //                      [--out=y.txt]
 #include <fstream>
 #include <iostream>
+#include <span>
 
 #include "yaspmv/codegen/opencl.hpp"
 #include "yaspmv/core/engine.hpp"
@@ -19,7 +20,9 @@
 #include "yaspmv/formats/ell.hpp"
 #include "yaspmv/gen/suite.hpp"
 #include "yaspmv/io/binary.hpp"
+#include "yaspmv/io/journal_io.hpp"
 #include "yaspmv/io/matrix_market.hpp"
+#include "yaspmv/sim/replay.hpp"
 #include "yaspmv/tune/tuner.hpp"
 #include "yaspmv/util/args.hpp"
 #include "yaspmv/util/rng.hpp"
@@ -43,6 +46,11 @@ int usage() {
       "          [--verify] [--inject=<fault>[:wg=N]]   (fault: drop_publish,\n"
       "          stall_publish, corrupt_publish, corrupt_cache, fail_main,\n"
       "          fail_carry, fail_combine; runs the resilient engine)\n"
+      "          [--record=<file.journal>]  capture the interleaving (failed\n"
+      "          attempts dump to <file>, <file>.2, ...; a clean run to <file>)\n"
+      "          [--replay=<file.journal> [--dump] [--minimize]]  re-execute a\n"
+      "          recorded schedule deterministically; --minimize delta-debugs\n"
+      "          it to <file>.min\n"
       "  codegen --mtx=<file.mtx> | --matrix=<name>"
       " [--device=gtx680|gtx480] [--cuda] --out-dir=<dir>\n";
   return 2;
@@ -173,6 +181,7 @@ int cmd_spmv_resilient(const Args& args, const core::Bccoo& m) {
   // Exhaustive residual check: sampling can miss a single corrupted row,
   // and at CLI scale one extra CPU SpMV is free.
   opt.sample_rows = A.rows;
+  opt.journal_prefix = args.get("record");
   core::ResilientEngine eng(A, m.cfg, ec, sim::gtx680(), opt);
 
   sim::FaultInjector inj;
@@ -193,6 +202,14 @@ int cmd_spmv_resilient(const Args& args, const core::Bccoo& m) {
   for (const auto& f : r.faults) {
     std::cout << "fault: [" << to_string(f.status) << "] at " << f.path
               << "\n       " << f.detail << "\n";
+    if (!f.journal_file.empty()) {
+      std::cout << "       journal: " << f.journal_file << "\n";
+    }
+  }
+  if (args.has("record") && r.faults.empty()) {
+    // Nothing failed: record the healthy interleaving instead.
+    io::save_journal_file(args.get("record"), eng.capture_last_run());
+    std::cout << "journal (clean run): " << args.get("record") << "\n";
   }
   std::cout << "path: " << r.path << " (ladder step " << r.ladder_step
             << ")\nattempts: " << r.attempts << " (" << r.retries()
@@ -210,11 +227,106 @@ int cmd_spmv_resilient(const Args& args, const core::Bccoo& m) {
   return 0;
 }
 
+/// One deterministic re-execution of a recorded schedule.
+struct ReplayOutcome {
+  bool failed = false;
+  Status status = Status::kOk;
+  std::string what;
+  std::int32_t failing_wg = -1;  ///< first wait-timeout's workgroup, or -1
+};
+
+/// Replays `sched` against a fresh engine with the journal's fault plan
+/// re-armed.  `x`/`y` follow the CLI's seeded-vector convention, so a
+/// successful replay reproduces the recorded run's y bit for bit.
+ReplayOutcome replay_once(const std::shared_ptr<const core::Bccoo>& m,
+                          const core::ExecConfig& ec,
+                          const sim::RecordedRun& base,
+                          const sim::Schedule& sched,
+                          std::span<const real_t> x, std::span<real_t> y) {
+  sim::FaultInjector inj;
+  inj.spin_budget_override = base.spin_budget_override;
+  if (base.fault.type != sim::FaultType::kNone) inj.arm(base.fault);
+  sim::FlightRecorder rec;
+  sim::ReplayCoordinator coord(sched);
+  rec.set_coordinator(&coord);
+
+  core::SpmvEngine eng(m, ec, sim::gtx680());
+  eng.set_fault_injector(base.fault.type != sim::FaultType::kNone ||
+                                 base.spin_budget_override != 0
+                             ? &inj
+                             : nullptr);
+  eng.set_recorder(&rec);
+
+  ReplayOutcome out;
+  try {
+    eng.run(x, y);
+  } catch (const SpmvError& e) {
+    out.failed = true;
+    out.status = e.code();
+    out.what = e.what();
+  }
+  out.failing_wg = sim::first_timeout_event(rec.journal().snapshot()).wg;
+  return out;
+}
+
+/// `spmv --replay=<file.journal>`: re-execute a recorded interleaving; with
+/// --minimize, delta-debug it down to a smaller schedule that still fails.
+int cmd_spmv_replay(const Args& args,
+                    const std::shared_ptr<const core::Bccoo>& m) {
+  const std::string path = args.get("replay");
+  const sim::RecordedRun base = io::load_journal_file(path);
+  if (args.has("dump")) std::cout << io::format_journal(base);
+
+  core::ExecConfig ec;
+  ec.workers = static_cast<unsigned>(args.get_int("threads", 1));
+  SplitMix64 rng(0x5eed);
+  std::vector<real_t> x(static_cast<std::size_t>(m->cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(static_cast<std::size_t>(m->rows));
+
+  const sim::Schedule sched = sim::schedule_from_journal(base);
+  require(!sched.steps.empty(),
+          "replay: journal holds no main-kernel schedule events");
+  const ReplayOutcome ref = replay_once(m, ec, base, sched, x, y);
+  if (ref.failed) {
+    std::cout << "replayed " << sched.steps.size() << " steps: ["
+              << to_string(ref.status) << "] " << ref.what << "\n";
+  } else {
+    std::cout << "replayed " << sched.steps.size()
+              << " steps: run completed cleanly\n";
+  }
+
+  if (!args.has("minimize")) return ref.failed ? 3 : 0;
+  require(ref.failed, "minimize: the recorded schedule does not fail");
+
+  // The failure reproduces when the class matches and (for sync timeouts)
+  // the same workgroup times out.
+  sim::MinimizeStats st;
+  const auto oracle = [&](const sim::Schedule& cand) {
+    const ReplayOutcome o = replay_once(m, ec, base, cand, x, y);
+    return o.failed && o.status == ref.status &&
+           (ref.failing_wg < 0 || o.failing_wg == ref.failing_wg);
+  };
+  const sim::Schedule min = sim::minimize_schedule(sched, oracle, &st);
+  const std::string out_path = path + ".min";
+  io::save_journal_file(
+      out_path, sim::recorded_run_from_schedule(min, base.fault,
+                                                base.spin_budget_override));
+  std::cout << "minimized: " << sched.steps.size() << " -> "
+            << min.steps.size() << " steps (" << st.candidates
+            << " candidates, " << st.accepted << " accepted)\nwrote "
+            << out_path << "\n";
+  return 3;
+}
+
 int cmd_spmv(const Args& args) {
   const std::string in = args.get("format");
   require(!in.empty(), "spmv: --format is required");
   auto m = std::make_shared<const core::Bccoo>(io::load_bccoo_file(in));
-  if (args.has("inject") || args.has("verify")) {
+  if (args.has("replay")) {
+    return cmd_spmv_replay(args, m);
+  }
+  if (args.has("inject") || args.has("verify") || args.has("record")) {
     return cmd_spmv_resilient(args, *m);
   }
   const auto threads =
