@@ -4,9 +4,20 @@
 // GPU bandwidth/balance; on a cache-based CPU the CSR row loop is already
 // well matched to the hardware, so BCCOO is not expected to dominate here —
 // the bench documents the native backend's real cost honestly.
+//
+// Besides the human-readable table, the run is written as machine-readable
+// JSON (default BENCH_cpu.json, override with --json=<path>; --json=-
+// disables the file) covering, per matrix: CSR-parallel, BCCOO scalar
+// (1x1), BCCOO blocked, and fused SpMM GFLOPS, plus auto-tuning seconds
+// with the serial and the pooled candidate sweep (--tune=0 skips tuning).
+// The binary re-validates its own JSON before exiting and fails the run if
+// the report does not parse — this is what the bench-smoke CI test asserts.
 #include "bench_common.hpp"
 
+#include <fstream>
+
 #include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace yaspmv;
@@ -18,47 +29,138 @@ int main(int argc, char** argv) {
       args.has("matrix")
           ? std::vector<std::string>{args.get("matrix")}
           : std::vector<std::string>{"Protein", "QCD", "Economics",
-                                     "Webbase", "mip1"};
+                                     "Webbase", "mip1", "Dense"};
   const double mult = args.get_double("scale", 0.5);
+  const bool do_tune = args.get_int("tune", 1) != 0;
+  const std::string json_path = args.get("json", "BENCH_cpu.json");
+  const index_t spmm_k = 8;
 
   std::cout << "=== Native CPU SpMV (wall clock, " << threads
-            << " thread(s), " << reps << " reps) ===\n\n";
-  TablePrinter t({"Name", "NNZ", "CSR par (ms)", "BCCOO (ms)", "speedup",
-                  "CSR GFLOPS", "BCCOO GFLOPS"});
+            << " thread(s), " << reps << " reps, simd="
+            << cpu::simd::to_string(cpu::simd::active()) << ") ===\n\n";
+  TablePrinter t({"Name", "NNZ", "CSR", "BCCOO 1x1", "blocked", "SpMM k=8",
+                  "tune ser(s)", "tune pool(s)"});
+
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value("cpu_native");
+  w.key("threads").value(threads);
+  w.key("reps").value(static_cast<long long>(reps));
+  w.key("scale").value(mult);
+  w.key("simd").value(cpu::simd::to_string(cpu::simd::active()));
+  w.key("spmm_k").value(spmm_k);
+  w.key("matrices").begin_array();
+
+  auto time_ms = [&](auto&& fn) {
+    fn();  // warm up
+    Stopwatch sw;
+    for (long r = 0; r < reps; ++r) fn();
+    return sw.elapsed_ms() / static_cast<double>(reps);
+  };
+
   for (const auto& name : names) {
     const auto& e = gen::suite_entry(name);
     const auto A = e.make(e.bench_scale * mult);
     const auto csr = fmt::Csr::from_coo(A);
     const auto x = bench::random_x(A.cols);
     std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+    const double flops = 2.0 * static_cast<double>(A.nnz());
 
-    // Tuned-ish BCCOO: pick the smallest-footprint block dims.
-    core::FormatConfig fc;
-    const auto dims = tune::pruned_block_dims(A);
-    fc.block_w = dims.front().first;
-    fc.block_h = std::min<index_t>(dims.front().second, 4);
-    cpu::CpuSpmv eng(
-        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc)),
+    // Scalar-block (1x1) BCCOO — the segmented-sum fast path.
+    core::FormatConfig fc_scalar;
+    cpu::CpuSpmv scalar(
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_scalar)),
         threads);
+    // Blocked BCCOO: smallest-footprint non-scalar block dims.
+    core::FormatConfig fc_blk;
+    fc_blk.block_w = 2;
+    fc_blk.block_h = 2;
+    for (const auto& [bw, bh] : tune::pruned_block_dims(A)) {
+      if (bw * bh > 1) {
+        fc_blk.block_w = bw;
+        fc_blk.block_h = std::min<index_t>(bh, 4);
+        break;
+      }
+    }
+    cpu::CpuSpmv blocked(
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_blk)),
+        threads);
+    cpu::CpuSpmm spmm(
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_scalar)),
+        threads);
+    const auto X = bench::random_x(A.cols * spmm_k);
+    std::vector<real_t> Y(static_cast<std::size_t>(A.rows) *
+                          static_cast<std::size_t>(spmm_k));
 
-    auto time_ms = [&](auto&& fn) {
-      fn();  // warm up
-      Stopwatch sw;
-      for (long r = 0; r < reps; ++r) fn();
-      return sw.elapsed_ms() / static_cast<double>(reps);
-    };
     const double t_csr =
         time_ms([&] { cpu::spmv_csr_parallel(csr, x, y, threads); });
-    const double t_bccoo = time_ms([&] { eng.spmv(x, y); });
-    const double gf_csr =
-        2.0 * static_cast<double>(A.nnz()) / (t_csr * 1e6);
-    const double gf_bccoo =
-        2.0 * static_cast<double>(A.nnz()) / (t_bccoo * 1e6);
-    t.add_row({name, std::to_string(A.nnz()), TablePrinter::fmt(t_csr, 3),
-               TablePrinter::fmt(t_bccoo, 3),
-               TablePrinter::fmt(t_csr / t_bccoo, 2) + "x",
-               TablePrinter::fmt(gf_csr, 2), TablePrinter::fmt(gf_bccoo, 2)});
+    const double t_scalar = time_ms([&] { scalar.spmv(x, y); });
+    const double t_blk = time_ms([&] { blocked.spmv(x, y); });
+    const double t_spmm = time_ms([&] { spmm.spmm(X, Y, spmm_k); });
+
+    const double gf_csr = flops / (t_csr * 1e6);
+    const double gf_scalar = flops / (t_scalar * 1e6);
+    const double gf_blk = flops / (t_blk * 1e6);
+    const double gf_spmm =
+        flops * static_cast<double>(spmm_k) / (t_spmm * 1e6);
+
+    // Auto-tuning time: the identical pruned sweep, candidates evaluated
+    // serially vs concurrently on the WorkPool (results are defined to be
+    // identical — see TuneOptions::tune_workers).
+    double tune_serial = 0.0, tune_pooled = 0.0;
+    if (do_tune) {
+      const auto dev = bench::device_from_args(args);
+      tune::TuneOptions topt;
+      topt.tune_workers = 1;
+      tune_serial = tune::tune(A, dev, topt).tuning_seconds;
+      topt.tune_workers = 0;  // hardware concurrency
+      tune_pooled = tune::tune(A, dev, topt).tuning_seconds;
+    }
+
+    t.add_row({name, std::to_string(A.nnz()), TablePrinter::fmt(gf_csr, 2),
+               TablePrinter::fmt(gf_scalar, 2), TablePrinter::fmt(gf_blk, 2),
+               TablePrinter::fmt(gf_spmm, 2),
+               do_tune ? TablePrinter::fmt(tune_serial, 2) : "-",
+               do_tune ? TablePrinter::fmt(tune_pooled, 2) : "-"});
+
+    w.begin_object();
+    w.key("name").value(name);
+    w.key("rows").value(static_cast<long long>(A.rows));
+    w.key("cols").value(static_cast<long long>(A.cols));
+    w.key("nnz").value(static_cast<unsigned long long>(A.nnz()));
+    w.key("csr_gflops").value(gf_csr);
+    w.key("bccoo_scalar_gflops").value(gf_scalar);
+    w.key("bccoo_blocked_gflops").value(gf_blk);
+    w.key("blocked_dims").begin_array();
+    w.value(static_cast<long long>(fc_blk.block_w));
+    w.value(static_cast<long long>(fc_blk.block_h));
+    w.end_array();
+    w.key("spmm_gflops").value(gf_spmm);
+    if (do_tune) {
+      w.key("tune_seconds_serial").value(tune_serial);
+      w.key("tune_seconds_pooled").value(tune_pooled);
+    }
+    w.end_object();
   }
+  w.end_array();
+  w.end_object();
+
   t.print();
+  std::cout << "\n(GFLOPS columns; SpMM counts 2*nnz*k flops)\n";
+
+  const std::string report = w.take();
+  if (!json::valid(report)) {
+    std::cerr << "bench_cpu_native: generated JSON failed validation\n";
+    return 1;
+  }
+  if (json_path != "-") {
+    std::ofstream out(json_path);
+    out << report << "\n";
+    if (!out) {
+      std::cerr << "bench_cpu_native: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

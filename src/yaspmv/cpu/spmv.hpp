@@ -12,8 +12,15 @@
 //   * a serial O(threads) fix-up pass resolves segments spanning chunk
 //     boundaries — the CPU analog of the adjacent-synchronization chain.
 //
-// Determinism: for a fixed thread count the summation order is fixed, so
-// results are bitwise reproducible run-to-run.
+// Execution substrate: chunks run on the shared persistent WorkPool
+// (util/thread_pool.hpp) — no thread spawn/join per call — and the
+// per-chunk segmented sum uses the runtime-dispatched SIMD kernels of
+// cpu/simd.hpp (AVX2/FMA with a portable multi-accumulator fallback).
+//
+// Determinism: the chunk decomposition depends only on the *requested*
+// thread count and the intra-chunk reduction order is fixed by the kernels'
+// shared lane/reduction scheme, so for a fixed thread count and dispatch
+// level results are bitwise reproducible run-to-run.
 #pragma once
 
 #include <atomic>
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/cpu/simd.hpp"
 #include "yaspmv/formats/csr.hpp"
 #include "yaspmv/util/thread_pool.hpp"
 
@@ -126,40 +134,78 @@ class CpuSpmv {
     const std::size_t b0 = chunk_start_[c];
     const std::size_t b1 = chunk_start_[c + 1];
     index_t seg = chunk_first_seg_[c];
-    real_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-    bool first_stop = true;
+    const std::uint32_t* words = f.bit_flags.words().data();
     if (h == 1 && bw == 1) {
-      // Fast path for scalar blocks (the tuner's most common choice): one
-      // multiply-add + one packed-bit test per non-zero.
+      // Fast path for scalar blocks (the tuner's most common choice): walk
+      // the chunk segment piece by segment piece — the packed bit flags are
+      // scanned a word at a time for the next row stop, and each piece is a
+      // gathered dot product on the SIMD kernel.
       const real_t* vals = f.value_rows[0].data();
       const index_t* cols = f.col_index.data();
-      const std::uint32_t* words = f.bit_flags.words().data();
-      real_t a0 = 0.0;
-      for (std::size_t i = b0; i < b1; ++i) {
-        a0 += vals[i] * xp_[static_cast<std::size_t>(cols[i])];
-        if (((words[i >> 5] >> (i & 31u)) & 1u) == 0u) {  // row stop
-          if (first_stop) {
-            firsts_[c] = a0;
-            first_stop = false;
-          } else {
-            res_[static_cast<std::size_t>(
-                f.seg_to_block_row[static_cast<std::size_t>(seg)])] = a0;
+      const real_t* x = xp_.data();
+      // Chunks whose *average* segment is short (power-law matrices) take a
+      // single-pass loop — one bit test per non-zero beats a per-segment
+      // word scan + kernel call when segments hold only a few non-zeros.
+      // The choice depends only on the format and the chunk decomposition
+      // (i.e. the requested thread count), so determinism is unaffected.
+      const std::size_t stops_c =
+          static_cast<std::size_t>(chunk_first_seg_[c + 1]) -
+          static_cast<std::size_t>(chunk_first_seg_[c]);
+      if (stops_c * simd::kShortSegment > b1 - b0) {
+        real_t acc = 0.0;
+        bool fs = true;
+        for (std::size_t i = b0; i < b1; ++i) {
+          acc += vals[i] * x[static_cast<std::size_t>(cols[i])];
+          if (!((words[i >> 5] >> (i & 31u)) & 1u)) {  // row stop
+            if (fs) {
+              firsts_[c] = acc;
+              fs = false;
+            } else {
+              res_[static_cast<std::size_t>(
+                  f.seg_to_block_row[static_cast<std::size_t>(seg)])] = acc;
+            }
+            acc = 0.0;
+            ++seg;
           }
-          a0 = 0.0;
-          ++seg;
         }
+        carries_[c] = acc;
+        return;
       }
-      carries_[c] = a0;
-      return;
+      const simd::DotRangeFn dot = simd::dot_range();
+      std::size_t i = b0;
+      bool first_stop = true;
+      for (;;) {
+        const std::size_t stop = simd::next_row_stop(words, i, b1);
+        if (stop == b1) {  // trailing open segment (possibly empty)
+          carries_[c] =
+              i < b1 ? simd::dot_piece(dot, vals, cols, x, i, b1, b1) : 0.0;
+          return;
+        }
+        const real_t s = simd::dot_piece(dot, vals, cols, x, i, stop + 1, b1);
+        if (first_stop) {
+          // May continue from the previous chunk: defer to the fix-up.
+          firsts_[c] = s;
+          first_stop = false;
+        } else {
+          res_[static_cast<std::size_t>(
+              f.seg_to_block_row[static_cast<std::size_t>(seg)])] = s;
+        }
+        ++seg;
+        i = stop + 1;
+      }
     }
+    const simd::DotDenseFn bdot = simd::dot_dense();
+    real_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    bool first_stop = true;
     for (std::size_t i = b0; i < b1; ++i) {
       const auto bcol = static_cast<std::size_t>(f.col_index[i]);
+      const real_t* xv = xp_.data() + bcol * bw;
+      if (i + 4 < b1) {
+        __builtin_prefetch(xp_.data() +
+                           static_cast<std::size_t>(f.col_index[i + 4]) * bw);
+      }
       for (std::size_t k = 0; k < h; ++k) {
-        const real_t* row = f.value_rows[k].data() + i * bw;
-        const real_t* xv = xp_.data() + bcol * bw;
-        real_t s = 0.0;
-        for (std::size_t lc = 0; lc < bw; ++lc) s += row[lc] * xv[lc];
-        acc[k] += s;
+        acc[k] += bdot(f.value_rows[k].data() + i * bw, xv, bw);
       }
       if (!f.bit_flags.get(i)) {  // row stop
         if (first_stop) {
@@ -198,13 +244,33 @@ class CpuSpmv {
 /// choice — a fused pass reads each non-zero (value, column, bit flag)
 /// once and accumulates all k right-hand sides together, which is the
 /// classic SpMM win over k SpMV calls; blocked formats fall back to the
-/// per-vector path.
+/// per-vector path.  The fused path's chunk decomposition and row-stop
+/// scans are precomputed in the constructor (next to the CpuSpmv
+/// precomputation); the first/carry panels are cached across calls and
+/// only reallocated when k changes.
 class CpuSpmm {
  public:
   explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0)
       : fmt_(std::move(m)),
         eng_(fmt_, threads),
-        threads_(threads == 0 ? default_workers() : threads) {}
+        threads_(threads == 0 ? default_workers() : threads) {
+    const auto& f = *fmt_;
+    if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1 &&
+        f.num_blocks > 0) {
+      // Hoisted per-call work of the fused pass: chunk boundaries and the
+      // count_zeros_before scans (O(num_blocks) each) happen once here.
+      const std::size_t nb = f.num_blocks;
+      const std::size_t nchunks =
+          std::max<std::size_t>(1, std::min<std::size_t>(threads_ * 4, nb));
+      starts_.resize(nchunks + 1);
+      first_seg_.resize(nchunks + 1);
+      for (std::size_t c = 0; c <= nchunks; ++c) {
+        starts_[c] = c * nb / nchunks;
+        first_seg_[c] =
+            static_cast<index_t>(f.bit_flags.count_zeros_before(starts_[c]));
+      }
+    }
+  }
 
   const core::Bccoo& format() const { return *fmt_; }
 
@@ -239,62 +305,61 @@ class CpuSpmm {
     const auto colsz = static_cast<std::size_t>(f.cols);
     const auto rowsz = static_cast<std::size_t>(f.rows);
     std::fill(Y.begin(), Y.end(), 0.0);
-    const std::size_t nb = f.num_blocks;
-    if (nb == 0) return;
-    const std::size_t nchunks =
-        std::max<std::size_t>(1, std::min<std::size_t>(threads_ * 4, nb));
-    std::vector<std::size_t> starts(nchunks + 1);
-    std::vector<index_t> first_seg(nchunks + 1);
-    for (std::size_t c = 0; c <= nchunks; ++c) {
-      starts[c] = c * nb / nchunks;
-      first_seg[c] =
-          static_cast<index_t>(f.bit_flags.count_zeros_before(starts[c]));
+    if (f.num_blocks == 0) return;
+    const std::size_t nchunks = starts_.size() - 1;
+    // Panel scratch (k values per chunk) is cached across calls; the per
+    // chunk accumulator panel lives here too so the workers allocate
+    // nothing.
+    if (panels_k_ != kz) {
+      firsts_.assign(nchunks * kz, 0.0);
+      carries_.assign(nchunks * kz, 0.0);
+      acc_panel_.assign(nchunks * kz, 0.0);
+      panels_k_ = kz;
     }
-    // Per-chunk first/carry panels (k values each).
-    std::vector<real_t> firsts(nchunks * kz, 0.0), carries(nchunks * kz, 0.0);
     const real_t* vals = f.value_rows[0].data();
     const index_t* cols = f.col_index.data();
 
     parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
-      std::vector<real_t> acc(kz, 0.0);
-      index_t seg = first_seg[c];
+      real_t* acc = acc_panel_.data() + c * kz;
+      std::fill(acc, acc + kz, 0.0);
+      index_t seg = first_seg_[c];
       bool first_stop = true;
-      for (std::size_t i = starts[c]; i < starts[c + 1]; ++i) {
+      for (std::size_t i = starts_[c]; i < starts_[c + 1]; ++i) {
         const real_t v = vals[i];
         const auto col = static_cast<std::size_t>(cols[i]);
+        if (i + 8 < starts_[c + 1]) {
+          __builtin_prefetch(&X[static_cast<std::size_t>(cols[i + 8])]);
+        }
         for (std::size_t j = 0; j < kz; ++j) {
           acc[j] += v * X[j * colsz + col];  // one decode, k FMAs
         }
         if (!f.bit_flags.get(i)) {
-          real_t* out = first_stop
-                            ? &firsts[c * kz]
-                            : nullptr;
-          if (out != nullptr) {
-            std::copy(acc.begin(), acc.end(), out);
+          if (first_stop) {
+            std::copy(acc, acc + kz, &firsts_[c * kz]);
             first_stop = false;
           } else {
             const auto row = static_cast<std::size_t>(
                 f.seg_to_block_row[static_cast<std::size_t>(seg)]);
             for (std::size_t j = 0; j < kz; ++j) Y[j * rowsz + row] = acc[j];
           }
-          std::fill(acc.begin(), acc.end(), 0.0);
+          std::fill(acc, acc + kz, 0.0);
           ++seg;
         }
       }
-      std::copy(acc.begin(), acc.end(), &carries[c * kz]);
+      std::copy(acc, acc + kz, &carries_[c * kz]);
     });
 
     std::vector<real_t> carry(kz, 0.0);
     for (std::size_t c = 0; c < nchunks; ++c) {
-      if (first_seg[c + 1] > first_seg[c]) {
+      if (first_seg_[c + 1] > first_seg_[c]) {
         const auto row = static_cast<std::size_t>(
-            f.seg_to_block_row[static_cast<std::size_t>(first_seg[c])]);
+            f.seg_to_block_row[static_cast<std::size_t>(first_seg_[c])]);
         for (std::size_t j = 0; j < kz; ++j) {
-          Y[j * rowsz + row] += carry[j] + firsts[c * kz + j];
-          carry[j] = carries[c * kz + j];
+          Y[j * rowsz + row] += carry[j] + firsts_[c * kz + j];
+          carry[j] = carries_[c * kz + j];
         }
       } else {
-        for (std::size_t j = 0; j < kz; ++j) carry[j] += carries[c * kz + j];
+        for (std::size_t j = 0; j < kz; ++j) carry[j] += carries_[c * kz + j];
       }
     }
   }
@@ -302,9 +367,19 @@ class CpuSpmm {
   std::shared_ptr<const core::Bccoo> fmt_;
   CpuSpmv eng_;
   unsigned threads_;
+  // Fused-path precomputation (1x1 blocks, 1 slice): chunk starts and the
+  // first-segment ordinals, plus the cached per-chunk panels.
+  std::vector<std::size_t> starts_;
+  std::vector<index_t> first_seg_;
+  std::vector<real_t> firsts_;
+  std::vector<real_t> carries_;
+  std::vector<real_t> acc_panel_;
+  std::size_t panels_k_ = 0;
 };
 
 /// Parallel CSR SpMV baseline (row-range partitioning) for the CPU benches.
+/// The row dot products run on the same SIMD dot kernel as the BCCOO path
+/// (CSR rows are exactly stop-free segment pieces).
 inline void spmv_csr_parallel(const fmt::Csr& m, std::span<const real_t> x,
                               std::span<real_t> y, unsigned threads = 0) {
   require(x.size() == static_cast<std::size_t>(m.cols) &&
@@ -313,20 +388,23 @@ inline void spmv_csr_parallel(const fmt::Csr& m, std::span<const real_t> x,
   if (threads == 0) threads = default_workers();
   const std::size_t chunks = std::min<std::size_t>(
       threads * 4, std::max<std::size_t>(1, static_cast<std::size_t>(m.rows)));
+  const simd::DotRangeFn dot = simd::dot_range();
   parallel_for_ordered(chunks, threads, [&](unsigned, std::size_t c) {
     const auto r0 = static_cast<index_t>(
         c * static_cast<std::size_t>(m.rows) / chunks);
     const auto r1 = static_cast<index_t>(
         (c + 1) * static_cast<std::size_t>(m.rows) / chunks);
+    const real_t* vals = m.vals.data();
+    const index_t* cols = m.col_idx.data();
+    const real_t* xv = x.data();
+    const auto pf_bound = static_cast<std::size_t>(
+        m.row_ptr[static_cast<std::size_t>(r1)]);
     for (index_t r = r0; r < r1; ++r) {
-      real_t acc = 0.0;
-      for (index_t p = m.row_ptr[static_cast<std::size_t>(r)];
-           p < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
-        acc += m.vals[static_cast<std::size_t>(p)] *
-               x[static_cast<std::size_t>(
-                   m.col_idx[static_cast<std::size_t>(p)])];
-      }
-      y[static_cast<std::size_t>(r)] = acc;
+      y[static_cast<std::size_t>(r)] = simd::dot_piece(
+          dot, vals, cols, xv,
+          static_cast<std::size_t>(m.row_ptr[static_cast<std::size_t>(r)]),
+          static_cast<std::size_t>(m.row_ptr[static_cast<std::size_t>(r) + 1]),
+          pf_bound);
     }
   });
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/core/status.hpp"
@@ -12,6 +13,7 @@
 #include "yaspmv/perf/model.hpp"
 #include "yaspmv/util/rng.hpp"
 #include "yaspmv/util/stopwatch.hpp"
+#include "yaspmv/util/thread_pool.hpp"
 
 namespace yaspmv::tune {
 
@@ -87,7 +89,6 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
   const auto x = make_x(a.cols);
   std::vector<real_t> y_ref(static_cast<std::size_t>(a.rows));
   fmt::Csr::from_coo(a).spmv(x, y_ref);
-  std::vector<real_t> y(static_cast<std::size_t>(a.rows));
 
   // ---- enumerate the Table 1 space ---------------------------------------
   const auto block_dims = pruned_block_dims(a, opt.extended_blocks);
@@ -123,46 +124,12 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
   }
   const std::vector<int> s2_cache_menu{1, 2};
 
-  std::map<FormatKey, std::shared_ptr<const core::Bccoo>> format_cache;
-
-  auto get_format = [&](const core::FormatConfig& fc) {
-    const FormatKey key{fc.block_w, fc.block_h, fc.slices,
-                        static_cast<int>(fc.bf_word)};
-    auto it = format_cache.find(key);
-    if (it != format_cache.end()) return it->second;
-    auto built =
-        std::make_shared<const core::Bccoo>(core::Bccoo::build(a, fc));
-    format_cache.emplace(key, built);
-    return built;
-  };
-
+  // ---- collect the candidate list (enumeration order is the merge order,
+  //      so results are independent of tune_workers) ----------------------
+  std::vector<std::pair<core::FormatConfig, core::ExecConfig>> cands;
   auto evaluate = [&](const core::FormatConfig& fc,
                       const core::ExecConfig& ec) {
-    try {
-      // The format cache plays the role of the paper's compiled-kernel hash
-      // table: one Bccoo per (block dims, slices) serves every ExecConfig.
-      core::SpmvEngine eng(get_format(fc), ec, dev);
-      auto run = eng.run(x, y);
-      if (opt.verify && !close(y, y_ref)) {
-        throw DataCorruption("tuner: candidate produced wrong results");
-      }
-      Candidate c;
-      c.format = fc;
-      c.exec = ec;
-      c.gflops = perf::spmv_gflops(dev, run.stats, a.nnz());
-      c.footprint = eng.footprint_bytes();
-      res.evaluated++;
-      res.top.push_back(c);
-      if (c.gflops > res.best.gflops) res.best = c;
-    } catch (const SpmvError& e) {
-      // One failing candidate (resource overflow, wrong results, injected
-      // fault, ...) must not abort the sweep: record it and move on.
-      res.skipped++;
-      if (res.skipped_configs.size() < TuneResult::kMaxSkipRecords) {
-        res.skipped_configs.push_back(fc.to_string() + " / " + ec.to_string() +
-                                      ": " + e.what());
-      }
-    }
+    cands.emplace_back(fc, ec);
   };
 
   for (const auto& [bw, bh] : block_dims) {
@@ -208,6 +175,79 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
             }
           }
         }
+      }
+    }
+  }
+
+  // ---- evaluate candidates concurrently on the shared WorkPool -----------
+  // The format cache plays the role of the paper's compiled-kernel hash
+  // table: one Bccoo per (block dims, slices) serves every ExecConfig.  All
+  // keys are known up front, so the map itself is immutable during the
+  // sweep and a per-entry call_once makes each format build exactly once
+  // even when several workers request it simultaneously.
+  struct FormatEntry {
+    std::once_flag once;
+    std::shared_ptr<const core::Bccoo> fmt;
+  };
+  std::map<FormatKey, FormatEntry> format_cache;
+  for (const auto& cand : cands) {
+    const core::FormatConfig& fc = cand.first;
+    format_cache[FormatKey{fc.block_w, fc.block_h, fc.slices,
+                           static_cast<int>(fc.bf_word)}];
+  }
+  auto get_format = [&](const core::FormatConfig& fc) {
+    FormatEntry& e = format_cache.at(FormatKey{
+        fc.block_w, fc.block_h, fc.slices, static_cast<int>(fc.bf_word)});
+    std::call_once(e.once, [&] {
+      e.fmt = std::make_shared<const core::Bccoo>(core::Bccoo::build(a, fc));
+    });
+    return e.fmt;
+  };
+
+  struct EvalOut {
+    bool ok = false;
+    Candidate cand;
+    std::string skip_reason;
+  };
+  std::vector<EvalOut> outs(cands.size());
+  const unsigned tune_workers =
+      opt.tune_workers == 0 ? default_workers() : opt.tune_workers;
+  parallel_for_ordered(
+      cands.size(), tune_workers, [&](unsigned, std::size_t ci) {
+        const auto& [fc, ec] = cands[ci];
+        EvalOut& o = outs[ci];
+        try {
+          core::SpmvEngine eng(get_format(fc), ec, dev);
+          std::vector<real_t> yl(static_cast<std::size_t>(a.rows));
+          auto run = eng.run(x, yl);
+          if (opt.verify && !close(yl, y_ref)) {
+            throw DataCorruption("tuner: candidate produced wrong results");
+          }
+          o.cand.format = fc;
+          o.cand.exec = ec;
+          o.cand.gflops = perf::spmv_gflops(dev, run.stats, a.nnz());
+          o.cand.footprint = eng.footprint_bytes();
+          o.ok = true;
+        } catch (const SpmvError& e) {
+          // One failing candidate (resource overflow, wrong results,
+          // injected fault, ...) must not abort the sweep: record it and
+          // move on.
+          o.skip_reason =
+              fc.to_string() + " / " + ec.to_string() + ": " + e.what();
+        }
+      });
+
+  // Serial merge in enumeration order: best (first strict max), top, and
+  // the first kMaxSkipRecords skip reasons are exactly the serial sweep's.
+  for (const EvalOut& o : outs) {
+    if (o.ok) {
+      res.evaluated++;
+      res.top.push_back(o.cand);
+      if (o.cand.gflops > res.best.gflops) res.best = o.cand;
+    } else {
+      res.skipped++;
+      if (res.skipped_configs.size() < TuneResult::kMaxSkipRecords) {
+        res.skipped_configs.push_back(o.skip_reason);
       }
     }
   }

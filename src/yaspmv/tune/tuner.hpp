@@ -27,6 +27,12 @@ struct TuneOptions {
   bool exhaustive = false;  ///< full Table 1 sweep instead of the pruned one
   bool verify = true;       ///< check every candidate against the reference
   unsigned workers = 1;     ///< simulator dispatch threads per candidate
+  /// Concurrent candidate evaluations on the shared WorkPool (0 = hardware
+  /// concurrency, 1 = the serial sweep).  Tuning time is a first-class
+  /// metric (Section 4 reports it); the result is identical for any value:
+  /// candidates are merged in enumeration order, so best/top/skip records
+  /// match the serial sweep bit for bit.
+  unsigned tune_workers = 0;
   /// Extension beyond the paper (Section 6 notes Dense loses because the
   /// block height is capped at 4): widen the block menu to 8x8 and add
   /// finer thread-tile sizes (the paper observes tile = 40 helps Dense).

@@ -1,0 +1,289 @@
+// Minimal JSON emission + validation for the machine-readable bench
+// outputs (BENCH_cpu.json and friends).  Deliberately tiny: a streaming
+// writer with correct string/number formatting, and a recursive-descent
+// validator the bench binaries run on their own output before exiting —
+// a malformed report fails the bench-smoke CI test instead of poisoning
+// downstream tooling.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "yaspmv/core/status.hpp"
+
+namespace yaspmv::json {
+
+/// Escapes `s` as a JSON string literal (with quotes).
+inline std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Formats a double as a JSON number.  NaN/inf have no JSON spelling; they
+/// become null so a bad measurement is visible rather than unparsable.
+inline std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Streaming writer for objects/arrays: begin_object/begin_array push a
+/// scope, key() names the next value inside an object, and the value
+/// overloads append scalars.  Commas and indentation are managed by the
+/// scope stack, so emission sites stay declarative.
+class Writer {
+ public:
+  std::string take() {
+    require(scopes_.empty(), "json::Writer: unclosed scope");
+    return std::move(out_);
+  }
+
+  Writer& begin_object() { return open('{'); }
+  Writer& end_object() { return close('}'); }
+  Writer& begin_array() { return open('['); }
+  Writer& end_array() { return close(']'); }
+
+  Writer& key(const std::string& k) {
+    comma();
+    indent();
+    out_ += quote(k);
+    out_ += ": ";
+    have_key_ = true;
+    return *this;
+  }
+
+  Writer& value(const std::string& v) { return scalar(quote(v)); }
+  Writer& value(const char* v) { return scalar(quote(v)); }
+  Writer& value(double v) { return scalar(number(v)); }
+  Writer& value(long long v) { return scalar(std::to_string(v)); }
+  Writer& value(unsigned long long v) { return scalar(std::to_string(v)); }
+  Writer& value(int v) { return scalar(std::to_string(v)); }
+  Writer& value(unsigned v) { return scalar(std::to_string(v)); }
+  Writer& value(std::size_t v) {
+    return scalar(std::to_string(static_cast<unsigned long long>(v)));
+  }
+  Writer& value(bool v) { return scalar(v ? "true" : "false"); }
+
+ private:
+  Writer& open(char c) {
+    if (!have_key_) {
+      comma();
+      indent();
+    }
+    out_ += c;
+    scopes_.push_back({c, 0});
+    have_key_ = false;
+    return *this;
+  }
+
+  Writer& close(char c) {
+    require(!scopes_.empty(), "json::Writer: close without open");
+    const bool had_items = scopes_.back().items > 0;
+    scopes_.pop_back();
+    if (had_items) {
+      out_ += '\n';
+      indent_raw();
+      if (!scopes_.empty()) out_ += "  ";  // match the opener's indent
+    }
+    out_ += c;
+    return *this;
+  }
+
+  Writer& scalar(const std::string& text) {
+    if (!have_key_) {
+      comma();
+      indent();
+    }
+    out_ += text;
+    have_key_ = false;
+    return *this;
+  }
+
+  void comma() {
+    if (!scopes_.empty()) {
+      if (scopes_.back().items++ > 0) out_ += ',';
+    }
+  }
+
+  void indent() {
+    if (!scopes_.empty()) {
+      out_ += '\n';
+      indent_raw();
+      out_ += "  ";
+    }
+  }
+  void indent_raw() {
+    for (std::size_t i = 1; i < scopes_.size(); ++i) out_ += "  ";
+  }
+
+  struct Scope {
+    char kind;
+    int items;
+  };
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool have_key_ = false;
+};
+
+namespace detail {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool eat(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+};
+
+inline bool parse_value(Cursor& c, int depth);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.eat('"')) return false;
+  while (c.p < c.end) {
+    const char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.p >= c.end) return false;
+      const char esc = *c.p++;
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (c.p >= c.end || !std::isxdigit(static_cast<unsigned char>(*c.p))) {
+            return false;
+          }
+          ++c.p;
+        }
+      } else if (!std::strchr("\"\\/bfnrt", esc)) {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;
+    }
+  }
+  return false;
+}
+
+inline bool parse_number(Cursor& c) {
+  const char* start = c.p;
+  c.eat('-');
+  if (!(c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p)))) {
+    return false;
+  }
+  if (*c.p == '0') {
+    ++c.p;  // JSON forbids leading zeros: 0 must stand alone
+  } else {
+    while (c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (c.eat('.')) {
+    if (!(c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p)))) {
+      return false;
+    }
+    while (c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (c.p < c.end && (*c.p == 'e' || *c.p == 'E')) {
+    ++c.p;
+    if (c.p < c.end && (*c.p == '+' || *c.p == '-')) ++c.p;
+    if (!(c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p)))) {
+      return false;
+    }
+    while (c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  return c.p > start;
+}
+
+inline bool parse_literal(Cursor& c, const char* lit) {
+  const std::size_t n = std::strlen(lit);
+  if (static_cast<std::size_t>(c.end - c.p) < n) return false;
+  if (std::strncmp(c.p, lit, n) != 0) return false;
+  c.p += n;
+  return true;
+}
+
+inline bool parse_value(Cursor& c, int depth) {
+  if (depth > 64) return false;
+  c.skip_ws();
+  if (c.p >= c.end) return false;
+  switch (*c.p) {
+    case '{': {
+      ++c.p;
+      c.skip_ws();
+      if (c.eat('}')) return true;
+      for (;;) {
+        c.skip_ws();
+        if (!parse_string(c)) return false;
+        c.skip_ws();
+        if (!c.eat(':')) return false;
+        if (!parse_value(c, depth + 1)) return false;
+        c.skip_ws();
+        if (c.eat(',')) continue;
+        return c.eat('}');
+      }
+    }
+    case '[': {
+      ++c.p;
+      c.skip_ws();
+      if (c.eat(']')) return true;
+      for (;;) {
+        if (!parse_value(c, depth + 1)) return false;
+        c.skip_ws();
+        if (c.eat(',')) continue;
+        return c.eat(']');
+      }
+    }
+    case '"':
+      return parse_string(c);
+    case 't':
+      return parse_literal(c, "true");
+    case 'f':
+      return parse_literal(c, "false");
+    case 'n':
+      return parse_literal(c, "null");
+    default:
+      return parse_number(c);
+  }
+}
+
+}  // namespace detail
+
+/// True when `text` is one well-formed JSON value (plus whitespace).
+inline bool valid(const std::string& text) {
+  detail::Cursor c{text.data(), text.data() + text.size()};
+  if (!detail::parse_value(c, 0)) return false;
+  c.skip_ws();
+  return c.p == c.end;
+}
+
+}  // namespace yaspmv::json

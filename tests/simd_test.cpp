@@ -1,0 +1,234 @@
+// SIMD kernel tests: the AVX2/FMA and portable segmented-sum primitives
+// must agree to a 1-ulp-scaled tolerance (the kernels share one fixed
+// reduction order; FMA removes intermediate roundings, so exact equality
+// is not required), next_row_stop must match a naive bit scan, and the
+// CpuSpmv fast path must be correct and bitwise-deterministic under each
+// forced dispatch level, including the chunk-boundary edge cases.
+#include "yaspmv/cpu/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/formats/csr.hpp"
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/bitops.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+using cpu::simd::Level;
+
+/// RAII guard: force a dispatch level for one test, restore after.
+struct LevelGuard {
+  Level saved;
+  explicit LevelGuard(Level l) : saved(cpu::simd::active()) {
+    cpu::simd::set_level(l);
+  }
+  ~LevelGuard() { cpu::simd::set_level(saved); }
+};
+
+bool close_ulps(double a, double b, double scale_hint) {
+  const double scale =
+      std::max({std::abs(a), std::abs(b), std::abs(scale_hint), 1.0});
+  return std::abs(a - b) <=
+         8 * std::numeric_limits<double>::epsilon() * scale;
+}
+
+TEST(NextRowStop, MatchesNaiveScan) {
+  SplitMix64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next()) % 200;
+    BitArray bits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bits.set(i, rng.next_double(0, 1) < 0.8);
+    }
+    const std::uint32_t* words = bits.words().data();
+    for (std::size_t start = 0; start <= n; ++start) {
+      std::size_t want = n;
+      for (std::size_t i = start; i < n; ++i) {
+        if (!bits.get(i)) {
+          want = i;
+          break;
+        }
+      }
+      ASSERT_EQ(cpu::simd::next_row_stop(words, start, n), want)
+          << "n=" << n << " start=" << start;
+    }
+  }
+}
+
+TEST(NextRowStop, CrossesWordBoundaries) {
+  BitArray bits(100, true);  // all ones: no stop anywhere
+  EXPECT_EQ(cpu::simd::next_row_stop(bits.words().data(), 0, 100), 100u);
+  bits.set(63, false);
+  EXPECT_EQ(cpu::simd::next_row_stop(bits.words().data(), 0, 100), 63u);
+  EXPECT_EQ(cpu::simd::next_row_stop(bits.words().data(), 63, 100), 63u);
+  EXPECT_EQ(cpu::simd::next_row_stop(bits.words().data(), 64, 100), 100u);
+  // A stop past `end` must clamp to end.
+  bits.set(99, false);
+  EXPECT_EQ(cpu::simd::next_row_stop(bits.words().data(), 64, 90), 90u);
+}
+
+TEST(DotRange, PortableVsAvx2WithinUlps) {
+  if (!cpu::simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  SplitMix64 rng(7);
+  const std::size_t nx = 512;
+  std::vector<real_t> x(nx), vals(300);
+  std::vector<index_t> cols(300);
+  for (auto& v : x) v = rng.next_double(-10, 10);
+  for (auto& v : vals) v = rng.next_double(-10, 10);
+  for (auto& ci : cols) {
+    ci = static_cast<index_t>(rng.next() % nx);
+  }
+  // Every (offset, length) shape up to a few vector widths, so the quad
+  // loop, the reduce and the tail are all exercised.
+  for (std::size_t lo = 0; lo < 8; ++lo) {
+    for (std::size_t len = 0; len <= 40; ++len) {
+      const std::size_t hi = lo + len;
+      const double p = cpu::simd::dot_range_portable(vals.data(), cols.data(),
+                                                     x.data(), lo, hi);
+      const double v = cpu::simd::dot_range_avx2(vals.data(), cols.data(),
+                                                 x.data(), lo, hi);
+      const double mag = static_cast<double>(len) * 100.0;
+      ASSERT_TRUE(close_ulps(p, v, mag)) << "lo=" << lo << " len=" << len
+                                         << " portable=" << p << " avx2=" << v;
+    }
+  }
+}
+
+TEST(DotDense, PortableVsAvx2WithinUlps) {
+  if (!cpu::simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  SplitMix64 rng(11);
+  std::vector<real_t> a(8), b(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& v : a) v = rng.next_double(-5, 5);
+    for (auto& v : b) v = rng.next_double(-5, 5);
+    for (std::size_t w = 1; w <= 8; ++w) {
+      const double p = cpu::simd::dot_dense_portable(a.data(), b.data(), w);
+      const double v = cpu::simd::dot_dense_avx2(a.data(), b.data(), w);
+      ASSERT_TRUE(close_ulps(p, v, 200.0)) << "w=" << w;
+    }
+  }
+}
+
+TEST(SimdDispatch, EnvAndSetLevel) {
+  const Level saved = cpu::simd::active();
+  cpu::simd::set_level(Level::kPortable);
+  EXPECT_EQ(cpu::simd::active(), Level::kPortable);
+  cpu::simd::set_level(Level::kAvx2);
+  if (cpu::simd::cpu_has_avx2()) {
+    EXPECT_EQ(cpu::simd::active(), Level::kAvx2);
+  } else {
+    EXPECT_EQ(cpu::simd::active(), Level::kPortable);  // request ignored
+  }
+  EXPECT_STREQ(cpu::simd::to_string(Level::kPortable), "portable");
+  EXPECT_STREQ(cpu::simd::to_string(Level::kAvx2), "avx2");
+  cpu::simd::set_level(saved);
+}
+
+// ---- CpuSpmv under forced dispatch levels -------------------------------
+
+std::shared_ptr<const core::Bccoo> build(const fmt::Coo& A,
+                                         core::FormatConfig fc = {}) {
+  return std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc));
+}
+
+std::vector<real_t> run_spmv(const fmt::Coo& A, unsigned threads,
+                             core::FormatConfig fc = {}) {
+  SplitMix64 rng(0xBEEF);
+  std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<real_t> y(static_cast<std::size_t>(A.rows));
+  cpu::CpuSpmv eng(build(A, fc), threads);
+  eng.spmv(x, y);
+  return y;
+}
+
+void expect_levels_agree(const fmt::Coo& A, unsigned threads,
+                         const std::string& what) {
+  std::vector<real_t> want(static_cast<std::size_t>(A.rows));
+  {
+    SplitMix64 rng(0xBEEF);
+    std::vector<real_t> x(static_cast<std::size_t>(A.cols));
+    for (auto& v : x) v = rng.next_double(-1, 1);
+    fmt::Csr::from_coo(A).spmv(x, want);
+  }
+  std::vector<real_t> portable, vec;
+  {
+    LevelGuard g(Level::kPortable);
+    portable = run_spmv(A, threads);
+  }
+  {
+    LevelGuard g(Level::kAvx2);
+    vec = run_spmv(A, threads);
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_TRUE(close_ulps(portable[i], vec[i], std::abs(want[i]) * 64))
+        << what << " levels disagree at row " << i << ": " << portable[i]
+        << " vs " << vec[i];
+    ASSERT_NEAR(portable[i], want[i],
+                1e-9 * std::max(1.0, std::abs(want[i])))
+        << what << " wrong result at row " << i;
+  }
+}
+
+class SimdSpmv : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimdSpmv, LevelsAgreeAcrossShapes) {
+  const unsigned threads = GetParam();
+  // Long segments (the SIMD piece path) and short power-law segments (the
+  // single-pass path) both appear across these generators.
+  expect_levels_agree(gen::stencil2d(24, 24, false, 1), threads, "stencil");
+  expect_levels_agree(gen::powerlaw(700, 700, 5, 2.2, 0.4, 2), threads,
+                      "powerlaw");
+  expect_levels_agree(gen::random_scattered(400, 400, 7, 9), threads,
+                      "scattered");
+}
+
+TEST_P(SimdSpmv, ChunkEdgeCases) {
+  const unsigned threads = GetParam();
+  // nnz < threads: more workers than non-zero blocks.
+  expect_levels_agree(
+      fmt::Coo::from_triplets(4, 4, {0, 2}, {1, 3}, {2.0, -3.0}), threads,
+      "nnz<threads");
+  // Empty rows between populated ones.
+  expect_levels_agree(
+      fmt::Coo::from_triplets(6, 6, {0, 0, 5, 5}, {0, 5, 0, 5},
+                              {1.0, 2.0, 3.0, 4.0}),
+      threads, "empty rows");
+  // A single open segment spanning every chunk: one dense row.
+  std::vector<index_t> ri(64, 0), ci(64);
+  std::vector<real_t> v(64);
+  for (int i = 0; i < 64; ++i) {
+    ci[static_cast<std::size_t>(i)] = i;
+    v[static_cast<std::size_t>(i)] = 1.0 / (1 + i);
+  }
+  expect_levels_agree(fmt::Coo::from_triplets(1, 64, ri, ci, v), threads,
+                      "one dense row");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SimdSpmv, ::testing::Values(1u, 3u, 8u));
+
+TEST(SimdSpmv, DeterministicAtFixedThreadCount) {
+  const auto A = gen::powerlaw(600, 600, 6, 2.1, 0.3, 5);
+  for (Level l : {Level::kPortable, Level::kAvx2}) {
+    if (l == Level::kAvx2 && !cpu::simd::cpu_has_avx2()) continue;
+    LevelGuard g(l);
+    const auto first = run_spmv(A, 4);
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto again = run_spmv(A, 4);
+      ASSERT_EQ(std::memcmp(first.data(), again.data(),
+                            first.size() * sizeof(real_t)),
+                0)
+          << "non-deterministic at level " << cpu::simd::to_string(l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yaspmv

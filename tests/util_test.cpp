@@ -7,6 +7,7 @@
 
 #include "yaspmv/util/args.hpp"
 #include "yaspmv/util/common.hpp"
+#include "yaspmv/util/json.hpp"
 #include "yaspmv/util/rng.hpp"
 #include "yaspmv/util/table.hpp"
 #include "yaspmv/util/thread_pool.hpp"
@@ -139,6 +140,42 @@ TEST(ThreadPool, SequentialModeIsInOrder) {
     order.push_back(i);
   });
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Json, WriterEmitsValidNestedDocument) {
+  json::Writer w;
+  w.begin_object();
+  w.key("name").value("bench \"quoted\"\n");
+  w.key("count").value(42);
+  w.key("pi").value(3.25);
+  w.key("nan_becomes_null").value(std::nan(""));
+  w.key("flag").value(true);
+  w.key("rows").begin_array();
+  w.begin_object();
+  w.key("x").value(1);
+  w.end_object();
+  w.value(7);
+  w.end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  const std::string doc = w.take();
+  EXPECT_TRUE(json::valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"nan_becomes_null\": null"), std::string::npos);
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json::valid("{}"));
+  EXPECT_TRUE(json::valid(" [1, 2.5e-3, \"a\", null, true, [], {\"k\": []}] "));
+  EXPECT_TRUE(json::valid("-0.5"));
+  EXPECT_FALSE(json::valid(""));
+  EXPECT_FALSE(json::valid("{"));
+  EXPECT_FALSE(json::valid("{\"a\": }"));
+  EXPECT_FALSE(json::valid("[1,]"));
+  EXPECT_FALSE(json::valid("01"));
+  EXPECT_FALSE(json::valid("nul"));
+  EXPECT_FALSE(json::valid("{} extra"));
+  EXPECT_FALSE(json::valid("\"unterminated"));
+  EXPECT_FALSE(json::valid("\"bad \\q escape\""));
 }
 
 }  // namespace

@@ -38,7 +38,9 @@ int usage() {
       "  gen     --matrix=<Table2 name> [--scale=f] --out=<file.mtx>\n"
       "  info    --mtx=<file.mtx> | --matrix=<name> [--scale=f]\n"
       "  tune    --mtx=<file.mtx> | --matrix=<name> [--device=gtx680|gtx480]\n"
-      "          [--exhaustive] [--extended]\n"
+      "          [--exhaustive] [--extended] [--tune-workers=N]  (N concurrent\n"
+      "          candidate evaluations; 0 = hardware concurrency, 1 = serial;\n"
+      "          the result is identical for any N)\n"
       "  convert --mtx=<file.mtx> --out=<file.bccoo> [--bw=N --bh=N"
       " --slices=N]\n"
       "  spmv    --format=<file.bccoo> [--threads=N] [--reps=N]"
@@ -98,6 +100,7 @@ int cmd_tune(const Args& args) {
   tune::TuneOptions opt;
   opt.exhaustive = args.has("exhaustive");
   opt.extended_blocks = args.has("extended");
+  opt.tune_workers = static_cast<unsigned>(args.get_int("tune-workers", 0));
   const auto r = tune::tune(A, dev, opt);
   std::cout << "tuned in " << r.tuning_seconds << " s (" << r.evaluated
             << " configs, " << r.skipped << " skipped)\n";
