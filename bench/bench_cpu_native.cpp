@@ -10,13 +10,18 @@
 // disables the file) covering, per matrix: CSR-parallel, BCCOO scalar
 // (1x1), BCCOO blocked, and fused SpMM GFLOPS, plus auto-tuning seconds
 // with the serial and the pooled candidate sweep (--tune=0 skips tuning).
-// The binary re-validates its own JSON before exiting and fails the run if
-// the report does not parse — this is what the bench-smoke CI test asserts.
+// The scalar BCCOO kernel is additionally timed on each materialized column
+// stream (raw 4-byte / u16 short / int16 delta), with bytes-moved, GB/s and
+// the modeled-vs-measured byte comparison per stream (--no-delta-decode
+// skips the compressed runs).  The binary re-validates its own JSON before
+// exiting and fails the run if the report does not parse — this is what the
+// bench-smoke CI test asserts.
 #include "bench_common.hpp"
 
 #include <fstream>
 
 #include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/perf/model.hpp"
 #include "yaspmv/util/json.hpp"
 
 int main(int argc, char** argv) {
@@ -32,14 +37,15 @@ int main(int argc, char** argv) {
                                      "Webbase", "mip1", "Dense"};
   const double mult = args.get_double("scale", 0.5);
   const bool do_tune = args.get_int("tune", 1) != 0;
+  const bool no_compressed = args.has("no-delta-decode");
   const std::string json_path = args.get("json", "BENCH_cpu.json");
   const index_t spmm_k = 8;
 
   std::cout << "=== Native CPU SpMV (wall clock, " << threads
             << " thread(s), " << reps << " reps, simd="
             << cpu::simd::to_string(cpu::simd::active()) << ") ===\n\n";
-  TablePrinter t({"Name", "NNZ", "CSR", "BCCOO 1x1", "blocked", "SpMM k=8",
-                  "tune ser(s)", "tune pool(s)"});
+  TablePrinter t({"Name", "NNZ", "CSR", "1x1 raw", "1x1 short", "1x1 delta",
+                  "blocked", "SpMM k=8", "tune ser(s)", "tune pool(s)"});
 
   json::Writer w;
   w.begin_object();
@@ -66,11 +72,14 @@ int main(int argc, char** argv) {
     std::vector<real_t> y(static_cast<std::size_t>(A.rows));
     const double flops = 2.0 * static_cast<double>(A.nnz());
 
-    // Scalar-block (1x1) BCCOO — the segmented-sum fast path.
+    // Scalar-block (1x1) BCCOO — the segmented-sum fast path — on each
+    // materialized column stream (one shared format, three executors).
     core::FormatConfig fc_scalar;
-    cpu::CpuSpmv scalar(
-        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_scalar)),
-        threads);
+    auto m_scalar =
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_scalar));
+    cpu::CpuSpmv scalar(m_scalar, threads, core::ColStream::kRaw);
+    cpu::CpuSpmv scalar_short(m_scalar, threads, core::ColStream::kShort);
+    cpu::CpuSpmv scalar_delta(m_scalar, threads, core::ColStream::kDelta);
     // Blocked BCCOO: smallest-footprint non-scalar block dims.
     core::FormatConfig fc_blk;
     fc_blk.block_w = 2;
@@ -85,9 +94,7 @@ int main(int argc, char** argv) {
     cpu::CpuSpmv blocked(
         std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_blk)),
         threads);
-    cpu::CpuSpmm spmm(
-        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_scalar)),
-        threads);
+    cpu::CpuSpmm spmm(m_scalar, threads);
     const auto X = bench::random_x(A.cols * spmm_k);
     std::vector<real_t> Y(static_cast<std::size_t>(A.rows) *
                           static_cast<std::size_t>(spmm_k));
@@ -95,11 +102,17 @@ int main(int argc, char** argv) {
     const double t_csr =
         time_ms([&] { cpu::spmv_csr_parallel(csr, x, y, threads); });
     const double t_scalar = time_ms([&] { scalar.spmv(x, y); });
+    const double t_short =
+        no_compressed ? 0.0 : time_ms([&] { scalar_short.spmv(x, y); });
+    const double t_delta =
+        no_compressed ? 0.0 : time_ms([&] { scalar_delta.spmv(x, y); });
     const double t_blk = time_ms([&] { blocked.spmv(x, y); });
     const double t_spmm = time_ms([&] { spmm.spmm(X, Y, spmm_k); });
 
     const double gf_csr = flops / (t_csr * 1e6);
     const double gf_scalar = flops / (t_scalar * 1e6);
+    const double gf_short = t_short > 0 ? flops / (t_short * 1e6) : 0.0;
+    const double gf_delta = t_delta > 0 ? flops / (t_delta * 1e6) : 0.0;
     const double gf_blk = flops / (t_blk * 1e6);
     const double gf_spmm =
         flops * static_cast<double>(spmm_k) / (t_spmm * 1e6);
@@ -118,8 +131,10 @@ int main(int argc, char** argv) {
     }
 
     t.add_row({name, std::to_string(A.nnz()), TablePrinter::fmt(gf_csr, 2),
-               TablePrinter::fmt(gf_scalar, 2), TablePrinter::fmt(gf_blk, 2),
-               TablePrinter::fmt(gf_spmm, 2),
+               TablePrinter::fmt(gf_scalar, 2),
+               no_compressed ? "-" : TablePrinter::fmt(gf_short, 2),
+               no_compressed ? "-" : TablePrinter::fmt(gf_delta, 2),
+               TablePrinter::fmt(gf_blk, 2), TablePrinter::fmt(gf_spmm, 2),
                do_tune ? TablePrinter::fmt(tune_serial, 2) : "-",
                do_tune ? TablePrinter::fmt(tune_pooled, 2) : "-"});
 
@@ -130,6 +145,48 @@ int main(int argc, char** argv) {
     w.key("nnz").value(static_cast<unsigned long long>(A.nnz()));
     w.key("csr_gflops").value(gf_csr);
     w.key("bccoo_scalar_gflops").value(gf_scalar);
+    // Per column stream: throughput, exact bytes the kernel reads from the
+    // stored format per SpMV, delivered GB/s, and the footprint model's
+    // prediction for the same stream (device widths — see perf/model).
+    const core::Bccoo& mf = *m_scalar;
+    const std::size_t esc = mf.delta_escapes.size();
+    w.key("col_streams").begin_object();
+    const auto stream_obj = [&](const char* key, core::ColStream cs,
+                                double gf, double ms, bool short_col,
+                                bool delta_col) {
+      w.key(key).begin_object();
+      const auto cmp = perf::compare_bytes(
+          mf.footprint_bytes(short_col, delta_col, delta_col ? esc : 0),
+          mf.traffic_bytes(cs));
+      // A request the format cannot serve (short columns past u16 range)
+      // degrades to raw; record what actually ran.
+      w.key("resolved").value(core::to_string(mf.resolve_col_stream(cs)));
+      w.key("gflops").value(gf);
+      w.key("bytes_measured").value(
+          static_cast<unsigned long long>(cmp.measured));
+      w.key("bytes_modeled").value(
+          static_cast<unsigned long long>(cmp.modeled));
+      w.key("bytes_ratio").value(cmp.ratio);
+      w.key("gbps").value(ms > 0 ? static_cast<double>(cmp.measured) /
+                                       (ms * 1e-3) / 1e9
+                                 : 0.0);
+      w.end_object();
+    };
+    stream_obj("raw", core::ColStream::kRaw, gf_scalar, t_scalar, false,
+               false);
+    if (!no_compressed) {
+      stream_obj("short", core::ColStream::kShort, gf_short, t_short, true,
+                 false);
+      stream_obj("delta", core::ColStream::kDelta, gf_delta, t_delta, false,
+                 true);
+      w.key("delta_escapes").value(static_cast<unsigned long long>(esc));
+      w.key("delta_escapes_per_tile")
+          .value(mf.num_col_tiles() > 0
+                     ? static_cast<double>(esc) /
+                           static_cast<double>(mf.num_col_tiles())
+                     : 0.0);
+    }
+    w.end_object();
     w.key("bccoo_blocked_gflops").value(gf_blk);
     w.key("blocked_dims").begin_array();
     w.value(static_cast<long long>(fc_blk.block_w));

@@ -12,11 +12,28 @@
 // Column indices remain *original-matrix* block coordinates so the kernel
 // can index the multiplied vector directly; a combine kernel later sums the
 // per-slice partial results (Figure 5).
+//
+// Column-index compression (Sections 2.2 and 4) is *materialized* here, not
+// just charged by the footprint model:
+//
+//   * `delta_cols` — per-tile int16 deltas (tile = kColTile blocks, the CPU
+//     analog of the paper's per-thread tile).  The first entry of a tile is
+//     a delta from 0; an entry whose delta does not fit (or equals -1, the
+//     escape sentinel) stores kDeltaEscape and reads its absolute column
+//     from the 4-byte `delta_escapes` side array.  `delta_escape_start`
+//     maps a tile to its first escape ordinal so tiles decode independently.
+//   * `short_cols` — absolute u16 columns, present iff block_cols fits.
+//
+// The streams are derived data: `build` materializes them (in parallel on
+// the shared WorkPool) and deserialization rebuilds them, so the binary
+// format is unchanged.  The builder itself is also parallel — sort-based
+// bucketing over (stacked block-row, block-col) keys with a total order, so
+// the output is byte-identical for every worker count.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,10 +42,32 @@
 #include "yaspmv/formats/coo.hpp"
 #include "yaspmv/util/bitops.hpp"
 #include "yaspmv/util/common.hpp"
+#include "yaspmv/util/thread_pool.hpp"
 
 namespace yaspmv::core {
 
+/// Which materialized column stream a native kernel reads.  kAuto resolves
+/// to the smallest stream available (short when block_cols fits, else delta,
+/// else the raw 4-byte array).
+enum class ColStream : std::uint8_t { kAuto = 0, kRaw = 1, kShort = 2, kDelta = 3 };
+
+inline const char* to_string(ColStream cs) {
+  switch (cs) {
+    case ColStream::kRaw: return "raw";
+    case ColStream::kShort: return "short";
+    case ColStream::kDelta: return "delta";
+    default: return "auto";
+  }
+}
+
 struct Bccoo {
+  /// Decode-tile size in blocks for the materialized column streams.  CPU
+  /// kernel chunks align to this boundary so every tile decodes
+  /// independently (its first entry is a delta from 0), and segment pieces
+  /// split at tile boundaries in *every* column mode so results are bitwise
+  /// identical across raw/short/delta.
+  static constexpr std::size_t kColTile = 512;
+
   // Original matrix shape.
   index_t rows = 0;
   index_t cols = 0;
@@ -61,13 +100,56 @@ struct Bccoo {
   /// True when seg_to_block_row is the identity (no empty block-rows).
   bool identity_segments = true;
 
+  // --- materialized compressed column streams (Sections 2.2 and 4) --------
+  /// Per-tile int16 deltas; kDeltaEscape entries read `delta_escapes`.
+  std::vector<std::int16_t> delta_cols;
+  /// Absolute columns of the escaped entries, in stream order.
+  std::vector<index_t> delta_escapes;
+  /// Per-tile first escape ordinal (length num_col_tiles() + 1), so a tile
+  /// decodes without scanning its predecessors.
+  std::vector<std::uint32_t> delta_escape_start;
+  /// Absolute u16 columns; empty unless block_cols <= 65535.
+  std::vector<std::uint16_t> short_cols;
+  /// True once the streams above were materialized (build / rebuild).
+  bool col_streams_built = false;
+
+  bool operator==(const Bccoo&) const = default;
+
   std::size_t num_segments() const { return seg_to_block_row.size(); }
 
+  std::size_t num_col_tiles() const {
+    return num_blocks == 0 ? 0 : ceil_div(num_blocks, kColTile);
+  }
+
+  /// Resolves kAuto to the cheapest materialized stream; a concrete request
+  /// degrades to kRaw only when the stream is unavailable (short columns on
+  /// a matrix wider than 65535 block-columns, or streams not built).
+  ColStream resolve_col_stream(ColStream req) const {
+    const bool short_ok = col_streams_built && !short_cols.empty();
+    const bool delta_ok = col_streams_built && num_blocks > 0;
+    switch (req) {
+      case ColStream::kRaw: return ColStream::kRaw;
+      case ColStream::kShort:
+        return short_ok ? ColStream::kShort : ColStream::kRaw;
+      case ColStream::kDelta:
+        return delta_ok ? ColStream::kDelta : ColStream::kRaw;
+      default:
+        if (short_ok) return ColStream::kShort;
+        if (delta_ok) return ColStream::kDelta;
+        return ColStream::kRaw;
+    }
+  }
+
   /// Builds BCCOO (cfg.slices == 1) or BCCOO+ (cfg.slices > 1) from a
-  /// canonical COO matrix.
-  static Bccoo build(const fmt::Coo& a, const FormatConfig& cfg) {
+  /// canonical COO matrix.  `workers` bounds the WorkPool parallelism of the
+  /// sort/scatter passes (0 = hardware concurrency); the result is
+  /// byte-identical for every value because each pass either writes disjoint
+  /// slots or reduces in a fixed enumeration order.
+  static Bccoo build(const fmt::Coo& a, const FormatConfig& cfg,
+                     unsigned workers = 0) {
     require(cfg.block_w > 0 && cfg.block_h > 0, "BCCOO: bad block dims");
     require(cfg.slices >= 1, "BCCOO: slices must be >= 1");
+    if (workers == 0) workers = default_workers();
     Bccoo m;
     m.rows = a.rows;
     m.cols = a.cols;
@@ -80,61 +162,217 @@ struct Bccoo {
     // so every block falls into exactly one slice.
     const index_t slice_bcols = ceil_div(m.block_cols, cfg.slices);
 
-    // Bucket non-zeros by (slice, block_row, block_col).  COO is canonical
-    // (row-major), so one pass with an ordered map keyed by the stacked
-    // block-row produces blocks in stacked order.
-    std::map<std::pair<index_t, index_t>, std::vector<real_t>> blocks;
-    const std::size_t bsz = static_cast<std::size_t>(cfg.block_w) *
-                            static_cast<std::size_t>(cfg.block_h);
-    for (std::size_t i = 0; i < a.nnz(); ++i) {
-      const index_t brow = a.row_idx[i] / cfg.block_h;
-      const index_t bcol = a.col_idx[i] / cfg.block_w;
-      const index_t slice = bcol / slice_bcols;
-      const index_t stacked_brow = slice * m.block_rows + brow;
-      auto& blk = blocks[{stacked_brow, bcol}];
-      if (blk.empty()) blk.assign(bsz, 0.0);
-      const index_t lr = a.row_idx[i] - brow * cfg.block_h;
-      const index_t lc = a.col_idx[i] - bcol * cfg.block_w;
-      blk[static_cast<std::size_t>(lr) * static_cast<std::size_t>(cfg.block_w) +
-          static_cast<std::size_t>(lc)] = a.vals[i];
+    const std::size_t n = a.nnz();
+    require(n < (1ull << 32), "BCCOO: nnz exceeds the 32-bit builder limit");
+    const std::size_t par_chunks =
+        std::max<std::size_t>(1, std::min<std::size_t>(workers * 4, n));
+
+    // ---- pass 1: per-nonzero (stacked block-row, block-col) keys ---------
+    std::vector<std::uint64_t> key(n);
+    parallel_for_ordered(par_chunks, workers, [&](unsigned, std::size_t c) {
+      const std::size_t lo = c * n / par_chunks;
+      const std::size_t hi = (c + 1) * n / par_chunks;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const index_t brow = a.row_idx[i] / cfg.block_h;
+        const index_t bcol = a.col_idx[i] / cfg.block_w;
+        const index_t slice = bcol / slice_bcols;
+        const index_t stacked_brow = slice * m.block_rows + brow;
+        key[i] = (static_cast<std::uint64_t>(stacked_brow) << 32) |
+                 static_cast<std::uint32_t>(bcol);
+      }
+    });
+
+    // ---- pass 2: sort non-zeros by key (ties by original index, so the
+    // permutation is a total order and therefore unique) -------------------
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+    const auto less = [&](std::uint32_t l, std::uint32_t r) {
+      return key[l] != key[r] ? key[l] < key[r] : l < r;
+    };
+    {
+      // Chunked sort + pairwise merges on the pool.  The merge tree shape
+      // depends only on `sort_chunks`, and the sorted result is unique under
+      // the total order anyway, so any worker count gives the same bytes.
+      std::size_t sort_chunks = 1;
+      while (sort_chunks < std::min<std::size_t>(workers, 64)) sort_chunks *= 2;
+      if (n < 2 * sort_chunks) sort_chunks = 1;
+      std::vector<std::size_t> bound(sort_chunks + 1);
+      for (std::size_t c = 0; c <= sort_chunks; ++c) {
+        bound[c] = c * n / sort_chunks;
+      }
+      parallel_for_ordered(sort_chunks, workers, [&](unsigned, std::size_t c) {
+        std::sort(order.begin() + static_cast<std::ptrdiff_t>(bound[c]),
+                  order.begin() + static_cast<std::ptrdiff_t>(bound[c + 1]),
+                  less);
+      });
+      for (std::size_t width = 1; width < sort_chunks; width *= 2) {
+        const std::size_t pairs = sort_chunks / (2 * width);
+        parallel_for_ordered(pairs, workers, [&](unsigned, std::size_t p) {
+          const std::size_t lo = bound[p * 2 * width];
+          const std::size_t mid = bound[p * 2 * width + width];
+          const std::size_t hi = bound[(p + 1) * 2 * width];
+          std::inplace_merge(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                             order.begin() + static_cast<std::ptrdiff_t>(mid),
+                             order.begin() + static_cast<std::ptrdiff_t>(hi),
+                             less);
+        });
+      }
     }
 
-    m.num_blocks = blocks.size();
-    m.bit_flags = BitArray(m.num_blocks, true);
-    m.col_index.reserve(m.num_blocks);
+    // ---- pass 3: block boundaries + block ordinals -----------------------
+    // head[i] = 1 iff sorted position i starts a new block; block_of[i] is
+    // the running head count (exclusive prefix), computed chunk-local then
+    // shifted by a serial O(chunks) prefix.
+    std::vector<std::uint32_t> block_of(n);
+    std::vector<std::size_t> chunk_heads(par_chunks + 1, 0);
+    parallel_for_ordered(par_chunks, workers, [&](unsigned, std::size_t c) {
+      const std::size_t lo = c * n / par_chunks;
+      const std::size_t hi = (c + 1) * n / par_chunks;
+      std::size_t heads = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i == 0 || key[order[i]] != key[order[i - 1]]) ++heads;
+        block_of[i] = static_cast<std::uint32_t>(heads);  // 1-based for now
+      }
+      chunk_heads[c + 1] = heads;
+    });
+    for (std::size_t c = 0; c < par_chunks; ++c) {
+      chunk_heads[c + 1] += chunk_heads[c];
+    }
+    parallel_for_ordered(par_chunks, workers, [&](unsigned, std::size_t c) {
+      const std::size_t lo = c * n / par_chunks;
+      const std::size_t hi = (c + 1) * n / par_chunks;
+      const auto base = static_cast<std::uint32_t>(chunk_heads[c]);
+      for (std::size_t i = lo; i < hi; ++i) block_of[i] += base - 1;
+    });
+    m.num_blocks = chunk_heads[par_chunks];
+
+    // ---- pass 4: per-block column / stacked block-row, value scatter -----
+    const std::size_t nb = m.num_blocks;
+    m.col_index.assign(nb, 0);
+    std::vector<index_t> sbrow(nb);
+    const auto bwz = static_cast<std::size_t>(cfg.block_w);
     m.value_rows.assign(static_cast<std::size_t>(cfg.block_h), {});
-    for (auto& vr : m.value_rows) {
-      vr.reserve(m.num_blocks * static_cast<std::size_t>(cfg.block_w));
+    for (auto& vr : m.value_rows) vr.assign(nb * bwz, 0.0);
+    parallel_for_ordered(par_chunks, workers, [&](unsigned, std::size_t c) {
+      const std::size_t lo = c * n / par_chunks;
+      const std::size_t hi = (c + 1) * n / par_chunks;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t src = order[i];
+        const std::size_t b = block_of[i];
+        if (i == 0 || key[order[i]] != key[order[i - 1]]) {
+          m.col_index[b] = static_cast<index_t>(key[src] & 0xFFFFFFFFu);
+          sbrow[b] = static_cast<index_t>(key[src] >> 32);
+        }
+        const index_t lr = a.row_idx[src] % cfg.block_h;
+        const index_t lc = a.col_idx[src] % cfg.block_w;
+        m.value_rows[static_cast<std::size_t>(lr)]
+                    [b * bwz + static_cast<std::size_t>(lc)] = a.vals[src];
+      }
+    });
+
+    // ---- pass 5: bit flags (word-parallel) + segment map -----------------
+    // Block b is a row stop iff the next block starts a new block-row.  Each
+    // worker range covers whole 32-bit words, so writes never share a word.
+    const std::size_t nwords = (nb + 31) / 32;
+    std::vector<std::uint32_t> words(nwords, 0);
+    const std::size_t word_chunks =
+        std::max<std::size_t>(1, std::min<std::size_t>(workers * 4, nwords));
+    parallel_for_ordered(word_chunks, workers, [&](unsigned, std::size_t c) {
+      const std::size_t w0 = c * nwords / word_chunks;
+      const std::size_t w1 = (c + 1) * nwords / word_chunks;
+      for (std::size_t w = w0; w < w1; ++w) {
+        std::uint32_t v = 0;
+        const std::size_t b0 = w << 5;
+        const std::size_t b1 = std::min(b0 + 32, nb);
+        for (std::size_t b = b0; b < b1; ++b) {
+          const bool stop = (b + 1 == nb) || sbrow[b + 1] != sbrow[b];
+          if (!stop) v |= 1u << (b - b0);
+        }
+        words[w] = v;
+      }
+    });
+    m.bit_flags = BitArray::from_words(nb, std::move(words));
+
+    // Segment map: the stacked block-row of every row stop, in block order.
+    m.seg_to_block_row.reserve(nb == 0 ? 0 : 16);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (b == 0 || sbrow[b] != sbrow[b - 1]) {
+        m.seg_to_block_row.push_back(sbrow[b]);
+      }
+    }
+    m.identity_segments = true;
+    for (std::size_t s = 0; s < m.seg_to_block_row.size(); ++s) {
+      if (m.seg_to_block_row[s] != static_cast<index_t>(s)) {
+        m.identity_segments = false;
+        break;
+      }
     }
 
-    index_t prev_stacked_brow = -1;
-    std::size_t blk_i = 0;
-    for (auto& [key, blk] : blocks) {
-      const auto [stacked_brow, bcol] = key;
-      if (stacked_brow != prev_stacked_brow) {
-        // Previous block (if any) closed its block-row: mark row stop.
-        if (blk_i > 0) m.bit_flags.set(blk_i - 1, false);
-        m.seg_to_block_row.push_back(stacked_brow);
-        if (stacked_brow !=
-            static_cast<index_t>(m.seg_to_block_row.size()) - 1) {
-          m.identity_segments = false;
-        }
-        prev_stacked_brow = stacked_brow;
-      }
-      m.col_index.push_back(bcol);
-      for (index_t lr = 0; lr < cfg.block_h; ++lr) {
-        const auto lrz = static_cast<std::size_t>(lr);
-        m.value_rows[lrz].insert(
-            m.value_rows[lrz].end(),
-            blk.begin() + static_cast<std::ptrdiff_t>(
-                              lrz * static_cast<std::size_t>(cfg.block_w)),
-            blk.begin() + static_cast<std::ptrdiff_t>(
-                              (lrz + 1) * static_cast<std::size_t>(cfg.block_w)));
-      }
-      ++blk_i;
-    }
-    if (blk_i > 0) m.bit_flags.set(blk_i - 1, false);  // final row stop
+    m.build_col_streams(workers);
     return m;
+  }
+
+  /// Materializes the compressed column streams from `col_index` (also used
+  /// after deserialization — the streams are derived data and are not part
+  /// of the binary format).  Tiles encode independently: escape counts per
+  /// tile, a serial O(tiles) prefix, then a parallel fill at fixed offsets,
+  /// so the streams are byte-identical for every worker count.
+  void build_col_streams(unsigned workers = 0) {
+    if (workers == 0) workers = default_workers();
+    const std::size_t nb = num_blocks;
+    const std::size_t nt = num_col_tiles();
+    delta_cols.assign(nb, 0);
+    delta_escape_start.assign(nt + 1, 0);
+    delta_escapes.clear();
+    short_cols.clear();
+
+    const auto delta_of = [&](std::size_t i, std::size_t t0) -> std::int64_t {
+      const std::int64_t prev =
+          i == t0 ? 0 : static_cast<std::int64_t>(col_index[i - 1]);
+      return static_cast<std::int64_t>(col_index[i]) - prev;
+    };
+    parallel_for_ordered(nt, workers, [&](unsigned, std::size_t t) {
+      const std::size_t t0 = t * kColTile;
+      const std::size_t t1 = std::min(t0 + kColTile, nb);
+      std::uint32_t esc = 0;
+      for (std::size_t i = t0; i < t1; ++i) {
+        const std::int64_t d = delta_of(i, t0);
+        if (!fits_short_delta(d) || d == -1) ++esc;
+      }
+      delta_escape_start[t + 1] = esc;
+    });
+    for (std::size_t t = 0; t < nt; ++t) {
+      delta_escape_start[t + 1] += delta_escape_start[t];
+    }
+    delta_escapes.assign(delta_escape_start[nt], 0);
+    parallel_for_ordered(nt, workers, [&](unsigned, std::size_t t) {
+      const std::size_t t0 = t * kColTile;
+      const std::size_t t1 = std::min(t0 + kColTile, nb);
+      std::size_t e = delta_escape_start[t];
+      for (std::size_t i = t0; i < t1; ++i) {
+        const std::int64_t d = delta_of(i, t0);
+        if (!fits_short_delta(d) || d == -1) {
+          delta_cols[i] = kDeltaEscape;
+          delta_escapes[e++] = col_index[i];
+        } else {
+          delta_cols[i] = static_cast<std::int16_t>(d);
+        }
+      }
+    });
+
+    if (block_cols <= 65535) {
+      short_cols.resize(nb);
+      const std::size_t chunks =
+          std::max<std::size_t>(1, std::min<std::size_t>(workers * 4, nb));
+      parallel_for_ordered(chunks, workers, [&](unsigned, std::size_t c) {
+        const std::size_t lo = c * nb / chunks;
+        const std::size_t hi = (c + 1) * nb / chunks;
+        for (std::size_t i = lo; i < hi; ++i) {
+          short_cols[i] = static_cast<std::uint16_t>(col_index[i]);
+        }
+      });
+    }
+    col_streams_built = true;
   }
 
   /// Structural invariant checker, run before planning (ResilientEngine) and
@@ -191,6 +429,7 @@ struct Bccoo {
     for (const index_t c : col_index) {
       check(c >= 0 && c < block_cols, "block-column index out of range");
     }
+    if (col_streams_built) validate_col_streams(check);
     if (!allow_nonfinite) {
       for (const auto& vr : value_rows) {
         for (const real_t v : vr) {
@@ -200,6 +439,32 @@ struct Bccoo {
     }
   }
 
+  /// Exact bytes a native kernel loads from the stored format per SpMV under
+  /// column stream `cs` (host-side widths: 8-byte values, 4-byte indices,
+  /// the physical u32 bit-flag words).  This is the *measured* side of the
+  /// modeled-vs-measured comparison — escapes counted from the materialized
+  /// stream, not estimated.
+  std::size_t traffic_bytes(ColStream cs) const {
+    const ColStream r = resolve_col_stream(cs);
+    std::size_t col;
+    if (r == ColStream::kDelta) {
+      col = num_blocks * sizeof(std::int16_t) +
+            delta_escapes.size() * sizeof(index_t) +
+            delta_escape_start.size() * sizeof(std::uint32_t);
+    } else if (r == ColStream::kShort) {
+      col = num_blocks * sizeof(std::uint16_t);
+    } else {
+      col = num_blocks * sizeof(index_t);
+    }
+    const std::size_t vals = num_blocks *
+                             static_cast<std::size_t>(cfg.block_w) *
+                             static_cast<std::size_t>(cfg.block_h) *
+                             sizeof(real_t);
+    std::size_t seg = 0;
+    if (!identity_segments) seg = seg_to_block_row.size() * sizeof(index_t);
+    return bit_flags.words().size() * sizeof(std::uint32_t) + col + vals + seg;
+  }
+
   /// Table 3 footprint model of the stored arrays: packed bit flags +
   /// column indices + zero-filled block values.  `short_col` selects the
   /// Section 4 unsigned-short column-index optimization; `delta_col` the
@@ -207,11 +472,11 @@ struct Bccoo {
   /// `delta_escapes` of them, computed against a thread-tile segmentation by
   /// the plan; pass 0 to cost pure formats).
   std::size_t footprint_bytes(bool short_col = false, bool delta_col = false,
-                              std::size_t delta_escapes = 0) const {
+                              std::size_t model_escapes = 0) const {
     const std::size_t bf = bit_flags.footprint_bytes(cfg.bf_word);
     std::size_t col;
     if (delta_col) {
-      col = num_blocks * bytes::kShortIndex + delta_escapes * bytes::kIndex;
+      col = num_blocks * bytes::kShortIndex + model_escapes * bytes::kIndex;
     } else if (short_col) {
       col = num_blocks * bytes::kShortIndex;
     } else {
@@ -299,6 +564,61 @@ struct Bccoo {
           acc[static_cast<std::size_t>(lr)] = 0.0;
         }
       }
+    }
+  }
+
+ private:
+  template <class Check>
+  void validate_col_streams(const Check& check) const {
+    const std::size_t nb = num_blocks;
+    const std::size_t nt = num_col_tiles();
+    check(delta_cols.size() == nb, "delta stream length != block count");
+    check(delta_escape_start.size() == nt + 1,
+          "delta escape index not aligned to the col tiles");
+    check(nt == 0 || delta_escape_start.front() == 0,
+          "delta escape index does not start at 0");
+    for (std::size_t t = 0; t < nt; ++t) {
+      check(delta_escape_start[t] <= delta_escape_start[t + 1],
+            "delta escape index not monotone");
+    }
+    check((nt == 0 ? 0 : delta_escape_start.back()) == delta_escapes.size(),
+          "delta escape count != side-array length");
+    for (const index_t c : delta_escapes) {
+      check(c >= 0 && c < block_cols, "delta escape column out of range");
+    }
+    // Per-tile reconstruction: decoding every tile through the same rule the
+    // kernels use must reproduce col_index exactly, consuming exactly the
+    // tile's escape range.
+    for (std::size_t t = 0; t < nt; ++t) {
+      const std::size_t t0 = t * kColTile;
+      const std::size_t t1 = std::min(t0 + kColTile, nb);
+      index_t prev = 0;
+      std::size_t e = delta_escape_start[t];
+      for (std::size_t i = t0; i < t1; ++i) {
+        const std::int16_t d = delta_cols[i];
+        if (d == kDeltaEscape) {
+          check(e < delta_escape_start[t + 1],
+                "delta escape overruns its tile's side-array range");
+          prev = delta_escapes[e++];
+        } else {
+          prev += static_cast<index_t>(d);
+        }
+        check(prev == col_index[i],
+              "delta reconstruction mismatch at block " + std::to_string(i));
+      }
+      check(e == delta_escape_start[t + 1],
+            "tile consumed fewer escapes than its side-array range");
+    }
+    if (block_cols <= 65535) {
+      check(short_cols.size() == nb,
+            "short-column stream missing though block_cols fits u16");
+      for (std::size_t i = 0; i < nb; ++i) {
+        check(static_cast<index_t>(short_cols[i]) == col_index[i],
+              "short-column stream mismatch at block " + std::to_string(i));
+      }
+    } else {
+      check(short_cols.empty(),
+            "short-column stream present though block_cols exceeds u16");
     }
   }
 };

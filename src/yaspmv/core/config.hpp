@@ -32,6 +32,8 @@ struct FormatConfig {
 
   bool is_plus() const { return slices > 1; }
 
+  bool operator==(const FormatConfig&) const = default;
+
   std::string to_string() const {
     return "bw=" + std::to_string(block_w) + " bh=" + std::to_string(block_h) +
            " bf=u" + std::to_string(static_cast<int>(bf_word)) +

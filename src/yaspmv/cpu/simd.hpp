@@ -210,6 +210,123 @@ inline real_t dot_piece(DotRangeFn fn, const real_t* vals, const index_t* cols,
   return fn(vals, cols, x, lo, hi);
 }
 
+// ---- compressed column-stream decode (Sections 2.2 and 4) ----------------
+//
+// The native kernels never read the 4-byte col_index array when a compressed
+// stream is selected: each decode tile (Bccoo::kColTile blocks) is expanded
+// into a small L1-resident scratch buffer and the segmented sum indexes that.
+// Decode is pure integer arithmetic, so the AVX2 and portable kernels produce
+// *identical* buffers — the FP determinism contract is untouched by the
+// column mode.
+
+/// Portable u16 -> i32 widen (Section 4 short columns).
+inline void decode_short_portable(const std::uint16_t* src, index_t* dst,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<index_t>(src[i]);
+  }
+}
+
+/// Portable int16 delta decode of one tile (Section 2.2): a running prefix
+/// sum starting from 0, where a kDeltaEscape entry reloads the absolute
+/// column from the 4-byte side array.  Returns the number of escapes
+/// consumed (callers check it against the tile's side-array range).
+inline std::size_t decode_delta_portable(const std::int16_t* d, std::size_t n,
+                                         const index_t* escapes, index_t* dst) {
+  index_t prev = 0;
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int16_t di = d[i];
+    prev = di == kDeltaEscape ? escapes[e++] : prev + di;
+    dst[i] = prev;
+  }
+  return e;
+}
+
+#if YASPMV_SIMD_X86
+/// AVX2 twin of decode_short_portable: 8-wide vpmovzxwd.
+__attribute__((target("avx2"))) inline void decode_short_avx2(
+    const std::uint16_t* src, index_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_cvtepu16_epi32(s));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<index_t>(src[i]);
+}
+
+/// AVX2 twin of decode_delta_portable.  Groups of 8 deltas are checked for
+/// escapes with one compare+movemask; escape-free groups take the vector
+/// path — sign-extend to i32, in-lane prefix add (shift by 4 then 8 bytes),
+/// cross-lane fix-up, broadcast-add the running prefix — and groups with an
+/// escape fall back to the scalar loop.  A two-phase variant that breaks
+/// the group-to-group latency chain was tried and measured *slower* here:
+/// the decode competes with the dot product for issue slots, so total uops
+/// matter more than the ~7-cycle carry (EXPERIMENTS.md).  Integer-exact,
+/// so the output is bit-identical to the portable kernel.
+__attribute__((target("avx2"))) inline std::size_t decode_delta_avx2(
+    const std::int16_t* d, std::size_t n, const index_t* escapes,
+    index_t* dst) {
+  index_t prev = 0;
+  std::size_t e = 0;
+  std::size_t i = 0;
+  const __m128i esc16 = _mm_set1_epi16(kDeltaEscape);
+  for (; i + 8 <= n; i += 8) {
+    const __m128i d16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi16(d16, esc16)) != 0) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        const std::int16_t dj = d[i + j];
+        prev = dj == kDeltaEscape ? escapes[e++] : prev + dj;
+        dst[i + j] = prev;
+      }
+      continue;
+    }
+    __m256i v = _mm256_cvtepi16_epi32(d16);
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    hi = _mm_add_epi32(hi, _mm_shuffle_epi32(lo, _MM_SHUFFLE(3, 3, 3, 3)));
+    const __m128i pv = _mm_set1_epi32(prev);
+    lo = _mm_add_epi32(lo, pv);
+    hi = _mm_add_epi32(hi, pv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 4), hi);
+    prev = static_cast<index_t>(_mm_extract_epi32(hi, 3));
+  }
+  for (; i < n; ++i) {
+    const std::int16_t di = d[i];
+    prev = di == kDeltaEscape ? escapes[e++] : prev + di;
+    dst[i] = prev;
+  }
+  return e;
+}
+#else
+inline void decode_short_avx2(const std::uint16_t* src, index_t* dst,
+                              std::size_t n) {
+  decode_short_portable(src, dst, n);
+}
+inline std::size_t decode_delta_avx2(const std::int16_t* d, std::size_t n,
+                                     const index_t* escapes, index_t* dst) {
+  return decode_delta_portable(d, n, escapes, dst);
+}
+#endif
+
+using DecodeShortFn = void (*)(const std::uint16_t*, index_t*, std::size_t);
+using DecodeDeltaFn = std::size_t (*)(const std::int16_t*, std::size_t,
+                                      const index_t*, index_t*);
+
+inline DecodeShortFn decode_short() {
+  return active() == Level::kAvx2 ? &decode_short_avx2 : &decode_short_portable;
+}
+
+inline DecodeDeltaFn decode_delta() {
+  return active() == Level::kAvx2 ? &decode_delta_avx2 : &decode_delta_portable;
+}
+
 /// Contiguous dense dot of width w <= 8 (one block row against the padded
 /// slice of x), portable kernel with the same lane order as the vector one.
 inline real_t dot_dense_portable(const real_t* a, const real_t* b,

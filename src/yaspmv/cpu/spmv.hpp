@@ -21,6 +21,17 @@
 // thread count and the intra-chunk reduction order is fixed by the kernels'
 // shared lane/reduction scheme, so for a fixed thread count and dispatch
 // level results are bitwise reproducible run-to-run.
+//
+// Compressed column streams (Sections 2.2 and 4): the executor reads the
+// format's materialized int16-delta or u16 stream instead of the 4-byte
+// col_index array when a ColStream other than kRaw is selected (kAuto picks
+// the smallest available).  Each decode tile (Bccoo::kColTile blocks) is
+// expanded by the runtime-dispatched decode kernel into a 2 KB stack scratch
+// that stays L1-resident, so the DRAM column traffic really is ~2 bytes per
+// block.  Chunk starts are rounded down to tile boundaries and segment
+// pieces split at tile boundaries in *every* column mode (raw included, at
+// zero decode cost), so raw/short/delta results are bitwise identical at a
+// fixed (thread count, dispatch level).
 #pragma once
 
 #include <atomic>
@@ -40,22 +51,31 @@ namespace yaspmv::cpu {
 /// Reusable parallel SpMV executor for one BCCOO matrix.
 class CpuSpmv {
  public:
-  /// `threads == 0` uses the hardware concurrency.
-  explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0)
+  /// `threads == 0` uses the hardware concurrency.  `cs` selects the column
+  /// stream the hot loop reads (kAuto = smallest materialized one; a request
+  /// the format cannot serve degrades to kRaw).
+  explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
+                   core::ColStream cs = core::ColStream::kAuto)
       : fmt_(std::move(m)),
-        threads_(threads == 0 ? default_workers() : threads) {
+        threads_(threads == 0 ? default_workers() : threads),
+        cs_(fmt_->resolve_col_stream(cs)) {
     const core::Bccoo& f = *fmt_;
     require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
             "CpuSpmv: block height must be in [1, 8]");
     const auto h = static_cast<std::size_t>(f.cfg.block_h);
-    // Chunk boundaries over blocks (even distribution; at least one block
-    // per chunk).
+    // Chunk boundaries over blocks (even distribution, rounded down to the
+    // decode-tile granularity so every chunk decodes whole tiles; rounding
+    // can make small leading chunks empty — harmless).
     const std::size_t nb = f.num_blocks;
     const std::size_t nchunks =
         nb == 0 ? 1 : std::min<std::size_t>(threads_ * 4, nb);
     chunk_start_.reserve(nchunks + 1);
     for (std::size_t c = 0; c <= nchunks; ++c) {
-      chunk_start_.push_back(c * nb / nchunks);
+      std::size_t s = c * nb / nchunks;
+      if (c != 0 && c != nchunks) {
+        s = s / core::Bccoo::kColTile * core::Bccoo::kColTile;
+      }
+      chunk_start_.push_back(s);
     }
     // Per-chunk first segment ordinal (count of row stops before the
     // chunk), Section 2.4's first-result-entry at chunk granularity.
@@ -73,6 +93,8 @@ class CpuSpmv {
 
   const core::Bccoo& format() const { return *fmt_; }
   unsigned threads() const { return threads_; }
+  /// The resolved column stream the hot loop actually reads.
+  core::ColStream col_stream() const { return cs_; }
 
   /// y = A * x (parallel, deterministic for a fixed thread count).
   void spmv(std::span<const real_t> x, std::span<real_t> y) {
@@ -112,36 +134,81 @@ class CpuSpmv {
       }
     }
 
-    // Gather y from the (slice-stacked) result buffer.
+    // Combine y from the (slice-stacked) result buffer — the CPU analog of
+    // the Figure 5 combine kernel.  Rows are independent (the per-row slice
+    // sum runs in fixed slice order), so the pooled row-chunked version is
+    // bitwise identical to the serial one; small matrices stay serial to
+    // dodge the dispatch overhead.
     const auto bh = static_cast<std::size_t>(f.cfg.block_h);
-    for (index_t r = 0; r < f.rows; ++r) {
-      const auto rz = static_cast<std::size_t>(r);
-      real_t s = 0.0;
-      for (index_t sl = 0; sl < f.cfg.slices; ++sl) {
-        const std::size_t sbrow =
-            static_cast<std::size_t>(sl) *
-                static_cast<std::size_t>(f.block_rows) +
-            rz / bh;
-        s += res_[sbrow * h + rz % bh];
+    const auto combine_rows = [&](index_t r0, index_t r1) {
+      for (index_t r = r0; r < r1; ++r) {
+        const auto rz = static_cast<std::size_t>(r);
+        real_t s = 0.0;
+        for (index_t sl = 0; sl < f.cfg.slices; ++sl) {
+          const std::size_t sbrow =
+              static_cast<std::size_t>(sl) *
+                  static_cast<std::size_t>(f.block_rows) +
+              rz / bh;
+          s += res_[sbrow * h + rz % bh];
+        }
+        y[rz] = s;
       }
-      y[rz] = s;
+    };
+    constexpr index_t kParCombineRows = 4096;
+    if (threads_ > 1 && f.rows >= kParCombineRows) {
+      const auto rowsz = static_cast<std::size_t>(f.rows);
+      const std::size_t rchunks = std::min<std::size_t>(threads_ * 4, rowsz);
+      parallel_for_ordered(rchunks, threads_, [&](unsigned, std::size_t rc) {
+        combine_rows(static_cast<index_t>(rc * rowsz / rchunks),
+                     static_cast<index_t>((rc + 1) * rowsz / rchunks));
+      });
+    } else {
+      combine_rows(0, f.rows);
     }
   }
 
  private:
+  /// Column source of decode tile [t0, t1) (t0 tile-aligned): raw mode
+  /// returns a pointer straight into col_index; compressed modes expand the
+  /// int16/u16 stream into `buf` (tile-local indexing either way — caller
+  /// reads tc[i - t0]).
+  const index_t* tile_cols(std::size_t t0, std::size_t t1, index_t* buf,
+                           simd::DecodeShortFn dshort,
+                           simd::DecodeDeltaFn ddelta) const {
+    const core::Bccoo& f = *fmt_;
+    switch (cs_) {
+      case core::ColStream::kShort:
+        dshort(f.short_cols.data() + t0, buf, t1 - t0);
+        return buf;
+      case core::ColStream::kDelta: {
+        const std::size_t t = t0 / core::Bccoo::kColTile;
+        ddelta(f.delta_cols.data() + t0, t1 - t0,
+               f.delta_escapes.data() + f.delta_escape_start[t], buf);
+        return buf;
+      }
+      default:
+        return f.col_index.data() + t0;
+    }
+  }
+
   void process_chunk(std::size_t c, std::size_t h, std::size_t bw) {
     const core::Bccoo& f = *fmt_;
     const std::size_t b0 = chunk_start_[c];
     const std::size_t b1 = chunk_start_[c + 1];
     index_t seg = chunk_first_seg_[c];
     const std::uint32_t* words = f.bit_flags.words().data();
+    const simd::DecodeShortFn dshort = simd::decode_short();
+    const simd::DecodeDeltaFn ddelta = simd::decode_delta();
+    // Per-tile decode scratch: 2 KB on the worker's stack, L1-resident.
+    index_t buf[core::Bccoo::kColTile];
+    constexpr std::size_t kTile = core::Bccoo::kColTile;
     if (h == 1 && bw == 1) {
       // Fast path for scalar blocks (the tuner's most common choice): walk
-      // the chunk segment piece by segment piece — the packed bit flags are
-      // scanned a word at a time for the next row stop, and each piece is a
-      // gathered dot product on the SIMD kernel.
+      // the chunk decode tile by decode tile, and within a tile segment
+      // piece by segment piece — the packed bit flags are scanned a word at
+      // a time for the next row stop, and each piece is a gathered dot
+      // product on the SIMD kernel.
       const real_t* vals = f.value_rows[0].data();
-      const index_t* cols = f.col_index.data();
       const real_t* x = xp_.data();
       // Chunks whose *average* segment is short (power-law matrices) take a
       // single-pass loop — one bit test per non-zero beats a per-segment
@@ -154,76 +221,101 @@ class CpuSpmv {
       if (stops_c * simd::kShortSegment > b1 - b0) {
         real_t acc = 0.0;
         bool fs = true;
-        for (std::size_t i = b0; i < b1; ++i) {
-          acc += vals[i] * x[static_cast<std::size_t>(cols[i])];
-          if (!((words[i >> 5] >> (i & 31u)) & 1u)) {  // row stop
-            if (fs) {
-              firsts_[c] = acc;
-              fs = false;
-            } else {
-              res_[static_cast<std::size_t>(
-                  f.seg_to_block_row[static_cast<std::size_t>(seg)])] = acc;
+        for (std::size_t t0 = b0; t0 < b1; t0 += kTile) {
+          const std::size_t t1 = std::min(t0 + kTile, b1);
+          const index_t* tc = tile_cols(t0, t1, buf, dshort, ddelta);
+          for (std::size_t i = t0; i < t1; ++i) {
+            acc += vals[i] * x[static_cast<std::size_t>(tc[i - t0])];
+            if (!((words[i >> 5] >> (i & 31u)) & 1u)) {  // row stop
+              if (fs) {
+                firsts_[c] = acc;
+                fs = false;
+              } else {
+                res_[static_cast<std::size_t>(
+                    f.seg_to_block_row[static_cast<std::size_t>(seg)])] = acc;
+              }
+              acc = 0.0;
+              ++seg;
             }
-            acc = 0.0;
-            ++seg;
           }
         }
         carries_[c] = acc;
         return;
       }
+      // Piece-based loop.  A segment piece crossing a tile boundary is split
+      // there and accumulated sequentially (part += dot(subpiece)); the
+      // split points depend only on the format and the chunk decomposition,
+      // never the column mode, which is what keeps raw/short/delta bitwise
+      // identical.
       const simd::DotRangeFn dot = simd::dot_range();
-      std::size_t i = b0;
+      real_t part = 0.0;  // running sum of the currently open piece
       bool first_stop = true;
-      for (;;) {
-        const std::size_t stop = simd::next_row_stop(words, i, b1);
-        if (stop == b1) {  // trailing open segment (possibly empty)
-          carries_[c] =
-              i < b1 ? simd::dot_piece(dot, vals, cols, x, i, b1, b1) : 0.0;
-          return;
+      for (std::size_t t0 = b0; t0 < b1; t0 += kTile) {
+        const std::size_t t1 = std::min(t0 + kTile, b1);
+        const index_t* tc = tile_cols(t0, t1, buf, dshort, ddelta);
+        const real_t* tv = vals + t0;
+        const std::size_t tn = t1 - t0;
+        std::size_t i = t0;
+        for (;;) {
+          const std::size_t stop = simd::next_row_stop(words, i, t1);
+          if (stop == t1) {  // open piece continues into the next tile
+            if (i < t1) {
+              part += simd::dot_piece(dot, tv, tc, x, i - t0, tn, tn);
+            }
+            break;
+          }
+          const real_t s =
+              part + simd::dot_piece(dot, tv, tc, x, i - t0, stop + 1 - t0, tn);
+          part = 0.0;
+          if (first_stop) {
+            // May continue from the previous chunk: defer to the fix-up.
+            firsts_[c] = s;
+            first_stop = false;
+          } else {
+            res_[static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(seg)])] = s;
+          }
+          ++seg;
+          i = stop + 1;
         }
-        const real_t s = simd::dot_piece(dot, vals, cols, x, i, stop + 1, b1);
-        if (first_stop) {
-          // May continue from the previous chunk: defer to the fix-up.
-          firsts_[c] = s;
-          first_stop = false;
-        } else {
-          res_[static_cast<std::size_t>(
-              f.seg_to_block_row[static_cast<std::size_t>(seg)])] = s;
-        }
-        ++seg;
-        i = stop + 1;
       }
+      carries_[c] = part;
+      return;
     }
     const simd::DotDenseFn bdot = simd::dot_dense();
     real_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
     bool first_stop = true;
-    for (std::size_t i = b0; i < b1; ++i) {
-      const auto bcol = static_cast<std::size_t>(f.col_index[i]);
-      const real_t* xv = xp_.data() + bcol * bw;
-      if (i + 4 < b1) {
-        __builtin_prefetch(xp_.data() +
-                           static_cast<std::size_t>(f.col_index[i + 4]) * bw);
-      }
-      for (std::size_t k = 0; k < h; ++k) {
-        acc[k] += bdot(f.value_rows[k].data() + i * bw, xv, bw);
-      }
-      if (!f.bit_flags.get(i)) {  // row stop
-        if (first_stop) {
-          // May continue from the previous chunk: defer to the fix-up.
-          for (std::size_t k = 0; k < h; ++k) {
-            firsts_[c * h + k] = acc[k];
-            acc[k] = 0.0;
-          }
-          first_stop = false;
-        } else {
-          const auto sbrow = static_cast<std::size_t>(
-              f.seg_to_block_row[static_cast<std::size_t>(seg)]);
-          for (std::size_t k = 0; k < h; ++k) {
-            res_[sbrow * h + k] = acc[k];
-            acc[k] = 0.0;
-          }
+    for (std::size_t t0 = b0; t0 < b1; t0 += kTile) {
+      const std::size_t t1 = std::min(t0 + kTile, b1);
+      const index_t* tc = tile_cols(t0, t1, buf, dshort, ddelta);
+      for (std::size_t i = t0; i < t1; ++i) {
+        const auto bcol = static_cast<std::size_t>(tc[i - t0]);
+        const real_t* xv = xp_.data() + bcol * bw;
+        if (i + 4 < t1) {
+          __builtin_prefetch(xp_.data() +
+                             static_cast<std::size_t>(tc[i + 4 - t0]) * bw);
         }
-        ++seg;
+        for (std::size_t k = 0; k < h; ++k) {
+          acc[k] += bdot(f.value_rows[k].data() + i * bw, xv, bw);
+        }
+        if (!f.bit_flags.get(i)) {  // row stop
+          if (first_stop) {
+            // May continue from the previous chunk: defer to the fix-up.
+            for (std::size_t k = 0; k < h; ++k) {
+              firsts_[c * h + k] = acc[k];
+              acc[k] = 0.0;
+            }
+            first_stop = false;
+          } else {
+            const auto sbrow = static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(seg)]);
+            for (std::size_t k = 0; k < h; ++k) {
+              res_[sbrow * h + k] = acc[k];
+              acc[k] = 0.0;
+            }
+          }
+          ++seg;
+        }
       }
     }
     for (std::size_t k = 0; k < h; ++k) carries_[c * h + k] = acc[k];
@@ -231,6 +323,7 @@ class CpuSpmv {
 
   std::shared_ptr<const core::Bccoo> fmt_;
   unsigned threads_;
+  core::ColStream cs_;
   std::vector<std::size_t> chunk_start_;
   std::vector<index_t> chunk_first_seg_;
   std::vector<real_t> carries_;  ///< per chunk: trailing open-segment sum
@@ -250,14 +343,17 @@ class CpuSpmv {
 /// only reallocated when k changes.
 class CpuSpmm {
  public:
-  explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0)
+  explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
+                   core::ColStream cs = core::ColStream::kAuto)
       : fmt_(std::move(m)),
-        eng_(fmt_, threads),
-        threads_(threads == 0 ? default_workers() : threads) {
+        eng_(fmt_, threads, cs),
+        threads_(threads == 0 ? default_workers() : threads),
+        cs_(fmt_->resolve_col_stream(cs)) {
     const auto& f = *fmt_;
     if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1 &&
         f.num_blocks > 0) {
-      // Hoisted per-call work of the fused pass: chunk boundaries and the
+      // Hoisted per-call work of the fused pass: chunk boundaries (rounded
+      // down to decode-tile granularity, like CpuSpmv) and the
       // count_zeros_before scans (O(num_blocks) each) happen once here.
       const std::size_t nb = f.num_blocks;
       const std::size_t nchunks =
@@ -265,7 +361,11 @@ class CpuSpmm {
       starts_.resize(nchunks + 1);
       first_seg_.resize(nchunks + 1);
       for (std::size_t c = 0; c <= nchunks; ++c) {
-        starts_[c] = c * nb / nchunks;
+        std::size_t s = c * nb / nchunks;
+        if (c != 0 && c != nchunks) {
+          s = s / core::Bccoo::kColTile * core::Bccoo::kColTile;
+        }
+        starts_[c] = s;
         first_seg_[c] =
             static_cast<index_t>(f.bit_flags.count_zeros_before(starts_[c]));
       }
@@ -317,33 +417,51 @@ class CpuSpmm {
       panels_k_ = kz;
     }
     const real_t* vals = f.value_rows[0].data();
-    const index_t* cols = f.col_index.data();
+    const simd::DecodeShortFn dshort = simd::decode_short();
+    const simd::DecodeDeltaFn ddelta = simd::decode_delta();
 
     parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
       real_t* acc = acc_panel_.data() + c * kz;
       std::fill(acc, acc + kz, 0.0);
       index_t seg = first_seg_[c];
       bool first_stop = true;
-      for (std::size_t i = starts_[c]; i < starts_[c + 1]; ++i) {
-        const real_t v = vals[i];
-        const auto col = static_cast<std::size_t>(cols[i]);
-        if (i + 8 < starts_[c + 1]) {
-          __builtin_prefetch(&X[static_cast<std::size_t>(cols[i + 8])]);
+      index_t buf[core::Bccoo::kColTile];
+      constexpr std::size_t kTile = core::Bccoo::kColTile;
+      for (std::size_t t0 = starts_[c]; t0 < starts_[c + 1]; t0 += kTile) {
+        const std::size_t t1 = std::min(t0 + kTile, starts_[c + 1]);
+        const index_t* tc;
+        if (cs_ == core::ColStream::kShort) {
+          dshort(f.short_cols.data() + t0, buf, t1 - t0);
+          tc = buf;
+        } else if (cs_ == core::ColStream::kDelta) {
+          const std::size_t t = t0 / kTile;
+          ddelta(f.delta_cols.data() + t0, t1 - t0,
+                 f.delta_escapes.data() + f.delta_escape_start[t], buf);
+          tc = buf;
+        } else {
+          tc = f.col_index.data() + t0;
         }
-        for (std::size_t j = 0; j < kz; ++j) {
-          acc[j] += v * X[j * colsz + col];  // one decode, k FMAs
-        }
-        if (!f.bit_flags.get(i)) {
-          if (first_stop) {
-            std::copy(acc, acc + kz, &firsts_[c * kz]);
-            first_stop = false;
-          } else {
-            const auto row = static_cast<std::size_t>(
-                f.seg_to_block_row[static_cast<std::size_t>(seg)]);
-            for (std::size_t j = 0; j < kz; ++j) Y[j * rowsz + row] = acc[j];
+        for (std::size_t i = t0; i < t1; ++i) {
+          const real_t v = vals[i];
+          const auto col = static_cast<std::size_t>(tc[i - t0]);
+          if (i + 8 < t1) {
+            __builtin_prefetch(&X[static_cast<std::size_t>(tc[i + 8 - t0])]);
           }
-          std::fill(acc, acc + kz, 0.0);
-          ++seg;
+          for (std::size_t j = 0; j < kz; ++j) {
+            acc[j] += v * X[j * colsz + col];  // one decode, k FMAs
+          }
+          if (!f.bit_flags.get(i)) {
+            if (first_stop) {
+              std::copy(acc, acc + kz, &firsts_[c * kz]);
+              first_stop = false;
+            } else {
+              const auto row = static_cast<std::size_t>(
+                  f.seg_to_block_row[static_cast<std::size_t>(seg)]);
+              for (std::size_t j = 0; j < kz; ++j) Y[j * rowsz + row] = acc[j];
+            }
+            std::fill(acc, acc + kz, 0.0);
+            ++seg;
+          }
         }
       }
       std::copy(acc, acc + kz, &carries_[c * kz]);
@@ -367,6 +485,7 @@ class CpuSpmm {
   std::shared_ptr<const core::Bccoo> fmt_;
   CpuSpmv eng_;
   unsigned threads_;
+  core::ColStream cs_;
   // Fused-path precomputation (1x1 blocks, 1 slice): chunk starts and the
   // first-segment ordinals, plus the cached per-chunk panels.
   std::vector<std::size_t> starts_;

@@ -232,6 +232,10 @@ core::Bccoo load_bccoo(std::istream& in) {
   } catch (const FormatInvalid& e) {
     fail_format(std::string("loaded format fails validation: ") + e.what());
   }
+  // The compressed column streams are derived data and not part of the file
+  // format: rebuild them from the (validated) col_index so a loaded format
+  // is ready for the compressed kernels.
+  m.build_col_streams();
   return m;
 }
 

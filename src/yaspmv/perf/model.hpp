@@ -40,4 +40,30 @@ double spmv_gflops(const sim::DeviceSpec& dev, const sim::KernelStats& st,
 /// Harmonic mean of a positive sequence (the paper's average throughput).
 double harmonic_mean(const double* v, std::size_t n);
 
+/// Modeled-vs-measured bytes comparison for the compressed column streams.
+///
+/// The footprint model charges Table 3 *device* widths (4-byte values),
+/// while the native backend measures *host* widths (8-byte doubles), so the
+/// totals are not directly comparable — but the column-stream bytes are
+/// (2-byte deltas / shorts and 4-byte escapes on both sides).  `ratio` is
+/// measured/modeled over the full arrays; consumers should interpret a
+/// ratio near 2 on the value-dominated formats as the double/float width
+/// gap, not model error (EXPERIMENTS.md documents this).
+struct BytesComparison {
+  std::size_t modeled = 0;   ///< footprint model (device widths)
+  std::size_t measured = 0;  ///< exact host bytes per native SpMV
+  double ratio = 0;          ///< measured / modeled (0 when modeled == 0)
+};
+
+inline BytesComparison compare_bytes(std::size_t modeled,
+                                     std::size_t measured) {
+  BytesComparison c;
+  c.modeled = modeled;
+  c.measured = measured;
+  c.ratio = modeled == 0 ? 0.0
+                         : static_cast<double>(measured) /
+                               static_cast<double>(modeled);
+  return c;
+}
+
 }  // namespace yaspmv::perf

@@ -37,13 +37,27 @@ struct TuneOptions {
   /// block height is capped at 4): widen the block menu to 8x8 and add
   /// finer thread-tile sizes (the paper observes tile = 40 helps Dense).
   bool extended_blocks = false;
+  /// After the modeled sweep, re-time the top candidates on the native CPU
+  /// backend (reading the column stream the candidate's exec flags select)
+  /// and re-rank by *measured* GFLOPS into `best_native`.  The measured pass
+  /// runs serially after the parallel sweep so the modeled ranking keeps its
+  /// tune_workers-independence contract; wall-clock timings are inherently
+  /// noisy, which is exactly why the model needs this validation hook.
+  bool measure_native = false;
+  int native_reps = 3;        ///< timed repetitions per candidate (best-of)
+  unsigned native_threads = 1;  ///< native-backend threads for the re-timing
 };
 
 struct Candidate {
   core::FormatConfig format;
   core::ExecConfig exec;
-  double gflops = 0;
-  std::size_t footprint = 0;
+  double gflops = 0;          ///< modeled (simulator) throughput
+  std::size_t footprint = 0;  ///< modeled bytes (Table 3 device widths)
+  double build_seconds = 0;   ///< wall time of this candidate's format build
+  double eval_seconds = 0;    ///< wall time of the simulator evaluation
+  // Filled by the measure_native pass (0 when it did not run):
+  double measured_gflops = 0;    ///< native single-run best-of-reps
+  std::size_t measured_bytes = 0;  ///< exact host-side bytes per native SpMV
 };
 
 struct TuneResult {
@@ -57,6 +71,15 @@ struct TuneResult {
   /// kMaxSkipRecords; `skipped` holds the true count.
   std::vector<std::string> skipped_configs;
   static constexpr std::size_t kMaxSkipRecords = 32;
+  /// Top candidate by *measured* native GFLOPS (measure_native only; equals
+  /// `best` otherwise).  May disagree with `best` — that disagreement is the
+  /// modeled-vs-measured signal EXPERIMENTS.md tracks.
+  Candidate best_native;
+  bool native_measured = false;
+  /// Format-cache statistics: distinct formats built for the sweep and the
+  /// wall time spent building them (parallel across cache entries).
+  int formats_built = 0;
+  double format_build_seconds = 0;
 };
 
 /// Tunes `a` for `dev`.  Throws only on empty/invalid input; candidate

@@ -36,6 +36,23 @@ class BitArray {
     if (fill) clear_tail();
   }
 
+  /// Builds a BitArray directly from pre-packed physical words (LSB-first
+  /// within each uint32, matching get/set).  Used by the parallel BCCOO
+  /// builder, whose workers each assemble a disjoint word range.  Tail bits
+  /// beyond `n` are cleared so equality compares are well defined.
+  static BitArray from_words(std::size_t n, std::vector<std::uint32_t> words) {
+    BitArray b;
+    b.n_ = n;
+    b.words_ = std::move(words);
+    b.words_.resize((n + 31) / 32);
+    b.clear_tail();
+    return b;
+  }
+
+  bool operator==(const BitArray& o) const {
+    return n_ == o.n_ && words_ == o.words_;
+  }
+
   std::size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
 

@@ -56,4 +56,10 @@ constexpr bool fits_short_delta(std::int64_t v) {
          v <= std::numeric_limits<std::int16_t>::max();
 }
 
+/// The Section 2.2 escape sentinel in an int16 delta stream: an entry equal
+/// to this marker reads its absolute column from the 4-byte side array
+/// instead of adding a delta (which is also why a true delta of -1 must be
+/// escaped).
+inline constexpr std::int16_t kDeltaEscape = -1;
+
 }  // namespace yaspmv

@@ -220,6 +220,27 @@ TEST(MalformedBinary, HostileArrayLengthRejectedBeforeAllocation) {
   EXPECT_THROW(io::load_coo(in), FormatInvalid);
 }
 
+TEST(MalformedBinary, LoadedBccooRebuildsValidColumnStreams) {
+  // The compressed column streams are derived data, not part of the file
+  // format: a round-trip must rebuild them and they must pass the stream
+  // invariants.  Tampering any stream afterwards must be caught.
+  const auto m = core::Bccoo::build(small_matrix(), {});
+  std::istringstream in(bccoo_bytes(m));
+  auto b = io::load_bccoo(in);
+  EXPECT_TRUE(b.col_streams_built);
+  EXPECT_EQ(b.delta_cols, m.delta_cols);
+  EXPECT_EQ(b.short_cols, m.short_cols);
+  EXPECT_NO_THROW(b.validate());
+  auto tampered = b;
+  ASSERT_FALSE(tampered.delta_escape_start.empty());
+  tampered.delta_escape_start.back() += 1;
+  EXPECT_THROW(tampered.validate(), FormatInvalid);
+  tampered = b;
+  ASSERT_FALSE(tampered.short_cols.empty());
+  tampered.short_cols.front() ^= 0x4;
+  EXPECT_THROW(tampered.validate(), FormatInvalid);
+}
+
 TEST(MalformedBinary, MissingBinaryFileIsIoError) {
   EXPECT_THROW(io::load_coo_file("/nonexistent/never.bin"), IoError);
   EXPECT_THROW(io::load_bccoo_file("/nonexistent/never.bin"), IoError);

@@ -90,5 +90,54 @@ TEST(Tuner, ExhaustiveAtLeastAsGoodAsPruned) {
   EXPECT_GT(rf.evaluated, rp.evaluated);
 }
 
+TEST(Tuner, SerialAndParallelFormatBuildsAreByteIdentical) {
+  // The tuner prebuilds every candidate format on the WorkPool; the
+  // parallel Bccoo builder is defined to produce the exact bytes of the
+  // serial one (same sort order, same streams) for any worker count.
+  const auto A = gen::powerlaw(900, 850, 6, 2.2, 0.4, 41);
+  for (core::FormatConfig fc :
+       {core::FormatConfig{}, [] {
+          core::FormatConfig c;
+          c.slices = 4;
+          c.block_w = 2;
+          c.block_h = 2;
+          return c;
+        }()}) {
+    const auto serial = core::Bccoo::build(A, fc, 1);
+    for (unsigned workers : {2u, 8u}) {
+      EXPECT_TRUE(serial == core::Bccoo::build(A, fc, workers))
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Tuner, RecordsBuildAndEvalSecondsPerCandidate) {
+  const auto A = gen::random_scattered(500, 500, 6, 3);
+  const auto r = tune::tune(A, sim::gtx680(), {});
+  ASSERT_FALSE(r.top.empty());
+  EXPECT_GT(r.formats_built, 0);
+  EXPECT_GE(r.format_build_seconds, 0.0);
+  for (const auto& c : r.top) {
+    EXPECT_GE(c.build_seconds, 0.0);
+    EXPECT_GE(c.eval_seconds, 0.0);
+  }
+}
+
+TEST(Tuner, NativeMeasurementFillsMeasuredColumns) {
+  const auto A = gen::random_scattered(400, 400, 6, 19);
+  tune::TuneOptions opt;
+  opt.measure_native = true;
+  opt.native_reps = 1;
+  const auto r = tune::tune(A, sim::gtx680(), opt);
+  ASSERT_TRUE(r.native_measured);
+  EXPECT_GT(r.best_native.measured_gflops, 0.0);
+  EXPECT_GT(r.best_native.measured_bytes, 0u);
+  // The modeled ranking itself must be untouched by the native pass.
+  tune::TuneOptions plain;
+  const auto rp = tune::tune(A, sim::gtx680(), plain);
+  EXPECT_EQ(rp.best.format.to_string(), r.best.format.to_string());
+  EXPECT_EQ(rp.best.exec.to_string(), r.best.exec.to_string());
+}
+
 }  // namespace
 }  // namespace yaspmv

@@ -41,10 +41,15 @@ int usage() {
       "          [--exhaustive] [--extended] [--tune-workers=N]  (N concurrent\n"
       "          candidate evaluations; 0 = hardware concurrency, 1 = serial;\n"
       "          the result is identical for any N)\n"
+      "          [--native [--native-threads=N]]  re-time the top candidates\n"
+      "          on the native CPU backend and re-rank by measured GFLOPS\n"
+      "          [--verbose]  per-candidate build vs. kernel time breakdown\n"
       "  convert --mtx=<file.mtx> --out=<file.bccoo> [--bw=N --bh=N"
       " --slices=N]\n"
       "  spmv    --format=<file.bccoo> [--threads=N] [--reps=N]"
       " [--out=<y.txt>]\n"
+      "          [--cols=auto|raw|short|delta]  column stream for the native\n"
+      "          kernel; [--no-delta-decode] = --cols=raw escape hatch\n"
       "          [--verify] [--inject=<fault>[:wg=N]]   (fault: drop_publish,\n"
       "          stall_publish, corrupt_publish, corrupt_cache, fail_main,\n"
       "          fail_carry, fail_combine; runs the resilient engine)\n"
@@ -101,17 +106,44 @@ int cmd_tune(const Args& args) {
   opt.exhaustive = args.has("exhaustive");
   opt.extended_blocks = args.has("extended");
   opt.tune_workers = static_cast<unsigned>(args.get_int("tune-workers", 0));
+  opt.measure_native = args.has("native");
+  opt.native_threads = static_cast<unsigned>(args.get_int("native-threads", 1));
   const auto r = tune::tune(A, dev, opt);
   std::cout << "tuned in " << r.tuning_seconds << " s (" << r.evaluated
-            << " configs, " << r.skipped << " skipped)\n";
+            << " configs, " << r.skipped << " skipped; " << r.formats_built
+            << " formats built in " << r.format_build_seconds << " s)\n";
   if (!r.skipped_configs.empty()) {
     std::cout << "skipped (first " << r.skipped_configs.size() << "):\n";
     for (const auto& s : r.skipped_configs) std::cout << "  " << s << "\n";
+  }
+  if (args.has("verbose")) {
+    // Per-candidate cost attribution: with the prebuilt format cache the
+    // build column shows what the parallel builder saved the sweep.
+    std::cout << "top candidates (build s / eval s / modeled GFLOPS"
+              << (r.native_measured ? " / measured GFLOPS / bytes" : "")
+              << "):\n";
+    for (const auto& c : r.top) {
+      std::cout << "  " << c.format.to_string() << " | "
+                << c.exec.to_string() << ": " << c.build_seconds << " / "
+                << c.eval_seconds << " / " << c.gflops;
+      if (r.native_measured) {
+        std::cout << " / " << c.measured_gflops << " / " << c.measured_bytes;
+      }
+      std::cout << "\n";
+    }
   }
   std::cout << "best: " << r.best.format.to_string() << " | "
             << r.best.exec.to_string() << "\n"
             << "modeled " << r.best.gflops << " GFLOPS on " << dev.name
             << ", footprint " << r.best.footprint << " bytes\n";
+  if (r.native_measured) {
+    std::cout << "best (native measured): "
+              << r.best_native.format.to_string() << " | "
+              << r.best_native.exec.to_string() << "\nmeasured "
+              << r.best_native.measured_gflops << " GFLOPS, "
+              << r.best_native.measured_bytes << " bytes/SpMV (modeled "
+              << r.best_native.footprint << ")\n";
+  }
   return 0;
 }
 
@@ -335,7 +367,17 @@ int cmd_spmv(const Args& args) {
   const auto threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const long reps = args.get_int("reps", 10);
-  cpu::CpuSpmv eng(m, threads);
+  core::ColStream cs = core::ColStream::kAuto;
+  if (args.has("no-delta-decode")) {
+    cs = core::ColStream::kRaw;  // escape hatch: plain 4-byte columns
+  } else if (args.has("cols")) {
+    const std::string s = args.get("cols");
+    if (s == "raw") cs = core::ColStream::kRaw;
+    else if (s == "short") cs = core::ColStream::kShort;
+    else if (s == "delta") cs = core::ColStream::kDelta;
+    else require(s == "auto", "spmv: unknown --cols value: " + s);
+  }
+  cpu::CpuSpmv eng(m, threads, cs);
   SplitMix64 rng(0x5eed);
   std::vector<real_t> x(static_cast<std::size_t>(m->cols));
   for (auto& v : x) v = rng.next_double(-1, 1);
@@ -344,8 +386,13 @@ int cmd_spmv(const Args& args) {
   Stopwatch sw;
   for (long r = 0; r < reps; ++r) eng.spmv(x, y);
   const double ms = sw.elapsed_ms() / static_cast<double>(reps);
+  const double gbs = static_cast<double>(m->traffic_bytes(eng.col_stream())) /
+                     (ms * 1e-3) / 1e9;
   std::cout << m->rows << " x " << m->cols << ": " << ms << " ms/SpMV on "
-            << eng.threads() << " thread(s)\n";
+            << eng.threads() << " thread(s), cols="
+            << core::to_string(eng.col_stream()) << ", "
+            << m->traffic_bytes(eng.col_stream()) << " bytes/SpMV (" << gbs
+            << " GB/s)\n";
   if (args.has("out")) {
     std::ofstream f(args.get("out"));
     f.precision(17);
