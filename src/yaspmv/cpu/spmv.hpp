@@ -17,6 +17,20 @@
 // per-chunk segmented sum uses the runtime-dispatched SIMD kernels of
 // cpu/simd.hpp (AVX2/FMA with a portable multi-accumulator fallback).
 //
+// Zero-copy apply (the iterative-solver fast path): `spmv` reads the
+// caller's `x` directly — there is no padded copy.  Scalar-width blocks
+// never need padding; blocked formats whose last block column hangs past
+// `cols` redirect only that one block to a small ctor-zeroed tail buffer
+// (`xtail_`, the pad filled once, only the live tail elements copied per
+// call).  Nor is there a full result-buffer clear: every segment maps to
+// exactly one block row (each non-empty block row has exactly one row
+// stop), so workers and the fix-up pass *assign* complete segment sums,
+// and only rows no segment covers ever need explicit zeroing.  With one
+// slice and an unpadded row dimension the workers write straight into `y`
+// (`res_` is not even allocated) and the combine pass disappears — a
+// solver iteration touches each vector once.  Because `x` is read while
+// `y` is written, `spmv` rejects overlapping x/y.
+//
 // Determinism: the chunk decomposition depends only on the *requested*
 // thread count and the intra-chunk reduction order is fixed by the kernels'
 // shared lane/reduction scheme, so for a fixed thread count and dispatch
@@ -34,11 +48,9 @@
 // fixed (thread count, dispatch level).
 #pragma once
 
-#include <atomic>
-#include <cstring>
+#include <cstdint>
 #include <memory>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "yaspmv/core/bccoo.hpp"
@@ -63,6 +75,7 @@ class CpuSpmv {
     require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
             "CpuSpmv: block height must be in [1, 8]");
     const auto h = static_cast<std::size_t>(f.cfg.block_h);
+    const auto bw = static_cast<std::size_t>(f.cfg.block_w);
     // Chunk boundaries over blocks (even distribution, rounded down to the
     // decode-tile granularity so every chunk decodes whole tiles; rounding
     // can make small leading chunks empty — harmless).
@@ -85,10 +98,37 @@ class CpuSpmv {
     }
     carries_.resize((chunk_start_.size() - 1) * h, 0.0);
     firsts_.resize((chunk_start_.size() - 1) * h, 0.0);
-    xp_.resize(static_cast<std::size_t>(f.block_cols) *
-                   static_cast<std::size_t>(f.cfg.block_w),
-               0.0);
-    res_.resize(static_cast<std::size_t>(f.stacked_block_rows) * h, 0.0);
+    // Zero-copy tail redirect: only a padded last block column needs
+    // scratch.  The pad beyond `cols` is zeroed once, here; spmv copies
+    // just the live tail elements per call.
+    const auto colsz = static_cast<std::size_t>(f.cols);
+    if (bw > 1 && colsz % bw != 0) {
+      pad_bcol_ = static_cast<std::size_t>(f.block_cols) - 1;
+      tail_n_ = colsz - pad_bcol_ * bw;
+      xtail_.assign(bw, 0.0);
+    }
+    // Workers write straight into y when the stacked result layout IS the
+    // output layout: one slice and no padded rows.
+    direct_y_ = f.cfg.slices == 1 &&
+                static_cast<std::size_t>(f.block_rows) * h ==
+                    static_cast<std::size_t>(f.rows);
+    const auto stacked = static_cast<std::size_t>(f.stacked_block_rows);
+    if (!direct_y_) {
+      // Slice-stacked result buffer.  Zeroed once: covered rows are
+      // *assigned* every call, uncovered rows are never touched and stay
+      // zero forever.
+      res_.resize(stacked * h, 0.0);
+    } else {
+      // Direct-y mode writes into the caller's buffer, so the rows no
+      // segment covers must be cleared per call — precompute them.
+      std::vector<bool> covered(stacked, false);
+      for (const index_t sbrow : f.seg_to_block_row) {
+        covered[static_cast<std::size_t>(sbrow)] = true;
+      }
+      for (std::size_t r = 0; r < stacked; ++r) {
+        if (!covered[r]) zero_rows_.push_back(r);
+      }
+    }
   }
 
   const core::Bccoo& format() const { return *fmt_; }
@@ -97,42 +137,58 @@ class CpuSpmv {
   core::ColStream col_stream() const { return cs_; }
 
   /// y = A * x (parallel, deterministic for a fixed thread count).
+  /// Zero-copy: x is read in place while y is written, so the spans must
+  /// not overlap.
   void spmv(std::span<const real_t> x, std::span<real_t> y) {
     const core::Bccoo& f = *fmt_;
     require(x.size() == static_cast<std::size_t>(f.cols) &&
                 y.size() == static_cast<std::size_t>(f.rows),
             "CpuSpmv: vector size mismatch");
+    const auto xb = reinterpret_cast<std::uintptr_t>(x.data());
+    const auto yb = reinterpret_cast<std::uintptr_t>(y.data());
+    require(xb + x.size() * sizeof(real_t) <= yb ||
+                yb + y.size() * sizeof(real_t) <= xb,
+            "CpuSpmv: x and y must not overlap (zero-copy apply)");
     const auto h = static_cast<std::size_t>(f.cfg.block_h);
     const auto bw = static_cast<std::size_t>(f.cfg.block_w);
 
-    std::copy(x.begin(), x.end(), xp_.begin());
-    std::fill(xp_.begin() + static_cast<std::ptrdiff_t>(x.size()), xp_.end(),
-              0.0);
-    std::fill(res_.begin(), res_.end(), 0.0);
+    if (tail_n_ != 0) {
+      // Only the live tail elements move; the pad stays ctor-zeroed.
+      std::copy(x.end() - static_cast<std::ptrdiff_t>(tail_n_), x.end(),
+                xtail_.begin());
+    }
+    real_t* const out = direct_y_ ? y.data() : res_.data();
+    for (const std::size_t r : zero_rows_) {
+      for (std::size_t k = 0; k < h; ++k) out[r * h + k] = 0.0;
+    }
 
+    const real_t* const xd = x.data();
     const std::size_t nchunks = chunk_start_.size() - 1;
     parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
-      process_chunk(c, h, bw);
+      process_chunk(c, h, bw, xd, out);
     });
 
     // Serial fix-up: resolve segments spanning chunk boundaries (the
-    // adjacent-synchronization chain, folded).
-    std::vector<real_t> carry(h, 0.0);
+    // adjacent-synchronization chain, folded).  Each chunk's first stop
+    // closes a segment no worker assigned (they defer it to firsts_), and
+    // the segment -> block-row map is injective, so plain assignment is
+    // complete — no prior clear needed.
+    real_t carry[8] = {0, 0, 0, 0, 0, 0, 0, 0};
     for (std::size_t c = 0; c < nchunks; ++c) {
       const index_t first = chunk_first_seg_[c];
       const index_t next = chunk_first_seg_[c + 1];
-      const bool has_stop = next > first;
-      if (has_stop) {
+      if (next > first) {
         const auto sbrow = static_cast<std::size_t>(
             f.seg_to_block_row[static_cast<std::size_t>(first)]);
         for (std::size_t k = 0; k < h; ++k) {
-          res_[sbrow * h + k] += carry[k] + firsts_[c * h + k];
+          out[sbrow * h + k] = carry[k] + firsts_[c * h + k];
         }
         for (std::size_t k = 0; k < h; ++k) carry[k] = carries_[c * h + k];
       } else {
         for (std::size_t k = 0; k < h; ++k) carry[k] += carries_[c * h + k];
       }
     }
+    if (direct_y_) return;  // workers already produced y
 
     // Combine y from the (slice-stacked) result buffer — the CPU analog of
     // the Figure 5 combine kernel.  Rows are independent (the per-row slice
@@ -191,7 +247,8 @@ class CpuSpmv {
     }
   }
 
-  void process_chunk(std::size_t c, std::size_t h, std::size_t bw) {
+  void process_chunk(std::size_t c, std::size_t h, std::size_t bw,
+                     const real_t* x, real_t* out) {
     const core::Bccoo& f = *fmt_;
     const std::size_t b0 = chunk_start_[c];
     const std::size_t b1 = chunk_start_[c + 1];
@@ -207,9 +264,9 @@ class CpuSpmv {
       // the chunk decode tile by decode tile, and within a tile segment
       // piece by segment piece — the packed bit flags are scanned a word at
       // a time for the next row stop, and each piece is a gathered dot
-      // product on the SIMD kernel.
+      // product on the SIMD kernel.  Scalar blocks are never padded, so x
+      // is read in place.
       const real_t* vals = f.value_rows[0].data();
-      const real_t* x = xp_.data();
       // Chunks whose *average* segment is short (power-law matrices) take a
       // single-pass loop — one bit test per non-zero beats a per-segment
       // word scan + kernel call when segments hold only a few non-zeros.
@@ -231,7 +288,7 @@ class CpuSpmv {
                 firsts_[c] = acc;
                 fs = false;
               } else {
-                res_[static_cast<std::size_t>(
+                out[static_cast<std::size_t>(
                     f.seg_to_block_row[static_cast<std::size_t>(seg)])] = acc;
               }
               acc = 0.0;
@@ -272,7 +329,7 @@ class CpuSpmv {
             firsts_[c] = s;
             first_stop = false;
           } else {
-            res_[static_cast<std::size_t>(
+            out[static_cast<std::size_t>(
                 f.seg_to_block_row[static_cast<std::size_t>(seg)])] = s;
           }
           ++seg;
@@ -290,10 +347,13 @@ class CpuSpmv {
       const index_t* tc = tile_cols(t0, t1, buf, dshort, ddelta);
       for (std::size_t i = t0; i < t1; ++i) {
         const auto bcol = static_cast<std::size_t>(tc[i - t0]);
-        const real_t* xv = xp_.data() + bcol * bw;
+        // Zero-copy with a tail redirect: every block column starts in
+        // bounds; only the (rare) padded last block column reads the
+        // ctor-padded xtail_ scratch instead of x.
+        const real_t* xv =
+            bcol == pad_bcol_ ? xtail_.data() : x + bcol * bw;
         if (i + 4 < t1) {
-          __builtin_prefetch(xp_.data() +
-                             static_cast<std::size_t>(tc[i + 4 - t0]) * bw);
+          __builtin_prefetch(x + static_cast<std::size_t>(tc[i + 4 - t0]) * bw);
         }
         for (std::size_t k = 0; k < h; ++k) {
           acc[k] += bdot(f.value_rows[k].data() + i * bw, xv, bw);
@@ -310,7 +370,7 @@ class CpuSpmv {
             const auto sbrow = static_cast<std::size_t>(
                 f.seg_to_block_row[static_cast<std::size_t>(seg)]);
             for (std::size_t k = 0; k < h; ++k) {
-              res_[sbrow * h + k] = acc[k];
+              out[sbrow * h + k] = acc[k];
               acc[k] = 0.0;
             }
           }
@@ -324,12 +384,18 @@ class CpuSpmv {
   std::shared_ptr<const core::Bccoo> fmt_;
   unsigned threads_;
   core::ColStream cs_;
+  bool direct_y_ = false;  ///< workers write y in place (1 slice, no row pad)
   std::vector<std::size_t> chunk_start_;
   std::vector<index_t> chunk_first_seg_;
   std::vector<real_t> carries_;  ///< per chunk: trailing open-segment sum
   std::vector<real_t> firsts_;   ///< per chunk: first (possibly partial) sum
-  std::vector<real_t> xp_;       ///< padded multiplied vector
-  std::vector<real_t> res_;      ///< per-segment results (slice-stacked)
+  // Tail redirect for padded blocked formats (empty / never-matching when
+  // cols divide evenly — the common case reads x with zero copies).
+  std::size_t pad_bcol_ = static_cast<std::size_t>(-1);
+  std::size_t tail_n_ = 0;       ///< live elements in the padded last block
+  std::vector<real_t> xtail_;    ///< last block column, pad zeroed once
+  std::vector<real_t> res_;      ///< slice-stacked results (!direct_y_ only)
+  std::vector<std::size_t> zero_rows_;  ///< uncovered rows (direct_y_ only)
 };
 
 /// Multi-vector product Y = A * X (SpMM) on the BCCOO format: X and Y are
@@ -337,10 +403,11 @@ class CpuSpmv {
 /// choice — a fused pass reads each non-zero (value, column, bit flag)
 /// once and accumulates all k right-hand sides together, which is the
 /// classic SpMM win over k SpMV calls; blocked formats fall back to the
-/// per-vector path.  The fused path's chunk decomposition and row-stop
-/// scans are precomputed in the constructor (next to the CpuSpmv
-/// precomputation); the first/carry panels are cached across calls and
-/// only reallocated when k changes.
+/// per-vector path.  The fused path's chunk decomposition, row-stop scans
+/// and uncovered-row list are precomputed in the constructor (next to the
+/// CpuSpmv precomputation); the first/carry panels are cached across calls
+/// and only reallocated when k changes.  Like CpuSpmv, covered rows are
+/// assigned (not accumulated), so no full panel clear happens per call.
 class CpuSpmm {
  public:
   explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
@@ -368,6 +435,14 @@ class CpuSpmm {
         starts_[c] = s;
         first_seg_[c] =
             static_cast<index_t>(f.bit_flags.count_zeros_before(starts_[c]));
+      }
+      // Rows no segment covers: the only ones the fused pass must clear.
+      std::vector<bool> covered(static_cast<std::size_t>(f.rows), false);
+      for (const index_t r : f.seg_to_block_row) {
+        covered[static_cast<std::size_t>(r)] = true;
+      }
+      for (std::size_t r = 0; r < covered.size(); ++r) {
+        if (!covered[r]) zero_rows_.push_back(r);
       }
     }
   }
@@ -404,8 +479,13 @@ class CpuSpmm {
     const auto kz = static_cast<std::size_t>(k);
     const auto colsz = static_cast<std::size_t>(f.cols);
     const auto rowsz = static_cast<std::size_t>(f.rows);
-    std::fill(Y.begin(), Y.end(), 0.0);
-    if (f.num_blocks == 0) return;
+    if (f.num_blocks == 0) {
+      std::fill(Y.begin(), Y.end(), 0.0);
+      return;
+    }
+    for (const std::size_t r : zero_rows_) {
+      for (std::size_t j = 0; j < kz; ++j) Y[j * rowsz + r] = 0.0;
+    }
     const std::size_t nchunks = starts_.size() - 1;
     // Panel scratch (k values per chunk) is cached across calls; the per
     // chunk accumulator panel lives here too so the workers allocate
@@ -467,13 +547,14 @@ class CpuSpmm {
       std::copy(acc, acc + kz, &carries_[c * kz]);
     });
 
+    // Fix-up assigns, same injectivity argument as CpuSpmv::spmv.
     std::vector<real_t> carry(kz, 0.0);
     for (std::size_t c = 0; c < nchunks; ++c) {
       if (first_seg_[c + 1] > first_seg_[c]) {
         const auto row = static_cast<std::size_t>(
             f.seg_to_block_row[static_cast<std::size_t>(first_seg_[c])]);
         for (std::size_t j = 0; j < kz; ++j) {
-          Y[j * rowsz + row] += carry[j] + firsts_[c * kz + j];
+          Y[j * rowsz + row] = carry[j] + firsts_[c * kz + j];
           carry[j] = carries_[c * kz + j];
         }
       } else {
@@ -493,6 +574,7 @@ class CpuSpmm {
   std::vector<real_t> firsts_;
   std::vector<real_t> carries_;
   std::vector<real_t> acc_panel_;
+  std::vector<std::size_t> zero_rows_;
   std::size_t panels_k_ = 0;
 };
 

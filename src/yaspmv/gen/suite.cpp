@@ -281,6 +281,31 @@ fmt::Coo quantum_chem(index_t rows, index_t nnz_row, std::uint64_t seed) {
                                  std::move(v));
 }
 
+fmt::Coo make_spd(const fmt::Coo& a) {
+  require(a.rows == a.cols, "make_spd: matrix must be square");
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  std::vector<double> abs_row(static_cast<std::size_t>(a.rows), 0.0);
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const real_t half = 0.5 * a.vals[k];
+    ri.push_back(a.row_idx[k]), ci.push_back(a.col_idx[k]), v.push_back(half);
+    ri.push_back(a.col_idx[k]), ci.push_back(a.row_idx[k]), v.push_back(half);
+    abs_row[static_cast<std::size_t>(a.row_idx[k])] += std::abs(half);
+    abs_row[static_cast<std::size_t>(a.col_idx[k])] += std::abs(half);
+  }
+  // Gershgorin: a diagonal above the largest absolute row sum of the
+  // symmetric part keeps every eigenvalue positive (from_triplets sums the
+  // duplicate diagonal contributions into it).
+  double shift = 1.0;
+  for (const double s : abs_row) shift = std::max(shift, s);
+  for (index_t r = 0; r < a.rows; ++r) {
+    ri.push_back(r), ci.push_back(r);
+    v.push_back(1.25 * shift);
+  }
+  return fmt::Coo::from_triplets(a.rows, a.rows, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
 const std::vector<SuiteEntry>& suite() {
   static const std::vector<SuiteEntry> s = [] {
     std::vector<SuiteEntry> e;

@@ -55,6 +55,13 @@ fmt::Coo random_scattered(index_t rows, index_t cols, index_t avg_nnz_row,
 /// lengths lognormal-ish around the mean.
 fmt::Coo quantum_chem(index_t rows, index_t nnz_row, std::uint64_t seed);
 
+/// SPD-izes a square pattern for the iterative solvers: (A + A^T)/2 plus a
+/// diagonal shift that makes the result strictly diagonally dominant with a
+/// positive diagonal.  Preserves the off-diagonal sparsity structure (plus
+/// its transpose), so solver benchmarks stress the same SpMV access pattern
+/// the source matrix has.
+fmt::Coo make_spd(const fmt::Coo& a);
+
 // --- the Table 2 suite ------------------------------------------------------
 
 struct SuiteEntry {

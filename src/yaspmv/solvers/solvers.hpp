@@ -12,15 +12,30 @@
 // Adapters are provided for the serial CSR reference, the native CPU
 // backend and the simulated GPU engine, so a solver can be moved between
 // backends with one line.
+//
+// The primary loops run on the fused pooled vector kernels of
+// cpu/vecops.hpp: adjacent vector updates collapse into one sweep
+// (x += alpha p, r -= alpha q and the next rho = r.r happen in a single
+// pass over the iterate), all per-iteration state lives in buffers
+// allocated once up front, and every reduction uses the kernels' fixed
+// chunk/lane order — so for a fixed SIMD dispatch level a solve is bitwise
+// reproducible for any thread count (the vector ops are thread-count
+// invariant; combined with the SpMV apply the full iterate is reproducible
+// per (thread count, level)).  If the operator exposes `threads()` the
+// vector kernels follow it; `SolveOptions::threads` overrides.
+//
+// The pre-fusion single-threaded loops are preserved verbatim under
+// `solver::serial` as the numerical reference — the solver bench and the
+// determinism tests compare against them.
 #pragma once
 
 #include <cmath>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/cpu/spmv.hpp"
+#include "yaspmv/cpu/vecops.hpp"
 #include "yaspmv/formats/csr.hpp"
 
 namespace yaspmv::solver {
@@ -44,15 +59,22 @@ class CsrOperator {
   fmt::Csr m_;
 };
 
-/// Native CPU-parallel BCCOO operator.
+/// Native CPU-parallel BCCOO operator.  `threads` feeds the format build,
+/// the SpMV executor and (via `threads()`) the solvers' vector kernels, so
+/// a solver run honors a CLI `--threads` end to end; `cs` picks the column
+/// stream exactly like the `spmv` front end.
 class CpuOperator {
  public:
   CpuOperator(const fmt::Coo& a, core::FormatConfig fc = {},
-              unsigned threads = 0)
-      : eng_(std::make_shared<const core::Bccoo>(core::Bccoo::build(a, fc)),
-             threads) {}
+              unsigned threads = 0,
+              core::ColStream cs = core::ColStream::kAuto)
+      : eng_(std::make_shared<const core::Bccoo>(
+                 core::Bccoo::build(a, fc, threads)),
+             threads, cs) {}
   index_t rows() const { return eng_.format().rows; }
   index_t cols() const { return eng_.format().cols; }
+  unsigned threads() const { return eng_.threads(); }
+  core::ColStream col_stream() const { return eng_.col_stream(); }
   void apply(std::span<const real_t> x, std::span<real_t> y) {
     eng_.spmv(x, y);
   }
@@ -90,6 +112,11 @@ class SimOperator {
 struct SolveOptions {
   double tolerance = 1e-10;  ///< relative residual target ||r||/||b||
   long max_iterations = 10000;
+  /// Worker count for the pooled vector kernels; 0 = follow the operator's
+  /// `threads()` when it has one, else run them serially.  (The results do
+  /// not depend on this — VecOps reductions are thread-count invariant —
+  /// only the wall clock does.)
+  unsigned threads = 0;
 };
 
 struct SolveReport {
@@ -105,10 +132,237 @@ inline double dot(std::span<const real_t> a, std::span<const real_t> b) {
   return s;
 }
 inline double norm(std::span<const real_t> a) { return std::sqrt(dot(a, a)); }
+
+/// Vector-kernel worker count for a solve: explicit request wins, then the
+/// operator's own thread count, then serial.
+template <class Operator>
+unsigned solver_threads(const Operator& A, unsigned requested) {
+  if (requested != 0) return requested;
+  if constexpr (requires { A.threads(); }) {
+    return A.threads();
+  } else {
+    (void)A;
+    return 1;
+  }
+}
 }  // namespace detail
 
 /// Conjugate gradient for symmetric positive-definite A.  `x` is the
-/// initial guess on entry, the solution on exit.
+/// initial guess on entry, the solution on exit.  One fused sweep per
+/// iteration updates x and r and produces the new r.r.
+template <class Operator>
+SolveReport cg(Operator& A, std::span<const real_t> b, std::span<real_t> x,
+               const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "cg: operator must be square");
+  const std::size_t n = b.size();
+  cpu::VecOps vo(detail::solver_threads(A, opt.threads));
+  std::vector<real_t> r(n), p(n), Ap(n);
+  A.apply(x, Ap);
+  vo.sub_scaled(b, 1.0, Ap, r);  // r = b - A x
+  p.assign(r.begin(), r.end());
+  double rr = vo.dot(r, r);
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = std::sqrt(rr) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    A.apply(p, Ap);
+    const double alpha = rr / vo.dot(p, Ap);
+    // x += alpha p, r -= alpha Ap, rr_new = r.r — one pass.
+    const double rr_new = vo.cg_fused_update(alpha, p, Ap, x, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    vo.xpay(r, beta, p);  // p = r + beta p
+    rep.iterations++;
+  }
+  rep.relative_residual = std::sqrt(rr) / bnorm;
+  return rep;
+}
+
+/// Jacobi-preconditioned conjugate gradient: M = diag(A).  Converges in
+/// fewer iterations than plain CG when the diagonal varies strongly.
+template <class Operator>
+SolveReport pcg_jacobi(Operator& A, std::span<const real_t> diag,
+                       std::span<const real_t> b, std::span<real_t> x,
+                       const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "pcg: operator must be square");
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    require(diag[i] != 0.0, "pcg: zero diagonal entry");
+  }
+  cpu::VecOps vo(detail::solver_threads(A, opt.threads));
+  std::vector<real_t> r(n), z(n), p(n), Ap(n);
+  A.apply(x, Ap);
+  vo.sub_scaled(b, 1.0, Ap, r);
+  double rz = vo.precond_dot(r, diag, z);  // z = r / diag fused with r.z
+  p.assign(z.begin(), z.end());
+  double rr = vo.dot(r, r);
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = std::sqrt(rr) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    A.apply(p, Ap);
+    const double alpha = rz / vo.dot(p, Ap);
+    rr = vo.cg_fused_update(alpha, p, Ap, x, r);
+    const double rz_new = vo.precond_dot(r, diag, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    vo.xpay(z, beta, p);  // p = z + beta p
+    rep.iterations++;
+  }
+  rep.relative_residual = std::sqrt(rr) / bnorm;
+  return rep;
+}
+
+/// Extracts the diagonal of a matrix in canonical COO (helper for the
+/// Jacobi-based methods).
+inline std::vector<real_t> extract_diagonal(const fmt::Coo& a) {
+  std::vector<real_t> d(static_cast<std::size_t>(a.rows), 0.0);
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    if (a.row_idx[i] == a.col_idx[i]) {
+      d[static_cast<std::size_t>(a.row_idx[i])] = a.vals[i];
+    }
+  }
+  return d;
+}
+
+/// BiCGSTAB for general (nonsymmetric) A.  The tail update fuses
+/// x += alpha p + omega s, r = s - omega t, the residual norm AND the next
+/// iteration's rho = r0.r into a single sweep.
+template <class Operator>
+SolveReport bicgstab(Operator& A, std::span<const real_t> b,
+                     std::span<real_t> x, const SolveOptions& opt = {}) {
+  require(A.rows() == A.cols(), "bicgstab: operator must be square");
+  const std::size_t n = b.size();
+  cpu::VecOps vo(detail::solver_threads(A, opt.threads));
+  std::vector<real_t> r(n), r0(n), p(n), v(n), s(n), t(n);
+  A.apply(x, v);
+  vo.sub_scaled(b, 1.0, v, r);
+  r0.assign(r.begin(), r.end());
+  double rho = 1, alpha = 1, omega = 1;
+  std::fill(p.begin(), p.end(), 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  double rr = vo.dot(r, r);
+  double r0r = vo.dot(r0, r);  // rho candidate; r0 == r here
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    rep.relative_residual = std::sqrt(rr) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    const double rho_new = r0r;
+    if (rho_new == 0.0) break;  // breakdown
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    vo.bicg_p_update(r, beta, omega, v, p);  // p = r + beta (p - omega v)
+    A.apply(p, v);
+    alpha = rho / vo.dot(r0, v);
+    vo.sub_scaled(r, alpha, v, s);  // s = r - alpha v
+    A.apply(s, t);
+    const cpu::DotPair tt_ts = vo.dot2(t, t, s);  // (t.t, t.s) in one pass
+    omega = tt_ts.ab == 0.0 ? 0.0 : tt_ts.ac / tt_ts.ab;
+    // x += alpha p + omega s, r = s - omega t, plus r.r and r0.r.
+    const cpu::DotPair nx = vo.bicg_fused_update(alpha, p, omega, s, t, r0,
+                                                 x, r);
+    rr = nx.ab;
+    r0r = nx.ac;
+    rep.iterations++;
+    if (omega == 0.0) break;  // breakdown
+  }
+  rep.relative_residual = std::sqrt(rr) / bnorm;
+  return rep;
+}
+
+/// Weighted Jacobi iteration; `diag` is the matrix diagonal (must be
+/// non-zero everywhere).  The sweep and the residual norm share one pass.
+template <class Operator>
+SolveReport jacobi(Operator& A, std::span<const real_t> diag,
+                   std::span<const real_t> b, std::span<real_t> x,
+                   const SolveOptions& opt = {}, double weight = 2.0 / 3.0) {
+  require(A.rows() == A.cols(), "jacobi: operator must be square");
+  const std::size_t n = b.size();
+  cpu::VecOps vo(detail::solver_threads(A, opt.threads));
+  std::vector<real_t> Ax(n);
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  SolveReport rep;
+  while (rep.iterations < opt.max_iterations) {
+    A.apply(x, Ax);
+    const double rnorm2 = vo.jacobi_update(b, Ax, diag, weight, x);
+    rep.iterations++;
+    rep.relative_residual = std::sqrt(rnorm2) / bnorm;
+    if (rep.relative_residual <= opt.tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+  }
+  return rep;
+}
+
+struct EigenReport {
+  double eigenvalue = 0;
+  long iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration: dominant eigenvalue/eigenvector of A.  `v` holds the
+/// start vector on entry (must be non-zero) and the eigenvector on exit.
+/// The Rayleigh quotient and the norm of the new iterate come out of one
+/// fused pass; `threads` feeds the vector kernels (0 = follow the
+/// operator, like SolveOptions::threads).
+template <class Operator>
+EigenReport power_iteration(Operator& A, std::span<real_t> v,
+                            double tolerance = 1e-10,
+                            long max_iterations = 10000,
+                            unsigned threads = 0) {
+  require(A.rows() == A.cols(), "power_iteration: operator must be square");
+  const std::size_t n = v.size();
+  cpu::VecOps vo(detail::solver_threads(A, threads));
+  std::vector<real_t> w(n);
+  double lambda = 0;
+  EigenReport rep;
+  const double nv = vo.nrm2(v);
+  require(nv > 0, "power_iteration: start vector must be non-zero");
+  vo.scale(1.0 / nv, v);
+  while (rep.iterations < max_iterations) {
+    A.apply(v, w);
+    const cpu::DotPair d = vo.dot2(w, v, w);  // (w.v, w.w) in one pass
+    const double lambda_new = d.ab;
+    const double wn = std::sqrt(d.ac);
+    if (wn == 0.0) break;  // A v = 0
+    vo.scale_store(1.0 / wn, w, v);
+    rep.iterations++;
+    if (std::abs(lambda_new - lambda) <=
+        tolerance * std::max(1.0, std::abs(lambda_new))) {
+      rep.eigenvalue = lambda_new;
+      rep.converged = true;
+      return rep;
+    }
+    lambda = lambda_new;
+  }
+  rep.eigenvalue = lambda;
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-fusion reference loops
+// ---------------------------------------------------------------------------
+//
+// The original single-threaded solver bodies, kept verbatim: one serial
+// scalar sweep per vector op, no fusion.  bench_solver measures the primary
+// loops against these, and the determinism tests use them as the numerical
+// reference.
+
+namespace serial {
+
 template <class Operator>
 SolveReport cg(Operator& A, std::span<const real_t> b, std::span<real_t> x,
                const SolveOptions& opt = {}) {
@@ -143,61 +397,6 @@ SolveReport cg(Operator& A, std::span<const real_t> b, std::span<real_t> x,
   return rep;
 }
 
-/// Jacobi-preconditioned conjugate gradient: M = diag(A).  Converges in
-/// fewer iterations than plain CG when the diagonal varies strongly.
-template <class Operator>
-SolveReport pcg_jacobi(Operator& A, std::span<const real_t> diag,
-                       std::span<const real_t> b, std::span<real_t> x,
-                       const SolveOptions& opt = {}) {
-  require(A.rows() == A.cols(), "pcg: operator must be square");
-  const std::size_t n = b.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    require(diag[i] != 0.0, "pcg: zero diagonal entry");
-  }
-  std::vector<real_t> r(n), z(n), p(n), Ap(n);
-  A.apply(x, Ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
-  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
-  p.assign(z.begin(), z.end());
-  double rz = detail::dot(r, z);
-  const double bnorm = std::max(detail::norm(b), 1e-300);
-  SolveReport rep;
-  while (rep.iterations < opt.max_iterations) {
-    rep.relative_residual = detail::norm(r) / bnorm;
-    if (rep.relative_residual <= opt.tolerance) {
-      rep.converged = true;
-      return rep;
-    }
-    A.apply(p, Ap);
-    const double alpha = rz / detail::dot(p, Ap);
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * Ap[i];
-    }
-    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
-    const double rz_new = detail::dot(r, z);
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
-    rep.iterations++;
-  }
-  rep.relative_residual = detail::norm(r) / bnorm;
-  return rep;
-}
-
-/// Extracts the diagonal of a matrix in canonical COO (helper for the
-/// Jacobi-based methods).
-inline std::vector<real_t> extract_diagonal(const fmt::Coo& a) {
-  std::vector<real_t> d(static_cast<std::size_t>(a.rows), 0.0);
-  for (std::size_t i = 0; i < a.nnz(); ++i) {
-    if (a.row_idx[i] == a.col_idx[i]) {
-      d[static_cast<std::size_t>(a.row_idx[i])] = a.vals[i];
-    }
-  }
-  return d;
-}
-
-/// BiCGSTAB for general (nonsymmetric) A.
 template <class Operator>
 SolveReport bicgstab(Operator& A, std::span<const real_t> b,
                      std::span<real_t> x, const SolveOptions& opt = {}) {
@@ -242,43 +441,6 @@ SolveReport bicgstab(Operator& A, std::span<const real_t> b,
   return rep;
 }
 
-/// Weighted Jacobi iteration; `diag` is the matrix diagonal (must be
-/// non-zero everywhere).
-template <class Operator>
-SolveReport jacobi(Operator& A, std::span<const real_t> diag,
-                   std::span<const real_t> b, std::span<real_t> x,
-                   const SolveOptions& opt = {}, double weight = 2.0 / 3.0) {
-  require(A.rows() == A.cols(), "jacobi: operator must be square");
-  const std::size_t n = b.size();
-  std::vector<real_t> Ax(n);
-  const double bnorm = std::max(detail::norm(b), 1e-300);
-  SolveReport rep;
-  while (rep.iterations < opt.max_iterations) {
-    A.apply(x, Ax);
-    double rnorm = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double r = b[i] - Ax[i];
-      rnorm += r * r;
-      x[i] += weight * r / diag[i];
-    }
-    rep.iterations++;
-    rep.relative_residual = std::sqrt(rnorm) / bnorm;
-    if (rep.relative_residual <= opt.tolerance) {
-      rep.converged = true;
-      return rep;
-    }
-  }
-  return rep;
-}
-
-struct EigenReport {
-  double eigenvalue = 0;
-  long iterations = 0;
-  bool converged = false;
-};
-
-/// Power iteration: dominant eigenvalue/eigenvector of A.  `v` holds the
-/// start vector on entry (must be non-zero) and the eigenvector on exit.
 template <class Operator>
 EigenReport power_iteration(Operator& A, std::span<real_t> v,
                             double tolerance = 1e-10,
@@ -309,5 +471,7 @@ EigenReport power_iteration(Operator& A, std::span<real_t> v,
   rep.eigenvalue = lambda;
   return rep;
 }
+
+}  // namespace serial
 
 }  // namespace yaspmv::solver

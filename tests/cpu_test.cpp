@@ -112,6 +112,76 @@ TEST(Cpu, EmptyRowsProduceZero) {
   for (int r = 1; r < 9; ++r) EXPECT_EQ(y[static_cast<std::size_t>(r)], 0.0);
 }
 
+// The zero-copy apply reads the caller's x directly and redirects only the
+// tail block column into a padded scratch copy; a blocked format whose
+// column count is not a multiple of block_w with nonzeros in the last
+// column exercises exactly that redirect.
+TEST(Cpu, BlockedRaggedTailColumns) {
+  for (const index_t bw : {2, 4}) {
+    core::FormatConfig fc;
+    fc.block_w = bw;
+    fc.block_h = 2;
+    // cols = 13: never a multiple of bw; the last column is populated.
+    std::vector<index_t> ri, ci;
+    std::vector<real_t> v;
+    SplitMix64 rng(0x7A11 + static_cast<std::uint64_t>(bw));
+    for (index_t r = 0; r < 40; ++r) {
+      ri.push_back(r), ci.push_back(12), v.push_back(rng.next_double(-1, 1));
+      ri.push_back(r);
+      ci.push_back(static_cast<index_t>(rng.next_below(13)));
+      v.push_back(rng.next_double(-1, 1));
+    }
+    const auto A =
+        fmt::Coo::from_triplets(40, 13, std::move(ri), std::move(ci),
+                                std::move(v));
+    expect_matches(A, fc, 1, "ragged tail bw=" + std::to_string(bw));
+    expect_matches(A, fc, 3, "ragged tail bw=" + std::to_string(bw));
+  }
+}
+
+// Targeted clearing: the apply promises y is fully owned output — every
+// entry written or cleared — even when the caller hands it garbage (NaN
+// would survive any accidental accumulate-into-y path), with empty rows,
+// in both the direct-y (slices == 1) and the sliced combine path.
+TEST(Cpu, GarbageOutputFullyOverwritten) {
+  const auto A = fmt::Coo::from_triplets(
+      12, 6, {0, 0, 3, 11}, {1, 5, 2, 0}, {2.0, -1.0, 4.0, 7.0});
+  SplitMix64 rng(0xBAD);
+  std::vector<real_t> x(6);
+  for (auto& e : x) e = rng.next_double(-1, 1);
+  std::vector<real_t> want(12);
+  fmt::Csr::from_coo(A).spmv(x, want);
+  for (const index_t slices : {1, 3}) {
+    core::FormatConfig fc;
+    fc.slices = slices;
+    cpu::CpuSpmv eng(build(A, fc), 2);
+    std::vector<real_t> y(12, std::numeric_limits<real_t>::quiet_NaN());
+    eng.spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], want[i]) << "slices=" << slices << " row " << i;
+    }
+    // Second call on the same engine: per-call state (tail pad, targeted
+    // clears) must not leak between applies.
+    for (auto& e : x) e = rng.next_double(-1, 1);
+    fmt::Csr::from_coo(A).spmv(x, want);
+    std::fill(y.begin(), y.end(), std::numeric_limits<real_t>::quiet_NaN());
+    eng.spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], want[i]) << "slices=" << slices << " row " << i;
+    }
+  }
+}
+
+// Zero-copy means x and y may not overlap; the apply must refuse aliased
+// buffers instead of silently reading half-written output.
+TEST(Cpu, RejectsAliasedVectors) {
+  const auto A = fmt::Coo::from_triplets(4, 4, {0, 1, 2, 3}, {0, 1, 2, 3},
+                                         {1.0, 1.0, 1.0, 1.0});
+  cpu::CpuSpmv eng(build(A));
+  std::vector<real_t> v(4, 1.0);
+  EXPECT_THROW(eng.spmv(v, v), std::invalid_argument);
+}
+
 TEST(Cpu, RejectsTallBlocks) {
   core::FormatConfig fc;
   fc.block_h = 9;  // beyond even the extended menu

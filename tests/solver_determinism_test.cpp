@@ -1,0 +1,224 @@
+// Solver determinism suite: at a fixed thread count and dispatch level the
+// fused CG / BiCGStab loops must be bitwise reproducible run to run (the
+// SpMV chunk grid depends on the thread count, so cross-count bit equality
+// is NOT promised — cross-count agreement is checked to solver tolerance
+// instead, and the vector kernels' stronger cross-count bitwise contract is
+// certified in vecops_test).  The fused loops must also agree with the
+// preserved pre-fusion reference loops (solver::serial) to solver accuracy.
+// Runs under TSan (label `tsan`) to certify the pooled solver pipeline.
+#include "yaspmv/solvers/solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "yaspmv/gen/suite.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+/// An SPD system with genuine block/slice structure: a generated FEM mesh
+/// symmetrized by the suite's Gershgorin shift.
+fmt::Coo spd_matrix() {
+  return gen::make_spd(gen::fem_mesh(600, 12, 3, 0.05, 0x5eed));
+}
+
+/// Nonsymmetric diagonally dominant matrix for BiCGStab.
+fmt::Coo nonsym_matrix() {
+  SplitMix64 rng(0xD0);
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  const index_t n = 700;
+  for (index_t i = 0; i < n; ++i) {
+    ri.push_back(i), ci.push_back(i), v.push_back(9.0 + rng.next_double());
+    for (int k = 0; k < 4; ++k) {
+      const auto c = static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (c != i) {
+        ri.push_back(i), ci.push_back(c), v.push_back(rng.next_double(-1, 1));
+      }
+    }
+  }
+  return fmt::Coo::from_triplets(n, n, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+/// Symmetric tridiagonal with one strongly dominant diagonal entry: the
+/// wide spectral gap makes power iteration converge in a handful of steps
+/// (the Gershgorin-shifted matrices cluster their spectrum, which is
+/// exactly the slow case for the method).
+fmt::Coo eigen_matrix() {
+  const index_t n = 400;
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t i = 0; i < n; ++i) {
+    ri.push_back(i), ci.push_back(i);
+    v.push_back(i + 1 == n ? 50.0 : 2.0 + 0.001 * i);
+    if (i > 0) ri.push_back(i), ci.push_back(i - 1), v.push_back(0.5);
+    if (i + 1 < n) ri.push_back(i), ci.push_back(i + 1), v.push_back(0.5);
+  }
+  return fmt::Coo::from_triplets(n, n, std::move(ri), std::move(ci),
+                                 std::move(v));
+}
+
+std::vector<real_t> rhs_for(solver::CpuOperator& op) {
+  SplitMix64 rng(0x5eed);
+  std::vector<real_t> xs(static_cast<std::size_t>(op.cols()));
+  for (auto& e : xs) e = rng.next_double(-1, 1);
+  std::vector<real_t> b(static_cast<std::size_t>(op.rows()));
+  op.apply(xs, b);
+  return b;
+}
+
+std::vector<unsigned> thread_counts() {
+  std::vector<unsigned> t{1, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 4) t.push_back(hw);
+  return t;
+}
+
+/// Two independent solves (fresh operator, fresh buffers) at the same
+/// thread count must produce bit-identical iterates and reports.
+template <class Solve>
+void expect_bitwise_repeatable(const fmt::Coo& A, Solve&& solve,
+                               const char* what) {
+  for (const unsigned threads : thread_counts()) {
+    std::vector<real_t> x1, x2;
+    solver::SolveReport r1, r2;
+    {
+      solver::CpuOperator op(A, {}, threads);
+      const auto b = rhs_for(op);
+      x1.assign(static_cast<std::size_t>(A.rows), 0.0);
+      r1 = solve(op, b, x1, threads);
+    }
+    {
+      solver::CpuOperator op(A, {}, threads);
+      const auto b = rhs_for(op);
+      x2.assign(static_cast<std::size_t>(A.rows), 0.0);
+      r2 = solve(op, b, x2, threads);
+    }
+    EXPECT_EQ(r1.iterations, r2.iterations) << what << " threads=" << threads;
+    EXPECT_EQ(r1.relative_residual, r2.relative_residual)
+        << what << " threads=" << threads;
+    ASSERT_EQ(0,
+              std::memcmp(x1.data(), x2.data(), x1.size() * sizeof(real_t)))
+        << what << " threads=" << threads;
+  }
+}
+
+solver::SolveOptions opts(unsigned threads) {
+  solver::SolveOptions o;
+  o.tolerance = 1e-11;
+  o.max_iterations = 2000;
+  o.threads = threads;
+  return o;
+}
+
+TEST(SolverDeterminism, CgBitwiseRepeatablePerThreadCount) {
+  expect_bitwise_repeatable(
+      spd_matrix(),
+      [](solver::CpuOperator& op, std::span<const real_t> b,
+         std::span<real_t> x, unsigned threads) {
+        return solver::cg(op, b, x, opts(threads));
+      },
+      "cg");
+}
+
+TEST(SolverDeterminism, BicgstabBitwiseRepeatablePerThreadCount) {
+  expect_bitwise_repeatable(
+      nonsym_matrix(),
+      [](solver::CpuOperator& op, std::span<const real_t> b,
+         std::span<real_t> x, unsigned threads) {
+        return solver::bicgstab(op, b, x, opts(threads));
+      },
+      "bicgstab");
+}
+
+// Different thread counts legitimately round differently inside the SpMV
+// (chunked carries), but every count must land on the same solution to
+// solver accuracy.
+TEST(SolverDeterminism, ThreadCountsAgreeToTolerance) {
+  const auto A = spd_matrix();
+  std::vector<std::vector<real_t>> sols;
+  for (const unsigned threads : thread_counts()) {
+    solver::CpuOperator op(A, {}, threads);
+    const auto b = rhs_for(op);
+    std::vector<real_t> x(static_cast<std::size_t>(A.rows), 0.0);
+    const auto rep = solver::cg(op, b, x, opts(threads));
+    EXPECT_TRUE(rep.converged) << "threads=" << threads;
+    sols.push_back(std::move(x));
+  }
+  for (std::size_t s = 1; s < sols.size(); ++s) {
+    for (std::size_t i = 0; i < sols[0].size(); ++i) {
+      ASSERT_NEAR(sols[s][i], sols[0][i], 1e-8) << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+// The fused loops are the same numerical algorithm as the preserved
+// pre-fusion reference: identical iteration counts modulo rounding, and
+// solutions agreeing to solver accuracy.
+TEST(SolverDeterminism, FusedMatchesSerialReference) {
+  {
+    const auto A = spd_matrix();
+    solver::CpuOperator op(A, {}, 1);
+    const auto b = rhs_for(op);
+    std::vector<real_t> xf(static_cast<std::size_t>(A.rows), 0.0);
+    std::vector<real_t> xs(static_cast<std::size_t>(A.rows), 0.0);
+    const auto rf = solver::cg(op, b, xf, opts(1));
+    const auto rs = solver::serial::cg(op, b, xs, opts(1));
+    EXPECT_TRUE(rf.converged);
+    EXPECT_TRUE(rs.converged);
+    EXPECT_NEAR(static_cast<double>(rf.iterations),
+                static_cast<double>(rs.iterations), 2.0);
+    for (std::size_t i = 0; i < xf.size(); ++i) {
+      ASSERT_NEAR(xf[i], xs[i], 1e-8) << i;
+    }
+  }
+  {
+    const auto A = nonsym_matrix();
+    solver::CpuOperator op(A, {}, 1);
+    const auto b = rhs_for(op);
+    std::vector<real_t> xf(static_cast<std::size_t>(A.rows), 0.0);
+    std::vector<real_t> xs(static_cast<std::size_t>(A.rows), 0.0);
+    const auto rf = solver::bicgstab(op, b, xf, opts(1));
+    const auto rs = solver::serial::bicgstab(op, b, xs, opts(1));
+    EXPECT_TRUE(rf.converged);
+    EXPECT_TRUE(rs.converged);
+    for (std::size_t i = 0; i < xf.size(); ++i) {
+      ASSERT_NEAR(xf[i], xs[i], 1e-8) << i;
+    }
+  }
+}
+
+TEST(SolverDeterminism, PowerIterationRepeatableAndMatchesSerial) {
+  const auto A = eigen_matrix();
+  for (const unsigned threads : thread_counts()) {
+    solver::CpuOperator op(A, {}, threads);
+    std::vector<real_t> v1(static_cast<std::size_t>(A.rows), 1.0);
+    std::vector<real_t> v2(static_cast<std::size_t>(A.rows), 1.0);
+    const auto r1 = solver::power_iteration(op, v1, 1e-9, 1000, threads);
+    const auto r2 = solver::power_iteration(op, v2, 1e-9, 1000, threads);
+    EXPECT_EQ(r1.eigenvalue, r2.eigenvalue) << "threads=" << threads;
+    EXPECT_EQ(r1.iterations, r2.iterations) << "threads=" << threads;
+    ASSERT_EQ(0,
+              std::memcmp(v1.data(), v2.data(), v1.size() * sizeof(real_t)))
+        << "threads=" << threads;
+  }
+  solver::CpuOperator op(A, {}, 1);
+  std::vector<real_t> vf(static_cast<std::size_t>(A.rows), 1.0);
+  std::vector<real_t> vs(static_cast<std::size_t>(A.rows), 1.0);
+  const auto rf = solver::power_iteration(op, vf, 1e-9, 1000, 1);
+  const auto rs = solver::serial::power_iteration(op, vs, 1e-9, 1000);
+  EXPECT_TRUE(rf.converged);
+  EXPECT_NEAR(rf.eigenvalue, rs.eigenvalue,
+              1e-9 * std::abs(rs.eigenvalue) + 1e-12);
+}
+
+}  // namespace
+}  // namespace yaspmv

@@ -1,0 +1,324 @@
+// VecOps kernel tests: every pooled vector primitive must match a naive
+// double-precision reference, the fused solver updates must agree with
+// their unfused composition (bitwise on the updated vectors, 1-ulp-scaled
+// on the reductions), and — the determinism contract of cpu/vecops.hpp —
+// results must be bitwise identical for ANY requested thread count at a
+// fixed dispatch level, and across dispatch levels to a 1-ulp-scaled
+// tolerance.  Runs under TSan (label `tsan`) to certify the pooled chunk
+// scheme is race-free.
+#include "yaspmv/cpu/vecops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv {
+namespace {
+
+using cpu::DotPair;
+using cpu::VecOps;
+using cpu::simd::Level;
+
+/// RAII guard: force a dispatch level for one test, restore after.
+struct LevelGuard {
+  Level saved;
+  explicit LevelGuard(Level l) : saved(cpu::simd::active()) {
+    cpu::simd::set_level(l);
+  }
+  ~LevelGuard() { cpu::simd::set_level(saved); }
+};
+
+bool close_ulps(double a, double b, double scale_hint) {
+  const double scale =
+      std::max({std::abs(a), std::abs(b), std::abs(scale_hint), 1.0});
+  return std::abs(a - b) <=
+         8 * std::numeric_limits<double>::epsilon() * scale;
+}
+
+/// Bitwise vector equality that stays UBSan-clean on empty vectors
+/// (memcmp's pointer arguments may not be null even with length 0).
+bool same_bits(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(real_t)) == 0);
+}
+
+std::vector<real_t> rand_vec(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<real_t> v(n);
+  for (auto& e : v) e = rng.next_double(-1, 1);
+  return v;
+}
+
+/// Sizes spanning the interesting chunk-grid shapes: empty, sub-lane,
+/// exact lanes, one partial chunk, exactly one chunk, a chunk boundary
+/// straddle, and a multi-chunk grid with a ragged tail.
+const std::size_t kSizes[] = {0,
+                              1,
+                              3,
+                              4,
+                              7,
+                              VecOps::kChunk - 1,
+                              VecOps::kChunk,
+                              VecOps::kChunk + 5,
+                              3 * VecOps::kChunk + 17};
+
+TEST(VecOps, DotMatchesReference) {
+  VecOps vo(2);
+  for (const std::size_t n : kSizes) {
+    const auto a = rand_vec(n, 0xA0 + n);
+    const auto b = rand_vec(n, 0xB0 + n);
+    double want = 0;
+    for (std::size_t i = 0; i < n; ++i) want += a[i] * b[i];
+    const double got = vo.dot(a, b);
+    EXPECT_TRUE(close_ulps(got, want, static_cast<double>(n)))
+        << "n=" << n << " got=" << got << " want=" << want;
+    EXPECT_TRUE(close_ulps(vo.nrm2(a), std::sqrt(std::max(0.0, vo.dot(a, a))),
+                           1.0))
+        << "n=" << n;
+  }
+}
+
+TEST(VecOps, Dot2MatchesTwoDots) {
+  VecOps vo(3);
+  for (const std::size_t n : kSizes) {
+    const auto a = rand_vec(n, 0x10 + n);
+    const auto b = rand_vec(n, 0x20 + n);
+    const auto c = rand_vec(n, 0x30 + n);
+    const DotPair d = vo.dot2(a, b, c);
+    // Same lane order and combine as the single-dot kernel: exact match.
+    EXPECT_EQ(d.ab, vo.dot(a, b)) << "n=" << n;
+    EXPECT_EQ(d.ac, vo.dot(a, c)) << "n=" << n;
+  }
+}
+
+TEST(VecOps, UpdatesMatchReference) {
+  VecOps vo(2);
+  for (const std::size_t n : kSizes) {
+    const auto x = rand_vec(n, 0x40 + n);
+    const double alpha = 0.37;
+    auto y = rand_vec(n, 0x50 + n);
+    auto want = y;
+    // The reference is compiled without forced FMA contraction while the
+    // AVX2 kernel fuses, so agreement is to rounding, not bitwise (the
+    // bitwise guarantees live in the fused-vs-unfused and thread-count
+    // tests, where both sides run the same kernels).
+    for (std::size_t i = 0; i < n; ++i) want[i] += alpha * x[i];
+    vo.axpy(alpha, x, y);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(y[i], want[i], 1.0)) << "axpy n=" << n;
+    }
+
+    auto y2 = rand_vec(n, 0x60 + n);
+    auto want2 = y2;
+    for (std::size_t i = 0; i < n; ++i) want2[i] = x[i] + alpha * want2[i];
+    vo.xpay(x, alpha, y2);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(y2[i], want2[i], 1.0)) << "xpay n=" << n;
+    }
+
+    const auto r = rand_vec(n, 0x70 + n);
+    const auto v = rand_vec(n, 0x80 + n);
+    std::vector<real_t> s(n);
+    vo.sub_scaled(r, alpha, v, s);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(s[i], r[i] - alpha * v[i], 1.0))
+          << "sub_scaled n=" << n;
+    }
+
+    std::vector<real_t> w(n);
+    vo.scale_store(2.5, r, w);
+    auto w2 = r;
+    vo.scale(2.5, w2);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(w[i], 2.5 * r[i]) << "scale_store n=" << n;
+      ASSERT_EQ(w2[i], 2.5 * r[i]) << "scale n=" << n;
+    }
+  }
+}
+
+TEST(VecOps, PrecondAndJacobiMatchReference) {
+  VecOps vo(2);
+  for (const std::size_t n : kSizes) {
+    const auto r = rand_vec(n, 0x90 + n);
+    auto d = rand_vec(n, 0xA1 + n);
+    for (auto& e : d) e = 2.0 + std::abs(e);  // safely away from zero
+    std::vector<real_t> z(n);
+    const double rho = vo.precond_dot(r, d, z);
+    double want_rho = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(z[i], r[i] / d[i]) << "precond n=" << n;
+      want_rho += r[i] * (r[i] / d[i]);
+    }
+    EXPECT_TRUE(close_ulps(rho, want_rho, static_cast<double>(n)))
+        << "n=" << n;
+
+    const auto b = rand_vec(n, 0xB1 + n);
+    const auto Ax = rand_vec(n, 0xC1 + n);
+    auto xs = rand_vec(n, 0xD1 + n);
+    auto want_x = xs;
+    double want_rr = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double res = b[i] - Ax[i];
+      want_x[i] += 0.5 * res / d[i];
+      want_rr += res * res;
+    }
+    const double rr = vo.jacobi_update(b, Ax, d, 0.5, xs);
+    EXPECT_TRUE(close_ulps(rr, want_rr, static_cast<double>(n))) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(xs[i], want_x[i], 1.0)) << "jacobi n=" << n;
+    }
+  }
+}
+
+// The fused kernels must apply the exact per-element expressions of their
+// unfused composition: updated vectors bitwise equal, reductions within a
+// 1-ulp-scaled tolerance of the standalone dot.
+TEST(VecOps, FusedMatchesUnfusedComposition) {
+  VecOps vo(2);
+  for (const std::size_t n : kSizes) {
+    const double alpha = 0.618, omega = -0.41, beta = 1.7;
+    const auto p = rand_vec(n, 1 + n);
+    const auto q = rand_vec(n, 2 + n);
+    auto x_f = rand_vec(n, 3 + n);
+    auto r_f = rand_vec(n, 4 + n);
+    auto x_u = x_f;
+    auto r_u = r_f;
+
+    // CG update: fused vs axpy(alpha, p, x); axpy(-alpha, q, r); dot(r, r).
+    const double rr_f = vo.cg_fused_update(alpha, p, q, x_f, r_f);
+    vo.axpy(alpha, p, x_u);
+    vo.axpy(-alpha, q, r_u);
+    EXPECT_TRUE(same_bits(x_f, x_u)) << "cg x n=" << n;
+    EXPECT_TRUE(same_bits(r_f, r_u)) << "cg r n=" << n;
+    EXPECT_TRUE(close_ulps(rr_f, vo.dot(r_u, r_u), static_cast<double>(n)))
+        << "cg rr n=" << n;
+
+    // axpy_dot vs axpy + dot.
+    auto y_f = rand_vec(n, 5 + n);
+    auto y_u = y_f;
+    const double yy_f = vo.axpy_dot(alpha, p, y_f);
+    vo.axpy(alpha, p, y_u);
+    EXPECT_TRUE(same_bits(y_f, y_u)) << "axpy_dot y n=" << n;
+    EXPECT_TRUE(close_ulps(yy_f, vo.dot(y_u, y_u), static_cast<double>(n)))
+        << "axpy_dot n=" << n;
+
+    // BiCGStab tail: fused vs two axpys, a sub_scaled, and two dots.
+    const auto s = rand_vec(n, 6 + n);
+    const auto t = rand_vec(n, 7 + n);
+    const auto r0 = rand_vec(n, 8 + n);
+    auto xb_f = rand_vec(n, 9 + n);
+    auto rb_f = rand_vec(n, 10 + n);
+    auto xb_u = xb_f;
+    std::vector<real_t> rb_u(n);
+    const DotPair d_f =
+        vo.bicg_fused_update(alpha, p, omega, s, t, r0, xb_f, rb_f);
+    for (std::size_t i = 0; i < n; ++i) {
+      xb_u[i] += alpha * p[i] + omega * s[i];
+    }
+    vo.sub_scaled(s, omega, t, rb_u);
+    EXPECT_TRUE(same_bits(rb_f, rb_u)) << "bicg r n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(xb_f[i], xb_u[i], 1.0)) << "bicg x n=" << n;
+    }
+    EXPECT_TRUE(
+        close_ulps(d_f.ab, vo.dot(rb_u, rb_u), static_cast<double>(n)))
+        << "bicg rr n=" << n;
+    EXPECT_TRUE(close_ulps(d_f.ac, vo.dot(r0, rb_u), static_cast<double>(n)))
+        << "bicg r0r n=" << n;
+
+    // Search-direction update vs its scalar expression.
+    const auto v = rand_vec(n, 11 + n);
+    auto pp = rand_vec(n, 12 + n);
+    auto pp_want = pp;
+    for (std::size_t i = 0; i < n; ++i) {
+      pp_want[i] = q[i] + beta * (pp[i] - omega * v[i]);
+    }
+    vo.bicg_p_update(q, beta, omega, v, pp);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(close_ulps(pp[i], pp_want[i], 1.0)) << "bicg p n=" << n;
+    }
+  }
+}
+
+// The core of the determinism contract: the chunk grid depends only on the
+// vector length, so any thread count produces bitwise-identical results at
+// a fixed dispatch level — including reductions.
+TEST(VecOps, BitwiseInvariantAcrossThreadCounts) {
+  const std::size_t n = 3 * VecOps::kChunk + 17;
+  const auto a = rand_vec(n, 0xAA);
+  const auto b = rand_vec(n, 0xBB);
+  const auto p = rand_vec(n, 0xCC);
+  const auto q = rand_vec(n, 0xDD);
+  for (Level l : {Level::kPortable, Level::kAvx2}) {
+    if (l == Level::kAvx2 && !cpu::simd::cpu_has_avx2()) continue;
+    LevelGuard g(l);
+    VecOps ref(1);
+    const double dot1 = ref.dot(a, b);
+    auto x1 = a;
+    auto r1 = b;
+    const double rr1 = ref.cg_fused_update(0.37, p, q, x1, r1);
+    for (const unsigned threads : {2u, 3u, 8u}) {
+      VecOps vo(threads);
+      EXPECT_EQ(dot1, vo.dot(a, b)) << "threads=" << threads;
+      auto x = a;
+      auto r = b;
+      EXPECT_EQ(rr1, vo.cg_fused_update(0.37, p, q, x, r))
+          << "threads=" << threads;
+      EXPECT_TRUE(same_bits(x, x1)) << "threads=" << threads;
+      EXPECT_TRUE(same_bits(r, r1)) << "threads=" << threads;
+    }
+    // And repeated calls on one instance are bitwise repeatable.
+    VecOps again(4);
+    EXPECT_EQ(again.dot(a, b), again.dot(a, b));
+  }
+}
+
+// Across dispatch levels only FMA rounding may differ.
+TEST(VecOps, PortableVsAvx2WithinUlps) {
+  if (!cpu::simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const std::size_t n = 2 * VecOps::kChunk + 41;
+  const auto a = rand_vec(n, 0x11);
+  const auto b = rand_vec(n, 0x22);
+  const auto p = rand_vec(n, 0x33);
+  const auto q = rand_vec(n, 0x44);
+  double dot_p, rr_p;
+  std::vector<real_t> x_p, r_p;
+  {
+    LevelGuard g(Level::kPortable);
+    VecOps vo(2);
+    dot_p = vo.dot(a, b);
+    x_p = a;
+    r_p = b;
+    rr_p = vo.cg_fused_update(0.37, p, q, x_p, r_p);
+  }
+  LevelGuard g(Level::kAvx2);
+  VecOps vo(2);
+  EXPECT_TRUE(close_ulps(vo.dot(a, b), dot_p, static_cast<double>(n)));
+  auto x = a;
+  auto r = b;
+  EXPECT_TRUE(
+      close_ulps(vo.cg_fused_update(0.37, p, q, x, r), rr_p,
+                 static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(close_ulps(x[i], x_p[i], 1.0)) << i;
+    ASSERT_TRUE(close_ulps(r[i], r_p[i], 1.0)) << i;
+  }
+}
+
+TEST(VecOps, SizeMismatchThrows) {
+  VecOps vo(1);
+  const std::vector<real_t> a(8), b(9);
+  std::vector<real_t> y(9);
+  EXPECT_THROW(vo.dot(a, b), std::exception);
+  EXPECT_THROW(vo.axpy(1.0, a, y), std::exception);
+  EXPECT_THROW(vo.sub_scaled(a, 1.0, a, y), std::exception);
+}
+
+}  // namespace
+}  // namespace yaspmv

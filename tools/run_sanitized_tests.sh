@@ -3,12 +3,13 @@
 #
 #   address  ASan + UBSan over the full suite             (build-asan)
 #   thread   TSan over the tsan/replay-labeled suites     (build-tsan) —
-#            chaos_test + workpool_test + compressed_test + replay_test,
-#            the ones that exercise the persistent WorkPool (reuse across
-#            launches, concurrent submitters, the parallel tuner sweep and
-#            BCCOO build, multi-threaded compressed-stream decode), the
-#            adjacent-sync spin chain and the flight recorder's lock-free
-#            journal.
+#            chaos_test + workpool_test + compressed_test + vecops_test +
+#            solver_determinism_test + replay_test, the ones that exercise
+#            the persistent WorkPool (reuse across launches, concurrent
+#            submitters, the parallel tuner sweep and BCCOO build,
+#            multi-threaded compressed-stream decode, the pooled vector
+#            kernels and fused solver loops), the adjacent-sync spin chain
+#            and the flight recorder's lock-free journal.
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 #        YASPMV_SANITIZE=address|thread limits the run to one pass.
@@ -38,7 +39,8 @@ run_tsan() {
     -DYASPMV_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target chaos_test workpool_test compressed_test replay_test
+    --target chaos_test workpool_test compressed_test vecops_test \
+             solver_determinism_test replay_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build" -L "tsan|replay" --output-on-failure "$@"
 }

@@ -7,6 +7,7 @@
 //   yaspmv_cli convert --mtx=m.mtx --out=m.bccoo [--bw=1 --bh=1 --slices=1]
 //   yaspmv_cli spmv    --format=m.bccoo [--threads=N] [--reps=10]
 //                      [--out=y.txt]
+//   yaspmv_cli solve   --mtx=m.mtx [--solver=cg] [--threads=N] [--tol=1e-10]
 #include <fstream>
 #include <iostream>
 #include <span>
@@ -23,6 +24,7 @@
 #include "yaspmv/io/journal_io.hpp"
 #include "yaspmv/io/matrix_market.hpp"
 #include "yaspmv/sim/replay.hpp"
+#include "yaspmv/solvers/solvers.hpp"
 #include "yaspmv/tune/tuner.hpp"
 #include "yaspmv/util/args.hpp"
 #include "yaspmv/util/rng.hpp"
@@ -34,7 +36,7 @@ using namespace yaspmv;
 
 int usage() {
   std::cerr <<
-      "usage: yaspmv_cli <gen|info|tune|convert|spmv> [options]\n"
+      "usage: yaspmv_cli <gen|info|tune|convert|spmv|solve> [options]\n"
       "  gen     --matrix=<Table2 name> [--scale=f] --out=<file.mtx>\n"
       "  info    --mtx=<file.mtx> | --matrix=<name> [--scale=f]\n"
       "  tune    --mtx=<file.mtx> | --matrix=<name> [--device=gtx680|gtx480]\n"
@@ -58,6 +60,14 @@ int usage() {
       "          [--replay=<file.journal> [--dump] [--minimize]]  re-execute a\n"
       "          recorded schedule deterministically; --minimize delta-debugs\n"
       "          it to <file>.min\n"
+      "  solve   --mtx=<file.mtx> | --matrix=<name> [--scale=f]\n"
+      "          [--solver=cg|bicgstab|power] [--threads=N] [--tol=1e-10]\n"
+      "          [--max-iters=N] [--cols=auto|raw|short|delta] [--spd]\n"
+      "          [--out=<x.txt>]\n"
+      "          solves A x = b on the fused native pipeline (b = A x* for a\n"
+      "          seeded x*, so the solution error is known exactly); --spd\n"
+      "          symmetrizes + diagonally dominates the input first (cg\n"
+      "          requires it on the generated suite patterns)\n"
       "  codegen --mtx=<file.mtx> | --matrix=<name>"
       " [--device=gtx680|gtx480] [--cuda] --out-dir=<dir>\n";
   return 2;
@@ -164,6 +174,23 @@ int cmd_convert(const Args& args) {
             << " bytes (COO: " << A.footprint_bytes() << ")\nwrote " << out
             << "\n";
   return 0;
+}
+
+/// Parses the shared "--cols=auto|raw|short|delta" flag (with the
+/// "--no-delta-decode" escape hatch) used by `spmv` and `solve`.
+core::ColStream parse_cols(const Args& args) {
+  if (args.has("no-delta-decode")) {
+    return core::ColStream::kRaw;  // escape hatch: plain 4-byte columns
+  }
+  core::ColStream cs = core::ColStream::kAuto;
+  if (args.has("cols")) {
+    const std::string s = args.get("cols");
+    if (s == "raw") cs = core::ColStream::kRaw;
+    else if (s == "short") cs = core::ColStream::kShort;
+    else if (s == "delta") cs = core::ColStream::kDelta;
+    else require(s == "auto", "unknown --cols value: " + s);
+  }
+  return cs;
 }
 
 /// Parses "--inject=<fault>[:wg=N]" into a FaultPlan.
@@ -367,16 +394,7 @@ int cmd_spmv(const Args& args) {
   const auto threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const long reps = args.get_int("reps", 10);
-  core::ColStream cs = core::ColStream::kAuto;
-  if (args.has("no-delta-decode")) {
-    cs = core::ColStream::kRaw;  // escape hatch: plain 4-byte columns
-  } else if (args.has("cols")) {
-    const std::string s = args.get("cols");
-    if (s == "raw") cs = core::ColStream::kRaw;
-    else if (s == "short") cs = core::ColStream::kShort;
-    else if (s == "delta") cs = core::ColStream::kDelta;
-    else require(s == "auto", "spmv: unknown --cols value: " + s);
-  }
+  const core::ColStream cs = parse_cols(args);
   cpu::CpuSpmv eng(m, threads, cs);
   SplitMix64 rng(0x5eed);
   std::vector<real_t> x(static_cast<std::size_t>(m->cols));
@@ -398,6 +416,89 @@ int cmd_spmv(const Args& args) {
     f.precision(17);
     for (real_t v : y) f << v << "\n";
     std::cout << "wrote y to " << args.get("out") << "\n";
+  }
+  return 0;
+}
+
+/// `solve`: run an iterative solver on the fused native pipeline.  The
+/// right-hand side is manufactured as b = A x* for a seeded x*, so the
+/// reported solution error is exact rather than a residual proxy.
+int cmd_solve(const Args& args) {
+  // --spd symmetrizes + diagonally dominates the input, so cg can run on
+  // any generated suite pattern (none of which are SPD as generated).
+  const auto A =
+      args.has("spd") ? gen::make_spd(load_input(args)) : load_input(args);
+  require(A.rows == A.cols, "solve: matrix must be square");
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const core::ColStream cs = parse_cols(args);
+  const std::string which = args.get("solver", "cg");
+
+  Stopwatch build_sw;
+  solver::CpuOperator op(A, {}, threads, cs);
+  const double build_ms = build_sw.elapsed_ms();
+  const auto n = static_cast<std::size_t>(A.rows);
+
+  SplitMix64 rng(0x5eed);
+  std::vector<real_t> xs(n);
+  for (auto& v : xs) v = rng.next_double(-1, 1);
+
+  solver::SolveOptions opt;
+  opt.tolerance = args.get_double("tol", 1e-10);
+  opt.max_iterations = args.get_int("max-iters", 10000);
+  opt.threads = threads;
+
+  std::vector<real_t> x(n, 0.0);
+  std::cout << A.rows << " x " << A.cols << " (" << A.nnz() << " nnz), "
+            << which << " on " << op.threads() << " thread(s), cols="
+            << core::to_string(op.col_stream()) << " (built in " << build_ms
+            << " ms)\n";
+  if (which == "power") {
+    // Eigen mode: xs doubles as the (non-zero) start vector; no rhs.
+    x = xs;
+    Stopwatch sw;
+    const auto rep = solver::power_iteration(op, x, opt.tolerance,
+                                             opt.max_iterations, threads);
+    const double s = sw.elapsed_seconds();
+    std::cout << (rep.converged ? "converged" : "NOT converged") << " in "
+              << rep.iterations << " iterations, " << s * 1e3 << " ms ("
+              << static_cast<double>(rep.iterations) / s
+              << " iters/s)\ndominant eigenvalue: " << rep.eigenvalue << "\n";
+  } else {
+    std::vector<real_t> b(n);
+    op.apply(xs, b);
+    solver::SolveReport rep;
+    Stopwatch sw;
+    if (which == "cg") {
+      rep = solver::cg(op, b, x, opt);
+    } else if (which == "bicgstab") {
+      rep = solver::bicgstab(op, b, x, opt);
+    } else {
+      require(false, "solve: unknown --solver value: " + which);
+    }
+    const double s = sw.elapsed_seconds();
+    double err = 0, ref = 0;
+    bool finite = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      finite = finite && std::isfinite(x[i]);
+      err = std::max(err, std::abs(x[i] - xs[i]));
+      ref = std::max(ref, std::abs(xs[i]));
+    }
+    std::cout << (rep.converged ? "converged" : "NOT converged") << " in "
+              << rep.iterations << " iterations, " << s * 1e3 << " ms ("
+              << static_cast<double>(rep.iterations) / s
+              << " iters/s)\nrelative residual: " << rep.relative_residual
+              << ", max error vs known x*: ";
+    if (finite) {
+      std::cout << (ref > 0 ? err / ref : err) << "\n";
+    } else {
+      std::cout << "non-finite (solver diverged; cg needs an SPD matrix)\n";
+    }
+  }
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    f.precision(17);
+    for (real_t v : x) f << v << "\n";
+    std::cout << "wrote x to " << args.get("out") << "\n";
   }
   return 0;
 }
@@ -438,6 +539,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "spmv") return cmd_spmv(args);
+    if (cmd == "solve") return cmd_solve(args);
     if (cmd == "codegen") return cmd_codegen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
