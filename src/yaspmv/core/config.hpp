@@ -60,6 +60,8 @@ struct ExecConfig {
   bool logical_ids = false;   ///< fetch workgroup ids via global atomic
   unsigned workers = 1;       ///< simulator dispatch threads
 
+  bool operator==(const ExecConfig&) const = default;
+
   /// Non-zero blocks processed per workgroup.
   std::size_t workgroup_tile() const {
     return static_cast<std::size_t>(workgroup_size) *

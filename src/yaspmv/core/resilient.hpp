@@ -27,12 +27,15 @@
 // that failed is available for --replay / --minimize.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/core/status.hpp"
@@ -52,8 +55,11 @@ struct ResilientOptions {
   int sample_rows = 16;      ///< rows compared against the CPU reference
   double tolerance = 1e-6;   ///< relative residual bound per sampled row
   int max_attempts = 8;      ///< hard bound on engine runs before giving up
-  /// When non-empty, every failed attempt's journal is written here: the
-  /// first to `<prefix>`, later ones to `<prefix>.2`, `<prefix>.3`, ...
+  /// When non-empty, every failed attempt's journal is written to
+  /// `<prefix>.<pid>.<seq>` where `seq` is a process-wide counter: dump
+  /// names are unique per attempt even when several engines share a prefix
+  /// and fail concurrently (the serving daemon does exactly that).  The
+  /// actual path of each dump is reported in FaultRecord::journal_file.
   std::string journal_prefix;
 };
 
@@ -257,8 +263,14 @@ class ResilientEngine {
     has_last_failure_ = true;
     failure_count_++;
     if (!opt_.journal_prefix.empty()) {
-      std::string path = opt_.journal_prefix;
-      if (failure_count_ > 1) path += "." + std::to_string(failure_count_);
+      // pid + process-wide sequence => unique per attempt, across engines
+      // and across daemon restarts sharing a journal directory.  A plain
+      // per-engine counter collides as soon as two concurrent requests to
+      // the same prefix both fail their first attempt.
+      static std::atomic<std::uint64_t> dump_seq{0};
+      const std::string path =
+          opt_.journal_prefix + "." + std::to_string(::getpid()) + "." +
+          std::to_string(dump_seq.fetch_add(1, std::memory_order_relaxed));
       io::save_journal_file(path, run);
       rec.journal_file = path;
     }

@@ -1,0 +1,113 @@
+#include "yaspmv/serve/plan_cache.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "yaspmv/core/status.hpp"
+
+namespace yaspmv::serve {
+
+namespace fs = std::filesystem;
+
+PlanCache::PlanCache(std::string dir)
+    : dir_(dir.empty() ? default_dir() : std::move(dir)) {}
+
+std::string PlanCache::default_dir() {
+  if (const char* env = std::getenv("YASPMV_PLAN_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && xdg[0] != '\0') {
+    return std::string(xdg) + "/yaspmv/plans";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0') {
+    return std::string(home) + "/.cache/yaspmv/plans";
+  }
+  return ".yaspmv/plans";
+}
+
+std::string PlanCache::path_for(std::uint64_t payload_checksum,
+                                const std::string& device) const {
+  // Device names come from DeviceSpec::name ("GTX680"); keep only filename-
+  // safe characters so a hostile device string cannot escape the directory.
+  std::string dev;
+  for (const char c : device) {
+    dev += std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  char sum[17];
+  std::snprintf(sum, sizeof sum, "%016llx",
+                static_cast<unsigned long long>(payload_checksum));
+  return dir_ + "/p" + sum + "-" + dev + "-v" +
+         std::to_string(io::kPlanCodeVersion) + ".plan";
+}
+
+std::optional<io::PlanRecord> PlanCache::load(
+    std::uint64_t payload_checksum, const std::string& device) const {
+  try {
+    io::PlanRecord p = io::load_plan_file(path_for(payload_checksum, device));
+    // The file name encodes the key, but names can be forged or copied:
+    // trust only the checksummed record contents.
+    if (p.code_version != io::kPlanCodeVersion) return std::nullopt;
+    if (p.payload_checksum != payload_checksum) return std::nullopt;
+    if (p.device != device) return std::nullopt;
+    return p;
+  } catch (const SpmvError&) {
+    // Missing, truncated, corrupt, wrong magic/version: all of it is a miss.
+    return std::nullopt;
+  }
+}
+
+bool PlanCache::store(const io::PlanRecord& p) const {
+  // Unique temp name per (process, store): a concurrent writer in another
+  // process — or this one — never writes the same temp file, and rename()
+  // makes the last completed store win atomically.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string final_path = path_for(p.payload_checksum, p.device);
+  const std::string tmp = final_path + ".tmp." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
+  try {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // ec ignored: open failure reports it
+    io::save_plan_file(tmp, p);
+    if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  } catch (const SpmvError&) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+}
+
+int PlanCache::sweep_stale_temps() const {
+  int removed = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    std::error_code tec;
+    const auto mtime = fs::last_write_time(*it, tec);
+    if (tec) continue;
+    const auto age = fs::file_time_type::clock::now() - mtime;
+    if (age > std::chrono::hours(1)) {
+      if (fs::remove(it->path(), tec) && !tec) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace yaspmv::serve

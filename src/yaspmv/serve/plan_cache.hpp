@@ -1,0 +1,61 @@
+// Crash-safe durable plan cache: auto-tuned plans persisted across process
+// restarts (the paper's Section 5 compiled-kernel cache, made durable).
+//
+// Layout: one file per (matrix payload checksum, device) pair under a cache
+// directory (default ~/.cache/yaspmv/plans, see default_dir()).  Writes are
+// atomic: the record goes to a unique temp file in the same directory and is
+// renamed over the final name, so a reader — or a concurrent writer, or a
+// writer killed mid-write — can never observe a half-written plan under the
+// final name.  Reads re-verify everything: container checksum, code version,
+// device, and the payload checksum embedded in the record; any mismatch,
+// truncation or bit flip is a MISS (re-tune), never an exception out of the
+// cache.  Leftover temp files from crashed writers are swept on demand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "yaspmv/io/plan_io.hpp"
+
+namespace yaspmv::serve {
+
+class PlanCache {
+ public:
+  /// `dir` empty selects default_dir().  The directory is created lazily on
+  /// the first store (a read-only consumer never mkdirs).
+  explicit PlanCache(std::string dir = "");
+
+  /// Resolution order: $YASPMV_PLAN_CACHE_DIR, $XDG_CACHE_HOME/yaspmv/plans,
+  /// $HOME/.cache/yaspmv/plans, and finally ./.yaspmv/plans for processes
+  /// with no home at all.
+  static std::string default_dir();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Final on-disk path for a key (exposed for tests and tooling).
+  std::string path_for(std::uint64_t payload_checksum,
+                       const std::string& device) const;
+
+  /// Loads the plan for (checksum, device) at the current kPlanCodeVersion.
+  /// Every failure mode — missing file, truncation, bad magic, checksum
+  /// mismatch, stale code version, wrong device or matrix — returns nullopt.
+  std::optional<io::PlanRecord> load(std::uint64_t payload_checksum,
+                                     const std::string& device) const;
+
+  /// Atomically persists `p` (temp file + rename).  Returns false on I/O
+  /// failure (unwritable dir, disk full) instead of throwing: a server that
+  /// cannot persist a plan keeps serving, it just re-tunes next boot.
+  bool store(const io::PlanRecord& p) const;
+
+  /// Removes leftover "*.tmp.*" files from writers that died mid-store.
+  /// Returns the number removed.  Safe to call while other processes write:
+  /// only files older than ~an hour are swept, so an in-flight temp file of
+  /// a live writer is never yanked from under its rename.
+  int sweep_stale_temps() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace yaspmv::serve

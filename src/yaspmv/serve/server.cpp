@@ -1,0 +1,869 @@
+#include "yaspmv/serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <limits>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "yaspmv/sim/fault.hpp"
+#include "yaspmv/tune/tuner.hpp"
+#include "yaspmv/util/stopwatch.hpp"
+#include "yaspmv/util/thread_pool.hpp"
+
+namespace yaspmv::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex_id(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+/// One admitted request parked in a matrix queue.  The connection thread
+/// waits on `done`; an executor (or the drain watchdog) fulfills it with the
+/// fully serialized reply payload.
+struct Server::Pending {
+  MsgType type = MsgType::kSpmv;
+  Clock::time_point arrival;
+  std::uint32_t deadline_ms = 0;   ///< 0 = no deadline
+  Inject inject = Inject::kNone;
+  std::uint32_t inject_arg = 0;
+  // spmv fields
+  std::vector<real_t> x;
+  // solve fields
+  std::uint8_t solver = 0;  ///< 1 = cg, 2 = bicgstab
+  double tol = 1e-10;
+  std::uint32_t max_iters = 1000;
+  std::promise<std::vector<std::uint8_t>> done;
+
+  bool deadline_passed(Clock::time_point now) const {
+    return deadline_ms != 0 &&
+           now - arrival > std::chrono::milliseconds(deadline_ms);
+  }
+};
+
+struct Server::MatrixEntry {
+  std::uint64_t id = 0;
+  fmt::Coo a;
+  tune::Candidate plan;
+  bool plan_from_cache = false;
+  double tuning_seconds = 0;   ///< cold: measured; warm: stored in the plan
+  double register_seconds = 0; ///< wall clock of this process's registration
+  int evaluated = 0;
+
+  // Registration state, guarded by Server::reg_mu_.
+  bool ready = false;
+  std::string error;  ///< non-empty: registration failed, entry is a tombstone
+
+  // Execution state.  The engine is single-threaded by design; `busy` (under
+  // disp_mu_) guarantees at most one executor touches it at a time.
+  std::unique_ptr<core::ResilientEngine> engine;
+  std::unique_ptr<solver::CpuOperator> op;  ///< built on first solve
+
+  // Queue state, guarded by Server::disp_mu_.
+  std::deque<std::unique_ptr<Pending>> queue;
+  bool busy = false;
+  bool in_ready = false;
+};
+
+struct Server::Connection {
+  // fd is set once by the accept loop and closed by whichever side joins
+  // the connection thread (reaper or stop()) — never by the connection
+  // thread itself.  That keeps the fd valid for the duration of the
+  // thread, so stop()'s shutdown() can never race a close()/reuse.
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)),
+      dev_(opt_.device == "gtx480" ? sim::gtx480() : sim::gtx680()),
+      plan_cache_(opt_.plan_cache_dir) {
+  const unsigned pool_workers = WorkPool::shared().workers();
+  if (opt_.executors == 0) {
+    // At least two so a slow matrix cannot starve every other matrix; no
+    // more than four — applies are compute-bound and anything beyond the
+    // pool's parallelism only adds context switching.
+    opt_.executors = std::max(2u, std::min(4u, pool_workers));
+  }
+  if (opt_.max_inflight == 0) {
+    // Sized off the WorkPool: enough queued work to keep every worker busy
+    // through a full queue/dequeue cycle, small enough that latency under
+    // overload stays bounded (backpressure does the rest).
+    opt_.max_inflight = static_cast<std::size_t>(4) * pool_workers;
+  }
+  opt_.max_inflight = std::max<std::size_t>(opt_.max_inflight, opt_.executors);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  require(!opt_.socket_path.empty(), "serve: socket_path is required");
+  require(!running_.load(), "serve: already started");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(opt_.socket_path.size() < sizeof(addr.sun_path),
+          "serve: socket path too long for AF_UNIX");
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw IoError(std::string("serve: socket: ") + std::strerror(errno));
+  }
+  // A stale socket file from a crashed daemon would make bind fail forever;
+  // replacing it is the standard daemon idiom.  A *live* daemon on the same
+  // path loses its socket — callers pick unique paths per instance.
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("serve: bind(" + opt_.socket_path + "): " +
+                  std::strerror(e));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError(std::string("serve: listen: ") + std::strerror(e));
+  }
+
+  if (!opt_.journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.journal_dir, ec);
+  }
+  plan_cache_.sweep_stale_temps();
+
+  draining_.store(false);
+  stop_executors_.store(false);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executor_threads_.reserve(opt_.executors);
+  for (unsigned i = 0; i < opt_.executors; ++i) {
+    executor_threads_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+void Server::wait() {
+  while (!stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  draining_.store(true, std::memory_order_release);
+
+  // Phase 1 — drain: wait for queued + executing work under the watchdog.
+  {
+    std::unique_lock<std::mutex> lk(disp_mu_);
+    drain_cv_.wait_for(lk, std::chrono::milliseconds(opt_.drain_timeout_ms),
+                       [&] { return inflight_ == 0; });
+  }
+
+  // Phase 2 — watchdog: shed whatever is still *queued* with a typed
+  // kShuttingDown (never silence).  Applies already executing run to
+  // completion below — cancellation is cooperative, never mid-apply.
+  std::vector<std::shared_ptr<MatrixEntry>> entries;
+  {
+    std::lock_guard<std::mutex> rlk(reg_mu_);
+    entries.reserve(matrices_.size());
+    for (auto& [id, m] : matrices_) entries.push_back(m);
+  }
+  {
+    std::lock_guard<std::mutex> lk(disp_mu_);
+    std::size_t shed = 0;
+    for (auto& m : entries) {
+      while (!m->queue.empty()) {
+        auto p = std::move(m->queue.front());
+        m->queue.pop_front();
+        p->done.set_value(error_reply(ServeStatus::kShuttingDown, Status::kOk,
+                                      "server draining: request shed by the "
+                                      "drain watchdog"));
+        --inflight_;
+        ++shed;
+      }
+      m->in_ready = false;
+    }
+    ready_.clear();
+    if (shed > 0) {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      stats_.shed_on_drain += shed;
+    }
+  }
+  // In-flight applies finish; executors then see stop_executors_.
+  {
+    std::unique_lock<std::mutex> lk(disp_mu_);
+    drain_cv_.wait(lk, [&] { return inflight_ == 0; });
+  }
+  stop_executors_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& t : executor_threads_) t.join();
+  executor_threads_.clear();
+
+  // Phase 3 — transport teardown: stop accepting, wake blocked readers.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opt_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& c : connections_) {
+      // SHUT_RD, not SHUT_RDWR: wake threads blocked in read_frame with a
+      // clean EOF while letting a thread that is mid-way through writing a
+      // shed kShuttingDown reply finish the write — every admitted request
+      // gets its typed answer delivered, not reset.
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    if (victim->thread.joinable()) victim->thread.join();
+    if (victim->fd >= 0) ::close(victim->fd);
+  }
+
+  // Phase 4 — flush the plan-cache directory: plans are written through at
+  // registration (atomic rename), so the flush is garbage collection of
+  // temp files from any writer that died mid-store.
+  plan_cache_.sweep_stale_temps();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(disp_mu_);
+    out.inflight = inflight_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------------
+
+void Server::accept_loop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    reap_finished_connections();
+    if (r <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : dead) {
+    if (c->thread.joinable()) c->thread.join();
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  for (;;) {
+    Frame f;
+    try {
+      if (!read_frame(conn->fd, f)) break;  // clean EOF between frames
+    } catch (const FormatInvalid& e) {
+      // Unreadable frame: answer with a typed protocol error when the
+      // socket still writes, then drop the connection — the stream offset
+      // is unrecoverable after a framing failure.
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.protocol_errors++;
+      }
+      try {
+        write_frame(conn->fd, MsgType::kStats,
+                    error_reply(ServeStatus::kProtocolError,
+                                Status::kFormatInvalid, e.what()));
+      } catch (const IoError&) {
+      }
+      break;
+    } catch (const IoError&) {
+      // Peer vanished mid-frame (or transport error): nothing to answer.
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.disconnects++;
+      break;
+    }
+
+    std::vector<std::uint8_t> reply;
+    try {
+      WireReader r(f.payload);
+      switch (f.type) {
+        case MsgType::kRegister:
+          reply = handle_register(r);
+          break;
+        case MsgType::kSpmv:
+        case MsgType::kSolve:
+          reply = handle_request(f.type, r);
+          break;
+        case MsgType::kStats:
+          reply = handle_stats();
+          break;
+        case MsgType::kShutdown: {
+          request_stop();
+          WireWriter w;
+          put_reply_status(w, {ServeStatus::kOk, Status::kOk, "draining"});
+          reply = w.take();
+          break;
+        }
+        default:
+          reply = error_reply(ServeStatus::kBadRequest, Status::kOk,
+                              "unknown message type " +
+                                  std::to_string(static_cast<int>(f.type)));
+      }
+    } catch (const IoError& e) {
+      // Truncated/lying payload fields inside a well-framed message.
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.protocol_errors++;
+      }
+      reply = error_reply(ServeStatus::kProtocolError, Status::kIoError,
+                          e.what());
+    } catch (const std::invalid_argument& e) {
+      reply = error_reply(ServeStatus::kBadRequest, Status::kOk, e.what());
+    } catch (const SpmvError& e) {
+      reply = error_reply(ServeStatus::kFaulted, e.code(), e.what());
+    } catch (const std::exception& e) {
+      reply = error_reply(ServeStatus::kInternal, Status::kOk, e.what());
+    }
+
+    try {
+      write_frame(conn->fd, f.type, reply);
+    } catch (const IoError&) {
+      // Client disconnected before reading its reply; the work is done and
+      // the server moves on.
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.disconnects++;
+      break;
+    }
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return error_reply(ServeStatus::kShuttingDown, Status::kOk,
+                       "server draining: registration refused");
+  }
+  const auto flags = r.get<std::uint32_t>();
+  const bool force_retune = (flags & 1u) != 0;
+  const auto rows = r.get<std::int32_t>();
+  const auto cols = r.get<std::int32_t>();
+  auto ri = r.get_vec<index_t>();
+  auto ci = r.get_vec<index_t>();
+  auto vals = r.get_vec<real_t>();
+  if (rows < 0 || cols < 0 || ri.size() != ci.size() ||
+      ci.size() != vals.size()) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "register: inconsistent matrix arrays");
+  }
+  for (const real_t v : vals) {
+    if (!std::isfinite(v)) {
+      return error_reply(ServeStatus::kFaulted, Status::kDataCorruption,
+                         "register: NaN policy violation — matrix values "
+                         "must be finite");
+    }
+  }
+  fmt::Coo a;
+  try {
+    a = fmt::Coo::from_triplets(rows, cols, std::move(ri), std::move(ci),
+                                std::move(vals));
+  } catch (const std::invalid_argument& e) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk, e.what());
+  }
+  const std::uint64_t id = io::payload_checksum(a);
+
+  std::shared_ptr<MatrixEntry> entry;
+  bool creator = false;
+  {
+    std::unique_lock<std::mutex> lk(reg_mu_);
+    auto it = matrices_.find(id);
+    if (it == matrices_.end()) {
+      entry = std::make_shared<MatrixEntry>();
+      entry->id = id;
+      entry->a = std::move(a);
+      matrices_.emplace(id, entry);
+      creator = true;
+    } else {
+      entry = it->second;
+      // A concurrent registration of the same payload: wait for the
+      // creator to finish tuning rather than tuning twice.
+      reg_cv_.wait(lk, [&] { return entry->ready || !entry->error.empty(); });
+      if (!entry->error.empty()) {
+        return error_reply(ServeStatus::kInternal, Status::kOk, entry->error);
+      }
+    }
+  }
+
+  if (creator) {
+    Stopwatch sw;
+    std::string failure;
+    try {
+      if (opt_.tune_on_register) {
+        std::optional<io::PlanRecord> cached;
+        if (!force_retune) cached = plan_cache_.load(id, dev_.name);
+        if (cached) {
+          entry->plan = cached->best;
+          entry->plan_from_cache = true;
+          entry->tuning_seconds = cached->tuning_seconds;
+          entry->evaluated = cached->evaluated;
+        } else {
+          tune::TuneOptions topt;
+          topt.verify = false;  // the resilient ladder re-verifies at run time
+          topt.tune_workers = opt_.tune_workers;
+          Stopwatch tune_sw;
+          const auto tr = tune::tune(entry->a, dev_, topt);
+          entry->plan = tr.best;
+          entry->tuning_seconds = tune_sw.elapsed_seconds();
+          entry->evaluated = tr.evaluated;
+          io::PlanRecord rec;
+          rec.payload_checksum = id;
+          rec.device = dev_.name;
+          rec.best = tr.best;
+          rec.tuning_seconds = entry->tuning_seconds;
+          rec.evaluated = tr.evaluated;
+          plan_cache_.store(rec);  // best effort; false = re-tune next boot
+        }
+      }
+      core::ExecConfig ec = entry->plan.exec;
+      // Request-level parallelism comes from concurrent clients; a single
+      // apply stays on its executor thread (nested pool submits would
+      // degrade inline anyway).
+      ec.workers = 1;
+      core::ResilientOptions ropt;
+      ropt.verify = opt_.verify;
+      ropt.sample_rows = opt_.verify_sample_rows;
+      if (!opt_.journal_dir.empty()) {
+        ropt.journal_prefix =
+            opt_.journal_dir + "/m" + hex_id(id) + ".journal";
+      }
+      entry->engine = std::make_unique<core::ResilientEngine>(
+          entry->a, entry->plan.format, ec, dev_, ropt);
+      // Pre-warm: build the fast-path format and plan now so the first
+      // client request pays serve latency, not build latency.
+      std::vector<real_t> x0(static_cast<std::size_t>(entry->a.cols), 0.0);
+      std::vector<real_t> y0(static_cast<std::size_t>(entry->a.rows), 0.0);
+      entry->engine->run(x0, y0);
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+    entry->register_seconds = sw.elapsed_seconds();
+    {
+      std::lock_guard<std::mutex> lk(reg_mu_);
+      if (failure.empty()) {
+        entry->ready = true;
+      } else {
+        entry->error = failure;
+        matrices_.erase(id);  // tombstone leaves the map: retry is possible
+      }
+      reg_cv_.notify_all();
+    }
+    if (!failure.empty()) {
+      return error_reply(ServeStatus::kInternal, Status::kOk,
+                         "register: " + failure);
+    }
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.registered++;
+    if (entry->plan_from_cache) {
+      stats_.plan_cache_hits++;
+    } else if (opt_.tune_on_register) {
+      stats_.plan_cache_misses++;
+    }
+  }
+
+  WireWriter w;
+  put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+  w.put<std::uint64_t>(id);
+  w.put<std::uint8_t>(entry->plan_from_cache ? 1 : 0);
+  w.put<std::uint8_t>(creator ? 1 : 0);
+  w.put<double>(entry->tuning_seconds);
+  w.put<double>(entry->register_seconds);
+  w.put<std::int32_t>(entry->a.rows);
+  w.put<std::int32_t>(entry->a.cols);
+  w.put<std::int32_t>(entry->evaluated);
+  return w.take();
+}
+
+std::shared_ptr<Server::MatrixEntry> Server::find_matrix(std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(reg_mu_);
+  auto it = matrices_.find(id);
+  if (it == matrices_.end()) return nullptr;
+  auto entry = it->second;
+  reg_cv_.wait(lk, [&] { return entry->ready || !entry->error.empty(); });
+  return entry->ready ? entry : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Admission + dispatch
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> Server::handle_request(MsgType type, WireReader& r) {
+  auto p = std::make_unique<Pending>();
+  p->type = type;
+  p->arrival = Clock::now();
+  const auto id = r.get<std::uint64_t>();
+  p->deadline_ms = r.get<std::uint32_t>();
+  p->inject = static_cast<Inject>(r.get<std::uint8_t>());
+  p->inject_arg = r.get<std::uint32_t>();
+  if (type == MsgType::kSpmv) {
+    p->x = r.get_vec<real_t>();
+  } else {
+    p->solver = r.get<std::uint8_t>();
+    p->tol = r.get<double>();
+    p->max_iters = r.get<std::uint32_t>();
+    p->x = r.get_vec<real_t>();  // the right-hand side b
+  }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    return error_reply(ServeStatus::kShuttingDown, Status::kOk,
+                       "server draining: request refused");
+  }
+  if (p->inject != Inject::kNone && !opt_.enable_inject) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "inject hooks are disabled (start the server with "
+                       "enable_inject / --inject to use them)");
+  }
+  auto m = find_matrix(id);
+  if (!m) {
+    return error_reply(ServeStatus::kUnknownMatrix, Status::kOk,
+                       "matrix " + hex_id(id) + " is not registered");
+  }
+  // Fail fast on shape mismatches — before the request occupies queue space.
+  const auto need = static_cast<std::size_t>(
+      type == MsgType::kSpmv ? m->a.cols : m->a.rows);
+  if (p->x.size() != need) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "vector length " + std::to_string(p->x.size()) +
+                           " != expected " + std::to_string(need));
+  }
+  if (type == MsgType::kSolve &&
+      (m->a.rows != m->a.cols || (p->solver != 1 && p->solver != 2))) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "solve: matrix must be square and solver must be "
+                       "cg(1) or bicgstab(2)");
+  }
+
+  std::future<std::vector<std::uint8_t>> fut = p->done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(disp_mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      return error_reply(ServeStatus::kShuttingDown, Status::kOk,
+                         "server draining: request refused");
+    }
+    if (inflight_ >= opt_.max_inflight) {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      stats_.overloaded++;
+      return error_reply(ServeStatus::kOverloaded, Status::kOk,
+                         "global in-flight cap reached (" +
+                             std::to_string(opt_.max_inflight) + ")");
+    }
+    if (m->queue.size() >= opt_.queue_capacity) {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      stats_.overloaded++;
+      return error_reply(ServeStatus::kOverloaded, Status::kOk,
+                         "matrix queue full (" +
+                             std::to_string(opt_.queue_capacity) + ")");
+    }
+    m->queue.push_back(std::move(p));
+    ++inflight_;
+    if (!m->busy && !m->in_ready) {
+      ready_.push_back(m.get());
+      m->in_ready = true;
+    }
+    work_cv_.notify_one();
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    stats_.accepted++;
+  }
+  return fut.get();
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(disp_mu_);
+    work_cv_.wait(lk, [&] {
+      return stop_executors_.load(std::memory_order_acquire) ||
+             !ready_.empty();
+    });
+    if (ready_.empty()) {
+      if (stop_executors_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    MatrixEntry* m = ready_.front();
+    ready_.pop_front();
+    m->in_ready = false;
+    if (m->busy || m->queue.empty()) continue;
+    m->busy = true;
+    auto p = std::move(m->queue.front());
+    m->queue.pop_front();
+    ++executing_;
+    lk.unlock();
+
+    process(*m, *p);
+
+    lk.lock();
+    --executing_;
+    --inflight_;
+    m->busy = false;
+    if (!m->queue.empty() && !m->in_ready) {
+      ready_.push_back(m);
+      m->in_ready = true;
+      work_cv_.notify_one();
+    }
+    if (inflight_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void Server::process(MatrixEntry& m, Pending& p) {
+  // Deadline policy: expired requests are dropped HERE, at dequeue — an
+  // apply that starts always finishes (no mid-apply cancellation to corrupt
+  // engine state).
+  if (p.deadline_passed(Clock::now())) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.deadline_expired++;
+    }
+    p.done.set_value(error_reply(
+        ServeStatus::kDeadlineExpired, Status::kOk,
+        "deadline (" + std::to_string(p.deadline_ms) +
+            " ms) expired while queued; dropped before the apply"));
+    return;
+  }
+  try {
+    // Counters are bumped BEFORE the promise is fulfilled: the client's
+    // next request (e.g. kStats) must observe this one as completed.
+    std::vector<std::uint8_t> reply =
+        p.type == MsgType::kSpmv ? run_spmv(m, p) : run_solve(m, p);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.completed++;
+    }
+    p.done.set_value(std::move(reply));
+  } catch (const SpmvError& e) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.completed++;
+      stats_.faulted++;
+    }
+    p.done.set_value(error_reply(ServeStatus::kFaulted, e.code(), e.what()));
+  } catch (const std::invalid_argument& e) {
+    p.done.set_value(
+        error_reply(ServeStatus::kBadRequest, Status::kOk, e.what()));
+  } catch (const std::exception& e) {
+    p.done.set_value(
+        error_reply(ServeStatus::kInternal, Status::kOk, e.what()));
+  }
+}
+
+std::vector<std::uint8_t> Server::run_spmv(MatrixEntry& m, Pending& p) {
+  sim::FaultInjector inj;
+  bool armed = false;
+  switch (p.inject) {
+    case Inject::kNone:
+      break;
+    case Inject::kNan:
+      // The canonical poisoned request: the NaN-policy gate below turns it
+      // into a typed error for THIS client only.
+      if (!p.x.empty()) p.x[0] = std::numeric_limits<real_t>::quiet_NaN();
+      break;
+    case Inject::kDropPublish:
+      inj.arm({sim::FaultType::kDropPublish, /*target_wg=*/1});
+      inj.spin_budget_override = 10000;
+      armed = true;
+      break;
+    case Inject::kCorruptCache:
+      inj.arm({sim::FaultType::kCorruptCache, /*target_wg=*/1});
+      armed = true;
+      break;
+    case Inject::kFailMain: {
+      sim::FaultPlan plan;
+      plan.type = sim::FaultType::kFailLaunch;
+      plan.launch = sim::LaunchKind::kMain;
+      inj.arm(plan);
+      armed = true;
+      break;
+    }
+    case Inject::kSleepMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint32_t>(p.inject_arg, 10'000)));
+      break;
+    default:
+      throw std::invalid_argument("unknown inject kind");
+  }
+
+  // NaN policy: a request carrying non-finite inputs is rejected with a
+  // typed error before it can poison the engine's verification state.
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    if (!std::isfinite(p.x[i])) {
+      throw DataCorruption("request NaN policy violation: x[" +
+                           std::to_string(i) + "] is not finite");
+    }
+  }
+
+  std::vector<real_t> y(static_cast<std::size_t>(m.a.rows));
+  struct InjectorGuard {
+    core::ResilientEngine* eng;
+    ~InjectorGuard() { eng->set_fault_injector(nullptr); }
+  } guard{m.engine.get()};
+  m.engine->set_fault_injector(armed ? &inj : nullptr);
+  const core::ResilientRun r = m.engine->run(p.x, y);
+  if (r.recovered) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.recovered++;
+  }
+
+  WireWriter w;
+  put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(r.attempts));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(r.ladder_step));
+  w.put<std::uint8_t>(r.recovered ? 1 : 0);
+  w.put<std::uint8_t>(r.verified ? 1 : 0);
+  w.put_string(r.path);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(r.faults.size()));
+  for (const auto& fr : r.faults) {
+    w.put<std::uint16_t>(static_cast<std::uint16_t>(fr.status));
+    w.put_string(fr.path);
+    w.put_string(fr.journal_file);
+  }
+  w.put_vec(y);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Server::run_solve(MatrixEntry& m, Pending& p) {
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    if (!std::isfinite(p.x[i])) {
+      throw DataCorruption("request NaN policy violation: b[" +
+                           std::to_string(i) + "] is not finite");
+    }
+  }
+  if (!m.op) {
+    // Native fused pipeline; single-threaded per apply (see ec.workers
+    // note in handle_register).  Built once, reused by later solves.
+    m.op = std::make_unique<solver::CpuOperator>(m.a, core::FormatConfig{},
+                                                 /*threads=*/1);
+  }
+  solver::SolveOptions sopt;
+  sopt.tolerance = p.tol;
+  sopt.max_iterations = static_cast<int>(p.max_iters);
+  sopt.threads = 1;
+  std::vector<real_t> x(static_cast<std::size_t>(m.a.rows), 0.0);
+  const solver::SolveReport rep =
+      p.solver == 1 ? solver::cg(*m.op, p.x, x, sopt)
+                    : solver::bicgstab(*m.op, p.x, x, sopt);
+  // Divergence is data corruption from the client's point of view: a
+  // non-finite iterate must be a typed error, not a silent NaN vector.
+  for (const real_t v : x) {
+    if (!std::isfinite(v)) {
+      throw DataCorruption(
+          "solver produced non-finite iterates (matrix not SPD for cg, or "
+          "ill-conditioned)");
+    }
+  }
+  WireWriter w;
+  put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(rep.iterations));
+  w.put<std::uint8_t>(rep.converged ? 1 : 0);
+  w.put<double>(rep.relative_residual);
+  w.put_vec(x);
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Stats + helpers
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> Server::handle_stats() {
+  const ServerStats s = stats();
+  WireWriter w;
+  put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+  w.put<std::uint64_t>(s.accepted);
+  w.put<std::uint64_t>(s.completed);
+  w.put<std::uint64_t>(s.overloaded);
+  w.put<std::uint64_t>(s.deadline_expired);
+  w.put<std::uint64_t>(s.faulted);
+  w.put<std::uint64_t>(s.recovered);
+  w.put<std::uint64_t>(s.protocol_errors);
+  w.put<std::uint64_t>(s.disconnects);
+  w.put<std::uint64_t>(s.shed_on_drain);
+  w.put<std::uint64_t>(s.registered);
+  w.put<std::uint64_t>(s.plan_cache_hits);
+  w.put<std::uint64_t>(s.plan_cache_misses);
+  w.put<std::uint64_t>(s.inflight);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Server::error_reply(ServeStatus s, Status code,
+                                              const std::string& detail) {
+  WireWriter w;
+  put_reply_status(w, {s, code, detail});
+  return w.take();
+}
+
+}  // namespace yaspmv::serve

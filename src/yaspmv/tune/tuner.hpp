@@ -58,6 +58,16 @@ struct Candidate {
   // Filled by the measure_native pass (0 when it did not run):
   double measured_gflops = 0;    ///< native single-run best-of-reps
   std::size_t measured_bytes = 0;  ///< exact host-side bytes per native SpMV
+
+  /// Exact field equality (doubles compared bitwise-as-values) — what the
+  /// durable plan cache's round-trip tests and the serving daemon's
+  /// idempotent-registration check need.  Timing fields are excluded: two
+  /// runs of the same sweep legitimately differ in wall clock.
+  bool same_plan(const Candidate& o) const {
+    return format == o.format && exec == o.exec && gflops == o.gflops &&
+           footprint == o.footprint && measured_gflops == o.measured_gflops &&
+           measured_bytes == o.measured_bytes;
+  }
 };
 
 struct TuneResult {

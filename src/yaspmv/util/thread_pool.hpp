@@ -70,6 +70,16 @@ class WorkPool {
     return static_cast<unsigned>(threads_.size()) + 1;
   }
 
+  /// Queue introspection for admission control: pooled launches currently
+  /// executing (0 or 1 — launches are serialized by submit_mu_) plus
+  /// submitters parked waiting for the pool.  A serving layer uses this to
+  /// size its global in-flight cap and to observe saturation: when
+  /// `active_launches() > 1` every additional compute-bound admission only
+  /// deepens the queue, it cannot add parallelism.
+  unsigned active_launches() const {
+    return active_launches_.load(std::memory_order_relaxed);
+  }
+
   /// The process-wide pool used by parallel_for_ordered.
   static WorkPool& shared() {
     static WorkPool pool;
@@ -94,6 +104,11 @@ class WorkPool {
       run_inline(n, body);
       return;
     }
+    active_launches_.fetch_add(1, std::memory_order_relaxed);
+    struct ActiveGuard {
+      std::atomic<unsigned>& n;
+      ~ActiveGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+    } active_guard{active_launches_};
     std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
     if (!submit.owns_lock()) {
       // A second OS thread is mid-launch: degrade to inline execution
@@ -206,6 +221,7 @@ class WorkPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
+  std::atomic<unsigned> active_launches_{0};
 };
 
 /// Runs `body(worker, i)` for i in [0, n) on the shared WorkPool using up to

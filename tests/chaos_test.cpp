@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <limits>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "yaspmv/core/resilient.hpp"
@@ -314,6 +317,63 @@ TEST(Validate, RejectsValueArrayLengthMismatch) {
   auto m = core::Bccoo::build(a, {});
   m.value_rows[0].pop_back();
   EXPECT_THROW(m.validate(), FormatInvalid);
+}
+
+// ---- journal dump naming under concurrency --------------------------------
+
+// Two engines sharing one journal_prefix (the serving daemon's layout: one
+// prefix per matrix, many concurrent requests) must never overwrite each
+// other's dumps: every failed attempt gets a unique <prefix>.<pid>.<seq>.
+TEST(Chaos, ConcurrentJournalDumpsAreUniqueFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("yaspmv-journal-uniq-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "shared.journal").string();
+
+  constexpr int kEngines = 2;
+  constexpr int kRuns = 3;
+  std::vector<std::vector<std::string>> dumps(kEngines);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kEngines; ++t) {
+    threads.emplace_back([&, t] {
+      Harness h;
+      core::ResilientOptions opt;
+      opt.journal_prefix = prefix;
+      core::ResilientEngine eng(h.a, {}, {}, sim::gtx680(), opt);
+      sim::FaultInjector inj;
+      sim::FaultPlan plan;
+      plan.type = sim::FaultType::kFailLaunch;
+      plan.launch = sim::LaunchKind::kMain;  // every simulated rung fails
+      inj.arm(plan);
+      eng.set_fault_injector(&inj);
+      for (int i = 0; i < kRuns; ++i) {
+        const auto r = eng.run(h.x, h.y);
+        EXPECT_TRUE(r.recovered);
+        for (const auto& f : r.faults) {
+          EXPECT_FALSE(f.journal_file.empty());
+          dumps[static_cast<std::size_t>(t)].push_back(f.journal_file);
+        }
+        expect_matches_reference(h.y, h.want);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::string> unique;
+  std::size_t total = 0;
+  for (const auto& per_engine : dumps) {
+    for (const auto& path : per_engine) {
+      EXPECT_TRUE(fs::exists(path)) << path;
+      unique.insert(path);
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(unique.size(), total) << "journal dump paths collided";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -4,6 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "yaspmv/io/plan_io.hpp"
+#include "yaspmv/serve/plan_cache.hpp"
 #include "yaspmv/util/rng.hpp"
 
 namespace yaspmv {
@@ -194,6 +203,184 @@ TEST(Plan, EmptyMatrix) {
   const auto p = core::BccooPlan::build(m, ec);
   EXPECT_EQ(p.num_workgroups, 1);  // one all-padding workgroup
   EXPECT_EQ(p.padded_blocks, 128u);
+}
+
+// ---- durable plan-cache format (io/plan_io + serve/PlanCache) -------------
+//
+// The crash-safety contract: any damaged plan file — truncated, bit-flipped,
+// stale code version, wrong device — loads as a MISS through PlanCache,
+// never as a crash and never as a wrong plan.
+
+namespace {
+
+io::PlanRecord sample_record() {
+  io::PlanRecord rec;
+  rec.payload_checksum = 0x1234567890ABCDEFull;
+  rec.device = "GTX680";
+  rec.best.format.block_w = 2;
+  rec.best.format.block_h = 4;
+  rec.best.format.slices = 4;
+  rec.best.exec.strategy = core::Strategy::kResultCache;
+  rec.best.exec.workgroup_size = 128;
+  rec.best.exec.thread_tile = 8;
+  rec.best.exec.adjacent_sync = false;
+  rec.best.exec.workers = 3;
+  rec.best.gflops = 123.456;
+  rec.best.footprint = 987654;
+  rec.best.measured_gflops = 7.5;
+  rec.best.measured_bytes = 4242;
+  rec.tuning_seconds = 2.25;
+  rec.evaluated = 184;
+  return rec;
+}
+
+struct CacheDir {
+  std::filesystem::path dir;
+  CacheDir() {
+    static int counter = 0;
+    dir = std::filesystem::temp_directory_path() /
+          ("yaspmv-plan-cache-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter++));
+  }
+  ~CacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+}  // namespace
+
+TEST(PlanCacheFile, RoundTripPreservesEveryPlanField) {
+  const auto rec = sample_record();
+  std::stringstream ss;
+  io::save_plan(ss, rec);
+  const auto back = io::load_plan(ss);
+  EXPECT_EQ(back.payload_checksum, rec.payload_checksum);
+  EXPECT_EQ(back.device, rec.device);
+  EXPECT_EQ(back.code_version, io::kPlanCodeVersion);
+  EXPECT_TRUE(back.best.same_plan(rec.best));
+  EXPECT_EQ(back.best.exec.workers, 3u);
+  EXPECT_EQ(back.tuning_seconds, rec.tuning_seconds);
+  EXPECT_EQ(back.evaluated, rec.evaluated);
+}
+
+TEST(PlanCacheFile, StoreThenLoadThroughCache) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  const auto rec = sample_record();
+  ASSERT_TRUE(cache.store(rec));
+  const auto back = cache.load(rec.payload_checksum, rec.device);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->best.same_plan(rec.best));
+  // No leftover temp files after a clean store.
+  for (const auto& e :
+       std::filesystem::directory_iterator(tmp.dir)) {
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos);
+  }
+}
+
+TEST(PlanCacheFile, TruncatedFileLoadsAsMiss) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  const auto rec = sample_record();
+  ASSERT_TRUE(cache.store(rec));
+  const std::string path = cache.path_for(rec.payload_checksum, rec.device);
+  // Chop the file at every prefix length: none of them may crash, all of
+  // them must be a miss (a torn write can stop at ANY byte).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_FALSE(cache.load(rec.payload_checksum, rec.device).has_value())
+        << "truncation at " << keep << " bytes was not a miss";
+  }
+}
+
+TEST(PlanCacheFile, FlippedByteFailsTheChecksumAndLoadsAsMiss) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  const auto rec = sample_record();
+  ASSERT_TRUE(cache.store(rec));
+  const std::string path = cache.path_for(rec.payload_checksum, rec.device);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one byte in the checksummed payload region (past magic + file
+  // version) and in the trailing checksum itself.
+  for (const std::size_t victim : {bytes.size() / 2, bytes.size() - 2}) {
+    std::string corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x40);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    EXPECT_FALSE(cache.load(rec.payload_checksum, rec.device).has_value())
+        << "bit flip at byte " << victim << " was not a miss";
+  }
+}
+
+TEST(PlanCacheFile, StaleCodeVersionLoadsAsMiss) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  auto rec = sample_record();
+  rec.code_version = io::kPlanCodeVersion + 1;  // "from a newer build"
+  ASSERT_TRUE(cache.store(rec));
+  // The container round-trips fine; the version gate must reject it.
+  EXPECT_FALSE(cache.load(rec.payload_checksum, rec.device).has_value());
+}
+
+TEST(PlanCacheFile, MismatchedDeviceOrMatrixLoadsAsMiss) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  const auto rec = sample_record();
+  ASSERT_TRUE(cache.store(rec));
+  // Forged file name: copy the record under the key of another device and
+  // another matrix.  The embedded record must win — both load as a miss.
+  const std::string src = cache.path_for(rec.payload_checksum, rec.device);
+  std::filesystem::copy_file(
+      src, cache.path_for(rec.payload_checksum, "GTX480"));
+  std::filesystem::copy_file(src, cache.path_for(0xBAD, rec.device));
+  EXPECT_FALSE(cache.load(rec.payload_checksum, "GTX480").has_value());
+  EXPECT_FALSE(cache.load(0xBAD, rec.device).has_value());
+  // The honest key still hits.
+  EXPECT_TRUE(cache.load(rec.payload_checksum, rec.device).has_value());
+}
+
+TEST(PlanCacheFile, MissingDirectoryAndMissingFileAreMisses) {
+  serve::PlanCache cache("/nonexistent/definitely/not/here");
+  EXPECT_FALSE(cache.load(1, "GTX680").has_value());
+  CacheDir tmp;
+  serve::PlanCache empty(tmp.dir.string());
+  EXPECT_FALSE(empty.load(1, "GTX680").has_value());
+  EXPECT_EQ(empty.sweep_stale_temps(), 0);
+}
+
+TEST(PlanCacheFile, ImplausibleConfigFieldsAreRejected) {
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  auto rec = sample_record();
+  rec.best.format.block_w = 1 << 20;  // would never come out of the tuner
+  ASSERT_TRUE(cache.store(rec));
+  EXPECT_FALSE(cache.load(rec.payload_checksum, rec.device).has_value());
+}
+
+TEST(PlanCacheFile, PayloadChecksumTracksMatrixIdentity) {
+  SplitMix64 rng(7);
+  std::vector<index_t> ri = {0, 1, 2}, ci = {1, 2, 0};
+  std::vector<real_t> v = {1.0, 2.0, 3.0};
+  const auto a = fmt::Coo::from_triplets(3, 3, ri, ci, v);
+  const auto sum = io::payload_checksum(a);
+  EXPECT_EQ(io::payload_checksum(a), sum);  // deterministic
+  auto v2 = v;
+  v2[1] = 2.5;  // one value changes -> different identity
+  const auto b = fmt::Coo::from_triplets(3, 3, ri, ci, v2);
+  EXPECT_NE(io::payload_checksum(b), sum);
 }
 
 }  // namespace

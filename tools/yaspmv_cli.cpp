@@ -56,7 +56,7 @@ int usage() {
       "          stall_publish, corrupt_publish, corrupt_cache, fail_main,\n"
       "          fail_carry, fail_combine; runs the resilient engine)\n"
       "          [--record=<file.journal>]  capture the interleaving (failed\n"
-      "          attempts dump to <file>, <file>.2, ...; a clean run to <file>)\n"
+      "          attempts dump to <file>.<pid>.<seq>; a clean run to <file>)\n"
       "          [--replay=<file.journal> [--dump] [--minimize]]  re-execute a\n"
       "          recorded schedule deterministically; --minimize delta-debugs\n"
       "          it to <file>.min\n"
