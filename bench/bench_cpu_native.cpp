@@ -13,11 +13,16 @@
 // The scalar BCCOO kernel is additionally timed on each materialized column
 // stream (raw 4-byte / u16 short / int16 delta), with bytes-moved, GB/s and
 // the modeled-vs-measured byte comparison per stream (--no-delta-decode
-// skips the compressed runs).  The binary re-validates its own JSON before
+// skips the compressed runs).  A single-thread ABFT series times the
+// checksum-verified apply against the raw apply on the same engine and
+// records `verified_gflops` + `verify_overhead` per matrix plus the
+// `verify_overhead_geomean` across the suite (tools/bench_compare gates
+// overhead growth the same way it gates GFLOPS regressions).  The binary re-validates its own JSON before
 // exiting and fails the run if the report does not parse — this is what the
 // bench-smoke CI test asserts.
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include "yaspmv/cpu/spmv.hpp"
@@ -45,7 +50,8 @@ int main(int argc, char** argv) {
             << " thread(s), " << reps << " reps, simd="
             << cpu::simd::to_string(cpu::simd::active()) << ") ===\n\n";
   TablePrinter t({"Name", "NNZ", "CSR", "1x1 raw", "1x1 short", "1x1 delta",
-                  "blocked", "SpMM k=8", "tune ser(s)", "tune pool(s)"});
+                  "ver 1T", "blocked", "SpMM k=8", "tune ser(s)",
+                  "tune pool(s)"});
 
   json::Writer w;
   w.begin_object();
@@ -63,6 +69,9 @@ int main(int argc, char** argv) {
     for (long r = 0; r < reps; ++r) fn();
     return sw.elapsed_ms() / static_cast<double>(reps);
   };
+
+  double overhead_log_sum = 0.0;  // geomean of verified/raw time ratios
+  int overhead_count = 0;
 
   for (const auto& name : names) {
     const auto& e = gen::suite_entry(name);
@@ -109,6 +118,20 @@ int main(int argc, char** argv) {
     const double t_blk = time_ms([&] { blocked.spmv(x, y); });
     const double t_spmm = time_ms([&] { spmm.spmm(X, Y, spmm_k); });
 
+    // ABFT overhead series, pinned to one thread so raw and verified see
+    // the identical kernel schedule: the verified apply adds sum(y) plus a
+    // checksum_w . x dot product on top of the same SpMV.
+    cpu::CpuSpmv scalar_1t(m_scalar, 1, core::ColStream::kRaw);
+    const double t_raw_1t = time_ms([&] { scalar_1t.spmv(x, y); });
+    const double t_ver_1t = time_ms([&] { scalar_1t.spmv_verified(x, y); });
+    const double gf_ver = flops / (t_ver_1t * 1e6);
+    const double verify_overhead =
+        t_raw_1t > 0 ? t_ver_1t / t_raw_1t - 1.0 : 0.0;
+    if (t_raw_1t > 0 && t_ver_1t > 0) {
+      overhead_log_sum += std::log(t_ver_1t / t_raw_1t);
+      ++overhead_count;
+    }
+
     const double gf_csr = flops / (t_csr * 1e6);
     const double gf_scalar = flops / (t_scalar * 1e6);
     const double gf_short = t_short > 0 ? flops / (t_short * 1e6) : 0.0;
@@ -134,6 +157,7 @@ int main(int argc, char** argv) {
                TablePrinter::fmt(gf_scalar, 2),
                no_compressed ? "-" : TablePrinter::fmt(gf_short, 2),
                no_compressed ? "-" : TablePrinter::fmt(gf_delta, 2),
+               TablePrinter::fmt(verify_overhead * 100.0, 1) + "%",
                TablePrinter::fmt(gf_blk, 2), TablePrinter::fmt(gf_spmm, 2),
                do_tune ? TablePrinter::fmt(tune_serial, 2) : "-",
                do_tune ? TablePrinter::fmt(tune_pooled, 2) : "-"});
@@ -193,6 +217,9 @@ int main(int argc, char** argv) {
     w.value(static_cast<long long>(fc_blk.block_h));
     w.end_array();
     w.key("spmm_gflops").value(gf_spmm);
+    // ABFT checksum verification, single thread (see the 1T series above).
+    w.key("verified_gflops").value(gf_ver);
+    w.key("verify_overhead").value(verify_overhead);
     if (do_tune) {
       w.key("tune_seconds_serial").value(tune_serial);
       w.key("tune_seconds_pooled").value(tune_pooled);
@@ -200,10 +227,19 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  const double overhead_geomean =
+      overhead_count > 0
+          ? std::exp(overhead_log_sum / static_cast<double>(overhead_count)) -
+                1.0
+          : 0.0;
+  w.key("verify_overhead_geomean").value(overhead_geomean);
   w.end_object();
 
   t.print();
-  std::cout << "\n(GFLOPS columns; SpMM counts 2*nnz*k flops)\n";
+  std::cout << "\n(GFLOPS columns; SpMM counts 2*nnz*k flops; 'ver 1T' is\n"
+               " the single-thread ABFT checksum-verified apply overhead)\n"
+            << "verified-apply overhead geomean (1 thread): "
+            << overhead_geomean * 100.0 << "%\n";
 
   const std::string report = w.take();
   if (!json::valid(report)) {

@@ -34,7 +34,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "yaspmv/core/config.hpp"
@@ -112,6 +114,21 @@ struct Bccoo {
   std::vector<std::uint16_t> short_cols;
   /// True once the streams above were materialized (build / rebuild).
   bool col_streams_built = false;
+
+  // --- ABFT column-checksum plan (data integrity) -------------------------
+  // The classic column-checksum invariant: for any x,
+  //     sum(y) == (A^T 1)^T x            (within a computed rounding bound)
+  // so a verified apply needs one dot against `checksum_w` plus one sum over
+  // y.  `checksum_wabs` = |A|^T 1 feeds the bound (sum of |a_ij| |x_j|), and
+  // `checksum_depth` is the longest rounding path any single term can take
+  // through either side of the comparison — see core/checksum.hpp for the
+  // derivation.  Per-slice checksums are free: slices partition the
+  // block-columns contiguously, so slice s's checksum is the dot of
+  // `checksum_w` restricted to slice_col_range(s).
+  std::vector<real_t> checksum_w;     ///< A^T 1, length cols
+  std::vector<real_t> checksum_wabs;  ///< |A|^T 1, length cols
+  std::uint64_t checksum_depth = 0;   ///< rounding-path depth for the bound
+  bool checksums_built = false;
 
   bool operator==(const Bccoo&) const = default;
 
@@ -309,7 +326,34 @@ struct Bccoo {
     }
 
     m.build_col_streams(workers);
+    m.build_checksums();
     return m;
+  }
+
+  /// Slice width in block-columns (slices partition the block-columns
+  /// contiguously; the last slice may be narrower).
+  index_t slice_block_cols() const { return ceil_div(block_cols, cfg.slices); }
+
+  /// Original-column half-open range [lo, hi) covered by slice s.  Because
+  /// the slices partition the columns, the per-slice checksum dots over
+  /// these ranges sum to the global checksum dot.
+  std::pair<index_t, index_t> slice_col_range(index_t s) const {
+    const auto sb = static_cast<std::int64_t>(slice_block_cols());
+    const auto bw = static_cast<std::int64_t>(cfg.block_w);
+    const std::int64_t lo = std::min<std::int64_t>(cols, s * sb * bw);
+    const std::int64_t hi = std::min<std::int64_t>(cols, (s + 1) * sb * bw);
+    return {static_cast<index_t>(lo), static_cast<index_t>(hi)};
+  }
+
+  /// Materializes the ABFT column checksums from the stored blocks.  The
+  /// accumulation is serial in block order, so the plan is byte-identical
+  /// for *every* worker count (stronger than the builder's per-worker-count
+  /// contract, and cheap next to the build's sorts: one O(nnz) pass).
+  /// Re-running it reproduces the same bytes, which validate() exploits to
+  /// localize value-stream corruption.
+  void build_checksums() {
+    compute_checksums(checksum_w, checksum_wabs, checksum_depth);
+    checksums_built = true;
   }
 
   /// Materializes the compressed column streams from `col_index` (also used
@@ -430,6 +474,7 @@ struct Bccoo {
       check(c >= 0 && c < block_cols, "block-column index out of range");
     }
     if (col_streams_built) validate_col_streams(check);
+    if (checksums_built) validate_checksums(check);
     if (!allow_nonfinite) {
       for (const auto& vr : value_rows) {
         for (const real_t v : vr) {
@@ -568,6 +613,80 @@ struct Bccoo {
   }
 
  private:
+  /// Serial checksum accumulation in block order — the one definition both
+  /// build_checksums and validate_checksums run, so a revalidation must
+  /// reproduce the stored plan bit for bit.
+  void compute_checksums(std::vector<real_t>& w, std::vector<real_t>& wabs,
+                         std::uint64_t& depth) const {
+    const auto nc = static_cast<std::size_t>(cols);
+    w.assign(nc, 0.0);
+    wabs.assign(nc, 0.0);
+    std::vector<std::uint32_t> col_nnz(nc, 0);
+    const auto bw = static_cast<std::size_t>(cfg.block_w);
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+      const std::size_t cbase = static_cast<std::size_t>(col_index[i]) * bw;
+      for (std::size_t lc = 0; lc < bw && cbase + lc < nc; ++lc) {
+        const std::size_t c = cbase + lc;
+        for (const auto& vr : value_rows) {
+          const real_t v = vr[i * bw + lc];
+          if (v != 0.0) {
+            w[c] += v;
+            wabs[c] += std::abs(v);
+            ++col_nnz[c];
+          }
+        }
+      }
+    }
+    // Longest rounding path of any single term: the longest segmented-sum
+    // run (in scalar slots) on the apply side, the fullest column on the
+    // checksum side, plus the final reductions over y (rows) and the
+    // checksum dot (cols).  Upper bounds throughout — the bound consumer
+    // multiplies by eps, so slack here only loosens, never tightens.
+    const auto bh = static_cast<std::uint64_t>(cfg.block_h);
+    std::uint64_t max_seg_blocks = 0, run = 0;
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+      ++run;
+      if (!bit_flags.get(i)) {
+        max_seg_blocks = std::max(max_seg_blocks, run);
+        run = 0;
+      }
+    }
+    std::uint64_t max_col = 0;
+    for (const std::uint32_t n : col_nnz) {
+      max_col = std::max<std::uint64_t>(max_col, n);
+    }
+    depth = max_seg_blocks * bw * bh + max_col +
+            static_cast<std::uint64_t>(rows) +
+            static_cast<std::uint64_t>(cols) + 16;
+  }
+
+  /// Recomputes the checksum plan (serial, same order as build_checksums, so
+  /// the bytes must match exactly — including NaN payloads, hence memcmp)
+  /// and compares.  A mismatch means either the value stream or the stored
+  /// checksums were corrupted after the build; either way the format cannot
+  /// be trusted and the caller rebuilds from source.
+  template <class Check>
+  void validate_checksums(const Check& check) const {
+    const auto nc = static_cast<std::size_t>(cols);
+    check(checksum_w.size() == nc, "checksum plan length != cols");
+    check(checksum_wabs.size() == nc, "checksum |A| plan length != cols");
+    std::vector<real_t> w, wabs;
+    std::uint64_t depth = 0;
+    compute_checksums(w, wabs, depth);
+    const auto same = [](const std::vector<real_t>& a,
+                         const std::vector<real_t>& b) {
+      return a.size() == b.size() &&
+             (a.empty() ||
+              std::memcmp(a.data(), b.data(), a.size() * sizeof(real_t)) == 0);
+    };
+    check(same(w, checksum_w),
+          "column checksum w does not match the value stream");
+    check(same(wabs, checksum_wabs),
+          "column checksum |w| does not match the value stream");
+    check(depth == checksum_depth,
+          "checksum rounding depth does not match the format");
+  }
+
   template <class Check>
   void validate_col_streams(const Check& check) const {
     const std::size_t nb = num_blocks;

@@ -1,0 +1,143 @@
+// ABFT checksum verification for BCCOO applies (data-integrity subsystem).
+//
+// The invariant: for y = A x, the column-checksum identity
+//
+//     sum(y) == (A^T 1)^T x == checksum_w . x
+//
+// holds exactly in real arithmetic.  In floating point the two sides differ
+// by rounding, so the verified apply compares them against a *computed*
+// bound, never a magic epsilon:
+//
+//     |sum(y) - checksum_w . x| <= kChecksumSlack * depth * eps * Babs
+//
+// where Babs = checksum_wabs . |x| = sum_ij |a_ij| |x_j| and `depth` is the
+// longest rounding path any single term a_ij * x_j can take through either
+// side of the comparison — NOT the total flop count.  Standard forward error
+// analysis of summation gives |fl(sum) - sum| <= (n-1) * eps * sum|terms| at
+// first order, where n is the number of additions a term passes through; the
+// format's stored `checksum_depth` adds the worst such n on the apply side
+// (longest segmented-sum run), the checksum side (fullest column), and the
+// final reductions over y and the checksum dot.  kChecksumSlack absorbs the
+// second-order terms, FMA/lane-order differences between kernels, and the
+// combine pass.  Everything on the right-hand side is deterministic for a
+// fixed format + x, so the bound is bitwise reproducible like the apply.
+//
+// A single flipped bit that perturbs the result by *less* than this bound is
+// indistinguishable from legal rounding — and, by the same inequality,
+// harmless at the accuracy the apply promises.  Flips above the bound (high
+// mantissa, exponent, sign bits) are detected; tests/integrity_test.cpp
+// measures the coverage.
+//
+// The comparison is written `!(delta <= bound)` so NaN/Inf corruption (which
+// makes delta NaN) also detects.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/core/status.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::core {
+
+/// Slack multiplier on the first-order rounding bound (second-order terms,
+/// kernel lane-order variation, the slice-combine pass).
+inline constexpr double kChecksumSlack = 8.0;
+
+struct ChecksumReport {
+  double lhs = 0.0;    ///< sum(y)
+  double rhs = 0.0;    ///< checksum_w . x
+  double delta = 0.0;  ///< |lhs - rhs|; NaN when either side is non-finite
+  double bound = 0.0;  ///< computed rounding bound for this (format, x)
+  int slice = -1;      ///< slice whose partial tripped, when attributable
+
+  /// NaN-safe acceptance: a NaN delta never passes.
+  bool ok() const { return delta <= bound; }
+
+  std::string message() const {
+    std::string m = "checksum delta " + std::to_string(delta) +
+                    " exceeds bound " + std::to_string(bound) + " (sum(y)=" +
+                    std::to_string(lhs) + ", w.x=" + std::to_string(rhs) + ")";
+    if (slice >= 0) m += " in slice " + std::to_string(slice);
+    return m;
+  }
+};
+
+/// The rounding bound for an apply of `f` whose absolute term mass is
+/// `babs` = sum_ij |a_ij| |x_j|.
+inline double checksum_bound(const Bccoo& f, double babs) {
+  return kChecksumSlack * static_cast<double>(f.checksum_depth) *
+         std::numeric_limits<real_t>::epsilon() * babs;
+}
+
+/// Serial reference verification of y against the checksum plan (the CPU
+/// backend carries a SIMD twin inside CpuSpmv::spmv_verified; this one
+/// serves the resilient engine, the server and the tests).  When the
+/// caller can supply the pre-combine per-slice partial results (length
+/// stacked_block_rows * block_h, e.g. SpmvEngine::partials()), a failed
+/// check is attributed to the slice whose partial sum disagrees most with
+/// its per-slice checksum — free, because the slices partition the columns.
+inline ChecksumReport verify_apply(const Bccoo& f, std::span<const real_t> x,
+                                   std::span<const real_t> y,
+                                   std::span<const real_t> partials = {}) {
+  require(f.checksums_built, "checksum verify: plan not built");
+  require(x.size() == static_cast<std::size_t>(f.cols) &&
+              y.size() == static_cast<std::size_t>(f.rows),
+          "checksum verify: vector size mismatch");
+  ChecksumReport rep;
+  double s = 0.0;
+  for (const real_t v : y) s += v;
+  double c = 0.0, babs = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    c += f.checksum_w[j] * x[j];
+    babs += f.checksum_wabs[j] * std::abs(x[j]);
+  }
+  rep.lhs = s;
+  rep.rhs = c;
+  rep.delta = std::abs(s - c);
+  rep.bound = checksum_bound(f, babs);
+  const auto bh = static_cast<std::size_t>(f.cfg.block_h);
+  const std::size_t slice_rows = static_cast<std::size_t>(f.block_rows) * bh;
+  if (!rep.ok() && f.cfg.slices > 1 &&
+      partials.size() ==
+          static_cast<std::size_t>(f.stacked_block_rows) * bh) {
+    double worst = 0.0;
+    for (index_t sl = 0; sl < f.cfg.slices; ++sl) {
+      double ps = 0.0;
+      const std::size_t lo = static_cast<std::size_t>(sl) * slice_rows;
+      for (std::size_t r = lo; r < lo + slice_rows; ++r) ps += partials[r];
+      const auto [clo, chi] = f.slice_col_range(sl);
+      double pc = 0.0, pb = 0.0;
+      for (index_t j = clo; j < chi; ++j) {
+        const auto jj = static_cast<std::size_t>(j);
+        pc += f.checksum_w[jj] * x[jj];
+        pb += f.checksum_wabs[jj] * std::abs(x[jj]);
+      }
+      const double d = std::abs(ps - pc);
+      const double excess = d - checksum_bound(f, pb);
+      if (!(excess <= worst)) {  // NaN-safe: a NaN excess wins
+        worst = excess;
+        rep.slice = static_cast<int>(sl);
+      }
+    }
+  }
+  return rep;
+}
+
+/// Convenience: verify and throw IntegrityFault on mismatch.
+inline ChecksumReport verify_apply_or_throw(
+    const Bccoo& f, std::span<const real_t> x, std::span<const real_t> y,
+    std::span<const real_t> partials = {}, const std::string& context = "") {
+  ChecksumReport rep = verify_apply(f, x, y, partials);
+  if (!rep.ok()) {
+    throw IntegrityFault(context.empty() ? rep.message()
+                                         : context + ": " + rep.message());
+  }
+  return rep;
+}
+
+}  // namespace yaspmv::core

@@ -20,6 +20,7 @@
 #include "yaspmv/core/plan.hpp"
 #include "yaspmv/sim/adjacent.hpp"
 #include "yaspmv/sim/device.hpp"
+#include "yaspmv/sim/fault.hpp"
 
 namespace yaspmv::core {
 
@@ -69,6 +70,11 @@ class SpmvEngine {
   /// Total bytes the kernel streams once per SpMV (Table 3 accounting).
   std::size_t footprint_bytes() const { return plan_.footprint_bytes(); }
 
+  /// Stacked per-slice partial results of the most recent run (the combine
+  /// kernel's input).  The checksum verifier reads them to attribute an
+  /// integrity fault to the slice whose partial sums tripped the bound.
+  std::span<const real_t> partials() const { return res_; }
+
   /// y = A * x through the simulated pipeline.
   SpmvRun run(std::span<const real_t> x, std::span<real_t> y) {
     require(x.size() == static_cast<std::size_t>(fmt().cols) &&
@@ -102,6 +108,12 @@ class SpmvEngine {
                                     recorder_);
       out.launches += 2;
     }
+
+    // In-flight adversary: a transient single-bit flip in the stacked
+    // partial sums, right where they sit in device memory between the main
+    // kernel and the combine/copy-out — silent by construction (no kernel
+    // rereads them against anything), so only the checksum catches it.
+    if (fault_) fault_->flip_partial(res_);
 
     if (fmt().cfg.slices > 1) {
       out.stats += run_combine_kernel(fmt(), dev_, plan_.exec, res_, y,

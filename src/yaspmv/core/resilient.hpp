@@ -37,6 +37,7 @@
 
 #include <unistd.h>
 
+#include "yaspmv/core/checksum.hpp"
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/core/status.hpp"
 #include "yaspmv/formats/csr.hpp"
@@ -54,6 +55,12 @@ struct ResilientOptions {
   bool verify = false;
   int sample_rows = 16;      ///< rows compared against the CPU reference
   double tolerance = 1e-6;   ///< relative residual bound per sampled row
+  /// Run the ABFT checksum check (sum(y) against the format's column
+  /// checksums, O(rows + cols)) after every attempt.  Unlike sampled
+  /// residuals this covers *every* row, at a cost independent of nnz, and a
+  /// mismatch is handled as a transient first: retry the rung once, then
+  /// validate + rebuild its format from source, then degrade.
+  bool verify_checksum = false;
   int max_attempts = 8;      ///< hard bound on engine runs before giving up
   /// When non-empty, every failed attempt's journal is written to
   /// `<prefix>.<pid>.<seq>` where `seq` is a process-wide counter: dump
@@ -135,50 +142,102 @@ class ResilientEngine {
   }
 
   ResilientRun run(std::span<const real_t> x, std::span<real_t> y) {
+    return run(x, y, opt_.verify_checksum);
+  }
+
+  /// Per-call checksum-verification override: the serving daemon flips this
+  /// per request (protocol `verified` flag) on a shared engine whose
+  /// ResilientOptions are fixed at registration time.
+  ResilientRun run(std::span<const real_t> x, std::span<real_t> y,
+                   bool verify_checksum) {
     require(x.size() == static_cast<std::size_t>(a_.cols) &&
                 y.size() == static_cast<std::size_t>(a_.rows),
             "ResilientEngine::run: vector size mismatch");
     ResilientRun out;
     for (std::size_t step = 0; step < rungs_.size(); ++step) {
-      if (out.attempts >= opt_.max_attempts) break;
       Rung& rung = rungs_[step];
-      try {
-        if (!rung.engine) {
-          // Validate the format's invariants *before* planning: a corrupted
-          // format must surface as FormatInvalid here, not as a bad scatter
-          // inside the kernel.
-          if (!rung.format) {
-            rung.format = std::make_shared<const Bccoo>(
-                Bccoo::build(a_, rung.fc));
+      // Integrity faults get up to three shots at one rung before the ladder
+      // moves on: the original attempt, a bare retry (a *transient* flip —
+      // the common soft error — leaves nothing behind), and a retry after
+      // validating + rebuilding the rung's format from source (persistent
+      // at-rest corruption).  Every other SpmvError degrades immediately,
+      // as before: those implicate a mechanism, not a bit.
+      int integrity_retries = 0;
+      bool rebuilt = false;
+      while (out.attempts < opt_.max_attempts) {
+        try {
+          if (!rung.engine) {
+            // Validate the format's invariants *before* planning: a
+            // corrupted format must surface as FormatInvalid here, not as a
+            // bad scatter inside the kernel.
+            if (!rung.format) {
+              rung.format = std::make_shared<const Bccoo>(
+                  Bccoo::build(a_, rung.fc));
+            }
+            rung.format->validate();
+            rung.engine = std::make_unique<SpmvEngine>(rung.format, rung.ec,
+                                                       dev_);
           }
-          rung.format->validate();
-          rung.engine = std::make_unique<SpmvEngine>(rung.format, rung.ec,
-                                                     dev_);
-        }
-        rung.engine->set_fault_injector(fault_);
-        rung.engine->set_recorder(&recorder_);
-        recorder_.reset();
-        last_rung_ = &rung;
-        out.attempts++;
-        SpmvRun r = rung.engine->run(x, y);
-        if (opt_.verify) {
-          std::string residual;
-          if (!sampled_residual_ok(x, y, residual)) {
-            throw DataCorruption("sampled-row residual check failed: " +
-                                 residual);
+          rung.engine->set_fault_injector(fault_);
+          rung.engine->set_recorder(&recorder_);
+          recorder_.reset();
+          last_rung_ = &rung;
+          out.attempts++;
+          SpmvRun r = rung.engine->run(x, y);
+          if (verify_checksum) {
+            const ChecksumReport rep =
+                verify_apply(*rung.format, x, y, rung.engine->partials());
+            if (!rep.ok()) {
+              throw IntegrityFault("checksum-verified apply: " +
+                                   rep.message());
+            }
+            out.verified = true;
           }
-          out.verified = true;
+          if (opt_.verify) {
+            std::string residual;
+            if (!sampled_residual_ok(x, y, residual)) {
+              throw DataCorruption("sampled-row residual check failed: " +
+                                   residual);
+            }
+            out.verified = true;
+          }
+          out.run = r;
+          out.ladder_step = static_cast<int>(step);
+          out.recovered = step > 0 || !out.faults.empty();
+          out.path = rung.label;
+          return out;
+        } catch (const IntegrityFault& e) {
+          FaultRecord rec{rung.label, e.code(), e.what(), ""};
+          capture_failure(rung, rec);
+          out.faults.push_back(std::move(rec));
+          if (integrity_retries++ == 0) continue;  // transient? bare retry
+          if (!rebuilt) {
+            // Retry did not clear it: suspect the stored format.  validate()
+            // re-derives the checksum plan bit-for-bit, so value-stream
+            // corruption surfaces here as FormatInvalid; either way the rung
+            // gets a fresh format rebuilt from the source matrix.
+            std::string verdict = "format revalidated clean";
+            try {
+              if (rung.format) rung.format->validate();
+            } catch (const SpmvError& ve) {
+              verdict = std::string("format validation failed: ") + ve.what();
+            }
+            rung.format =
+                std::make_shared<const Bccoo>(Bccoo::build(a_, rung.fc));
+            rung.engine.reset();
+            rebuilt = true;
+            out.faults.back().detail += " [" + verdict + "; rebuilt from source]";
+            continue;
+          }
+          break;  // rebuilt and still tripping: implicate the rung, degrade
+        } catch (const SpmvError& e) {
+          FaultRecord rec{rung.label, e.code(), e.what(), ""};
+          capture_failure(rung, rec);
+          out.faults.push_back(std::move(rec));
+          break;
         }
-        out.run = r;
-        out.ladder_step = static_cast<int>(step);
-        out.recovered = step > 0;
-        out.path = rung.label;
-        return out;
-      } catch (const SpmvError& e) {
-        FaultRecord rec{rung.label, e.code(), e.what(), ""};
-        capture_failure(rung, rec);
-        out.faults.push_back(std::move(rec));
       }
+      if (out.attempts >= opt_.max_attempts) break;
     }
     // Terminal rung: the CPU COO/CSR reference path.  No simulated kernels,
     // no synchronization, no cache — it cannot fail, and it *is* the

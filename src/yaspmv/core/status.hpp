@@ -24,6 +24,7 @@ enum class Status {
   kResourceExceeded,  ///< device resource limits (shared memory, registers, ...)
   kIoError,           ///< file/stream level failure (open, read, write)
   kScheduleDiverged,  ///< a replayed interleaving no longer matches reality
+  kIntegrityFault,    ///< a checksum-verified apply detected silent corruption
 };
 
 inline const char* to_string(Status s) {
@@ -36,6 +37,7 @@ inline const char* to_string(Status s) {
     case Status::kResourceExceeded: return "resource-exceeded";
     case Status::kIoError: return "io-error";
     case Status::kScheduleDiverged: return "schedule-diverged";
+    case Status::kIntegrityFault: return "integrity-fault";
   }
   return "unknown";
 }
@@ -100,6 +102,18 @@ class ScheduleDiverged : public SpmvError {
  public:
   explicit ScheduleDiverged(const std::string& msg)
       : SpmvError(Status::kScheduleDiverged, msg) {}
+};
+
+/// An ABFT checksum-verified apply caught silent corruption: sum(y) and the
+/// precomputed column-checksum dot (A^T 1)^T x disagree beyond the computed
+/// rounding bound.  Distinct from DataCorruption (which covers loud payload
+/// failures like sampled-residual mismatches on known-bad data) so the
+/// degradation ladder can apply its retry -> validate+rebuild -> degrade
+/// policy only to faults that plausibly came from a transient bit flip.
+class IntegrityFault : public SpmvError {
+ public:
+  explicit IntegrityFault(const std::string& msg)
+      : SpmvError(Status::kIntegrityFault, msg) {}
 };
 
 }  // namespace yaspmv

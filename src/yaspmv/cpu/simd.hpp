@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -373,6 +374,130 @@ using DotDenseFn = real_t (*)(const real_t*, const real_t*, std::size_t);
 
 inline DotDenseFn dot_dense() {
   return active() == Level::kAvx2 ? &dot_dense_avx2 : &dot_dense_portable;
+}
+
+// ---- ABFT checksum-verify kernels ----------------------------------------
+//
+// The verified apply (CpuSpmv::spmv_verified) compares sum(y) against the
+// precomputed column-checksum dot; to keep its overhead a single-digit
+// percentage even on nnz/row ~ 3 matrices the three extra passes collapse
+// into two vectorized ones: `sum` over y, and `checksum_dot` — one fused
+// pass over (w, wabs, x) producing both the checksum dot w.x and the bound
+// mass sum(wabs * |x|).  Same fixed lane/reduction order as the kernels
+// above, so both are bitwise reproducible per dispatch level.
+
+/// The two accumulations of the fused checksum pass.
+struct CheckDotResult {
+  real_t wx = 0.0;    ///< sum of w[j] * x[j]
+  real_t babs = 0.0;  ///< sum of wabs[j] * |x[j]|
+};
+
+/// Fixed-order vector sum (lane i % 4, (l0 + l2) + (l1 + l3), serial tail).
+inline real_t sum_portable(const real_t* a, std::size_t n) {
+  real_t l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    l0 += a[p];
+    l1 += a[p + 1];
+    l2 += a[p + 2];
+    l3 += a[p + 3];
+  }
+  real_t s = (l0 + l2) + (l1 + l3);
+  for (; p < n; ++p) s += a[p];
+  return s;
+}
+
+/// Fused checksum pass, portable kernel.
+inline CheckDotResult checksum_dot_portable(const real_t* w,
+                                            const real_t* wabs,
+                                            const real_t* x, std::size_t n) {
+  real_t c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  real_t b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    c0 += w[p] * x[p];
+    c1 += w[p + 1] * x[p + 1];
+    c2 += w[p + 2] * x[p + 2];
+    c3 += w[p + 3] * x[p + 3];
+    b0 += wabs[p] * std::abs(x[p]);
+    b1 += wabs[p + 1] * std::abs(x[p + 1]);
+    b2 += wabs[p + 2] * std::abs(x[p + 2]);
+    b3 += wabs[p + 3] * std::abs(x[p + 3]);
+  }
+  CheckDotResult r;
+  r.wx = (c0 + c2) + (c1 + c3);
+  r.babs = (b0 + b2) + (b1 + b3);
+  for (; p < n; ++p) {
+    r.wx += w[p] * x[p];
+    r.babs += wabs[p] * std::abs(x[p]);
+  }
+  return r;
+}
+
+#if YASPMV_SIMD_X86
+/// AVX2 twin of sum_portable: same lane assignment and reduce order.
+__attribute__((target("avx2"))) inline real_t sum_avx2(const real_t* a,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + p));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  real_t s = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+  for (; p < n; ++p) s += a[p];
+  return s;
+}
+
+/// AVX2/FMA twin of checksum_dot_portable (|x| via an andnot of the sign
+/// bit; products fused, so the two levels agree to FMA rounding — inside
+/// the verify bound by construction).
+__attribute__((target("avx2,fma"))) inline CheckDotResult checksum_dot_avx2(
+    const real_t* w, const real_t* wabs, const real_t* x, std::size_t n) {
+  __m256d cacc = _mm256_setzero_pd();
+  __m256d bacc = _mm256_setzero_pd();
+  const __m256d signmask = _mm256_set1_pd(-0.0);
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + p);
+    cacc = _mm256_fmadd_pd(_mm256_loadu_pd(w + p), xv, cacc);
+    bacc = _mm256_fmadd_pd(_mm256_loadu_pd(wabs + p),
+                           _mm256_andnot_pd(signmask, xv), bacc);
+  }
+  alignas(32) double cl[4], bl[4];
+  _mm256_store_pd(cl, cacc);
+  _mm256_store_pd(bl, bacc);
+  CheckDotResult r;
+  r.wx = (cl[0] + cl[2]) + (cl[1] + cl[3]);
+  r.babs = (bl[0] + bl[2]) + (bl[1] + bl[3]);
+  for (; p < n; ++p) {
+    r.wx += w[p] * x[p];
+    r.babs += wabs[p] * std::abs(x[p]);
+  }
+  return r;
+}
+#else
+inline real_t sum_avx2(const real_t* a, std::size_t n) {
+  return sum_portable(a, n);
+}
+inline CheckDotResult checksum_dot_avx2(const real_t* w, const real_t* wabs,
+                                        const real_t* x, std::size_t n) {
+  return checksum_dot_portable(w, wabs, x, n);
+}
+#endif
+
+using SumFn = real_t (*)(const real_t*, std::size_t);
+using CheckDotFn = CheckDotResult (*)(const real_t*, const real_t*,
+                                      const real_t*, std::size_t);
+
+inline SumFn sum() {
+  return active() == Level::kAvx2 ? &sum_avx2 : &sum_portable;
+}
+
+inline CheckDotFn checksum_dot() {
+  return active() == Level::kAvx2 ? &checksum_dot_avx2
+                                  : &checksum_dot_portable;
 }
 
 }  // namespace yaspmv::cpu::simd

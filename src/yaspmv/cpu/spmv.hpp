@@ -48,14 +48,17 @@
 // fixed (thread count, dispatch level).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/core/checksum.hpp"
 #include "yaspmv/cpu/simd.hpp"
 #include "yaspmv/formats/csr.hpp"
+#include "yaspmv/sim/fault.hpp"
 #include "yaspmv/util/thread_pool.hpp"
 
 namespace yaspmv::cpu {
@@ -136,6 +139,14 @@ class CpuSpmv {
   /// The resolved column stream the hot loop actually reads.
   core::ColStream col_stream() const { return cs_; }
 
+  /// Fault-injection hook (tests/chaos tooling): when set, the armed
+  /// kFlipPartial plan can flip one bit of one per-chunk partial sum
+  /// between the parallel pass and the serial fix-up — one null check per
+  /// apply on the fault-free path.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   /// y = A * x (parallel, deterministic for a fixed thread count).
   /// Zero-copy: x is read in place while y is written, so the spans must
   /// not overlap.
@@ -167,6 +178,7 @@ class CpuSpmv {
     parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
       process_chunk(c, h, bw, xd, out);
     });
+    if (injector_) injector_->flip_partial(carries_);
 
     // Serial fix-up: resolve segments spanning chunk boundaries (the
     // adjacent-synchronization chain, folded).  Each chunk's first stop
@@ -221,6 +233,46 @@ class CpuSpmv {
     } else {
       combine_rows(0, f.rows);
     }
+  }
+
+  /// ABFT-verified apply: y = A x, then sum(y) is compared against the
+  /// format's column-checksum dot within the computed rounding bound (see
+  /// core/checksum.hpp).  The check is two vectorized passes — sum over y
+  /// and the fused (w.x, |w|.|x|) dot — so the overhead stays single-digit
+  /// even at nnz/row ~ 3.  Throws IntegrityFault on mismatch (with the
+  /// tripping slice attributed via the pre-combine partials when sliced);
+  /// returns the report (delta, bound) on success.
+  core::ChecksumReport spmv_verified(std::span<const real_t> x,
+                                     std::span<real_t> y) {
+    spmv(x, y);
+    core::ChecksumReport rep = verify_output(x, y);
+    if (!rep.ok()) {
+      throw IntegrityFault("cpu verified apply: " + rep.message());
+    }
+    return rep;
+  }
+
+  /// The verification half of spmv_verified, usable on its own against an
+  /// already-computed y (must be the output of this engine's spmv for the
+  /// slice attribution to mean anything).
+  core::ChecksumReport verify_output(std::span<const real_t> x,
+                                     std::span<const real_t> y) const {
+    const core::Bccoo& f = *fmt_;
+    require(f.checksums_built,
+            "CpuSpmv: verified apply needs the format's checksum plan");
+    core::ChecksumReport rep;
+    rep.lhs = simd::sum()(y.data(), y.size());
+    const simd::CheckDotResult cd = simd::checksum_dot()(
+        f.checksum_w.data(), f.checksum_wabs.data(), x.data(), x.size());
+    rep.rhs = cd.wx;
+    rep.delta = std::abs(rep.lhs - rep.rhs);
+    rep.bound = core::checksum_bound(f, cd.babs);
+    if (!rep.ok() && f.cfg.slices > 1 && !res_.empty()) {
+      // Failure path only: serial per-slice attribution off the stacked
+      // partial results the workers just produced.
+      rep.slice = core::verify_apply(f, x, y, res_).slice;
+    }
+    return rep;
   }
 
  private:
@@ -384,6 +436,7 @@ class CpuSpmv {
   std::shared_ptr<const core::Bccoo> fmt_;
   unsigned threads_;
   core::ColStream cs_;
+  sim::FaultInjector* injector_ = nullptr;  ///< nullable kFlipPartial site
   bool direct_y_ = false;  ///< workers write y in place (1 slice, no row pad)
   std::vector<std::size_t> chunk_start_;
   std::vector<index_t> chunk_first_seg_;

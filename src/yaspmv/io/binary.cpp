@@ -179,7 +179,7 @@ void save_bccoo(std::ostream& out, const core::Bccoo& m) {
   write_checksum(out, hash);
 }
 
-core::Bccoo load_bccoo(std::istream& in) {
+core::Bccoo load_bccoo(std::istream& in, bool rebuild_derived) {
   check_header(in, kBccooMagic);
   Fnv1a hash;
   core::Bccoo m;
@@ -232,10 +232,15 @@ core::Bccoo load_bccoo(std::istream& in) {
   } catch (const FormatInvalid& e) {
     fail_format(std::string("loaded format fails validation: ") + e.what());
   }
-  // The compressed column streams are derived data and not part of the file
-  // format: rebuild them from the (validated) col_index so a loaded format
-  // is ready for the compressed kernels.
-  m.build_col_streams();
+  // The compressed column streams and the ABFT checksum plan are derived
+  // data and not part of the file format: rebuild them from the (validated)
+  // arrays so a loaded format is ready for the compressed kernels and for
+  // checksum-verified applies, and round-trips compare equal under
+  // operator==.
+  if (rebuild_derived) {
+    m.build_col_streams();
+    m.build_checksums();
+  }
   return m;
 }
 
@@ -257,10 +262,10 @@ void save_bccoo_file(const std::string& path, const core::Bccoo& m) {
   save_bccoo(f, m);
 }
 
-core::Bccoo load_bccoo_file(const std::string& path) {
+core::Bccoo load_bccoo_file(const std::string& path, bool rebuild_derived) {
   std::ifstream f(path, std::ios::binary);
   if (!f) fail_io("cannot open " + path);
-  return load_bccoo(f);
+  return load_bccoo(f, rebuild_derived);
 }
 
 }  // namespace yaspmv::io

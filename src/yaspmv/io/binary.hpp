@@ -22,10 +22,15 @@ void save_coo_file(const std::string& path, const fmt::Coo& m);
 fmt::Coo load_coo_file(const std::string& path);
 
 /// Serializes a built BCCOO/BCCOO+ format (everything needed to run SpMV
-/// without re-deriving it from COO).
+/// without re-deriving it from COO).  The compressed column streams and the
+/// ABFT checksum plan are derived data and not part of the file format; the
+/// loader rebuilds both unless `rebuild_derived` is false (tests use that to
+/// exercise the kernels' ColStream::kAuto degradation on a streams-absent
+/// format).
 void save_bccoo(std::ostream& out, const core::Bccoo& m);
-core::Bccoo load_bccoo(std::istream& in);
+core::Bccoo load_bccoo(std::istream& in, bool rebuild_derived = true);
 void save_bccoo_file(const std::string& path, const core::Bccoo& m);
-core::Bccoo load_bccoo_file(const std::string& path);
+core::Bccoo load_bccoo_file(const std::string& path,
+                            bool rebuild_derived = true);
 
 }  // namespace yaspmv::io

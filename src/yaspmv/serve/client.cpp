@@ -9,6 +9,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "yaspmv/util/rng.hpp"
+
 namespace yaspmv::serve {
 
 namespace {
@@ -30,6 +32,27 @@ int connect_unix(const std::string& path) {
     throw IoError("client: connect(" + path + "): " + std::strerror(e));
   }
   return fd;
+}
+
+/// Per-call jitter source: seeded from the clock, the pid and the client
+/// address so N processes (or N clients in one process) rejected by the same
+/// overload burst draw different backoff schedules.
+SplitMix64 backoff_rng(const void* self) {
+  return SplitMix64(
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      reinterpret_cast<std::uintptr_t>(self));
+}
+
+/// Uniform in [backoff/2, backoff]: keeps the exponential envelope (the
+/// server still sees pressure halve per round) while decorrelating arrival
+/// times — deterministic equal backoffs re-synchronize the very burst the
+/// backoff was meant to spread.
+int jittered_ms(int backoff, SplitMix64& rng) {
+  const int half = backoff / 2;
+  return half + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(backoff - half + 1)));
 }
 
 }  // namespace
@@ -103,12 +126,14 @@ SpmvResult Client::spmv(std::uint64_t matrix_id, std::span<const real_t> x,
   w.put<std::uint32_t>(opt.deadline_ms);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(opt.inject));
   w.put<std::uint32_t>(opt.inject_arg);
+  w.put<std::uint8_t>(opt.verified ? 1u : 0u);
   std::vector<real_t> xv(x.begin(), x.end());
   w.put_vec(xv);
   const std::vector<std::uint8_t> req = w.take();
 
   SpmvResult out;
   int backoff = opt.backoff_ms;
+  SplitMix64 rng = backoff_rng(this);
   for (int attempt = 0;; ++attempt) {
     out.admission_attempts = attempt + 1;
     const auto bytes = roundtrip(MsgType::kSpmv, req);
@@ -117,8 +142,10 @@ SpmvResult Client::spmv(std::uint64_t matrix_id, std::span<const real_t> x,
     if (out.status.status == ServeStatus::kOverloaded &&
         attempt < opt.retries) {
       // Backpressure: the server said "not now", not "never" — retry with
-      // exponential backoff so a burst spreads out instead of hammering.
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      // jittered exponential backoff so a burst spreads out instead of
+      // re-arriving in lockstep.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(jittered_ms(backoff, rng)));
       backoff = std::min(backoff * 2, 1000);
       continue;
     }
@@ -150,6 +177,7 @@ SolveResult Client::solve(std::uint64_t matrix_id, std::span<const real_t> b,
   w.put<std::uint32_t>(opt.deadline_ms);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(opt.inject));
   w.put<std::uint32_t>(opt.inject_arg);
+  w.put<std::uint8_t>(opt.verified ? 1u : 0u);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(solver));
   w.put<double>(tol);
   w.put<std::uint32_t>(max_iters);
@@ -159,6 +187,7 @@ SolveResult Client::solve(std::uint64_t matrix_id, std::span<const real_t> b,
 
   SolveResult out;
   int backoff = opt.backoff_ms;
+  SplitMix64 rng = backoff_rng(this);
   for (int attempt = 0;; ++attempt) {
     out.admission_attempts = attempt + 1;
     const auto bytes = roundtrip(MsgType::kSolve, req);
@@ -166,7 +195,8 @@ SolveResult Client::solve(std::uint64_t matrix_id, std::span<const real_t> b,
     out.status = get_reply_status(r);
     if (out.status.status == ServeStatus::kOverloaded &&
         attempt < opt.retries) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(jittered_ms(backoff, rng)));
       backoff = std::min(backoff * 2, 1000);
       continue;
     }
@@ -174,6 +204,9 @@ SolveResult Client::solve(std::uint64_t matrix_id, std::span<const real_t> b,
     out.iterations = r.get<std::uint32_t>();
     out.converged = r.get<std::uint8_t>() != 0;
     out.rel_residual = r.get<double>();
+    out.verified = r.get<std::uint8_t>() != 0;
+    out.integrity_faults = r.get<std::uint32_t>();
+    out.rollbacks = r.get<std::uint32_t>();
     out.x = r.get_vec<real_t>();
     return out;
   }
@@ -198,6 +231,9 @@ StatsSnapshot Client::stats() {
   s.plan_cache_hits = r.get<std::uint64_t>();
   s.plan_cache_misses = r.get<std::uint64_t>();
   s.inflight = r.get<std::uint64_t>();
+  s.verified_requests = r.get<std::uint64_t>();
+  s.integrity_faults = r.get<std::uint64_t>();
+  s.integrity_recovered = r.get<std::uint64_t>();
   return s;
 }
 

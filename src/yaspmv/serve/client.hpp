@@ -25,9 +25,17 @@ namespace yaspmv::serve {
 struct RequestOptions {
   std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
   int retries = 0;                ///< extra attempts after kOverloaded
-  int backoff_ms = 10;            ///< first backoff; doubles per retry
+  /// First backoff; doubles per retry up to 1s.  Each sleep is *jittered*
+  /// (uniform in [backoff/2, backoff]) so clients rejected by the same
+  /// overload burst spread out instead of re-arriving in lockstep.
+  int backoff_ms = 10;
   Inject inject = Inject::kNone;  ///< test hook (server must enable_inject)
   std::uint32_t inject_arg = 0;
+  /// Run this request checksum-verified: the apply (or every solver apply)
+  /// is checked against the format's ABFT column checksums, and detected
+  /// corruption is recovered or surfaced as kFaulted/kIntegrityFault —
+  /// never returned as a silently wrong y.
+  bool verified = false;
 };
 
 struct RegisterResult {
@@ -66,6 +74,9 @@ struct SolveResult {
   std::uint32_t iterations = 0;
   bool converged = false;
   double rel_residual = 0;
+  bool verified = false;                 ///< ran on the self-checking solvers
+  std::uint32_t integrity_faults = 0;    ///< checksum mismatches caught
+  std::uint32_t rollbacks = 0;           ///< checkpoint restores performed
   int admission_attempts = 1;
 
   bool ok() const { return status.status == ServeStatus::kOk; }
@@ -79,7 +90,8 @@ struct StatsSnapshot {
                 deadline_expired = 0, faulted = 0, recovered = 0,
                 protocol_errors = 0, disconnects = 0, shed_on_drain = 0,
                 registered = 0, plan_cache_hits = 0, plan_cache_misses = 0,
-                inflight = 0;
+                inflight = 0, verified_requests = 0, integrity_faults = 0,
+                integrity_recovered = 0;
 };
 
 class Client {

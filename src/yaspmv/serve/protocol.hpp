@@ -20,6 +20,7 @@
 // machine by construction: the transport is a Unix socket).
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
@@ -35,9 +36,15 @@
 namespace yaspmv::serve {
 
 constexpr std::uint32_t kFrameMagic = 0x56525359;  // "YSRV"
-constexpr std::uint16_t kProtocolVersion = 1;
-/// Upper bound on one frame's payload (a registration carries whole
+/// v2: per-request `verified` flag on kSpmv/kSolve, integrity counters in
+/// the kStats reply, Inject::kCorruptPublish.  Versions are exact-match (the
+/// daemon and its clients ship together), so v1 peers are rejected cleanly
+/// at the frame layer instead of misparsing the grown payloads.
+constexpr std::uint16_t kProtocolVersion = 2;
+/// Default upper bound on one frame's payload (a registration carries whole
 /// matrices; 1 GiB is far above any test matrix and far below "runaway").
+/// Deployments front the daemon with ServerOptions::max_frame_bytes to
+/// reject hostile lengths before any allocation happens.
 constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
 /// Request/response frame types.  A response reuses its request's type.
@@ -89,6 +96,9 @@ enum class Inject : std::uint8_t {
   kCorruptCache = 3,  ///< sim fault: strategy fallback
   kFailMain = 4,      ///< sim fault: every simulated rung fails -> CPU rung
   kSleepMs = 5,       ///< hold the executor for `arg` ms (queue-buildup hook)
+  kCorruptPublish = 6,  ///< sim fault: silently perturbed partial sums — only
+                        ///< a verified request (or a verify-enabled server)
+                        ///< can tell the reply went wrong
 };
 
 /// FNV-1a 64-bit, the same accumulation the binary/journal containers use.
@@ -260,8 +270,12 @@ inline void write_frame(int fd, MsgType type,
 /// Reads one frame.  Returns false on clean EOF between frames.  Throws
 /// IoError on transport failure and FormatInvalid on a frame that cannot be
 /// trusted (bad magic/version/length/checksum) — the caller answers the
-/// latter with kProtocolError and drops the connection.
-inline bool read_frame(int fd, Frame& out) {
+/// latter with kProtocolError and drops the connection.  `max_payload` caps
+/// the declared length *before* the payload buffer is allocated: a hostile
+/// or garbage length field costs the peer a rejection, never a server-side
+/// allocation.
+inline bool read_frame(int fd, Frame& out,
+                       std::uint64_t max_payload = kMaxFramePayload) {
   struct Header {
     std::uint32_t magic;
     std::uint16_t version;
@@ -274,8 +288,11 @@ inline bool read_frame(int fd, Frame& out) {
     throw FormatInvalid("frame: unsupported protocol version " +
                         std::to_string(h.version));
   }
-  if (h.len > kMaxFramePayload) {
-    throw FormatInvalid("frame: payload length implausible");
+  if (h.len > std::min(max_payload, kMaxFramePayload)) {
+    throw FormatInvalid("frame: payload length " + std::to_string(h.len) +
+                        " exceeds limit " +
+                        std::to_string(std::min(max_payload,
+                                                kMaxFramePayload)));
   }
   out.type = static_cast<MsgType>(h.type);
   out.payload.resize(static_cast<std::size_t>(h.len));

@@ -46,6 +46,7 @@ struct Server::Pending {
   std::uint32_t deadline_ms = 0;   ///< 0 = no deadline
   Inject inject = Inject::kNone;
   std::uint32_t inject_arg = 0;
+  bool verified = false;  ///< request asked for a checksum-verified run
   // spmv fields
   std::vector<real_t> x;
   // solve fields
@@ -326,7 +327,9 @@ void Server::connection_loop(Connection* conn) {
   for (;;) {
     Frame f;
     try {
-      if (!read_frame(conn->fd, f)) break;  // clean EOF between frames
+      const std::uint64_t cap =
+          opt_.max_frame_bytes != 0 ? opt_.max_frame_bytes : kMaxFramePayload;
+      if (!read_frame(conn->fd, f, cap)) break;  // clean EOF between frames
     } catch (const FormatInvalid& e) {
       // Unreadable frame: answer with a typed protocol error when the
       // socket still writes, then drop the connection — the stream offset
@@ -501,6 +504,7 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
       core::ResilientOptions ropt;
       ropt.verify = opt_.verify;
       ropt.sample_rows = opt_.verify_sample_rows;
+      ropt.verify_checksum = opt_.verified;
       if (!opt_.journal_dir.empty()) {
         ropt.journal_prefix =
             opt_.journal_dir + "/m" + hex_id(id) + ".journal";
@@ -573,6 +577,7 @@ std::vector<std::uint8_t> Server::handle_request(MsgType type, WireReader& r) {
   p->deadline_ms = r.get<std::uint32_t>();
   p->inject = static_cast<Inject>(r.get<std::uint8_t>());
   p->inject_arg = r.get<std::uint32_t>();
+  p->verified = r.get<std::uint8_t>() != 0;
   if (type == MsgType::kSpmv) {
     p->x = r.get_vec<real_t>();
   } else {
@@ -754,6 +759,13 @@ std::vector<std::uint8_t> Server::run_spmv(MatrixEntry& m, Pending& p) {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           std::min<std::uint32_t>(p.inject_arg, 10'000)));
       break;
+    case Inject::kCorruptPublish:
+      // The silent one: partial sums perturbed right before they are
+      // consumed.  No classified error is raised anywhere — only a
+      // checksum-verified run can tell the reply went wrong.
+      inj.arm({sim::FaultType::kCorruptPublish, /*target_wg=*/1});
+      armed = true;
+      break;
     default:
       throw std::invalid_argument("unknown inject kind");
   }
@@ -773,10 +785,20 @@ std::vector<std::uint8_t> Server::run_spmv(MatrixEntry& m, Pending& p) {
     ~InjectorGuard() { eng->set_fault_injector(nullptr); }
   } guard{m.engine.get()};
   m.engine->set_fault_injector(armed ? &inj : nullptr);
-  const core::ResilientRun r = m.engine->run(p.x, y);
-  if (r.recovered) {
+  const bool verified = p.verified || opt_.verified;
+  const core::ResilientRun r = m.engine->run(p.x, y, verified);
+  std::uint64_t integrity = 0;
+  for (const auto& fr : r.faults) {
+    if (fr.status == Status::kIntegrityFault) ++integrity;
+  }
+  {
     std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.recovered++;
+    if (r.recovered) stats_.recovered++;
+    if (verified) stats_.verified_requests++;
+    stats_.integrity_faults += integrity;
+    // run() returned, so the reply is the ladder's verified (or reference)
+    // result: every detected integrity fault on the way was recovered from.
+    if (integrity > 0) stats_.integrity_recovered++;
   }
 
   WireWriter w;
@@ -814,9 +836,27 @@ std::vector<std::uint8_t> Server::run_solve(MatrixEntry& m, Pending& p) {
   sopt.max_iterations = static_cast<int>(p.max_iters);
   sopt.threads = 1;
   std::vector<real_t> x(static_cast<std::size_t>(m.a.rows), 0.0);
-  const solver::SolveReport rep =
-      p.solver == 1 ? solver::cg(*m.op, p.x, x, sopt)
-                    : solver::bicgstab(*m.op, p.x, x, sopt);
+  const bool verified = p.verified || opt_.verified;
+  solver::SolveReport rep;
+  std::uint32_t integrity_faults = 0, rollbacks = 0;
+  if (verified) {
+    // Self-checking solvers: checksum-verified applies + checkpoint/rollback.
+    solver::SelfCheckOptions copt;
+    copt.solve = sopt;
+    const solver::CheckedSolveReport crep =
+        p.solver == 1 ? solver::cg_checked(*m.op, p.x, x, copt)
+                      : solver::bicgstab_checked(*m.op, p.x, x, copt);
+    rep = crep.solve;
+    integrity_faults = static_cast<std::uint32_t>(crep.integrity_faults);
+    rollbacks = static_cast<std::uint32_t>(crep.rollbacks);
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.verified_requests++;
+    stats_.integrity_faults += integrity_faults;
+    if (integrity_faults > 0 && rep.converged) stats_.integrity_recovered++;
+  } else {
+    rep = p.solver == 1 ? solver::cg(*m.op, p.x, x, sopt)
+                        : solver::bicgstab(*m.op, p.x, x, sopt);
+  }
   // Divergence is data corruption from the client's point of view: a
   // non-finite iterate must be a typed error, not a silent NaN vector.
   for (const real_t v : x) {
@@ -831,6 +871,9 @@ std::vector<std::uint8_t> Server::run_solve(MatrixEntry& m, Pending& p) {
   w.put<std::uint32_t>(static_cast<std::uint32_t>(rep.iterations));
   w.put<std::uint8_t>(rep.converged ? 1 : 0);
   w.put<double>(rep.relative_residual);
+  w.put<std::uint8_t>(verified ? 1 : 0);
+  w.put<std::uint32_t>(integrity_faults);
+  w.put<std::uint32_t>(rollbacks);
   w.put_vec(x);
   return w.take();
 }
@@ -856,6 +899,9 @@ std::vector<std::uint8_t> Server::handle_stats() {
   w.put<std::uint64_t>(s.plan_cache_hits);
   w.put<std::uint64_t>(s.plan_cache_misses);
   w.put<std::uint64_t>(s.inflight);
+  w.put<std::uint64_t>(s.verified_requests);
+  w.put<std::uint64_t>(s.integrity_faults);
+  w.put<std::uint64_t>(s.integrity_recovered);
   return w.take();
 }
 

@@ -62,6 +62,15 @@ struct ServerOptions {
   int drain_timeout_ms = 5000;   ///< watchdog on the graceful drain
   bool verify = false;           ///< sampled-row residual check per apply
   int verify_sample_rows = 16;
+  /// Checksum-verify EVERY request (ABFT column checksums + self-checking
+  /// solvers), as if each carried the protocol `verified` flag.  Individual
+  /// requests can still opt in when this is off; they cannot opt out when
+  /// it is on.
+  bool verified = false;
+  /// Per-frame payload cap enforced before any allocation; 0 = the
+  /// protocol-wide kMaxFramePayload.  Deployments that never register big
+  /// matrices set this low so a hostile length field is rejected outright.
+  std::uint64_t max_frame_bytes = 0;
   unsigned tune_workers = 0;     ///< forwarded to tune() on a cache miss
   bool enable_inject = false;    ///< honor per-request Inject test hooks
   bool tune_on_register = true;  ///< false: skip tuning, serve default config
@@ -84,6 +93,10 @@ struct ServerStats {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t inflight = 0;          ///< snapshot: queued + executing now
+  std::uint64_t verified_requests = 0;   ///< ran under the ABFT checksum
+  std::uint64_t integrity_faults = 0;    ///< checksum mismatches detected
+  std::uint64_t integrity_recovered = 0; ///< requests that detected AND still
+                                         ///< returned a verified-correct reply
 };
 
 class Server {

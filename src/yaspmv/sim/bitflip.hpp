@@ -1,0 +1,143 @@
+// Targeted single-bit corruption of a built BCCOO format — the at-rest half
+// of the fault-injection adversary (FaultInjector::flip_partial is the
+// in-flight half).  Each helper flips exactly one bit of one stored stream
+// on a *mutable copy* of the format (the shared engine formats are const by
+// design: a real flipped DRAM/disk bit corrupts a private replica, and the
+// recovery path rebuilds from source), returning a record of what changed so
+// sweeps are reproducible and reportable.
+//
+// Coverage semantics the integrity tests rely on:
+//
+//   * value-stream flips target occupied block slots (a flipped *padding
+//     zero* only matters through exponent bits, and is still covered by the
+//     random-bit harmless sweep); the default bit range is the significant
+//     bits [44, 63] — below that a flip perturbs the result by less than the
+//     apply's own rounding bound, i.e. it is undetectable by any checker
+//     *and* harmless by the same inequality;
+//   * column-stream flips may take any bit: the streams are discrete, so any
+//     flip moves at least one decoded block-column.  A flip can push the
+//     stream out of its decode contract (an escape overrun or an
+//     out-of-range column) — `col_streams_in_contract` classifies that, and
+//     such corruption is caught by Bccoo::validate(), which is exactly what
+//     the resilient ladder runs before trusting a format again.  In-contract
+//     flips produce plausible-but-wrong streams: those are the checksum
+//     verifier's job.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/util/common.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace yaspmv::sim {
+
+/// What a storage flip changed: `array` names the stream, `index` the
+/// element, `bit` the flipped bit within that element's width.
+struct FlipRecord {
+  const char* array = "";
+  std::size_t index = 0;
+  int bit = 0;
+
+  std::string describe() const {
+    return std::string(array) + "[" + std::to_string(index) + "] bit " +
+           std::to_string(bit);
+  }
+};
+
+namespace detail {
+template <class T>
+void flip_bit(T& v, int bit) {
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, &v, sizeof(T));
+  raw ^= 1ull << (bit % (8 * static_cast<int>(sizeof(T))));
+  std::memcpy(&v, &raw, sizeof(T));
+}
+}  // namespace detail
+
+/// Flips one bit of one occupied value slot.  `bit` < 0 draws from the
+/// significant range [44, 63]; the slot is drawn seeded, skipping padding
+/// zeros (bounded scan, wrapping).
+inline FlipRecord flip_value(core::Bccoo& f, std::uint64_t seed,
+                             int bit = -1) {
+  SplitMix64 rng(seed ^ 0xAB5EF11Full);
+  const std::size_t row = rng.next_below(f.value_rows.size());
+  auto& vr = f.value_rows[row];
+  require(!vr.empty(), "flip_value: empty value stream");
+  std::size_t idx = rng.next_below(vr.size());
+  for (std::size_t tries = 0; vr[idx] == 0.0 && tries < vr.size(); ++tries) {
+    idx = (idx + 1) % vr.size();
+  }
+  const int b = bit >= 0 ? bit & 63 : static_cast<int>(44 + rng.next_below(20));
+  detail::flip_bit(vr[idx], b);
+  return {"value_rows", idx, b};
+}
+
+/// Flips one bit of one int16 delta entry (any of the 16 bits).
+inline FlipRecord flip_delta_col(core::Bccoo& f, std::uint64_t seed,
+                                 int bit = -1) {
+  require(!f.delta_cols.empty(), "flip_delta_col: no delta stream");
+  SplitMix64 rng(seed ^ 0xDE17AC01ull);
+  const std::size_t idx = rng.next_below(f.delta_cols.size());
+  const int b = bit >= 0 ? bit & 15 : static_cast<int>(rng.next_below(16));
+  detail::flip_bit(f.delta_cols[idx], b);
+  return {"delta_cols", idx, b};
+}
+
+/// Flips one bit of one 4-byte escape column.
+inline FlipRecord flip_delta_escape(core::Bccoo& f, std::uint64_t seed,
+                                    int bit = -1) {
+  require(!f.delta_escapes.empty(), "flip_delta_escape: no escapes");
+  SplitMix64 rng(seed ^ 0xE5CA9E02ull);
+  const std::size_t idx = rng.next_below(f.delta_escapes.size());
+  const int b = bit >= 0 ? bit & 31 : static_cast<int>(rng.next_below(32));
+  detail::flip_bit(f.delta_escapes[idx], b);
+  return {"delta_escapes", idx, b};
+}
+
+/// Flips one bit of one u16 short column.
+inline FlipRecord flip_short_col(core::Bccoo& f, std::uint64_t seed,
+                                 int bit = -1) {
+  require(!f.short_cols.empty(), "flip_short_col: no short stream");
+  SplitMix64 rng(seed ^ 0x5C017C03ull);
+  const std::size_t idx = rng.next_below(f.short_cols.size());
+  const int b = bit >= 0 ? bit & 15 : static_cast<int>(rng.next_below(16));
+  detail::flip_bit(f.short_cols[idx], b);
+  return {"short_cols", idx, b};
+}
+
+/// True when the compressed column streams still decode without reading
+/// outside their arrays and every decoded block-column is in range — the
+/// memory-safety precondition of the unguarded kernels.  Corruption that
+/// breaks the contract is structural, and Bccoo::validate() (the first step
+/// of the resilient recovery rung) rejects it; the checksum verifier only
+/// ever runs on in-contract streams.
+inline bool col_streams_in_contract(const core::Bccoo& f) {
+  if (!f.col_streams_built) return true;
+  const std::size_t nb = f.num_blocks;
+  const std::size_t nt = f.num_col_tiles();
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::size_t t0 = t * core::Bccoo::kColTile;
+    const std::size_t t1 = std::min(t0 + core::Bccoo::kColTile, nb);
+    index_t prev = 0;
+    std::size_t e = f.delta_escape_start[t];
+    for (std::size_t i = t0; i < t1; ++i) {
+      const std::int16_t d = f.delta_cols[i];
+      if (d == kDeltaEscape) {
+        if (e >= f.delta_escape_start[t + 1]) return false;  // escape overrun
+        prev = f.delta_escapes[e++];
+      } else {
+        prev += static_cast<index_t>(d);
+      }
+      if (prev < 0 || prev >= f.block_cols) return false;
+    }
+  }
+  for (const std::uint16_t c : f.short_cols) {
+    if (static_cast<index_t>(c) >= f.block_cols) return false;
+  }
+  return true;
+}
+
+}  // namespace yaspmv::sim

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 #include "yaspmv/util/rng.hpp"
@@ -28,6 +29,7 @@ enum class FaultType : std::uint8_t {
   kCorruptPublish,  ///< Grp_sum published with perturbed partial sums
   kCorruptCache,    ///< strategy-2 result cache entry silently perturbed
   kFailLaunch,      ///< a kernel launch fails before any workgroup runs
+  kFlipPartial,     ///< single bit flip in a partial sum mid-combine
 };
 
 inline const char* to_string(FaultType t) {
@@ -38,6 +40,7 @@ inline const char* to_string(FaultType t) {
     case FaultType::kCorruptPublish: return "corrupt-publish";
     case FaultType::kCorruptCache: return "corrupt-cache";
     case FaultType::kFailLaunch: return "fail-launch";
+    case FaultType::kFlipPartial: return "flip-partial";
   }
   return "unknown";
 }
@@ -66,6 +69,16 @@ struct FaultPlan {
   /// Additive perturbation for the corrupt faults; 0 derives a deterministic
   /// non-zero value from the injector seed.
   double magnitude = 0.0;
+  /// Bit-flip targeting (kFlipPartial).  target_index < 0 or bit < 0 derive
+  /// deterministic values from the injector seed per firing opportunity.
+  std::int64_t target_index = -1;  ///< element flipped (mod the span length)
+  int bit = -1;                    ///< bit flipped (0..63)
+  /// Transience window: the site skips its first `fire_after` opportunities,
+  /// then fires at most `max_fires` times (0 = unlimited, i.e. the default
+  /// persistent-fault behavior every other site has).  A one-shot transient
+  /// flip mid-solve is {fire_after = k, max_fires = 1}.
+  std::uint32_t fire_after = 0;
+  std::uint32_t max_fires = 0;
 };
 
 class FaultInjector {
@@ -75,6 +88,7 @@ class FaultInjector {
   void arm(const FaultPlan& plan) {
     plan_ = plan;
     fired_.store(0, std::memory_order_relaxed);
+    opportunities_.store(0, std::memory_order_relaxed);
   }
   void disarm() { plan_.type = FaultType::kNone; }
   bool armed() const { return plan_.type != FaultType::kNone; }
@@ -140,6 +154,43 @@ class FaultInjector {
     return true;
   }
 
+  /// CpuSpmv carry fix-up, between the parallel chunk pass and the serial
+  /// combine: flips one bit of one per-chunk partial sum — the classic
+  /// transient soft error an ABFT checksum must catch, since the corrupted
+  /// partial folds silently into every row of its chunk's first segment.
+  /// Consulted once per apply; the plan's fire_after/max_fires window makes
+  /// the flip transient (a retry of the same apply sees clean hardware).
+  /// Returns true when a bit was flipped.
+  bool flip_partial(std::span<double> partials) {
+    if (plan_.type != FaultType::kFlipPartial || partials.empty()) {
+      return false;
+    }
+    const std::uint32_t opp =
+        opportunities_.fetch_add(1, std::memory_order_relaxed);
+    if (opp < plan_.fire_after) return false;
+    if (plan_.max_fires != 0 && opp >= plan_.fire_after + plan_.max_fires) {
+      return false;
+    }
+    SplitMix64 rng(seed_ ^ (0xB17F117Bull + opp));
+    const std::size_t idx =
+        plan_.target_index >= 0
+            ? static_cast<std::size_t>(plan_.target_index) % partials.size()
+            : static_cast<std::size_t>(rng.next_below(
+                  static_cast<std::uint64_t>(partials.size())));
+    // Seeded default bits stay in the significant range (high mantissa /
+    // exponent / sign): flips below the rounding floor are indistinguishable
+    // from legal rounding by *any* checker and harmless by the same bound.
+    const int bit = plan_.bit >= 0
+                        ? plan_.bit & 63
+                        : static_cast<int>(44 + rng.next_below(19));
+    std::uint64_t raw;
+    std::memcpy(&raw, &partials[idx], sizeof(raw));
+    raw ^= 1ull << bit;
+    std::memcpy(&partials[idx], &raw, sizeof(raw));
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
  private:
   bool matches_wg(std::size_t wg) const {
     return plan_.target_wg < 0 ||
@@ -156,6 +207,7 @@ class FaultInjector {
   std::uint64_t seed_;
   FaultPlan plan_{};
   std::atomic<std::size_t> fired_{0};
+  std::atomic<std::uint32_t> opportunities_{0};
 };
 
 }  // namespace yaspmv::sim

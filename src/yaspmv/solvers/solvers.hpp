@@ -30,13 +30,16 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "yaspmv/core/checksum.hpp"
 #include "yaspmv/core/engine.hpp"
 #include "yaspmv/cpu/spmv.hpp"
 #include "yaspmv/cpu/vecops.hpp"
 #include "yaspmv/formats/csr.hpp"
+#include "yaspmv/sim/fault.hpp"
 
 namespace yaspmv::solver {
 
@@ -78,6 +81,17 @@ class CpuOperator {
   void apply(std::span<const real_t> x, std::span<real_t> y) {
     eng_.spmv(x, y);
   }
+  /// Checksum-verified apply (throws IntegrityFault on silent corruption) —
+  /// the checked solvers pick this up through the `apply_verified` duck-type
+  /// probe.
+  core::ChecksumReport apply_verified(std::span<const real_t> x,
+                                      std::span<real_t> y) {
+    return eng_.spmv_verified(x, y);
+  }
+  /// Forwards the in-flight adversary to the backend (nullptr detaches).
+  void set_fault_injector(sim::FaultInjector* fault) {
+    eng_.set_fault_injector(fault);
+  }
 
  private:
   cpu::CpuSpmv eng_;
@@ -95,6 +109,17 @@ class SimOperator {
   void apply(std::span<const real_t> x, std::span<real_t> y) {
     stats_ += eng_.run(x, y).stats;
     applies_++;
+  }
+  /// Checksum-verified apply on the simulated pipeline; the pre-combine
+  /// partials attribute a failure to the slice that tripped.
+  core::ChecksumReport apply_verified(std::span<const real_t> x,
+                                      std::span<real_t> y) {
+    apply(x, y);
+    return core::verify_apply_or_throw(eng_.format(), x, y, eng_.partials(),
+                                       "sim verified apply");
+  }
+  void set_fault_injector(sim::FaultInjector* fault) {
+    eng_.set_fault_injector(fault);
   }
   const sim::KernelStats& stats() const { return stats_; }
   std::size_t applies() const { return applies_; }
@@ -279,6 +304,287 @@ SolveReport bicgstab(Operator& A, std::span<const real_t> b,
     if (omega == 0.0) break;  // breakdown
   }
   rep.relative_residual = std::sqrt(rr) / bnorm;
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Self-checking solvers (checksum-verified applies + checkpoint/rollback)
+// ---------------------------------------------------------------------------
+//
+// A silent flip inside one apply poisons every later iterate: Krylov methods
+// have no self-correction for a corrupted residual.  The checked drivers
+// wrap the fused CG/BiCGStab loops with three defenses, and work with any
+// Operator — on operators without `apply_verified` (e.g. the CSR reference)
+// they degrade gracefully to plain applies plus the divergence guard:
+//
+//   * every `verify_every`-th apply runs checksum-verified (apply_verified),
+//     so a flip is caught inside the iteration that suffered it;
+//   * the solver checkpoints (x, r, p, scalars) every `checkpoint_every`
+//     iterations; an integrity fault or a residual blow-up rolls back to the
+//     checkpoint instead of restarting the solve — a transient flip costs at
+//     most `checkpoint_every` iterations of rework;
+//   * convergence is only reported after a final verified apply recomputes
+//     the *true* residual from scratch — the accumulated recurrence residual
+//     is never trusted on its own.
+
+struct SelfCheckOptions {
+  SolveOptions solve;
+  /// Cadence of checksum-verified applies (1 = every apply; 0 disables).
+  long verify_every = 1;
+  /// Cadence of (x, r, p, scalars) snapshots; rollback lands on the latest.
+  long checkpoint_every = 16;
+  /// Rollbacks before the solver gives up (returns converged = false rather
+  /// than looping forever against a persistent fault).
+  int max_rollbacks = 8;
+  /// A residual this many times worse than the best seen triggers rollback —
+  /// the backstop for corruption that slipped between verified applies.
+  double divergence_factor = 1e4;
+};
+
+struct CheckedSolveReport {
+  SolveReport solve;
+  long verified_applies = 0;   ///< applies run under the checksum
+  long integrity_faults = 0;   ///< checksum mismatches caught
+  long rollbacks = 0;          ///< checkpoint restores (faults + divergence)
+  /// True when the final true-residual recomputation ran verified.
+  bool final_residual_verified = false;
+};
+
+namespace detail {
+/// Runs `A.apply_verified` when the operator has one and the cadence says
+/// verify, else the plain apply.  Counts verified applies in `rep`.
+template <class Operator>
+void checked_apply(Operator& A, std::span<const real_t> in,
+                   std::span<real_t> out, bool verify,
+                   CheckedSolveReport& rep) {
+  if constexpr (requires { A.apply_verified(in, out); }) {
+    if (verify) {
+      ++rep.verified_applies;
+      A.apply_verified(in, out);
+      return;
+    }
+  }
+  A.apply(in, out);
+}
+}  // namespace detail
+
+/// Self-checking conjugate gradient.  Converges to the same tolerance as
+/// `cg` on clean hardware; under transient bit flips it detects, rolls back
+/// and re-converges instead of silently returning a poisoned x.
+template <class Operator>
+CheckedSolveReport cg_checked(Operator& A, std::span<const real_t> b,
+                              std::span<real_t> x,
+                              const SelfCheckOptions& opt = {}) {
+  require(A.rows() == A.cols(), "cg_checked: operator must be square");
+  const std::size_t n = b.size();
+  cpu::VecOps vo(detail::solver_threads(A, opt.solve.threads));
+  CheckedSolveReport rep;
+  SolveReport& s = rep.solve;
+  std::vector<real_t> r(n), p(n), Ap(n);
+  // Checkpoint 0 is the initial guess: a fault before the first full
+  // snapshot re-derives r/p from x (init = true).
+  std::vector<real_t> ck_x(x.begin(), x.end()), ck_r, ck_p;
+  double ck_rr = 0;
+  long ck_iter = 0;
+  bool ck_full = false;
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  double rr = 0;
+  double best = std::numeric_limits<double>::infinity();
+  bool init = true;
+
+  auto rollback = [&](bool integrity) -> bool {
+    if (integrity) ++rep.integrity_faults;
+    if (++rep.rollbacks > opt.max_rollbacks) return false;
+    std::copy(ck_x.begin(), ck_x.end(), x.begin());
+    if (ck_full) {
+      r.assign(ck_r.begin(), ck_r.end());
+      p.assign(ck_p.begin(), ck_p.end());
+      rr = ck_rr;
+      s.iterations = ck_iter;
+      init = false;
+    } else {
+      init = true;
+    }
+    return true;
+  };
+
+  while (true) {
+    try {
+      if (init) {
+        // The bootstrap residual seeds everything downstream — always verify.
+        detail::checked_apply(A, x, Ap, opt.verify_every > 0, rep);
+        vo.sub_scaled(b, 1.0, Ap, r);
+        p.assign(r.begin(), r.end());
+        rr = vo.dot(r, r);
+        init = false;
+      }
+      s.relative_residual = std::sqrt(rr) / bnorm;
+      if (s.relative_residual <= opt.solve.tolerance) {
+        s.converged = true;
+        break;
+      }
+      if (s.iterations >= opt.solve.max_iterations) break;
+      // Divergence guard (NaN-safe: a NaN residual fails the <= and rolls
+      // back) — catches corruption between verified applies.
+      if (best < std::numeric_limits<double>::infinity() &&
+          !(s.relative_residual <= opt.divergence_factor * best)) {
+        if (!rollback(false)) break;
+        continue;
+      }
+      best = std::min(best, s.relative_residual);
+      if (opt.checkpoint_every > 0 &&
+          s.iterations % opt.checkpoint_every == 0) {
+        ck_x.assign(x.begin(), x.end());
+        ck_r.assign(r.begin(), r.end());
+        ck_p.assign(p.begin(), p.end());
+        ck_rr = rr;
+        ck_iter = s.iterations;
+        ck_full = true;
+      }
+      const bool verify =
+          opt.verify_every > 0 && s.iterations % opt.verify_every == 0;
+      detail::checked_apply(A, p, Ap, verify, rep);
+      const double alpha = rr / vo.dot(p, Ap);
+      const double rr_new = vo.cg_fused_update(alpha, p, Ap, x, r);
+      const double beta = rr_new / rr;
+      rr = rr_new;
+      vo.xpay(r, beta, p);
+      s.iterations++;
+    } catch (const IntegrityFault&) {
+      if (!rollback(true)) break;
+    }
+  }
+  // Final gate: recompute the true residual with a verified apply before
+  // confirming convergence (recurrence drift or a missed flip shows here).
+  try {
+    detail::checked_apply(A, x, Ap, opt.verify_every > 0, rep);
+    vo.sub_scaled(b, 1.0, Ap, r);
+    s.relative_residual = vo.nrm2(r) / bnorm;
+    s.converged = s.converged && s.relative_residual <= 10 * opt.solve.tolerance;
+    rep.final_residual_verified = opt.verify_every > 0;
+  } catch (const IntegrityFault&) {
+    ++rep.integrity_faults;
+    s.converged = false;
+  }
+  return rep;
+}
+
+/// Self-checking BiCGStab: same defenses as cg_checked, with the method's
+/// full recurrence state (x, r, r0, p, v, rho/alpha/omega) checkpointed.
+template <class Operator>
+CheckedSolveReport bicgstab_checked(Operator& A, std::span<const real_t> b,
+                                    std::span<real_t> x,
+                                    const SelfCheckOptions& opt = {}) {
+  require(A.rows() == A.cols(), "bicgstab_checked: operator must be square");
+  const std::size_t n = b.size();
+  cpu::VecOps vo(detail::solver_threads(A, opt.solve.threads));
+  CheckedSolveReport rep;
+  SolveReport& s = rep.solve;
+  std::vector<real_t> r(n), r0(n), p(n), v(n), sv(n), tv(n);
+  std::vector<real_t> ck_x(x.begin(), x.end()), ck_r, ck_r0, ck_p, ck_v;
+  double ck_rho = 1, ck_alpha = 1, ck_omega = 1, ck_rr = 0, ck_r0r = 0;
+  long ck_iter = 0;
+  bool ck_full = false;
+  const double bnorm = std::max(vo.nrm2(b), 1e-300);
+  double rho = 1, alpha = 1, omega = 1, rr = 0, r0r = 0;
+  double best = std::numeric_limits<double>::infinity();
+  bool init = true;
+
+  auto rollback = [&](bool integrity) -> bool {
+    if (integrity) ++rep.integrity_faults;
+    if (++rep.rollbacks > opt.max_rollbacks) return false;
+    std::copy(ck_x.begin(), ck_x.end(), x.begin());
+    if (ck_full) {
+      r.assign(ck_r.begin(), ck_r.end());
+      r0.assign(ck_r0.begin(), ck_r0.end());
+      p.assign(ck_p.begin(), ck_p.end());
+      v.assign(ck_v.begin(), ck_v.end());
+      rho = ck_rho;
+      alpha = ck_alpha;
+      omega = ck_omega;
+      rr = ck_rr;
+      r0r = ck_r0r;
+      s.iterations = ck_iter;
+      init = false;
+    } else {
+      init = true;
+    }
+    return true;
+  };
+
+  while (true) {
+    try {
+      if (init) {
+        detail::checked_apply(A, x, v, opt.verify_every > 0, rep);
+        vo.sub_scaled(b, 1.0, v, r);
+        r0.assign(r.begin(), r.end());
+        rho = alpha = omega = 1;
+        std::fill(p.begin(), p.end(), 0.0);
+        std::fill(v.begin(), v.end(), 0.0);
+        rr = vo.dot(r, r);
+        r0r = rr;  // r0 == r at (re)start
+        init = false;
+      }
+      s.relative_residual = std::sqrt(rr) / bnorm;
+      if (s.relative_residual <= opt.solve.tolerance) {
+        s.converged = true;
+        break;
+      }
+      if (s.iterations >= opt.solve.max_iterations) break;
+      if (best < std::numeric_limits<double>::infinity() &&
+          !(s.relative_residual <= opt.divergence_factor * best)) {
+        if (!rollback(false)) break;
+        continue;
+      }
+      best = std::min(best, s.relative_residual);
+      if (opt.checkpoint_every > 0 &&
+          s.iterations % opt.checkpoint_every == 0) {
+        ck_x.assign(x.begin(), x.end());
+        ck_r.assign(r.begin(), r.end());
+        ck_r0.assign(r0.begin(), r0.end());
+        ck_p.assign(p.begin(), p.end());
+        ck_v.assign(v.begin(), v.end());
+        ck_rho = rho;
+        ck_alpha = alpha;
+        ck_omega = omega;
+        ck_rr = rr;
+        ck_r0r = r0r;
+        ck_iter = s.iterations;
+        ck_full = true;
+      }
+      const double rho_new = r0r;
+      if (rho_new == 0.0) break;  // breakdown
+      const bool verify =
+          opt.verify_every > 0 && s.iterations % opt.verify_every == 0;
+      const double beta = (rho_new / rho) * (alpha / omega);
+      rho = rho_new;
+      vo.bicg_p_update(r, beta, omega, v, p);
+      detail::checked_apply(A, p, v, verify, rep);
+      alpha = rho / vo.dot(r0, v);
+      vo.sub_scaled(r, alpha, v, sv);
+      detail::checked_apply(A, sv, tv, verify, rep);
+      const cpu::DotPair tt_ts = vo.dot2(tv, tv, sv);
+      omega = tt_ts.ab == 0.0 ? 0.0 : tt_ts.ac / tt_ts.ab;
+      const cpu::DotPair nx =
+          vo.bicg_fused_update(alpha, p, omega, sv, tv, r0, x, r);
+      rr = nx.ab;
+      r0r = nx.ac;
+      s.iterations++;
+      if (omega == 0.0) break;  // breakdown
+    } catch (const IntegrityFault&) {
+      if (!rollback(true)) break;
+    }
+  }
+  try {
+    detail::checked_apply(A, x, v, opt.verify_every > 0, rep);
+    vo.sub_scaled(b, 1.0, v, r);
+    s.relative_residual = vo.nrm2(r) / bnorm;
+    s.converged = s.converged && s.relative_residual <= 10 * opt.solve.tolerance;
+    rep.final_residual_verified = opt.verify_every > 0;
+  } catch (const IntegrityFault&) {
+    ++rep.integrity_faults;
+    s.converged = false;
+  }
   return rep;
 }
 

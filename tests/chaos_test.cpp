@@ -309,6 +309,11 @@ TEST(Validate, RejectsNonFiniteValueUnlessOptedIn) {
   auto m = core::Bccoo::build(a, {});
   m.value_rows[0][0] = std::numeric_limits<real_t>::quiet_NaN();
   EXPECT_THROW(m.validate(), FormatInvalid);
+  // Even opted in, the in-place mutation is caught: the ABFT checksum plan
+  // still pins the original value stream bit-for-bit.  A format that
+  // *legitimately* carries non-finite values has a matching plan.
+  EXPECT_THROW(m.validate(/*allow_nonfinite=*/true), FormatInvalid);
+  m.build_checksums();
   EXPECT_NO_THROW(m.validate(/*allow_nonfinite=*/true));
 }
 

@@ -345,6 +345,95 @@ TEST_F(ServeChaosTest, SoakSixteenClientsTenPercentFaults) {
   }
 }
 
+// The silent-corruption soak: kCorruptPublish perturbs partial sums right
+// before they become visible — no classified error is raised anywhere, so an
+// unverified server would return wrong bits with kOk.  Under the ABFT
+// checksum every poisoned request must either recover to the bitwise-exact
+// oracle answer or fail typed; a wrong kOk reply is the one unforgivable
+// outcome.
+TEST_F(ServeChaosTest, VerifiedSoakNeverReturnsWrongBitsUnderCorruptPublish) {
+  auto opt = base_options();
+  opt.verified = true;
+  opt.queue_capacity = 256;
+  opt.max_inflight = 64;
+  start(opt);
+  const auto a = pow2_matrix(256, 0x88);  // 1536 blocks: 3 workgroups, so
+  // workgroup 1's corrupted Grp_sum publish has a successor that consumes
+  // it (a 2-workgroup matrix makes the corrupt-publish fault a dead no-op)
+  serve::Client reg_client(sock());
+  const auto reg = reg_client.register_matrix(a);
+  ASSERT_EQ(reg.status.status, serve::ServeStatus::kOk);
+
+  // First, prove the injected fault is live: the same corrupt-publish
+  // request on an UNVERIFIED server silently flips bits in a kOk reply.
+  // (Otherwise the soak below would vacuously pass against a dud fault.)
+  {
+    serve::ServerOptions unver = base_options();
+    unver.socket_path = (dir_ / "unverified.sock").string();
+    serve::Server shadow(unver);
+    shadow.start();
+    serve::Client sc(unver.socket_path);
+    const auto sreg = sc.register_matrix(a);
+    ASSERT_EQ(sreg.status.status, serve::ServeStatus::kOk);
+    const auto x = pow2_x(a.cols, 0x89);
+    serve::RequestOptions poison;
+    poison.inject = serve::Inject::kCorruptPublish;
+    const auto r = sc.spmv(sreg.matrix_id, x, poison);
+    ASSERT_TRUE(r.ok()) << r.status.detail;
+    const auto want = csr_oracle(a, x);
+    bool exact = true;
+    for (std::size_t i = 0; exact && i < want.size(); ++i) {
+      exact = r.y[i] == want[i];
+    }
+    EXPECT_FALSE(exact) << "corrupt-publish did not perturb the reply; "
+                           "the verified soak would prove nothing";
+    sc.close();
+    shadow.stop();
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 15;
+  std::atomic<int> ok_exact{0}, ok_wrong{0}, typed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      serve::Client c(sock());
+      for (int i = 0; i < kRequests; ++i) {
+        const auto x = pow2_x(a.cols, 0xA00 + t * 1000 + i);
+        serve::RequestOptions ropt;
+        ropt.retries = 40;
+        ropt.backoff_ms = 5;
+        if (i % 3 == 1) ropt.inject = serve::Inject::kCorruptPublish;
+        const auto r = c.spmv(reg.matrix_id, x, ropt);
+        if (!r.ok()) {
+          // A typed failure is an acceptable (honest) answer under attack.
+          ++typed;
+          continue;
+        }
+        EXPECT_TRUE(r.verified);
+        const auto want = csr_oracle(a, x);
+        bool exact = r.y.size() == want.size();
+        for (std::size_t k = 0; exact && k < want.size(); ++k) {
+          exact = r.y[k] == want[k];
+        }
+        (exact ? ok_exact : ok_wrong)++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok_wrong.load(), 0);  // zero wrong bitwise kOk replies — ever
+  EXPECT_GT(ok_exact.load(), 0);
+  EXPECT_EQ(ok_exact.load() + typed.load(), kClients * kRequests);
+
+  ASSERT_TRUE(server_->running());
+  const auto s = server_->stats();
+  EXPECT_GE(s.verified_requests,
+            static_cast<std::uint64_t>(ok_exact.load()));
+  EXPECT_GE(s.integrity_faults, 1u);  // the checksum demonstrably tripped
+  EXPECT_GE(s.integrity_recovered, 1u);
+}
+
 // Registration with non-finite matrix values is rejected up front — the NaN
 // policy applies to payloads, not just request vectors.
 TEST_F(ServeChaosTest, RegisterRejectsNonFiniteValues) {

@@ -446,6 +446,102 @@ TEST_F(ServeTest, GracefulDrainAnswersQueuedRequestsAndExits) {
   EXPECT_THROW({ serve::Client reconnect(sock()); }, IoError);
 }
 
+TEST_F(ServeTest, VerifiedSpmvRunsChecksummedAndMatchesOracle) {
+  start(base_options());
+  const auto a = pow2_matrix(64, 0x71);
+  serve::Client c(sock());
+  const auto reg = c.register_matrix(a);
+  ASSERT_EQ(reg.status.status, serve::ServeStatus::kOk);
+  const auto x = pow2_x(a.cols, 0x72);
+
+  serve::RequestOptions vopt;
+  vopt.verified = true;
+  const auto r = c.spmv(reg.matrix_id, x, vopt);
+  ASSERT_TRUE(r.ok()) << r.status.detail;
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.recovered);
+  expect_bitwise(r.y, csr_oracle(a, x));
+
+  // A plain request on the same connection stays unverified.
+  const auto plain = c.spmv(reg.matrix_id, x);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.verified);
+  expect_bitwise(plain.y, r.y);
+
+  const auto s = server_->stats();
+  EXPECT_EQ(s.verified_requests, 1u);
+  EXPECT_EQ(s.integrity_faults, 0u);  // clean run: zero false positives
+}
+
+TEST_F(ServeTest, VerifiedSolveRunsTheSelfCheckingSolvers) {
+  auto opt = base_options();
+  opt.verified = true;  // server-wide: every request checksum-verified
+  start(opt);
+  const index_t n = 64;
+  std::vector<index_t> ri, ci;
+  std::vector<real_t> v;
+  for (index_t i = 0; i < n; ++i) {
+    ri.push_back(i); ci.push_back(i); v.push_back(4.0);
+    if (i + 1 < n) {
+      ri.push_back(i); ci.push_back(i + 1); v.push_back(-1.0);
+      ri.push_back(i + 1); ci.push_back(i); v.push_back(-1.0);
+    }
+  }
+  const auto a = fmt::Coo::from_triplets(n, n, std::move(ri), std::move(ci),
+                                         std::move(v));
+  serve::Client c(sock());
+  const auto reg = c.register_matrix(a);
+  ASSERT_EQ(reg.status.status, serve::ServeStatus::kOk);
+  const auto b = pow2_x(n, 0x73);
+  // No per-request flag: the server-wide option alone promotes the solve.
+  const auto r = c.solve(reg.matrix_id, b, /*solver=*/1, 1e-10, 2000);
+  ASSERT_TRUE(r.ok()) << r.status.detail;
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.integrity_faults, 0u);
+  EXPECT_EQ(r.rollbacks, 0u);
+  const auto ax = csr_oracle(a, r.x);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], 1e-8);
+  }
+  const auto s = server_->stats();
+  EXPECT_GE(s.verified_requests, 1u);
+  EXPECT_EQ(s.integrity_faults, 0u);
+}
+
+TEST_F(ServeTest, OversizedFrameIsRejectedBeforeAllocation) {
+  auto opt = base_options();
+  opt.max_frame_bytes = 512;  // far below the protocol ceiling
+  start(opt);
+  serve::Client c(sock());
+
+  // A well-formed header whose declared length exceeds the cap — but is
+  // far below kMaxFramePayload — must bounce on the length field alone,
+  // before any payload buffer is allocated or a single payload byte read.
+  struct Header {
+    std::uint32_t magic;
+    std::uint16_t version;
+    std::uint16_t type;
+    std::uint64_t len;
+  } h{serve::kFrameMagic, serve::kProtocolVersion,
+      static_cast<std::uint16_t>(serve::MsgType::kSpmv), 1u << 20};
+  ASSERT_EQ(::send(c.fd(), &h, sizeof h, 0),
+            static_cast<ssize_t>(sizeof h));
+  serve::Frame f;
+  ASSERT_TRUE(serve::read_frame(c.fd(), f));
+  serve::WireReader r(f.payload);
+  const auto status = serve::get_reply_status(r);
+  EXPECT_EQ(status.status, serve::ServeStatus::kProtocolError);
+  EXPECT_NE(status.detail.find("exceeds limit"), std::string::npos)
+      << status.detail;
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+
+  // Small frames still fit under the cap: a fresh connection serves stats.
+  serve::Client c2(sock());
+  EXPECT_EQ(c2.stats().status.status, serve::ServeStatus::kOk);
+}
+
 TEST_F(ServeTest, StatsReportOverSocketMatchesInProcess) {
   start(base_options());
   const auto a = pow2_matrix(32, 0x5B);

@@ -2,16 +2,19 @@
 # Builds the test suite under sanitizers and runs it, in two passes:
 #
 #   address  ASan + UBSan over the full suite               (build-asan)
-#   thread   TSan over the tsan/replay/serve-labeled suites (build-tsan) —
-#            chaos_test + workpool_test + compressed_test + vecops_test +
-#            solver_determinism_test + replay_test, the ones that exercise
-#            the persistent WorkPool (reuse across launches, concurrent
-#            submitters, the parallel tuner sweep and BCCOO build,
-#            multi-threaded compressed-stream decode, the pooled vector
-#            kernels and fused solver loops), the adjacent-sync spin chain
-#            and the flight recorder's lock-free journal; plus serve_test +
-#            serve_chaos_test, which drive the serving daemon's accept /
-#            dispatch / executor / drain threads under concurrent clients.
+#   thread   TSan over the tsan/replay/serve/integrity-labeled suites
+#            (build-tsan) — chaos_test + workpool_test + compressed_test +
+#            vecops_test + solver_determinism_test + replay_test, the ones
+#            that exercise the persistent WorkPool (reuse across launches,
+#            concurrent submitters, the parallel tuner sweep and BCCOO
+#            build, multi-threaded compressed-stream decode, the pooled
+#            vector kernels and fused solver loops), the adjacent-sync spin
+#            chain and the flight recorder's lock-free journal; plus
+#            serve_test + serve_chaos_test, which drive the serving
+#            daemon's accept / dispatch / executor / drain threads under
+#            concurrent clients; plus integrity_test, whose checksum-
+#            verified applies and fault-injected rollbacks run on the
+#            multi-threaded CpuSpmv chunk pass.
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 #        YASPMV_SANITIZE=address|thread limits the run to one pass.
@@ -42,9 +45,11 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
     --target chaos_test workpool_test compressed_test vecops_test \
-             solver_determinism_test replay_test serve_test serve_chaos_test
+             solver_determinism_test replay_test serve_test \
+             serve_chaos_test integrity_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ctest --test-dir "$build" -L "tsan|replay|serve" --output-on-failure "$@"
+    ctest --test-dir "$build" -L "tsan|replay|serve|integrity" \
+      --output-on-failure "$@"
 }
 
 case "$mode" in

@@ -38,11 +38,11 @@ int usage() {
          "(id derived from the input when omitted)\n"
          "            [--deadline-ms=N] [--retries=N]\n"
          "            [--inject=nan|drop_publish|corrupt_cache|fail_main|"
-         "sleep:<ms>]\n"
-         "            [--out=<y.txt>]\n"
+         "sleep:<ms>|corrupt_publish]\n"
+         "            [--verified] [--out=<y.txt>]\n"
          "  solve     [--id=<hex>] --n=<rows> | --mtx=|--matrix= "
          "[--solver=cg|bicgstab]\n"
-         "            [--tol=1e-10] [--max-iters=N] [--out=<x.txt>]\n"
+         "            [--tol=1e-10] [--max-iters=N] [--verified] [--out=<x.txt>]\n"
          "  stats\n"
          "  shutdown\n";
   return 2;
@@ -66,6 +66,7 @@ serve::RequestOptions request_options(const Args& args) {
   opt.deadline_ms =
       static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
   opt.retries = static_cast<int>(args.get_int("retries", 0));
+  opt.verified = args.has("verified");
   const std::string inj = args.get("inject");
   if (!inj.empty()) {
     if (inj == "nan") {
@@ -76,6 +77,8 @@ serve::RequestOptions request_options(const Args& args) {
       opt.inject = serve::Inject::kCorruptCache;
     } else if (inj == "fail_main") {
       opt.inject = serve::Inject::kFailMain;
+    } else if (inj == "corrupt_publish") {
+      opt.inject = serve::Inject::kCorruptPublish;
     } else if (inj.rfind("sleep:", 0) == 0) {
       opt.inject = serve::Inject::kSleepMs;
       opt.inject_arg =
@@ -140,7 +143,10 @@ int main(int argc, char** argv) {
                 << "\nshed_on_drain " << s.shed_on_drain << "\nregistered "
                 << s.registered << "\nplan_cache_hits " << s.plan_cache_hits
                 << "\nplan_cache_misses " << s.plan_cache_misses
-                << "\ninflight " << s.inflight << "\n";
+                << "\ninflight " << s.inflight << "\nverified_requests "
+                << s.verified_requests << "\nintegrity_faults "
+                << s.integrity_faults << "\nintegrity_recovered "
+                << s.integrity_recovered << "\n";
       return 0;
     }
     if (cmd == "shutdown") {
@@ -181,7 +187,8 @@ int main(int argc, char** argv) {
       if (!r.ok()) return report_error(r.status);
       std::cerr << "ok via " << r.path << " (" << r.attempts << " attempt"
                 << (r.attempts == 1 ? "" : "s")
-                << (r.recovered ? ", recovered" : "") << ")\n";
+                << (r.recovered ? ", recovered" : "")
+                << (r.verified ? ", verified" : "") << ")\n";
       for (const auto& f : r.faults) {
         std::cerr << "  fault: " << f.path << " -> " << to_string(f.status)
                   << (f.journal_file.empty() ? ""
@@ -200,7 +207,13 @@ int main(int argc, char** argv) {
     if (!r.ok()) return report_error(r.status);
     std::cerr << (r.converged ? "converged" : "NOT converged") << " in "
               << r.iterations << " iterations (rel residual "
-              << r.rel_residual << ")\n";
+              << r.rel_residual << ")"
+              << (r.verified ? " [verified, " +
+                                   std::to_string(r.integrity_faults) +
+                                   " integrity faults, " +
+                                   std::to_string(r.rollbacks) + " rollbacks]"
+                             : "")
+              << "\n";
     if (args.has("out")) write_vector(args.get("out"), r.x);
     return 0;
   } catch (const std::exception& e) {

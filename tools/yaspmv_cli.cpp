@@ -52,7 +52,10 @@ int usage() {
       " [--out=<y.txt>]\n"
       "          [--cols=auto|raw|short|delta]  column stream for the native\n"
       "          kernel; [--no-delta-decode] = --cols=raw escape hatch\n"
-      "          [--verify] [--inject=<fault>[:wg=N]]   (fault: drop_publish,\n"
+      "          [--verify]  exhaustive residual + ABFT checksum check per\n"
+      "          attempt (detected corruption raises kIntegrityFault and\n"
+      "          recovers down the ladder)\n"
+      "          [--inject=<fault>[:wg=N]]   (fault: drop_publish,\n"
       "          stall_publish, corrupt_publish, corrupt_cache, fail_main,\n"
       "          fail_carry, fail_combine; runs the resilient engine)\n"
       "          [--record=<file.journal>]  capture the interleaving (failed\n"
@@ -240,6 +243,10 @@ int cmd_spmv_resilient(const Args& args, const core::Bccoo& m) {
   ec.workers = static_cast<unsigned>(args.get_int("threads", 1));
   core::ResilientOptions opt;
   opt.verify = args.has("verify");
+  // --verify also arms the ABFT checksum check: sum(y) against the
+  // format's column checksums, which catches silent value/column/partial
+  // corruption the sampled residual can miss between samples.
+  opt.verify_checksum = args.has("verify");
   // Exhaustive residual check: sampling can miss a single corrupted row,
   // and at CLI scale one extra CPU SpMV is free.
   opt.sample_rows = A.rows;

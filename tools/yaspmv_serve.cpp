@@ -42,6 +42,10 @@ int usage() {
          "  --drain-timeout-ms=N   graceful-drain watchdog (default 5000)\n"
          "  --verify               sampled-row residual check per apply\n"
          "  --sample-rows=N        rows sampled by --verify (default 16)\n"
+         "  --verified             checksum-verify every request (ABFT; "
+         "clients can also opt in per request)\n"
+         "  --max-frame-bytes=N    reject frames above N payload bytes "
+         "before allocating (0 = protocol max)\n"
          "  --tune-workers=N       tuner concurrency on a plan-cache miss\n"
          "  --no-tune              skip tuning; serve the default config\n"
          "  --enable-inject        honor per-request fault-injection hooks\n";
@@ -67,6 +71,9 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("drain-timeout-ms", 5000));
   opt.verify = args.has("verify");
   opt.verify_sample_rows = static_cast<int>(args.get_int("sample-rows", 16));
+  opt.verified = args.has("verified");
+  opt.max_frame_bytes =
+      static_cast<std::uint64_t>(args.get_int("max-frame-bytes", 0));
   opt.tune_workers = static_cast<unsigned>(args.get_int("tune-workers", 0));
   opt.tune_on_register = !args.has("no-tune");
   opt.enable_inject = args.has("enable-inject");
