@@ -17,11 +17,19 @@
 // checksum-verified apply against the raw apply on the same engine and
 // records `verified_gflops` + `verify_overhead` per matrix plus the
 // `verify_overhead_geomean` across the suite (tools/bench_compare gates
-// overhead growth the same way it gates GFLOPS regressions).  The binary re-validates its own JSON before
+// overhead growth the same way it gates GFLOPS regressions).  A
+// `thread_scaling` series per matrix (--scaling=0 skips it) times the
+// legacy serial-carry-fold path against the speculative parallel fix-up
+// across a thread ladder {1,2,4,8,16,hw}, recording GFLOPS, speedup and
+// parallel efficiency per count plus `speedup_16t` /
+// `parallel_efficiency_16t`, and a suite-level
+// `segsum_speedup_16t_geomean` over the long-segment matrices
+// (mean nnz/row >= 16).  The binary re-validates its own JSON before
 // exiting and fails the run if the report does not parse — this is what the
 // bench-smoke CI test asserts.
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
@@ -43,6 +51,7 @@ int main(int argc, char** argv) {
   const double mult = args.get_double("scale", 0.5);
   const bool do_tune = args.get_int("tune", 1) != 0;
   const bool no_compressed = args.has("no-delta-decode");
+  const bool do_scaling = args.get_int("scaling", 1) != 0;
   const std::string json_path = args.get("json", "BENCH_cpu.json");
   const index_t spmm_k = 8;
 
@@ -50,8 +59,20 @@ int main(int argc, char** argv) {
             << " thread(s), " << reps << " reps, simd="
             << cpu::simd::to_string(cpu::simd::active()) << ") ===\n\n";
   TablePrinter t({"Name", "NNZ", "CSR", "1x1 raw", "1x1 short", "1x1 delta",
-                  "ver 1T", "blocked", "SpMM k=8", "tune ser(s)",
+                  "ver 1T", "blocked", "SpMM k=8", "seg x16T", "tune ser(s)",
                   "tune pool(s)"});
+
+  // Thread counts for the segmented-sum scaling series: the fixed ladder
+  // the report is gated on, plus the machine's hardware concurrency.
+  std::vector<unsigned> scale_threads{1, 2, 4, 8, 16};
+  {
+    const unsigned hw = default_workers();
+    if (std::find(scale_threads.begin(), scale_threads.end(), hw) ==
+        scale_threads.end()) {
+      scale_threads.push_back(hw);
+      std::sort(scale_threads.begin(), scale_threads.end());
+    }
+  }
 
   json::Writer w;
   w.begin_object();
@@ -72,6 +93,11 @@ int main(int argc, char** argv) {
 
   double overhead_log_sum = 0.0;  // geomean of verified/raw time ratios
   int overhead_count = 0;
+  // Geomean of the 16-thread speculative-over-serial-fold speedup across
+  // the long-segment matrices (mean nnz/row >= 16) — the shapes whose
+  // carry chains the parallel fix-up is supposed to shorten.
+  double segsum_log_sum = 0.0;
+  int segsum_count = 0;
 
   for (const auto& name : names) {
     const auto& e = gen::suite_entry(name);
@@ -140,6 +166,53 @@ int main(int argc, char** argv) {
     const double gf_spmm =
         flops * static_cast<double>(spmm_k) / (t_spmm * 1e6);
 
+    // Segmented-sum thread-scaling series: the pre-change execution
+    // (serial carry fold + AVX2 dispatch, exactly the bits the legacy path
+    // produced) against the speculative fix-up at its default dispatch
+    // level, across the thread ladder.  Engines are rebuilt per thread
+    // count because the chunk decomposition derives from it.
+    std::vector<double> sc_serial_gf, sc_spec_gf, sc_speedup, sc_eff;
+    double speedup_16t = 0.0, eff_16t = 0.0;
+    if (do_scaling) {
+      const auto legacy_level = cpu::simd::cpu_has_avx2()
+                                    ? cpu::simd::Level::kAvx2
+                                    : cpu::simd::Level::kPortable;
+      for (const unsigned T : scale_threads) {
+        double t_ser, t_spec;
+        {
+          cpu::CpuSpmv e(m_scalar, T, core::ColStream::kRaw,
+                         cpu::SegSumMode::kSerialFold);
+          const auto saved = cpu::simd::active();
+          cpu::simd::set_level(legacy_level);
+          t_ser = time_ms([&] { e.spmv(x, y); });
+          cpu::simd::set_level(saved);
+        }
+        {
+          cpu::CpuSpmv e(m_scalar, T, core::ColStream::kRaw,
+                         cpu::SegSumMode::kSpeculative);
+          t_spec = time_ms([&] { e.spmv(x, y); });
+        }
+        sc_serial_gf.push_back(flops / (t_ser * 1e6));
+        sc_spec_gf.push_back(flops / (t_spec * 1e6));
+        sc_speedup.push_back(t_spec > 0 ? t_ser / t_spec : 0.0);
+        sc_eff.push_back(sc_spec_gf.front() > 0
+                             ? sc_spec_gf.back() /
+                                   (sc_spec_gf.front() *
+                                    static_cast<double>(T))
+                             : 0.0);
+        if (T == 16) {
+          speedup_16t = sc_speedup.back();
+          eff_16t = sc_eff.back();
+        }
+      }
+      const double nnz_per_row =
+          static_cast<double>(A.nnz()) / std::max<index_t>(1, A.rows);
+      if (nnz_per_row >= 16.0 && speedup_16t > 0) {
+        segsum_log_sum += std::log(speedup_16t);
+        ++segsum_count;
+      }
+    }
+
     // Auto-tuning time: the identical pruned sweep, candidates evaluated
     // serially vs concurrently on the WorkPool (results are defined to be
     // identical — see TuneOptions::tune_workers).
@@ -159,6 +232,7 @@ int main(int argc, char** argv) {
                no_compressed ? "-" : TablePrinter::fmt(gf_delta, 2),
                TablePrinter::fmt(verify_overhead * 100.0, 1) + "%",
                TablePrinter::fmt(gf_blk, 2), TablePrinter::fmt(gf_spmm, 2),
+               do_scaling ? TablePrinter::fmt(speedup_16t, 2) + "x" : "-",
                do_tune ? TablePrinter::fmt(tune_serial, 2) : "-",
                do_tune ? TablePrinter::fmt(tune_pooled, 2) : "-"});
 
@@ -220,6 +294,31 @@ int main(int argc, char** argv) {
     // ABFT checksum verification, single thread (see the 1T series above).
     w.key("verified_gflops").value(gf_ver);
     w.key("verify_overhead").value(verify_overhead);
+    if (do_scaling) {
+      // serial_fold = the pre-change path (serial carry fold, AVX2);
+      // speculative = the parallel fix-up at the default dispatch level.
+      // speedup[i] = serial_fold time / speculative time at threads[i];
+      // parallel_efficiency[i] = speculative scaling vs perfect linear.
+      w.key("thread_scaling").begin_object();
+      w.key("threads").begin_array();
+      for (const unsigned T : scale_threads) {
+        w.value(static_cast<long long>(T));
+      }
+      w.end_array();
+      const auto num_array = [&](const char* key,
+                                 const std::vector<double>& v) {
+        w.key(key).begin_array();
+        for (const double d : v) w.value(d);
+        w.end_array();
+      };
+      num_array("serial_fold_gflops", sc_serial_gf);
+      num_array("speculative_gflops", sc_spec_gf);
+      num_array("speedup", sc_speedup);
+      num_array("parallel_efficiency", sc_eff);
+      w.key("speedup_16t").value(speedup_16t);
+      w.key("parallel_efficiency_16t").value(eff_16t);
+      w.end_object();
+    }
     if (do_tune) {
       w.key("tune_seconds_serial").value(tune_serial);
       w.key("tune_seconds_pooled").value(tune_pooled);
@@ -233,13 +332,28 @@ int main(int argc, char** argv) {
                 1.0
           : 0.0;
   w.key("verify_overhead_geomean").value(overhead_geomean);
+  const double segsum_geomean =
+      segsum_count > 0
+          ? std::exp(segsum_log_sum / static_cast<double>(segsum_count))
+          : 0.0;
+  if (do_scaling) {
+    w.key("segsum_speedup_16t_geomean").value(segsum_geomean);
+    w.key("segsum_long_segment_count")
+        .value(static_cast<long long>(segsum_count));
+  }
   w.end_object();
 
   t.print();
   std::cout << "\n(GFLOPS columns; SpMM counts 2*nnz*k flops; 'ver 1T' is\n"
-               " the single-thread ABFT checksum-verified apply overhead)\n"
+               " the single-thread ABFT checksum-verified apply overhead;\n"
+               " 'seg x16T' is the 16-thread speculative-over-serial-fold\n"
+               " segmented-sum speedup)\n"
             << "verified-apply overhead geomean (1 thread): "
             << overhead_geomean * 100.0 << "%\n";
+  if (do_scaling) {
+    std::cout << "segmented-sum 16T speedup geomean (long-segment suite, "
+              << segsum_count << " matrices): " << segsum_geomean << "x\n";
+  }
 
   const std::string report = w.take();
   if (!json::valid(report)) {

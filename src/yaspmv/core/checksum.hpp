@@ -74,16 +74,38 @@ inline double checksum_bound(const Bccoo& f, double babs) {
          std::numeric_limits<real_t>::epsilon() * babs;
 }
 
-/// Serial reference verification of y against the checksum plan (the CPU
-/// backend carries a SIMD twin inside CpuSpmv::spmv_verified; this one
-/// serves the resilient engine, the server and the tests).  When the
-/// caller can supply the pre-combine per-slice partial results (length
-/// stacked_block_rows * block_h, e.g. SpmvEngine::partials()), a failed
-/// check is attributed to the slice whose partial sum disagrees most with
-/// its per-slice checksum — free, because the slices partition the columns.
-inline ChecksumReport verify_apply(const Bccoo& f, std::span<const real_t> x,
-                                   std::span<const real_t> y,
-                                   std::span<const real_t> partials = {}) {
+/// The x-side half of a verification, reusable across repeated checks of
+/// the same (format, x) pair: the checksum dot w.x and the bound mass
+/// |w|.|x| depend only on the format's plan and x, not on y — a retrying
+/// caller (ResilientEngine) computes them once per x and re-verifies each
+/// attempt's y against the cached pair at O(rows) instead of O(rows+cols).
+struct ChecksumDots {
+  double rhs = 0.0;   ///< checksum_w . x
+  double babs = 0.0;  ///< checksum_wabs . |x|
+};
+
+/// Computes the x-side dots (same serial loop order as verify_apply, so a
+/// cached-dots verification is bitwise identical to the one-shot form).
+inline ChecksumDots checksum_dots(const Bccoo& f, std::span<const real_t> x) {
+  require(f.checksums_built, "checksum verify: plan not built");
+  require(x.size() == static_cast<std::size_t>(f.cols),
+          "checksum verify: vector size mismatch");
+  ChecksumDots d;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    d.rhs += f.checksum_w[j] * x[j];
+    d.babs += f.checksum_wabs[j] * std::abs(x[j]);
+  }
+  return d;
+}
+
+/// Verification of y against precomputed x-side dots (the y-side half of
+/// verify_apply).  `x` is still needed for the failure-path slice
+/// attribution; the fault-free path never touches it.
+inline ChecksumReport verify_apply_with(const Bccoo& f,
+                                        const ChecksumDots& dots,
+                                        std::span<const real_t> x,
+                                        std::span<const real_t> y,
+                                        std::span<const real_t> partials = {}) {
   require(f.checksums_built, "checksum verify: plan not built");
   require(x.size() == static_cast<std::size_t>(f.cols) &&
               y.size() == static_cast<std::size_t>(f.rows),
@@ -91,15 +113,10 @@ inline ChecksumReport verify_apply(const Bccoo& f, std::span<const real_t> x,
   ChecksumReport rep;
   double s = 0.0;
   for (const real_t v : y) s += v;
-  double c = 0.0, babs = 0.0;
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    c += f.checksum_w[j] * x[j];
-    babs += f.checksum_wabs[j] * std::abs(x[j]);
-  }
   rep.lhs = s;
-  rep.rhs = c;
-  rep.delta = std::abs(s - c);
-  rep.bound = checksum_bound(f, babs);
+  rep.rhs = dots.rhs;
+  rep.delta = std::abs(s - dots.rhs);
+  rep.bound = checksum_bound(f, dots.babs);
   const auto bh = static_cast<std::size_t>(f.cfg.block_h);
   const std::size_t slice_rows = static_cast<std::size_t>(f.block_rows) * bh;
   if (!rep.ok() && f.cfg.slices > 1 &&
@@ -126,6 +143,21 @@ inline ChecksumReport verify_apply(const Bccoo& f, std::span<const real_t> x,
     }
   }
   return rep;
+}
+
+/// Serial reference verification of y against the checksum plan (the CPU
+/// backend carries a SIMD twin inside CpuSpmv::spmv_verified; this one
+/// serves the resilient engine, the server and the tests).  Composed from
+/// checksum_dots + verify_apply_with, so a caller caching the dots gets
+/// bit-identical reports.  When the caller can supply the pre-combine
+/// per-slice partial results (length stacked_block_rows * block_h, e.g.
+/// SpmvEngine::partials()), a failed check is attributed to the slice whose
+/// partial sum disagrees most with its per-slice checksum — free, because
+/// the slices partition the columns.
+inline ChecksumReport verify_apply(const Bccoo& f, std::span<const real_t> x,
+                                   std::span<const real_t> y,
+                                   std::span<const real_t> partials = {}) {
+  return verify_apply_with(f, checksum_dots(f, x), x, y, partials);
 }
 
 /// Convenience: verify and throw IntegrityFault on mismatch.

@@ -154,6 +154,20 @@ class ResilientEngine {
                 y.size() == static_cast<std::size_t>(a_.rows),
             "ResilientEngine::run: vector size mismatch");
     ResilientRun out;
+    // The x-side checksum dots (w.x, |w|.|x|) depend only on (format, x),
+    // so within this run() they are computed once per format and reused
+    // across integrity retries — a retried --verify attempt costs O(rows),
+    // not O(rows + cols).  Keyed by format pointer: a rebuilt format gets a
+    // fresh shared_ptr, which naturally invalidates its cached dots.
+    const Bccoo* dots_key = nullptr;
+    ChecksumDots dots;
+    const auto dots_for = [&](const Bccoo& f) -> const ChecksumDots& {
+      if (dots_key != &f) {
+        dots = checksum_dots(f, x);
+        dots_key = &f;
+      }
+      return dots;
+    };
     for (std::size_t step = 0; step < rungs_.size(); ++step) {
       Rung& rung = rungs_[step];
       // Integrity faults get up to three shots at one rung before the ladder
@@ -186,7 +200,8 @@ class ResilientEngine {
           SpmvRun r = rung.engine->run(x, y);
           if (verify_checksum) {
             const ChecksumReport rep =
-                verify_apply(*rung.format, x, y, rung.engine->partials());
+                verify_apply_with(*rung.format, dots_for(*rung.format), x, y,
+                                  rung.engine->partials());
             if (!rep.ok()) {
               throw IntegrityFault("checksum-verified apply: " +
                                    rep.message());

@@ -2,7 +2,7 @@
 //
 // The hot loop of the BCCOO segmented sum is a sparse dot product between
 // two row stops: sum of vals[p] * x[cols[p]] over a contiguous range of
-// non-zero blocks.  This header provides that primitive in two
+// non-zero blocks.  This header provides that primitive in three
 // implementations selected by runtime dispatch:
 //
 //   * portable  — four independent scalar accumulators (breaks the
@@ -11,15 +11,21 @@
 //   * AVX2/FMA  — 256-bit lanes with vgatherdpd for x[cols[p]] and fused
 //     multiply-add, compiled with a per-function target attribute so the
 //     library itself needs no -march flags, plus software prefetch of the
-//     gather targets one tile ahead.
+//     gather targets one tile ahead,
+//   * AVX-512   — 512-bit lanes with the same gather/FMA structure *and a
+//     masked tail*: the sub-8 remainder of a segment piece is handled by one
+//     masked load/gather/FMA instead of a scalar epilogue, which is where
+//     the win on medium-length segments (nnz/row 30-160) comes from — those
+//     pieces spend a third of their length in the epilogue at 256 bits.
 //
-// Determinism contract: both kernels use the *same* fixed reduction order —
-// element p accumulates into lane (p - lo) % 4, lanes reduce as
-// (l0 + l2) + (l1 + l3), and the tail is added sequentially — so for a fixed
-// dispatch level results are bitwise reproducible run-to-run, and the two
-// levels agree to FMA rounding (tested at a 1-ulp-scaled tolerance).  The
-// dispatch level is fixed at first use (or via YASPMV_SIMD / set_level), so
-// a process never mixes kernels across repeated runs.
+// Determinism contract: every kernel uses a *fixed* reduction order —
+// element p accumulates into lane (p - lo) % W, lanes reduce in a fixed
+// tree ((l0 + l2) + (l1 + l3) at W=4), and the tail is folded in a fixed
+// position — so for a fixed dispatch level results are bitwise reproducible
+// run-to-run, and the levels agree pairwise to FMA rounding (tested at a
+// 1-ulp-scaled tolerance).  The dispatch level is fixed at first use (or
+// via YASPMV_SIMD / set_level), so a process never mixes kernels across
+// repeated runs.
 //
 // Also here: next_row_stop, a word-at-a-time scan of the packed bit-flag
 // array that replaces the per-non-zero branch of the scalar loop with one
@@ -46,11 +52,19 @@
 namespace yaspmv::cpu::simd {
 
 /// Dispatch levels.  kPortable is always available; kAvx2 requires x86-64
-/// with AVX2+FMA at runtime.
-enum class Level : int { kPortable = 0, kAvx2 = 1 };
+/// with AVX2+FMA at runtime; kAvx512 additionally requires AVX-512 F+VL
+/// (VL for the masked 256-bit index loads in the tail path).  Levels other
+/// than the dot/dense kernels treat kAvx512 as kAvx2 — widening them was
+/// measured gather-throughput-neutral, so only the dot kernels carry a
+/// 512-bit implementation.
+enum class Level : int { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
 
 inline const char* to_string(Level l) {
-  return l == Level::kAvx2 ? "avx2" : "portable";
+  switch (l) {
+    case Level::kAvx512: return "avx512";
+    case Level::kAvx2: return "avx2";
+    default: return "portable";
+  }
 }
 
 inline bool cpu_has_avx2() {
@@ -61,32 +75,46 @@ inline bool cpu_has_avx2() {
 #endif
 }
 
+inline bool cpu_has_avx512() {
+#if YASPMV_SIMD_X86
+  return cpu_has_avx2() && __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
 namespace detail {
 inline std::atomic<int>& level_storage() {
   static std::atomic<int> level{[] {
+    Level l = cpu_has_avx512()  ? Level::kAvx512
+              : cpu_has_avx2() ? Level::kAvx2
+                               : Level::kPortable;
     if (const char* env = std::getenv("YASPMV_SIMD")) {
-      if (std::strcmp(env, "portable") == 0) return Level::kPortable;
-      if (std::strcmp(env, "avx2") == 0 && cpu_has_avx2()) return Level::kAvx2;
+      if (std::strcmp(env, "portable") == 0) l = Level::kPortable;
+      if (std::strcmp(env, "avx2") == 0 && cpu_has_avx2()) l = Level::kAvx2;
+      if (std::strcmp(env, "avx512") == 0 && cpu_has_avx512()) {
+        l = Level::kAvx512;
+      }
     }
-    return cpu_has_avx2() ? Level::kAvx2 : Level::kPortable;
-  }() == Level::kAvx2
-                                ? 1
-                                : 0};
+    return static_cast<int>(l);
+  }()};
   return level;
 }
 }  // namespace detail
 
 /// The active dispatch level (initialized once from the CPU probe, or the
-/// YASPMV_SIMD=portable|avx2 environment override).
+/// YASPMV_SIMD=portable|avx2|avx512 environment override).
 inline Level active() {
   return static_cast<Level>(detail::level_storage().load(std::memory_order_relaxed));
 }
 
-/// Test hook: force a dispatch level (ignored if kAvx2 is requested on a
-/// machine without it).  Not intended for concurrent use with running
-/// kernels — tests switch levels between runs.
+/// Test hook: force a dispatch level (ignored if the machine lacks it).
+/// Not intended for concurrent use with running kernels — tests switch
+/// levels between runs.
 inline void set_level(Level l) {
   if (l == Level::kAvx2 && !cpu_has_avx2()) return;
+  if (l == Level::kAvx512 && !cpu_has_avx512()) return;
   detail::level_storage().store(static_cast<int>(l), std::memory_order_relaxed);
 }
 
@@ -168,9 +196,49 @@ __attribute__((target("avx2,fma"))) inline real_t dot_range_avx2(
   for (; p < hi; ++p) s += vals[p] * x[static_cast<std::size_t>(cols[p])];
   return s;
 }
+/// AVX-512 dot kernel: 8-wide gather/FMA with a *masked* tail — the sub-8
+/// remainder is one maskz index load + masked gather + maskz value load +
+/// FMA (masked-off lanes contribute fma(0, 0, acc) = acc exactly), so there
+/// is no scalar epilogue at all.  Lane (p - lo) % 8, fixed reduce
+/// ((l0 + l4) + (l2 + l6)) + ((l1 + l5) + (l3 + l7)).
+__attribute__((target("avx512f,avx512vl"))) inline real_t dot_range_avx512(
+    const real_t* vals, const index_t* cols, const real_t* x, std::size_t lo,
+    std::size_t hi) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t p = lo;
+  for (; p + 8 <= hi; p += 8) {
+    if (p + kPrefetchDistance + 7 < hi) {
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       x + cols[p + kPrefetchDistance]),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       x + cols[p + kPrefetchDistance + 7]),
+                   _MM_HINT_T0);
+    }
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + p));
+    const __m512d xv = _mm512_i32gather_pd(idx, x, 8);
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(vals + p), xv, acc);
+  }
+  if (p < hi) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (hi - p)) - 1u);
+    const __m256i idx = _mm256_maskz_loadu_epi32(m, cols + p);
+    const __m512d xv =
+        _mm512_mask_i32gather_pd(_mm512_setzero_pd(), m, idx, x, 8);
+    acc = _mm512_fmadd_pd(_mm512_maskz_loadu_pd(m, vals + p), xv, acc);
+  }
+  alignas(64) double l[8];
+  _mm512_store_pd(l, acc);
+  return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+}
 #else
 inline real_t dot_range_avx2(const real_t* vals, const index_t* cols,
                              const real_t* x, std::size_t lo, std::size_t hi) {
+  return dot_range_portable(vals, cols, x, lo, hi);
+}
+inline real_t dot_range_avx512(const real_t* vals, const index_t* cols,
+                               const real_t* x, std::size_t lo,
+                               std::size_t hi) {
   return dot_range_portable(vals, cols, x, lo, hi);
 }
 #endif
@@ -181,7 +249,11 @@ using DotRangeFn = real_t (*)(const real_t*, const index_t*, const real_t*,
 /// The dot kernel for the active dispatch level.  Callers fetch the pointer
 /// once per launch so the level check is out of the per-segment loop.
 inline DotRangeFn dot_range() {
-  return active() == Level::kAvx2 ? &dot_range_avx2 : &dot_range_portable;
+  switch (active()) {
+    case Level::kAvx512: return &dot_range_avx512;
+    case Level::kAvx2: return &dot_range_avx2;
+    default: return &dot_range_portable;
+  }
 }
 
 /// Below this length a segment piece is summed by the inline sequential
@@ -320,12 +392,16 @@ using DecodeShortFn = void (*)(const std::uint16_t*, index_t*, std::size_t);
 using DecodeDeltaFn = std::size_t (*)(const std::int16_t*, std::size_t,
                                       const index_t*, index_t*);
 
+// Decode is integer-exact, so kAvx512 shares the AVX2 kernels (widening
+// them buys nothing — the decode is issue-bound, not width-bound).
 inline DecodeShortFn decode_short() {
-  return active() == Level::kAvx2 ? &decode_short_avx2 : &decode_short_portable;
+  return active() != Level::kPortable ? &decode_short_avx2
+                                      : &decode_short_portable;
 }
 
 inline DecodeDeltaFn decode_delta() {
-  return active() == Level::kAvx2 ? &decode_delta_avx2 : &decode_delta_portable;
+  return active() != Level::kPortable ? &decode_delta_avx2
+                                      : &decode_delta_portable;
 }
 
 /// Contiguous dense dot of width w <= 8 (one block row against the padded
@@ -364,8 +440,23 @@ __attribute__((target("avx2,fma"))) inline real_t dot_dense_avx2(
   for (; p < w; ++p) s += a[p] * b[p];
   return s;
 }
+/// AVX-512 dense dot: the full-width w == 8 case (the blocked fast path's
+/// widest block) is one 512-bit multiply plus the fixed 8-lane reduce;
+/// narrower widths share the AVX2 kernel.
+__attribute__((target("avx512f,avx512vl"))) inline real_t dot_dense_avx512(
+    const real_t* a, const real_t* b, std::size_t w) {
+  if (w != 8) return dot_dense_avx2(a, b, w);
+  const __m512d prod = _mm512_mul_pd(_mm512_loadu_pd(a), _mm512_loadu_pd(b));
+  alignas(64) double l[8];
+  _mm512_store_pd(l, prod);
+  return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+}
 #else
 inline real_t dot_dense_avx2(const real_t* a, const real_t* b, std::size_t w) {
+  return dot_dense_portable(a, b, w);
+}
+inline real_t dot_dense_avx512(const real_t* a, const real_t* b,
+                               std::size_t w) {
   return dot_dense_portable(a, b, w);
 }
 #endif
@@ -373,7 +464,11 @@ inline real_t dot_dense_avx2(const real_t* a, const real_t* b, std::size_t w) {
 using DotDenseFn = real_t (*)(const real_t*, const real_t*, std::size_t);
 
 inline DotDenseFn dot_dense() {
-  return active() == Level::kAvx2 ? &dot_dense_avx2 : &dot_dense_portable;
+  switch (active()) {
+    case Level::kAvx512: return &dot_dense_avx512;
+    case Level::kAvx2: return &dot_dense_avx2;
+    default: return &dot_dense_portable;
+  }
 }
 
 // ---- ABFT checksum-verify kernels ----------------------------------------
@@ -491,13 +586,77 @@ using SumFn = real_t (*)(const real_t*, std::size_t);
 using CheckDotFn = CheckDotResult (*)(const real_t*, const real_t*,
                                       const real_t*, std::size_t);
 
+// kAvx512 shares the AVX2 verify kernels: both passes are stream-bound.
 inline SumFn sum() {
-  return active() == Level::kAvx2 ? &sum_avx2 : &sum_portable;
+  return active() != Level::kPortable ? &sum_avx2 : &sum_portable;
 }
 
 inline CheckDotFn checksum_dot() {
-  return active() == Level::kAvx2 ? &checksum_dot_avx2
-                                  : &checksum_dot_portable;
+  return active() != Level::kPortable ? &checksum_dot_avx2
+                                      : &checksum_dot_portable;
+}
+
+// ---- speculative carry fix-up kernels -------------------------------------
+//
+// The carry-chain-free segmented sum (cpu/segfix.hpp) repairs speculative
+// per-chunk sums with two short lane-panel operations: apply an incoming
+// carry to a chunk's first-segment slots (out = carry + firsts) and fold a
+// chunk's carry panel into a running state (acc += src).  Both are purely
+// elementwise over independent lanes — no reduction order exists — so every
+// dispatch level produces bit-identical results; the per-(threads, level)
+// reproducibility contract is carried entirely by the dot/decode kernels.
+
+inline void carry_apply_portable(real_t* out, const real_t* carry,
+                                 const real_t* firsts, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = carry[i] + firsts[i];
+}
+
+inline void acc_add_portable(real_t* acc, const real_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+}
+
+#if YASPMV_SIMD_X86
+__attribute__((target("avx2"))) inline void carry_apply_avx2(
+    real_t* out, const real_t* carry, const real_t* firsts, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(carry + i),
+                                            _mm256_loadu_pd(firsts + i)));
+  }
+  for (; i < n; ++i) out[i] = carry[i] + firsts[i];
+}
+
+__attribute__((target("avx2"))) inline void acc_add_avx2(real_t* acc,
+                                                         const real_t* src,
+                                                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) acc[i] += src[i];
+}
+#else
+inline void carry_apply_avx2(real_t* out, const real_t* carry,
+                             const real_t* firsts, std::size_t n) {
+  carry_apply_portable(out, carry, firsts, n);
+}
+inline void acc_add_avx2(real_t* acc, const real_t* src, std::size_t n) {
+  acc_add_portable(acc, src, n);
+}
+#endif
+
+using CarryApplyFn = void (*)(real_t*, const real_t*, const real_t*,
+                              std::size_t);
+using AccAddFn = void (*)(real_t*, const real_t*, std::size_t);
+
+inline CarryApplyFn carry_apply() {
+  return active() != Level::kPortable ? &carry_apply_avx2
+                                      : &carry_apply_portable;
+}
+
+inline AccAddFn acc_add() {
+  return active() != Level::kPortable ? &acc_add_avx2 : &acc_add_portable;
 }
 
 }  // namespace yaspmv::cpu::simd

@@ -8,9 +8,15 @@
 //     thread-level tiles of Section 3.2, scaled to CPU cores),
 //   * each thread performs the sequential segmented sum over its chunk,
 //     writing every *interior* segment directly (those are complete) and
-//     recording its first partial sum and trailing carry,
-//   * a serial O(threads) fix-up pass resolves segments spanning chunk
-//     boundaries — the CPU analog of the adjacent-synchronization chain.
+//     recording its first partial sum and trailing carry — *speculatively*,
+//     assuming a zero incoming carry,
+//   * the speculative sums are repaired by the carry-chain-free fix-up of
+//     cpu/segfix.hpp (per-group folds, a grid-shaped Blelloch scan, and a
+//     parallel apply), replacing both the paper's adjacent-synchronization
+//     chain and this backend's former serial O(nchunks) carry fold.  The
+//     legacy fold survives as SegSumMode::kSerialFold (bench baseline /
+//     escape hatch); the default mode also claims chunks *unordered* so no
+//     global in-order ticket is contended.
 //
 // Execution substrate: chunks run on the shared persistent WorkPool
 // (util/thread_pool.hpp) — no thread spawn/join per call — and the
@@ -32,9 +38,11 @@
 // `y` is written, `spmv` rejects overlapping x/y.
 //
 // Determinism: the chunk decomposition depends only on the *requested*
-// thread count and the intra-chunk reduction order is fixed by the kernels'
-// shared lane/reduction scheme, so for a fixed thread count and dispatch
-// level results are bitwise reproducible run-to-run.
+// thread count, the intra-chunk reduction order is fixed by the kernels'
+// shared lane/reduction scheme, and the fix-up's combine tree is shaped by
+// the chunk grid alone (see segfix.hpp), so for a fixed thread count and
+// dispatch level results are bitwise reproducible run-to-run — and
+// identical whether chunks were claimed in order or not.
 //
 // Compressed column streams (Sections 2.2 and 4): the executor reads the
 // format's materialized int16-delta or u16 stream instead of the 4-byte
@@ -56,6 +64,7 @@
 
 #include "yaspmv/core/bccoo.hpp"
 #include "yaspmv/core/checksum.hpp"
+#include "yaspmv/cpu/segfix.hpp"
 #include "yaspmv/cpu/simd.hpp"
 #include "yaspmv/formats/csr.hpp"
 #include "yaspmv/sim/fault.hpp"
@@ -68,12 +77,16 @@ class CpuSpmv {
  public:
   /// `threads == 0` uses the hardware concurrency.  `cs` selects the column
   /// stream the hot loop reads (kAuto = smallest materialized one; a request
-  /// the format cannot serve degrades to kRaw).
+  /// the format cannot serve degrades to kRaw).  `mode` picks the segmented
+  /// sum's scheduling/fix-up strategy (segfix.hpp); the default speculative
+  /// mode is the fast path, kSerialFold reproduces the legacy bits.
   explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
-                   core::ColStream cs = core::ColStream::kAuto)
+                   core::ColStream cs = core::ColStream::kAuto,
+                   SegSumMode mode = default_segsum_mode())
       : fmt_(std::move(m)),
         threads_(threads == 0 ? default_workers() : threads),
-        cs_(fmt_->resolve_col_stream(cs)) {
+        cs_(fmt_->resolve_col_stream(cs)),
+        mode_(mode) {
     const core::Bccoo& f = *fmt_;
     require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
             "CpuSpmv: block height must be in [1, 8]");
@@ -138,6 +151,8 @@ class CpuSpmv {
   unsigned threads() const { return threads_; }
   /// The resolved column stream the hot loop actually reads.
   core::ColStream col_stream() const { return cs_; }
+  /// The segmented-sum scheduling/fix-up mode this engine runs.
+  SegSumMode segsum_mode() const { return mode_; }
 
   /// Fault-injection hook (tests/chaos tooling): when set, the armed
   /// kFlipPartial plan can flip one bit of one per-chunk partial sum
@@ -175,30 +190,54 @@ class CpuSpmv {
 
     const real_t* const xd = x.data();
     const std::size_t nchunks = chunk_start_.size() - 1;
-    parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
+    const bool unordered = mode_ == SegSumMode::kSpeculative;
+    const auto chunk_body = [&](unsigned, std::size_t c) {
       process_chunk(c, h, bw, xd, out);
-    });
+    };
+    if (unordered) {
+      parallel_for_unordered(nchunks, threads_, chunk_body);
+    } else {
+      parallel_for_ordered(nchunks, threads_, chunk_body);
+    }
     if (injector_) injector_->flip_partial(carries_);
 
-    // Serial fix-up: resolve segments spanning chunk boundaries (the
-    // adjacent-synchronization chain, folded).  Each chunk's first stop
-    // closes a segment no worker assigned (they defer it to firsts_), and
-    // the segment -> block-row map is injective, so plain assignment is
-    // complete — no prior clear needed.
-    real_t carry[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-    for (std::size_t c = 0; c < nchunks; ++c) {
-      const index_t first = chunk_first_seg_[c];
-      const index_t next = chunk_first_seg_[c + 1];
-      if (next > first) {
-        const auto sbrow = static_cast<std::size_t>(
-            f.seg_to_block_row[static_cast<std::size_t>(first)]);
-        for (std::size_t k = 0; k < h; ++k) {
-          out[sbrow * h + k] = carry[k] + firsts_[c * h + k];
+    // Fix-up: resolve segments spanning chunk boundaries.  Each chunk's
+    // first stop closes a segment no worker assigned (they defer it to
+    // firsts_), and the segment -> block-row map is injective, so plain
+    // assignment is complete — no prior clear needed.
+    if (mode_ == SegSumMode::kSerialFold) {
+      // Legacy serial carry fold (the adjacent-synchronization chain,
+      // folded): the O(nchunks) sequential tail the speculative path
+      // removes, kept bit-for-bit as baseline and escape hatch.
+      real_t carry[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        const index_t first = chunk_first_seg_[c];
+        const index_t next = chunk_first_seg_[c + 1];
+        if (next > first) {
+          const auto sbrow = static_cast<std::size_t>(
+              f.seg_to_block_row[static_cast<std::size_t>(first)]);
+          for (std::size_t k = 0; k < h; ++k) {
+            out[sbrow * h + k] = carry[k] + firsts_[c * h + k];
+          }
+          for (std::size_t k = 0; k < h; ++k) carry[k] = carries_[c * h + k];
+        } else {
+          for (std::size_t k = 0; k < h; ++k) carry[k] += carries_[c * h + k];
         }
-        for (std::size_t k = 0; k < h; ++k) carry[k] = carries_[c * h + k];
-      } else {
-        for (std::size_t k = 0; k < h; ++k) carry[k] += carries_[c * h + k];
       }
+    } else {
+      const simd::AccAddFn aadd = simd::acc_add();
+      const simd::CarryApplyFn capply = simd::carry_apply();
+      speculative_fixup(
+          nchunks, h, threads_, unordered, chunk_first_seg_.data(),
+          firsts_.data(), carries_.data(), 0.0,
+          [aadd, h](real_t* dst, const real_t* src) { aadd(dst, src, h); },
+          [&](std::size_t c, const real_t* inc) {
+            const auto sbrow = static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(
+                    chunk_first_seg_[c])]);
+            capply(out + sbrow * h, inc, firsts_.data() + c * h, h);
+          },
+          fix_);
     }
     if (direct_y_) return;  // workers already produced y
 
@@ -226,10 +265,15 @@ class CpuSpmv {
     if (threads_ > 1 && f.rows >= kParCombineRows) {
       const auto rowsz = static_cast<std::size_t>(f.rows);
       const std::size_t rchunks = std::min<std::size_t>(threads_ * 4, rowsz);
-      parallel_for_ordered(rchunks, threads_, [&](unsigned, std::size_t rc) {
+      const auto combine_body = [&](unsigned, std::size_t rc) {
         combine_rows(static_cast<index_t>(rc * rowsz / rchunks),
                      static_cast<index_t>((rc + 1) * rowsz / rchunks));
-      });
+      };
+      if (unordered) {
+        parallel_for_unordered(rchunks, threads_, combine_body);
+      } else {
+        parallel_for_ordered(rchunks, threads_, combine_body);
+      }
     } else {
       combine_rows(0, f.rows);
     }
@@ -436,6 +480,8 @@ class CpuSpmv {
   std::shared_ptr<const core::Bccoo> fmt_;
   unsigned threads_;
   core::ColStream cs_;
+  SegSumMode mode_;
+  FixupScratch fix_;  ///< speculative fix-up scratch (segfix.hpp)
   sim::FaultInjector* injector_ = nullptr;  ///< nullable kFlipPartial site
   bool direct_y_ = false;  ///< workers write y in place (1 slice, no row pad)
   std::vector<std::size_t> chunk_start_;
@@ -464,11 +510,13 @@ class CpuSpmv {
 class CpuSpmm {
  public:
   explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
-                   core::ColStream cs = core::ColStream::kAuto)
+                   core::ColStream cs = core::ColStream::kAuto,
+                   SegSumMode mode = default_segsum_mode())
       : fmt_(std::move(m)),
-        eng_(fmt_, threads, cs),
+        eng_(fmt_, threads, cs, mode),
         threads_(threads == 0 ? default_workers() : threads),
-        cs_(fmt_->resolve_col_stream(cs)) {
+        cs_(fmt_->resolve_col_stream(cs)),
+        mode_(mode) {
     const auto& f = *fmt_;
     if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1 &&
         f.num_blocks > 0) {
@@ -553,7 +601,8 @@ class CpuSpmm {
     const simd::DecodeShortFn dshort = simd::decode_short();
     const simd::DecodeDeltaFn ddelta = simd::decode_delta();
 
-    parallel_for_ordered(nchunks, threads_, [&](unsigned, std::size_t c) {
+    const bool unordered = mode_ == SegSumMode::kSpeculative;
+    const auto chunk_body = [&](unsigned, std::size_t c) {
       real_t* acc = acc_panel_.data() + c * kz;
       std::fill(acc, acc + kz, 0.0);
       index_t seg = first_seg_[c];
@@ -598,21 +647,47 @@ class CpuSpmm {
         }
       }
       std::copy(acc, acc + kz, &carries_[c * kz]);
-    });
+    };
+    if (unordered) {
+      parallel_for_unordered(nchunks, threads_, chunk_body);
+    } else {
+      parallel_for_ordered(nchunks, threads_, chunk_body);
+    }
 
     // Fix-up assigns, same injectivity argument as CpuSpmv::spmv.
-    std::vector<real_t> carry(kz, 0.0);
-    for (std::size_t c = 0; c < nchunks; ++c) {
-      if (first_seg_[c + 1] > first_seg_[c]) {
-        const auto row = static_cast<std::size_t>(
-            f.seg_to_block_row[static_cast<std::size_t>(first_seg_[c])]);
-        for (std::size_t j = 0; j < kz; ++j) {
-          Y[j * rowsz + row] = carry[j] + firsts_[c * kz + j];
-          carry[j] = carries_[c * kz + j];
+    if (mode_ == SegSumMode::kSerialFold) {
+      std::vector<real_t> carry(kz, 0.0);
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        if (first_seg_[c + 1] > first_seg_[c]) {
+          const auto row = static_cast<std::size_t>(
+              f.seg_to_block_row[static_cast<std::size_t>(first_seg_[c])]);
+          for (std::size_t j = 0; j < kz; ++j) {
+            Y[j * rowsz + row] = carry[j] + firsts_[c * kz + j];
+            carry[j] = carries_[c * kz + j];
+          }
+        } else {
+          for (std::size_t j = 0; j < kz; ++j) {
+            carry[j] += carries_[c * kz + j];
+          }
         }
-      } else {
-        for (std::size_t j = 0; j < kz; ++j) carry[j] += carries_[c * kz + j];
       }
+    } else {
+      const simd::AccAddFn aadd = simd::acc_add();
+      speculative_fixup(
+          nchunks, kz, threads_, unordered, first_seg_.data(),
+          firsts_.data(), carries_.data(), 0.0,
+          [aadd, kz](real_t* dst, const real_t* src) { aadd(dst, src, kz); },
+          [&](std::size_t c, const real_t* inc) {
+            // Y panels are column-major, so the chunk's first-segment row is
+            // strided — apply lane by lane.
+            const auto row = static_cast<std::size_t>(
+                f.seg_to_block_row[static_cast<std::size_t>(first_seg_[c])]);
+            const real_t* fi = firsts_.data() + c * kz;
+            for (std::size_t j = 0; j < kz; ++j) {
+              Y[j * rowsz + row] = inc[j] + fi[j];
+            }
+          },
+          fix_);
     }
   }
 
@@ -620,6 +695,8 @@ class CpuSpmm {
   CpuSpmv eng_;
   unsigned threads_;
   core::ColStream cs_;
+  SegSumMode mode_;
+  FixupScratch fix_;
   // Fused-path precomputation (1x1 blocks, 1 slice): chunk starts and the
   // first-segment ordinals, plus the cached per-chunk panels.
   std::vector<std::size_t> starts_;
@@ -643,7 +720,9 @@ inline void spmv_csr_parallel(const fmt::Csr& m, std::span<const real_t> x,
   const std::size_t chunks = std::min<std::size_t>(
       threads * 4, std::max<std::size_t>(1, static_cast<std::size_t>(m.rows)));
   const simd::DotRangeFn dot = simd::dot_range();
-  parallel_for_ordered(chunks, threads, [&](unsigned, std::size_t c) {
+  // Row ranges are independent (disjoint y writes, no carries), so the
+  // unordered claim is bitwise identical and skips the per-range ticket.
+  parallel_for_unordered(chunks, threads, [&](unsigned, std::size_t c) {
     const auto r0 = static_cast<index_t>(
         c * static_cast<std::size_t>(m.rows) / chunks);
     const auto r1 = static_cast<index_t>(

@@ -535,7 +535,8 @@ inline const Kernels& table() {
       &bicg_xr_avx2,  &bicg_p_avx2,   &sub_scaled_avx2,
       &scale_store_avx2, &scale_avx2, &precond_dot_portable,
       &jacobi_portable};
-  return simd::active() == simd::Level::kAvx2 ? avx2 : portable;
+  // kAvx512 shares the AVX2 vector kernels (stream-bound, width-neutral).
+  return simd::active() != simd::Level::kPortable ? avx2 : portable;
 }
 
 }  // namespace vk

@@ -33,6 +33,33 @@ double spmv_gflops(const sim::DeviceSpec& dev, const sim::KernelStats& st,
   return 2.0 * static_cast<double>(nnz) / t.total_s * 1e-9;
 }
 
+TimeBreakdown model_time_threads(const sim::DeviceSpec& dev,
+                                 const sim::KernelStats& st,
+                                 unsigned threads) {
+  if (threads <= 1) return model_time(dev, st);
+  TimeBreakdown t = model_time(dev, st);
+  const double tf = static_cast<double>(threads);
+  const double launches = static_cast<double>(st.kernel_launches);
+  // The streamed work partitions across threads...
+  t.mem_s /= tf;
+  t.compute_s /= tf;
+  // ...while the per-launch overhead grows with them: every launch wakes
+  // (threads - 1) extra workers, and the speculative fix-up walks a
+  // 4*threads-slot chunk grid (segfix.hpp's grid sizing).
+  t.launch_s += launches * (tf - 1.0) * dev.thread_wake_us * 1e-6;
+  t.sync_s += launches * 4.0 * tf * dev.carry_slot_ns * 1e-9;
+  t.total_s = std::max(t.mem_s, t.compute_s) + t.launch_s + t.sync_s;
+  return t;
+}
+
+double spmv_gflops_threads(const sim::DeviceSpec& dev,
+                           const sim::KernelStats& st, std::size_t nnz,
+                           unsigned threads) {
+  const TimeBreakdown t = model_time_threads(dev, st, threads);
+  if (t.total_s <= 0.0) return 0.0;
+  return 2.0 * static_cast<double>(nnz) / t.total_s * 1e-9;
+}
+
 double harmonic_mean(const double* v, std::size_t n) {
   if (n == 0) return 0.0;
   double inv = 0.0;

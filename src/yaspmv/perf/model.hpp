@@ -37,6 +37,23 @@ TimeBreakdown model_time(const sim::DeviceSpec& dev,
 double spmv_gflops(const sim::DeviceSpec& dev, const sim::KernelStats& st,
                    std::size_t nnz);
 
+/// Thread-scaling variant of model_time: the memory and compute terms
+/// divide across `threads` (the streams partition the non-zeros), while
+/// the per-launch overhead *grows* with the requested thread count — each
+/// launch wakes (threads - 1) extra workers and the speculative fix-up
+/// touches a 4*threads-slot chunk grid.  `threads <= 1` returns exactly
+/// model_time, so single-thread rankings are unchanged.  Candidates with
+/// more launches or more bytes are penalized differently at high thread
+/// counts, which is the effect `tune --rank-threads` exploits.
+TimeBreakdown model_time_threads(const sim::DeviceSpec& dev,
+                                 const sim::KernelStats& st,
+                                 unsigned threads);
+
+/// spmv_gflops over model_time_threads.
+double spmv_gflops_threads(const sim::DeviceSpec& dev,
+                           const sim::KernelStats& st, std::size_t nnz,
+                           unsigned threads);
+
 /// Harmonic mean of a positive sequence (the paper's average throughput).
 double harmonic_mean(const double* v, std::size_t n);
 

@@ -234,6 +234,8 @@ StatsSnapshot Client::stats() {
   s.verified_requests = r.get<std::uint64_t>();
   s.integrity_faults = r.get<std::uint64_t>();
   s.integrity_recovered = r.get<std::uint64_t>();
+  s.executors = r.get<std::uint64_t>();
+  s.apply_threads = r.get<std::uint64_t>();
   return s;
 }
 

@@ -91,7 +91,7 @@ struct StatsSnapshot {
                 protocol_errors = 0, disconnects = 0, shed_on_drain = 0,
                 registered = 0, plan_cache_hits = 0, plan_cache_misses = 0,
                 inflight = 0, verified_requests = 0, integrity_faults = 0,
-                integrity_recovered = 0;
+                integrity_recovered = 0, executors = 0, apply_threads = 0;
 };
 
 class Client {

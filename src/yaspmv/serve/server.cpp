@@ -117,6 +117,7 @@ Server::Server(ServerOptions opt)
     opt_.max_inflight = static_cast<std::size_t>(4) * pool_workers;
   }
   opt_.max_inflight = std::max<std::size_t>(opt_.max_inflight, opt_.executors);
+  if (opt_.apply_threads == 0) opt_.apply_threads = 1;
 }
 
 Server::~Server() { stop(); }
@@ -270,6 +271,8 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lk(stats_mu_);
     out = stats_;
   }
+  out.executors = opt_.executors;
+  out.apply_threads = opt_.apply_threads;
   {
     std::lock_guard<std::mutex> lk(disp_mu_);
     out.inflight = inflight_;
@@ -482,6 +485,9 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
           tune::TuneOptions topt;
           topt.verify = false;  // the resilient ladder re-verifies at run time
           topt.tune_workers = opt_.tune_workers;
+          // Rank candidates at the thread count applies will actually run
+          // with, so launch/fix-up overhead weighs in at deploy shape.
+          topt.rank_threads = opt_.apply_threads;
           Stopwatch tune_sw;
           const auto tr = tune::tune(entry->a, dev_, topt);
           entry->plan = tr.best;
@@ -497,10 +503,12 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
         }
       }
       core::ExecConfig ec = entry->plan.exec;
-      // Request-level parallelism comes from concurrent clients; a single
-      // apply stays on its executor thread (nested pool submits would
-      // degrade inline anyway).
-      ec.workers = 1;
+      // Request-level parallelism comes from concurrent clients by default
+      // (apply_threads == 1: a single apply stays on its executor thread).
+      // With --apply-threads=N each apply runs the carry-chain-free
+      // N-thread path; an executor that cannot get the pool degrades
+      // inline, so oversubscription cannot deadlock.
+      ec.workers = opt_.apply_threads;
       core::ResilientOptions ropt;
       ropt.verify = opt_.verify;
       ropt.sample_rows = opt_.verify_sample_rows;
@@ -826,15 +834,15 @@ std::vector<std::uint8_t> Server::run_solve(MatrixEntry& m, Pending& p) {
     }
   }
   if (!m.op) {
-    // Native fused pipeline; single-threaded per apply (see ec.workers
-    // note in handle_register).  Built once, reused by later solves.
+    // Native fused pipeline; apply_threads per apply (see ec.workers note
+    // in handle_register).  Built once, reused by later solves.
     m.op = std::make_unique<solver::CpuOperator>(m.a, core::FormatConfig{},
-                                                 /*threads=*/1);
+                                                 opt_.apply_threads);
   }
   solver::SolveOptions sopt;
   sopt.tolerance = p.tol;
   sopt.max_iterations = static_cast<int>(p.max_iters);
-  sopt.threads = 1;
+  sopt.threads = opt_.apply_threads;
   std::vector<real_t> x(static_cast<std::size_t>(m.a.rows), 0.0);
   const bool verified = p.verified || opt_.verified;
   solver::SolveReport rep;
@@ -902,6 +910,8 @@ std::vector<std::uint8_t> Server::handle_stats() {
   w.put<std::uint64_t>(s.verified_requests);
   w.put<std::uint64_t>(s.integrity_faults);
   w.put<std::uint64_t>(s.integrity_recovered);
+  w.put<std::uint64_t>(s.executors);
+  w.put<std::uint64_t>(s.apply_threads);
   return w.take();
 }
 

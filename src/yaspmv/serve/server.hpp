@@ -74,6 +74,12 @@ struct ServerOptions {
   unsigned tune_workers = 0;     ///< forwarded to tune() on a cache miss
   bool enable_inject = false;    ///< honor per-request Inject test hooks
   bool tune_on_register = true;  ///< false: skip tuning, serve default config
+  /// Native-backend threads per apply.  The default 1 keeps request-level
+  /// parallelism coming from concurrent executors; raising it makes each
+  /// apply use the carry-chain-free multi-thread path (and tunes rank at
+  /// this count on cache misses), for deployments with few large matrices
+  /// and low concurrency.
+  unsigned apply_threads = 1;
 };
 
 /// Monotonic counters, readable while the server runs (kStats replies and
@@ -97,6 +103,11 @@ struct ServerStats {
   std::uint64_t integrity_faults = 0;    ///< checksum mismatches detected
   std::uint64_t integrity_recovered = 0; ///< requests that detected AND still
                                          ///< returned a verified-correct reply
+  // Static configuration mirrored into the stats reply so serving benches
+  // can correlate latency with the execution shape (appended last: older
+  // clients reading a prefix of the frame stay compatible).
+  std::uint64_t executors = 0;           ///< executor pool size
+  std::uint64_t apply_threads = 0;       ///< native threads per apply
 };
 
 class Server {

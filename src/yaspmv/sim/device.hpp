@@ -42,6 +42,15 @@ struct DeviceSpec {
   double atomic_op_ns = 1.0;       ///< global atomic (logical workgroup ids)
   double spin_wait_ns = 10.0;      ///< adjacent-sync wait when chain is cold
 
+  // Thread-scaling terms (perf::model_time_threads): per-launch cost of
+  // waking one additional pool worker, and the per-chunk cost of the
+  // speculative carry fix-up (one lane-panel slot touched per chunk; the
+  // chunk grid is 4 slots per requested thread).  Both charge overhead
+  // that *grows* with the requested thread count, which is what lets the
+  // tuner rank candidates at a serving thread count instead of at 1.
+  double thread_wake_us = 2.0;     ///< per extra worker per launch
+  double carry_slot_ns = 15.0;     ///< per fix-up slot (4T per launch)
+
   /// Fraction of warp-divergence slowdown that is actually *exposed*: the
   /// SM hides most of a divergent warp's idle slots behind other resident
   /// warps, so the effective memory-issue throttle is

@@ -258,7 +258,8 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
           }
           o.cand.format = fc;
           o.cand.exec = ec;
-          o.cand.gflops = perf::spmv_gflops(dev, run.stats, a.nnz());
+          o.cand.gflops = perf::spmv_gflops_threads(dev, run.stats, a.nnz(),
+                                                    opt.rank_threads);
           o.cand.footprint = eng.footprint_bytes();
           o.cand.build_seconds = fe.build_seconds;
           o.cand.eval_seconds = eval_sw.elapsed_seconds();

@@ -46,6 +46,11 @@ struct TuneOptions {
   bool measure_native = false;
   int native_reps = 3;        ///< timed repetitions per candidate (best-of)
   unsigned native_threads = 1;  ///< native-backend threads for the re-timing
+  /// Thread count the model *ranks* at (perf::spmv_gflops_threads): a
+  /// serving deployment applying at T threads wants candidates scored with
+  /// T-thread launch/fix-up overhead, not the 1-thread figure.  1 keeps the
+  /// legacy single-thread ranking bit-for-bit.
+  unsigned rank_threads = 1;
 };
 
 struct Candidate {

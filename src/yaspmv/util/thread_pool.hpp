@@ -3,15 +3,32 @@
 // dispatcher and the parallel auto-tuner all run on the same parked OS
 // threads instead of paying a std::thread spawn/join cycle per call.
 //
-// Dispatch contract (unchanged from the original per-call pool): work items
-// are claimed strictly in order from an atomic ticket counter, which mirrors
-// the paper's in-order workgroup-dispatch assumption (Section 3.2.4) and
-// guarantees the adjacent-synchronization chain cannot deadlock: workgroup X
-// is only executed after workgroup X-1 has been *claimed* by some worker.
+// Two dispatch modes share the parked threads:
+//
+//   run_ordered    work items are claimed strictly in order from an atomic
+//                  ticket counter, mirroring the paper's in-order
+//                  workgroup-dispatch assumption (Section 3.2.4): the
+//                  adjacent-synchronization chain cannot deadlock because
+//                  workgroup X is only executed after workgroup X-1 has been
+//                  *claimed* by some worker.  Every requested worker gets a
+//                  real OS thread (a body may spin on another body's
+//                  progress, so parking a requested worker could deadlock).
+//
+//   run_unordered  no claim-order guarantee: workers grab *contiguous index
+//                  ranges* from an atomic cursor, in whatever order they get
+//                  there.  Only valid for bodies whose result is independent
+//                  of which thread runs which index (disjoint writes, no
+//                  cross-body waiting) — which is exactly what lets the pool
+//                  cap live threads at the hardware concurrency instead of
+//                  oversubscribing to the requested count.  Callers keep
+//                  deriving their decomposition from the *requested* count,
+//                  so results stay bitwise reproducible per requested count
+//                  while execution never pays for threads the machine does
+//                  not have.
 //
 // The body parameter is a template (one type-erased call per *launch*, not a
 // std::function indirection per index), so chunk kernels inline into the
-// ticket loop.  Nested submissions (a body that itself calls
+// claim loop.  Nested submissions (a body that itself calls
 // parallel_for_ordered, e.g. a tuner candidate launching the simulator) and
 // concurrent submissions from a second OS thread degrade to an inline
 // sequential loop — results are unchanged because every caller derives its
@@ -19,6 +36,7 @@
 // number of threads that actually executed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -37,8 +55,9 @@ inline unsigned default_workers() {
   return hc == 0 ? 1u : hc;
 }
 
-/// A persistent pool of parked worker threads executing one ordered-ticket
-/// job at a time.  The submitting thread participates as worker 0; pool
+/// A persistent pool of parked worker threads executing one job at a time
+/// (ordered ticket or unordered contiguous-range claims — see the file
+/// comment).  The submitting thread participates as worker 0; pool
 /// threads are workers 1..N.  The pool grows on demand (up to kMaxWorkers)
 /// when a launch requests more workers than are parked, so a caller asking
 /// for 8 workers gets 8 OS threads even on a smaller machine — exactly what
@@ -139,28 +158,67 @@ class WorkPool {
         }
       }
     };
-    using Runner = decltype(runner);
+    launch(max_workers, runner);
+    if (first_error) std::rethrow_exception(first_error);
+  }
 
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      job_.invoke = [](void* ctx, unsigned worker) {
-        (*static_cast<Runner*>(ctx))(worker);
-      };
-      job_.ctx = &runner;
-      job_.limit = max_workers;
-      pending_ = static_cast<unsigned>(threads_.size());
-      ++generation_;
+  /// Runs `body(worker, i)` for i in [0, n) with NO claim-order guarantee:
+  /// each participating worker grabs a contiguous batch of indices from an
+  /// atomic cursor and executes it, repeating until the range is drained.
+  /// Only valid for bodies whose result does not depend on which worker runs
+  /// which index or in what order (disjoint writes, no cross-index waiting).
+  /// Because no body can wait on another, live threads are capped at the
+  /// hardware concurrency: requesting 16 workers on a 4-core box wakes 4
+  /// threads (or none — max_workers <= 1 after capping runs inline), while
+  /// the caller's decomposition still derives from the requested 16.
+  /// Exceptions poison the launch like run_ordered.
+  template <class Body>
+  void run_unordered(std::size_t n, unsigned max_workers, Body&& body) {
+    if (n == 0) return;
+    unsigned live = std::min(max_workers, default_workers());
+    if (live > kMaxWorkers) live = kMaxWorkers;
+    if (live <= 1 || n == 1 || tl_in_job_) {
+      run_inline(n, body);
+      return;
     }
-    wake_cv_.notify_all();
-
-    tl_in_job_ = true;
-    runner(0);
-    tl_in_job_ = false;
-
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [&] { return pending_ == 0; });
+    active_launches_.fetch_add(1, std::memory_order_relaxed);
+    struct ActiveGuard {
+      std::atomic<unsigned>& n;
+      ~ActiveGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+    } active_guard{active_launches_};
+    std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+    if (!submit.owns_lock()) {
+      run_inline(n, body);
+      return;
     }
+    ensure_workers(live);
+
+    // ~4 batches per live worker: coarse enough that the cursor is touched
+    // O(live) times per launch (vs. O(n) ticket bumps in run_ordered), fine
+    // enough that a straggler batch cannot serialize the tail.
+    const std::size_t batch = (n + live * 4 - 1) / (live * 4);
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> poisoned{false};
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+
+    auto runner = [&](unsigned worker) {
+      for (;;) {
+        const std::size_t lo =
+            cursor.fetch_add(batch, std::memory_order_relaxed);
+        if (lo >= n) return;
+        const std::size_t hi = std::min(n, lo + batch);
+        if (poisoned.load(std::memory_order_acquire)) continue;  // drain
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(worker, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          poisoned.store(true, std::memory_order_release);
+        }
+      }
+    };
+    launch(live, runner);
     if (first_error) std::rethrow_exception(first_error);
   }
 
@@ -174,6 +232,33 @@ class WorkPool {
   template <class Body>
   static void run_inline(std::size_t n, Body& body) {
     for (std::size_t i = 0; i < n; ++i) body(0u, i);
+  }
+
+  /// Publishes `runner` to the parked threads (workers with id >= limit skip
+  /// it), runs it as worker 0 on the calling thread, and waits for the
+  /// barrier.  Caller holds submit_mu_ and has already sized the pool.
+  template <class Runner>
+  void launch(unsigned limit, Runner& runner) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_.invoke = [](void* ctx, unsigned worker) {
+        (*static_cast<Runner*>(ctx))(worker);
+      };
+      job_.ctx = &runner;
+      job_.limit = limit;
+      pending_ = static_cast<unsigned>(threads_.size());
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    tl_in_job_ = true;
+    runner(0);
+    tl_in_job_ = false;
+
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return pending_ == 0; });
+    }
   }
 
   /// Grows the pool so `total` workers (including the submitter) exist.
@@ -237,6 +322,23 @@ inline void parallel_for_ordered(std::size_t n, unsigned workers, Body&& body) {
     return;
   }
   WorkPool::shared().run_ordered(n, workers, std::forward<Body>(body));
+}
+
+/// Runs `body(worker, i)` for i in [0, n) on the shared WorkPool with no
+/// claim-order guarantee and at most min(workers, hardware) live threads.
+/// Only for bodies whose result is independent of claim order and executing
+/// thread (disjoint writes, no cross-index waiting); under that contract the
+/// output is bitwise identical to parallel_for_ordered at the same
+/// `workers`.  `workers <= 1` (or n == 1) degenerates to a sequential loop.
+template <class Body>
+inline void parallel_for_unordered(std::size_t n, unsigned workers,
+                                   Body&& body) {
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0u, i);
+    return;
+  }
+  WorkPool::shared().run_unordered(n, workers, std::forward<Body>(body));
 }
 
 }  // namespace yaspmv

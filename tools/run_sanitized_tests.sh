@@ -3,10 +3,12 @@
 #
 #   address  ASan + UBSan over the full suite               (build-asan)
 #   thread   TSan over the tsan/replay/serve/integrity-labeled suites
-#            (build-tsan) — chaos_test + workpool_test + compressed_test +
-#            vecops_test + solver_determinism_test + replay_test, the ones
+#            (build-tsan) — chaos_test + workpool_test + segsum_modes_test +
+#            compressed_test + vecops_test + solver_determinism_test +
+#            replay_test, the ones
 #            that exercise the persistent WorkPool (reuse across launches,
-#            concurrent submitters, the parallel tuner sweep and BCCOO
+#            concurrent submitters, unordered chunk claims and the
+#            speculative carry fix-up, the parallel tuner sweep and BCCOO
 #            build, multi-threaded compressed-stream decode, the pooled
 #            vector kernels and fused solver loops), the adjacent-sync spin
 #            chain and the flight recorder's lock-free journal; plus
@@ -44,8 +46,8 @@ run_tsan() {
     -DYASPMV_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target chaos_test workpool_test compressed_test vecops_test \
-             solver_determinism_test replay_test serve_test \
+    --target chaos_test workpool_test segsum_modes_test compressed_test \
+             vecops_test solver_determinism_test replay_test serve_test \
              serve_chaos_test integrity_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build" -L "tsan|replay|serve|integrity" \

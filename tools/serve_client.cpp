@@ -146,7 +146,8 @@ int main(int argc, char** argv) {
                 << "\ninflight " << s.inflight << "\nverified_requests "
                 << s.verified_requests << "\nintegrity_faults "
                 << s.integrity_faults << "\nintegrity_recovered "
-                << s.integrity_recovered << "\n";
+                << s.integrity_recovered << "\nexecutors " << s.executors
+                << "\napply_threads " << s.apply_threads << "\n";
       return 0;
     }
     if (cmd == "shutdown") {

@@ -45,6 +45,8 @@ int usage() {
       "          the result is identical for any N)\n"
       "          [--native [--native-threads=N]]  re-time the top candidates\n"
       "          on the native CPU backend and re-rank by measured GFLOPS\n"
+      "          [--rank-threads=N]  rank candidates at the N-thread modeled\n"
+      "          time (launch/fix-up overhead scales with N; default 1)\n"
       "          [--verbose]  per-candidate build vs. kernel time breakdown\n"
       "  convert --mtx=<file.mtx> --out=<file.bccoo> [--bw=N --bh=N"
       " --slices=N]\n"
@@ -121,6 +123,7 @@ int cmd_tune(const Args& args) {
   opt.tune_workers = static_cast<unsigned>(args.get_int("tune-workers", 0));
   opt.measure_native = args.has("native");
   opt.native_threads = static_cast<unsigned>(args.get_int("native-threads", 1));
+  opt.rank_threads = static_cast<unsigned>(args.get_int("rank-threads", 1));
   const auto r = tune::tune(A, dev, opt);
   std::cout << "tuned in " << r.tuning_seconds << " s (" << r.evaluated
             << " configs, " << r.skipped << " skipped; " << r.formats_built

@@ -47,6 +47,9 @@ int usage() {
          "  --max-frame-bytes=N    reject frames above N payload bytes "
          "before allocating (0 = protocol max)\n"
          "  --tune-workers=N       tuner concurrency on a plan-cache miss\n"
+         "  --apply-threads=N      native threads per apply (default 1:\n"
+         "                         parallelism comes from concurrent "
+         "executors)\n"
          "  --no-tune              skip tuning; serve the default config\n"
          "  --enable-inject        honor per-request fault-injection hooks\n";
   return 2;
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   opt.max_frame_bytes =
       static_cast<std::uint64_t>(args.get_int("max-frame-bytes", 0));
   opt.tune_workers = static_cast<unsigned>(args.get_int("tune-workers", 0));
+  opt.apply_threads = static_cast<unsigned>(args.get_int("apply-threads", 1));
   opt.tune_on_register = !args.has("no-tune");
   opt.enable_inject = args.has("enable-inject");
 
