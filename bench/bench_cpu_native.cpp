@@ -24,7 +24,14 @@
 // parallel efficiency per count plus `speedup_16t` /
 // `parallel_efficiency_16t`, and a suite-level
 // `segsum_speedup_16t_geomean` over the long-segment matrices
-// (mean nnz/row >= 16).  The binary re-validates its own JSON before
+// (mean nnz/row >= 16).  A `specialized_vs_generic` series per matrix
+// times the compile-time specialized grid kernel (cpu/kernels_grid.hpp)
+// against the pinned-generic interpreter on the same small-block format
+// (bw*bh <= 4, raw stream) at 1 and 16 requested threads, recording GFLOPS
+// and speedup per count plus suite-level `specialized_speedup_1t_geomean`
+// / `specialized_speedup_16t_geomean` (gated relatively by
+// tools/bench_compare like every other GFLOPS series).  The binary
+// re-validates its own JSON before
 // exiting and fails the run if the report does not parse — this is what the
 // bench-smoke CI test asserts.
 #include "bench_common.hpp"
@@ -59,8 +66,8 @@ int main(int argc, char** argv) {
             << " thread(s), " << reps << " reps, simd="
             << cpu::simd::to_string(cpu::simd::active()) << ") ===\n\n";
   TablePrinter t({"Name", "NNZ", "CSR", "1x1 raw", "1x1 short", "1x1 delta",
-                  "ver 1T", "blocked", "SpMM k=8", "seg x16T", "tune ser(s)",
-                  "tune pool(s)"});
+                  "ver 1T", "blocked", "SpMM k=8", "seg x16T", "spec x1T",
+                  "tune ser(s)", "tune pool(s)"});
 
   // Thread counts for the segmented-sum scaling series: the fixed ladder
   // the report is gated on, plus the machine's hardware concurrency.
@@ -98,6 +105,10 @@ int main(int argc, char** argv) {
   // carry chains the parallel fix-up is supposed to shorten.
   double segsum_log_sum = 0.0;
   int segsum_count = 0;
+  // Geomeans of the specialized-over-generic apply speedup on the
+  // small-block grid configs, at 1 and 16 requested threads.
+  double spec_log_1t = 0.0, spec_log_16t = 0.0;
+  int spec_count = 0;
 
   for (const auto& name : names) {
     const auto& e = gen::suite_entry(name);
@@ -166,6 +177,52 @@ int main(int argc, char** argv) {
     const double gf_spmm =
         flops * static_cast<double>(spmm_k) / (t_spmm * 1e6);
 
+    // Compile-time specialization series: the dispatched grid kernel
+    // against the pinned-generic interpreter on the SAME format — the
+    // smallest in-grid small-block dims (bw*bh <= 4) the pruned tuner menu
+    // offers for this matrix, raw stream, at 1 and 16 requested threads.
+    // Bitwise output parity between the two engines is a tested invariant
+    // (kernel_grid_test); this series prices the dispatch win.
+    core::FormatConfig fc_sg;
+    fc_sg.block_w = 2;
+    fc_sg.block_h = 1;
+    for (const auto& [bw, bh] : tune::pruned_block_dims(A)) {
+      if (bw * bh > 1 && bw * bh <= 4 &&
+          cpu::grid::find(static_cast<int>(bw), static_cast<int>(bh),
+                          core::ColStream::kRaw) != nullptr) {
+        fc_sg.block_w = bw;
+        fc_sg.block_h = bh;
+        break;
+      }
+    }
+    auto m_sg =
+        std::make_shared<const core::Bccoo>(core::Bccoo::build(A, fc_sg));
+    double sg_spec_1t, sg_gen_1t, sg_spec_16t, sg_gen_16t;
+    std::string sg_kernel;
+    {
+      cpu::CpuSpmv spec1(m_sg, 1, core::ColStream::kRaw);
+      cpu::CpuSpmv gen1(m_sg, 1, core::ColStream::kRaw,
+                        cpu::default_segsum_mode(),
+                        cpu::grid::KernelDispatch::kGeneric);
+      cpu::CpuSpmv spec16(m_sg, 16, core::ColStream::kRaw);
+      cpu::CpuSpmv gen16(m_sg, 16, core::ColStream::kRaw,
+                         cpu::default_segsum_mode(),
+                         cpu::grid::KernelDispatch::kGeneric);
+      sg_kernel = spec1.kernel_id();
+      sg_spec_1t = flops / (time_ms([&] { spec1.spmv(x, y); }) * 1e6);
+      sg_gen_1t = flops / (time_ms([&] { gen1.spmv(x, y); }) * 1e6);
+      sg_spec_16t = flops / (time_ms([&] { spec16.spmv(x, y); }) * 1e6);
+      sg_gen_16t = flops / (time_ms([&] { gen16.spmv(x, y); }) * 1e6);
+    }
+    const double sg_speedup_1t = sg_gen_1t > 0 ? sg_spec_1t / sg_gen_1t : 0.0;
+    const double sg_speedup_16t =
+        sg_gen_16t > 0 ? sg_spec_16t / sg_gen_16t : 0.0;
+    if (sg_speedup_1t > 0 && sg_speedup_16t > 0) {
+      spec_log_1t += std::log(sg_speedup_1t);
+      spec_log_16t += std::log(sg_speedup_16t);
+      ++spec_count;
+    }
+
     // Segmented-sum thread-scaling series: the pre-change execution
     // (serial carry fold + AVX2 dispatch, exactly the bits the legacy path
     // produced) against the speculative fix-up at its default dispatch
@@ -233,6 +290,7 @@ int main(int argc, char** argv) {
                TablePrinter::fmt(verify_overhead * 100.0, 1) + "%",
                TablePrinter::fmt(gf_blk, 2), TablePrinter::fmt(gf_spmm, 2),
                do_scaling ? TablePrinter::fmt(speedup_16t, 2) + "x" : "-",
+               TablePrinter::fmt(sg_speedup_1t, 2) + "x",
                do_tune ? TablePrinter::fmt(tune_serial, 2) : "-",
                do_tune ? TablePrinter::fmt(tune_pooled, 2) : "-"});
 
@@ -294,6 +352,20 @@ int main(int argc, char** argv) {
     // ABFT checksum verification, single thread (see the 1T series above).
     w.key("verified_gflops").value(gf_ver);
     w.key("verify_overhead").value(verify_overhead);
+    // Specialized-grid vs generic apply on the small-block format.
+    w.key("specialized_vs_generic").begin_object();
+    w.key("dims").begin_array();
+    w.value(static_cast<long long>(fc_sg.block_w));
+    w.value(static_cast<long long>(fc_sg.block_h));
+    w.end_array();
+    w.key("kernel").value(sg_kernel);
+    w.key("generic_gflops_1t").value(sg_gen_1t);
+    w.key("specialized_gflops_1t").value(sg_spec_1t);
+    w.key("speedup_1t").value(sg_speedup_1t);
+    w.key("generic_gflops_16t").value(sg_gen_16t);
+    w.key("specialized_gflops_16t").value(sg_spec_16t);
+    w.key("speedup_16t").value(sg_speedup_16t);
+    w.end_object();
     if (do_scaling) {
       // serial_fold = the pre-change path (serial carry fold, AVX2);
       // speculative = the parallel fix-up at the default dispatch level.
@@ -341,15 +413,29 @@ int main(int argc, char** argv) {
     w.key("segsum_long_segment_count")
         .value(static_cast<long long>(segsum_count));
   }
+  const double spec_geo_1t =
+      spec_count > 0
+          ? std::exp(spec_log_1t / static_cast<double>(spec_count))
+          : 0.0;
+  const double spec_geo_16t =
+      spec_count > 0
+          ? std::exp(spec_log_16t / static_cast<double>(spec_count))
+          : 0.0;
+  w.key("specialized_speedup_1t_geomean").value(spec_geo_1t);
+  w.key("specialized_speedup_16t_geomean").value(spec_geo_16t);
   w.end_object();
 
   t.print();
   std::cout << "\n(GFLOPS columns; SpMM counts 2*nnz*k flops; 'ver 1T' is\n"
                " the single-thread ABFT checksum-verified apply overhead;\n"
                " 'seg x16T' is the 16-thread speculative-over-serial-fold\n"
-               " segmented-sum speedup)\n"
+               " segmented-sum speedup; 'spec x1T' is the single-thread\n"
+               " specialized-grid-over-generic apply speedup)\n"
             << "verified-apply overhead geomean (1 thread): "
-            << overhead_geomean * 100.0 << "%\n";
+            << overhead_geomean * 100.0 << "%\n"
+            << "specialized-kernel speedup geomean (small-block, " << spec_count
+            << " matrices): " << spec_geo_1t << "x at 1T, " << spec_geo_16t
+            << "x at 16T\n";
   if (do_scaling) {
     std::cout << "segmented-sum 16T speedup geomean (long-segment suite, "
               << segsum_count << " matrices): " << segsum_geomean << "x\n";

@@ -471,6 +471,52 @@ inline DotDenseFn dot_dense() {
   }
 }
 
+/// Compile-time-width dense dot for the specialized kernel grid
+/// (cpu/kernels_grid.hpp).  The expression MUST be bitwise identical to
+/// what `dot_dense()(a, b, W)` produces at every dispatch level, because
+/// the grid kernels extend the generic path's determinism contract instead
+/// of forking it.  Width by width:
+///
+///   W=1: every level takes dot_dense_portable's `w == 1` branch
+///        (avx2 falls through at w < 4, avx512 at w != 8) -> a0*b0, a
+///        single product no contraction can touch -> inline it.
+///   W=2: NOT inlinable.  The source expression a0*b0 + a1*b1 is shared by
+///        all levels, but when dot_dense_avx2 (target("avx2,fma")) inlines
+///        the portable branch, GCC's default -ffp-contract=fast fuses it
+///        into fma(a1, b1, a0*b0) — FMA is available there, and is not in
+///        the baseline-ISA portable build.  Same expression, different
+///        bits per level -> must call the *dispatched* kernel.
+///   W=4: portable runs one 4-lane iteration and reduces
+///        (l0 + l2) + (l1 + l3); avx2 is one _mm256_mul_pd (no FMA — the
+///        first quad seeds the accumulator) with the SAME lane reduce, and
+///        the scalar reduce adds already-stored lanes (no mul feeding an
+///        add, so contraction cannot kick in) -> inline it.
+///   W=8: portable folds the second quad with separately-rounded mul+add
+///        while avx2 uses one FMA (unrounded product) — the levels
+///        legitimately differ, so the grid must call the *dispatched*
+///        kernel rather than pick one expression.  (avx512's 8-lane tree
+///        ((l0+l4)+(l2+l6))+((l1+l5)+(l3+l7)) regroups to portable's
+///        two-quad fold exactly, but avx2 does not.)
+///
+/// `bdot` is the dispatched dot_dense() pointer; W=2 and W=8 reach it.
+/// kernel_grid_test sweeps every width x level against the generic kernel
+/// bitwise — it is the guard that keeps this table honest.
+template <int W>
+inline real_t dot_dense_fixed(const real_t* a, const real_t* b,
+                              DotDenseFn bdot) {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8,
+                "grid widths are 1/2/4/8");
+  if constexpr (W == 1) {
+    return a[0] * b[0];
+  } else if constexpr (W == 2) {
+    return bdot(a, b, 2);
+  } else if constexpr (W == 4) {
+    return (a[0] * b[0] + a[2] * b[2]) + (a[1] * b[1] + a[3] * b[3]);
+  } else {
+    return bdot(a, b, static_cast<std::size_t>(W));
+  }
+}
+
 // ---- ABFT checksum-verify kernels ----------------------------------------
 //
 // The verified apply (CpuSpmv::spmv_verified) compares sum(y) against the

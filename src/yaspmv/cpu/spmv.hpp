@@ -64,6 +64,7 @@
 
 #include "yaspmv/core/bccoo.hpp"
 #include "yaspmv/core/checksum.hpp"
+#include "yaspmv/cpu/kernels_grid.hpp"
 #include "yaspmv/cpu/segfix.hpp"
 #include "yaspmv/cpu/simd.hpp"
 #include "yaspmv/formats/csr.hpp"
@@ -79,17 +80,35 @@ class CpuSpmv {
   /// stream the hot loop reads (kAuto = smallest materialized one; a request
   /// the format cannot serve degrades to kRaw).  `mode` picks the segmented
   /// sum's scheduling/fix-up strategy (segfix.hpp); the default speculative
-  /// mode is the fast path, kSerialFold reproduces the legacy bits.
+  /// mode is the fast path, kSerialFold reproduces the legacy bits.  `kd`
+  /// controls kernel dispatch: kAuto routes an exact (block_w, block_h,
+  /// stream) match to its specialized grid instantiation
+  /// (cpu/kernels_grid.hpp) — bitwise identical to the generic kernel at a
+  /// fixed (threads, simd level, segsum mode) — while kGeneric pins the
+  /// generic kernel (parity reference / bench baseline).  Out-of-grid
+  /// configs and kSerialFold always run generic.
   explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
                    core::ColStream cs = core::ColStream::kAuto,
-                   SegSumMode mode = default_segsum_mode())
+                   SegSumMode mode = default_segsum_mode(),
+                   grid::KernelDispatch kd = grid::KernelDispatch::kAuto)
       : fmt_(std::move(m)),
         threads_(threads == 0 ? default_workers() : threads),
         cs_(fmt_->resolve_col_stream(cs)),
         mode_(mode) {
     const core::Bccoo& f = *fmt_;
     require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
-            "CpuSpmv: block height must be in [1, 8]");
+            "CpuSpmv[" + config_name() + "]: block height " +
+                std::to_string(f.cfg.block_h) +
+                " outside the accepted range [1, 8]");
+    if (kd == grid::KernelDispatch::kAuto &&
+        mode_ != SegSumMode::kSerialFold) {
+      if (const grid::GridEntry* e =
+              grid::find(static_cast<int>(f.cfg.block_w),
+                         static_cast<int>(f.cfg.block_h), cs_)) {
+        grid_fn_ = e->fn;
+        kernel_id_ = e->id;
+      }
+    }
     const auto h = static_cast<std::size_t>(f.cfg.block_h);
     const auto bw = static_cast<std::size_t>(f.cfg.block_w);
     // Chunk boundaries over blocks (even distribution, rounded down to the
@@ -153,6 +172,13 @@ class CpuSpmv {
   core::ColStream col_stream() const { return cs_; }
   /// The segmented-sum scheduling/fix-up mode this engine runs.
   SegSumMode segsum_mode() const { return mode_; }
+  /// Stable id of the chunk kernel this engine dispatches to: a grid id
+  /// like "grid/w2h2/short" when a specialized instantiation matched,
+  /// "generic" otherwise.  Recorded by the tuner / plan cache and reported
+  /// by serve's kStats.
+  const char* kernel_id() const { return kernel_id_; }
+  /// True when the engine runs a specialized grid kernel.
+  bool specialized() const { return grid_fn_ != nullptr; }
 
   /// Fault-injection hook (tests/chaos tooling): when set, the armed
   /// kFlipPartial plan can flip one bit of one per-chunk partial sum
@@ -167,9 +193,16 @@ class CpuSpmv {
   /// not overlap.
   void spmv(std::span<const real_t> x, std::span<real_t> y) {
     const core::Bccoo& f = *fmt_;
-    require(x.size() == static_cast<std::size_t>(f.cols) &&
-                y.size() == static_cast<std::size_t>(f.rows),
-            "CpuSpmv: vector size mismatch");
+    if (x.size() != static_cast<std::size_t>(f.cols) ||
+        y.size() != static_cast<std::size_t>(f.rows)) {
+      // Built only on failure — names the config so tuner skip-and-record
+      // logs are actionable without replaying the candidate.
+      require(false, "CpuSpmv[" + config_name() + "]: vector size mismatch: "
+                         "got x[" + std::to_string(x.size()) + "] y[" +
+                         std::to_string(y.size()) + "], need x[" +
+                         std::to_string(f.cols) + "] y[" +
+                         std::to_string(f.rows) + "]");
+    }
     const auto xb = reinterpret_cast<std::uintptr_t>(x.data());
     const auto yb = reinterpret_cast<std::uintptr_t>(y.data());
     require(xb + x.size() * sizeof(real_t) <= yb ||
@@ -191,8 +224,19 @@ class CpuSpmv {
     const real_t* const xd = x.data();
     const std::size_t nchunks = chunk_start_.size() - 1;
     const bool unordered = mode_ == SegSumMode::kSpeculative;
+    // Specialized dispatch resolved once at construction; the branch here
+    // is once per chunk, never inside a block loop.
+    const grid::ChunkCtx gctx{fmt_.get(),          chunk_start_.data(),
+                              chunk_first_seg_.data(), firsts_.data(),
+                              carries_.data(),     pad_bcol_,
+                              xtail_.data()};
+    const grid::ChunkKernelFn gfn = grid_fn_;
     const auto chunk_body = [&](unsigned, std::size_t c) {
-      process_chunk(c, h, bw, xd, out);
+      if (gfn) {
+        gfn(gctx, c, xd, out);
+      } else {
+        process_chunk(c, h, bw, xd, out);
+      }
     };
     if (unordered) {
       parallel_for_unordered(nchunks, threads_, chunk_body);
@@ -320,6 +364,13 @@ class CpuSpmv {
   }
 
  private:
+  /// "2x4/short" — the (block_w x block_h / stream) label dims-check and
+  /// range errors carry so tuner skip-and-record logs name the candidate.
+  std::string config_name() const {
+    return std::to_string(fmt_->cfg.block_w) + "x" +
+           std::to_string(fmt_->cfg.block_h) + "/" + core::to_string(cs_);
+  }
+
   /// Column source of decode tile [t0, t1) (t0 tile-aligned): raw mode
   /// returns a pointer straight into col_index; compressed modes expand the
   /// int16/u16 stream into `buf` (tile-local indexing either way — caller
@@ -481,6 +532,8 @@ class CpuSpmv {
   unsigned threads_;
   core::ColStream cs_;
   SegSumMode mode_;
+  grid::ChunkKernelFn grid_fn_ = nullptr;  ///< specialized kernel, or null
+  const char* kernel_id_ = "generic";      ///< stable dispatch id
   FixupScratch fix_;  ///< speculative fix-up scratch (segfix.hpp)
   sim::FaultInjector* injector_ = nullptr;  ///< nullable kFlipPartial site
   bool direct_y_ = false;  ///< workers write y in place (1 slice, no row pad)
@@ -511,13 +564,30 @@ class CpuSpmm {
  public:
   explicit CpuSpmm(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
                    core::ColStream cs = core::ColStream::kAuto,
-                   SegSumMode mode = default_segsum_mode())
+                   SegSumMode mode = default_segsum_mode(),
+                   grid::KernelDispatch kd = grid::KernelDispatch::kAuto)
       : fmt_(std::move(m)),
-        eng_(fmt_, threads, cs, mode),
+        eng_(fmt_, threads, cs, mode, kd),
         threads_(threads == 0 ? default_workers() : threads),
         cs_(fmt_->resolve_col_stream(cs)),
         mode_(mode) {
     const auto& f = *fmt_;
+    if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1) {
+      // The fused panel pass reuses the specialization grid: its block dims
+      // are 1x1 by construction, so only the column stream is burned in.
+      // Same fallback rules as CpuSpmv (kGeneric / kSerialFold stay
+      // generic).
+      if (kd == grid::KernelDispatch::kAuto &&
+          mode_ != SegSumMode::kSerialFold) {
+        if (const grid::SpmmGridEntry* e = grid::find_spmm(cs_)) {
+          spmm_fn_ = e->fn;
+          kernel_id_ = e->id;
+        }
+      }
+    } else {
+      // Blocked/sliced formats run k per-vector applies through eng_.
+      kernel_id_ = eng_.kernel_id();
+    }
     if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1 &&
         f.num_blocks > 0) {
       // Hoisted per-call work of the fused pass: chunk boundaries (rounded
@@ -549,16 +619,31 @@ class CpuSpmm {
   }
 
   const core::Bccoo& format() const { return *fmt_; }
+  /// Stable id of the kernel the fused panel pass dispatches to
+  /// ("grid/spmm/<stream>" or "generic"); blocked/sliced formats report the
+  /// per-vector engine's id.
+  const char* kernel_id() const { return kernel_id_; }
 
   /// X: cols x k column-major, Y: rows x k column-major.
   void spmm(std::span<const real_t> X, std::span<real_t> Y, index_t k) {
     const auto& f = *fmt_;
     require(k > 0, "CpuSpmm: k must be positive");
-    require(X.size() == static_cast<std::size_t>(f.cols) *
-                            static_cast<std::size_t>(k) &&
-                Y.size() == static_cast<std::size_t>(f.rows) *
-                                static_cast<std::size_t>(k),
-            "CpuSpmm: panel size mismatch");
+    if (X.size() != static_cast<std::size_t>(f.cols) *
+                        static_cast<std::size_t>(k) ||
+        Y.size() != static_cast<std::size_t>(f.rows) *
+                        static_cast<std::size_t>(k)) {
+      require(false, "CpuSpmm[" + std::to_string(f.cfg.block_w) + "x" +
+                         std::to_string(f.cfg.block_h) + "/" +
+                         core::to_string(cs_) + "]: panel size mismatch: "
+                         "got X[" + std::to_string(X.size()) + "] Y[" +
+                         std::to_string(Y.size()) + "], need X[" +
+                         std::to_string(static_cast<std::size_t>(f.cols) *
+                                        static_cast<std::size_t>(k)) +
+                         "] Y[" +
+                         std::to_string(static_cast<std::size_t>(f.rows) *
+                                        static_cast<std::size_t>(k)) +
+                         "] for k=" + std::to_string(k));
+    }
     if (f.cfg.block_w == 1 && f.cfg.block_h == 1 && f.cfg.slices == 1) {
       fused_scalar(X, Y, k);
       return;
@@ -602,7 +687,17 @@ class CpuSpmm {
     const simd::DecodeDeltaFn ddelta = simd::decode_delta();
 
     const bool unordered = mode_ == SegSumMode::kSpeculative;
+    // Specialized dispatch (stream burned in), same shape as CpuSpmv::spmv:
+    // resolved at construction, branched once per chunk.
+    const grid::SpmmCtx gctx{fmt_.get(),      starts_.data(),
+                             first_seg_.data(), firsts_.data(),
+                             carries_.data(), acc_panel_.data()};
+    const grid::SpmmKernelFn gfn = spmm_fn_;
     const auto chunk_body = [&](unsigned, std::size_t c) {
+      if (gfn) {
+        gfn(gctx, c, X.data(), Y.data(), kz, colsz, rowsz);
+        return;
+      }
       real_t* acc = acc_panel_.data() + c * kz;
       std::fill(acc, acc + kz, 0.0);
       index_t seg = first_seg_[c];
@@ -696,6 +791,8 @@ class CpuSpmm {
   unsigned threads_;
   core::ColStream cs_;
   SegSumMode mode_;
+  grid::SpmmKernelFn spmm_fn_ = nullptr;  ///< specialized fused pass, or null
+  const char* kernel_id_ = "generic";     ///< stable dispatch id
   FixupScratch fix_;
   // Fused-path precomputation (1x1 blocks, 1 slice): chunk starts and the
   // first-segment ordinals, plus the cached per-chunk panels.

@@ -100,6 +100,7 @@ void put_candidate(std::ostream& out, const tune::Candidate& c, Fnv1a& hash) {
   put<std::uint64_t>(out, c.footprint, hash);
   put<double>(out, c.measured_gflops, hash);
   put<std::uint64_t>(out, c.measured_bytes, hash);
+  put_string(out, c.kernel, hash);  // v2: dispatched kernel id
 }
 
 tune::Candidate get_candidate(std::istream& in, Fnv1a& hash) {
@@ -126,6 +127,12 @@ tune::Candidate get_candidate(std::istream& in, Fnv1a& hash) {
   c.footprint = static_cast<std::size_t>(get<std::uint64_t>(in, hash));
   c.measured_gflops = get<double>(in, hash);
   c.measured_bytes = static_cast<std::size_t>(get<std::uint64_t>(in, hash));
+  c.kernel = get_string(in, hash);
+  // Kernel ids are short fixed-vocabulary strings ("generic",
+  // "grid/w8h4/delta", ...); anything longer is version skew or hostility.
+  if (c.kernel.empty() || c.kernel.size() > 64) {
+    fail_format("stored kernel id implausible");
+  }
   // Plausibility gates: a plan with nonsense geometry must not reach
   // Bccoo::build / the engine even if its checksum is intact (a hostile or
   // version-skewed file could be internally consistent).
@@ -192,6 +199,14 @@ PlanRecord load_plan(std::istream& in) {
   Fnv1a hash;
   PlanRecord p;
   p.code_version = get<std::uint32_t>(in, hash);
+  // Check the code version *before* parsing the candidate: the candidate
+  // layout itself changes across code versions (v2 appended the kernel id),
+  // so a stale plan must fail deterministically here rather than mis-parse
+  // downstream fields into a plausible-looking wrong plan.
+  if (p.code_version != kPlanCodeVersion) {
+    fail_format("stale plan code version " + std::to_string(p.code_version) +
+                " (want " + std::to_string(kPlanCodeVersion) + ")");
+  }
   p.payload_checksum = get<std::uint64_t>(in, hash);
   p.device = get_string(in, hash);
   p.best = get_candidate(in, hash);

@@ -30,7 +30,9 @@ namespace yaspmv::io {
 
 /// Bump when a stored FormatConfig/ExecConfig would no longer reproduce the
 /// same kernels (tuner heuristics, format layout or exec semantics changed).
-constexpr std::uint32_t kPlanCodeVersion = 1;
+/// v2: plans record the dispatched kernel id (specialization grid,
+/// cpu/kernels_grid.hpp); v1 plans predate dispatch and load as a miss.
+constexpr std::uint32_t kPlanCodeVersion = 2;
 
 /// One durable auto-tuning outcome.
 struct PlanRecord {

@@ -60,6 +60,32 @@ double spmv_gflops_threads(const sim::DeviceSpec& dev,
   return 2.0 * static_cast<double>(nnz) / t.total_s * 1e-9;
 }
 
+TimeBreakdown model_time_dispatch(const sim::DeviceSpec& dev,
+                                  const sim::KernelStats& st,
+                                  unsigned threads, std::size_t blocks,
+                                  bool specialized) {
+  TimeBreakdown t = model_time_threads(dev, st, threads);
+  if (specialized) return t;
+  // Generic dispatch pays a few cycles per block for the runtime-dim
+  // branches and the indirect dense-dot call; the cost sits in the
+  // compute stream, so it partitions across threads like compute does.
+  const double tf = static_cast<double>(threads <= 1 ? 1u : threads);
+  t.compute_s +=
+      static_cast<double>(blocks) * dev.block_branch_ns * 1e-9 / tf;
+  t.total_s = std::max(t.mem_s, t.compute_s) + t.launch_s + t.sync_s;
+  return t;
+}
+
+double spmv_gflops_dispatch(const sim::DeviceSpec& dev,
+                            const sim::KernelStats& st, std::size_t nnz,
+                            unsigned threads, std::size_t blocks,
+                            bool specialized) {
+  const TimeBreakdown t = model_time_dispatch(dev, st, threads, blocks,
+                                              specialized);
+  if (t.total_s <= 0.0) return 0.0;
+  return 2.0 * static_cast<double>(nnz) / t.total_s * 1e-9;
+}
+
 double harmonic_mean(const double* v, std::size_t n) {
   if (n == 0) return 0.0;
   double inv = 0.0;

@@ -54,6 +54,25 @@ double spmv_gflops_threads(const sim::DeviceSpec& dev,
                            const sim::KernelStats& st, std::size_t nnz,
                            unsigned threads);
 
+/// Dispatch-aware variant: model_time_threads plus a per-block
+/// branch/indirect-call overhead term charged only when `specialized` is
+/// false (the generic kernel's runtime dims, indirect dense dot, and
+/// column-stream switch; see DeviceSpec::block_branch_ns).  `blocks` is the
+/// format's block count — KernelStats does not carry it, so the tuner
+/// passes it explicitly.  The extra work partitions across threads like the
+/// compute term.  With `specialized == true` this is exactly
+/// model_time_threads, so grid-dispatched rankings are unchanged.
+TimeBreakdown model_time_dispatch(const sim::DeviceSpec& dev,
+                                  const sim::KernelStats& st,
+                                  unsigned threads, std::size_t blocks,
+                                  bool specialized);
+
+/// spmv_gflops over model_time_dispatch.
+double spmv_gflops_dispatch(const sim::DeviceSpec& dev,
+                            const sim::KernelStats& st, std::size_t nnz,
+                            unsigned threads, std::size_t blocks,
+                            bool specialized);
+
 /// Harmonic mean of a positive sequence (the paper's average throughput).
 double harmonic_mean(const double* v, std::size_t n);
 

@@ -116,6 +116,7 @@ RegisterResult Client::register_matrix(const fmt::Coo& a, bool force_retune) {
   out.rows = r.get<std::int32_t>();
   out.cols = r.get<std::int32_t>();
   out.evaluated = r.get<std::int32_t>();
+  out.kernel = r.get_string();
   return out;
 }
 
@@ -236,6 +237,8 @@ StatsSnapshot Client::stats() {
   s.integrity_recovered = r.get<std::uint64_t>();
   s.executors = r.get<std::uint64_t>();
   s.apply_threads = r.get<std::uint64_t>();
+  s.grid_plans = r.get<std::uint64_t>();
+  s.generic_plans = r.get<std::uint64_t>();
   return s;
 }
 

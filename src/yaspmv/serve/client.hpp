@@ -47,6 +47,9 @@ struct RegisterResult {
   double register_seconds = 0;    ///< registration wall clock on the server
   std::int32_t rows = 0, cols = 0;
   int evaluated = 0;
+  /// Kernel id the stored plan dispatches to on the native backend
+  /// ("grid/..." specialization or "generic").
+  std::string kernel;
 };
 
 struct SpmvResult {
@@ -91,7 +94,8 @@ struct StatsSnapshot {
                 protocol_errors = 0, disconnects = 0, shed_on_drain = 0,
                 registered = 0, plan_cache_hits = 0, plan_cache_misses = 0,
                 inflight = 0, verified_requests = 0, integrity_faults = 0,
-                integrity_recovered = 0, executors = 0, apply_threads = 0;
+                integrity_recovered = 0, executors = 0, apply_threads = 0,
+                grid_plans = 0, generic_plans = 0;
 };
 
 class Client {

@@ -549,6 +549,14 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
     } else if (opt_.tune_on_register) {
       stats_.plan_cache_misses++;
     }
+    // Dispatch attribution for kStats: which kernel family this matrix's
+    // plan lands on (the tuner records "grid/..." ids for configs the
+    // specialization grid serves, "generic" otherwise).
+    if (entry->plan.kernel.rfind("grid/", 0) == 0) {
+      stats_.grid_plans++;
+    } else {
+      stats_.generic_plans++;
+    }
   }
 
   WireWriter w;
@@ -561,6 +569,9 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
   w.put<std::int32_t>(entry->a.rows);
   w.put<std::int32_t>(entry->a.cols);
   w.put<std::int32_t>(entry->evaluated);
+  // Appended last (wire evolution rule): the kernel id the plan dispatches
+  // to; older clients reading a prefix of the frame stay compatible.
+  w.put_string(entry->plan.kernel);
   return w.take();
 }
 
@@ -912,6 +923,8 @@ std::vector<std::uint8_t> Server::handle_stats() {
   w.put<std::uint64_t>(s.integrity_recovered);
   w.put<std::uint64_t>(s.executors);
   w.put<std::uint64_t>(s.apply_threads);
+  w.put<std::uint64_t>(s.grid_plans);
+  w.put<std::uint64_t>(s.generic_plans);
   return w.take();
 }
 

@@ -108,6 +108,12 @@ struct ServerStats {
   // clients reading a prefix of the frame stay compatible).
   std::uint64_t executors = 0;           ///< executor pool size
   std::uint64_t apply_threads = 0;       ///< native threads per apply
+  // Kernel-dispatch attribution (specialization grid, cpu/kernels_grid.hpp):
+  // how many registered matrices' plans dispatch to a specialized grid
+  // kernel vs the generic one.  Appended last, same prefix-compatibility
+  // rule as above.
+  std::uint64_t grid_plans = 0;          ///< plans on a "grid/..." kernel
+  std::uint64_t generic_plans = 0;       ///< plans on the generic kernel
 };
 
 class Server {

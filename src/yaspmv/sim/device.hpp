@@ -51,6 +51,15 @@ struct DeviceSpec {
   double thread_wake_us = 2.0;     ///< per extra worker per launch
   double carry_slot_ns = 15.0;     ///< per fix-up slot (4T per launch)
 
+  // Per-block dispatch overhead of the *generic* chunk kernel: runtime
+  // block_w/block_h loop bounds, the indirect dense-dot call, and the
+  // column-stream switch cost a few branch/call cycles per block that the
+  // compile-time specialization grid (cpu/kernels_grid.hpp) eliminates.
+  // perf::model_time_dispatch charges this only to generic-dispatched
+  // candidates, so the tuner's ranking can prefer a config the grid
+  // serves when two configs are otherwise modeled equal.
+  double block_branch_ns = 0.6;    ///< per block, generic dispatch only
+
   /// Fraction of warp-divergence slowdown that is actually *exposed*: the
   /// SM hides most of a divergent warp's idle slots behind other resident
   /// warps, so the effective memory-issue throttle is

@@ -258,8 +258,17 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
           }
           o.cand.format = fc;
           o.cand.exec = ec;
-          o.cand.gflops = perf::spmv_gflops_threads(dev, run.stats, a.nnz(),
-                                                    opt.rank_threads);
+          // Record the kernel the native backend would dispatch for this
+          // config (specialization grid or generic) and charge the generic
+          // path's per-block branch overhead in the modeled score, so the
+          // ranking reflects what serving actually executes.
+          o.cand.kernel = cpu::grid::dispatch_kernel_id(
+              static_cast<int>(fc.block_w), static_cast<int>(fc.block_h),
+              fe.fmt->resolve_col_stream(native_stream(ec)),
+              cpu::default_segsum_mode());
+          o.cand.gflops = perf::spmv_gflops_dispatch(
+              dev, run.stats, a.nnz(), opt.rank_threads, fe.fmt->num_blocks,
+              o.cand.kernel != "generic");
           o.cand.footprint = eng.footprint_bytes();
           o.cand.build_seconds = fe.build_seconds;
           o.cand.eval_seconds = eval_sw.elapsed_seconds();
@@ -305,7 +314,11 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
     std::vector<real_t> yn(static_cast<std::size_t>(a.rows));
     for (Candidate& cand : res.top) {
       const core::ColStream cs = native_stream(cand.exec);
+      // kAuto dispatch: the re-timing runs the same specialized (or
+      // generic) kernel serving would, and the candidate records the id
+      // the engine actually resolved.
       cpu::CpuSpmv eng(get_entry(cand.format).fmt, opt.native_threads, cs);
+      cand.kernel = eng.kernel_id();
       eng.spmv(x, yn);  // warm-up: faults in format + scratch
       double best_s = std::numeric_limits<double>::infinity();
       for (int rep = 0; rep < std::max(1, opt.native_reps); ++rep) {
@@ -319,6 +332,7 @@ TuneResult tune(const fmt::Coo& a, const sim::DeviceSpec& dev,
           cand.exec.to_string() == res.best.exec.to_string()) {
         res.best.measured_gflops = cand.measured_gflops;
         res.best.measured_bytes = cand.measured_bytes;
+        res.best.kernel = cand.kernel;
       }
     }
     res.best_native = *std::max_element(

@@ -63,6 +63,11 @@ struct Candidate {
   // Filled by the measure_native pass (0 when it did not run):
   double measured_gflops = 0;    ///< native single-run best-of-reps
   std::size_t measured_bytes = 0;  ///< exact host-side bytes per native SpMV
+  /// Stable id of the native kernel this candidate dispatches to — a
+  /// specialization-grid id like "grid/w2h2/short" (cpu/kernels_grid.hpp)
+  /// or "generic".  Recorded so the plan cache replays the exact dispatch
+  /// the tuner ranked, and so serve's kStats can attribute plans.
+  std::string kernel = "generic";
 
   /// Exact field equality (doubles compared bitwise-as-values) — what the
   /// durable plan cache's round-trip tests and the serving daemon's
@@ -71,7 +76,7 @@ struct Candidate {
   bool same_plan(const Candidate& o) const {
     return format == o.format && exec == o.exec && gflops == o.gflops &&
            footprint == o.footprint && measured_gflops == o.measured_gflops &&
-           measured_bytes == o.measured_bytes;
+           measured_bytes == o.measured_bytes && kernel == o.kernel;
   }
 };
 

@@ -370,6 +370,85 @@ TEST(PlanCacheFile, ImplausibleConfigFieldsAreRejected) {
   EXPECT_FALSE(cache.load(rec.payload_checksum, rec.device).has_value());
 }
 
+TEST(PlanCacheFile, V1LayoutPlanLoadsAsMissNeverMisparses) {
+  // Hand-author a byte-exact v1 plan file: code_version = 1 and a candidate
+  // WITHOUT the v2 kernel-id field, with an internally consistent trailing
+  // digest (a real v1 binary wrote exactly this).  The loader must reject
+  // it on the code-version gate — before the layout difference can
+  // mis-parse downstream fields into a plausible-looking wrong plan — and
+  // through PlanCache that rejection is a miss, i.e. a retune, never a
+  // wrong dispatch.
+  std::ostringstream out;
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto raw = [&](const void* p, std::size_t n, bool hashed) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    if (!hashed) return;
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  const auto put32 = [&](std::uint32_t v, bool hashed = true) {
+    raw(&v, sizeof v, hashed);
+  };
+  const auto puti32 = [&](std::int32_t v) { raw(&v, sizeof v, true); };
+  const auto put8 = [&](std::uint8_t v) { raw(&v, sizeof v, true); };
+  const auto put64 = [&](std::uint64_t v) { raw(&v, sizeof v, true); };
+  const auto putd = [&](double v) { raw(&v, sizeof v, true); };
+
+  const std::uint64_t payload = 0x1234567890ABCDEFull;
+  const std::string device = "GTX680";
+  put32(0x4E4C5059, /*hashed=*/false);  // magic "YPLN" (header unhashed)
+  put32(1, /*hashed=*/false);           // file version
+  put32(1);                             // code_version: the v1 vintage
+  put64(payload);
+  put32(static_cast<std::uint32_t>(device.size()));
+  raw(device.data(), device.size(), true);
+  puti32(2);   // block_w
+  puti32(4);   // block_h
+  put8(0);     // bf_word
+  puti32(4);   // slices
+  put8(1);     // strategy
+  puti32(128); // workgroup_size
+  puti32(8);   // thread_tile
+  puti32(1);   // shm_tile
+  puti32(1);   // result_cache_multiple
+  put8(0);     // transpose
+  put8(4u | 16u);  // flags: short_col_index | skip_scan_opt
+  put32(3);    // workers
+  putd(123.456);       // gflops
+  put64(987654);       // footprint
+  putd(7.5);           // measured_gflops
+  put64(4242);         // measured_bytes
+  // v1 stops here: no kernel-id string.
+  putd(2.25);  // tuning_seconds
+  puti32(184); // evaluated
+  const std::uint64_t digest = h;
+  raw(&digest, sizeof digest, false);
+
+  std::istringstream in(out.str());
+  try {
+    io::load_plan(in);
+    FAIL() << "a v1-layout plan must not load";
+  } catch (const FormatInvalid& e) {
+    EXPECT_NE(std::string(e.what()).find("stale plan code version 1"),
+              std::string::npos)
+        << e.what();
+  }
+
+  CacheDir tmp;
+  serve::PlanCache cache(tmp.dir.string());
+  std::filesystem::create_directories(tmp.dir);
+  {
+    std::ofstream f(cache.path_for(payload, device), std::ios::binary);
+    const std::string bytes = out.str();
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(cache.load(payload, device).has_value())
+      << "stale-version plan file must load as a miss";
+}
+
 TEST(PlanCacheFile, PayloadChecksumTracksMatrixIdentity) {
   SplitMix64 rng(7);
   std::vector<index_t> ri = {0, 1, 2}, ci = {1, 2, 0};

@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Guards the compile-time kernel-specialization grid (cpu/kernels_grid.hpp)
+# against silent growth.  The grid trades binary size for dispatch speed;
+# that trade is only sound while it stays bounded, so this script fails
+# when either
+#
+#   * the number of instantiated grid entries exceeds its budget (every
+#     YASPMV_GRID_ENTRY / YASPMV_SPMM_GRID_ENTRY use is one run_chunk /
+#     run_spmm_chunk template instantiation), or
+#   * the stripped yaspmv_cli binary outgrows its byte budget (the grid is
+#     header-only, so every consumer pays the instantiation cost; the CLI
+#     links the whole library and is the canonical canary).
+#
+# Budgets carry ~30% headroom over today's numbers (36 chunk entries,
+# 3 spmm entries, ~630 KB stripped CLI) so legitimate small additions pass
+# while a combinatorial explosion — say a new axis multiplying the grid —
+# trips the guard and forces a deliberate budget bump in review.
+#
+# Usage: tools/check_kernel_grid.sh [path/to/yaspmv_cli]
+#        (the size check is skipped when no binary path is given)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+hdr="$repo/src/yaspmv/cpu/kernels_grid.hpp"
+
+max_chunk_entries=48
+max_spmm_entries=6
+max_cli_bytes=850000
+
+fail=0
+
+# grep -c counts the #define line too; subtract it.  (The SPMM macro name
+# does not contain the chunk macro name, so the counts stay disjoint.)
+chunk=$(($(grep -c 'YASPMV_GRID_ENTRY(' "$hdr") - 1))
+spmm=$(($(grep -c 'YASPMV_SPMM_GRID_ENTRY(' "$hdr") - 1))
+
+echo "check_kernel_grid: $chunk chunk entries (budget $max_chunk_entries)," \
+     "$spmm spmm entries (budget $max_spmm_entries)"
+if [ "$chunk" -lt 1 ] || [ "$chunk" -gt "$max_chunk_entries" ]; then
+  echo "FAIL: chunk-kernel grid has $chunk entries," \
+       "budget is $max_chunk_entries" >&2
+  fail=1
+fi
+if [ "$spmm" -lt 1 ] || [ "$spmm" -gt "$max_spmm_entries" ]; then
+  echo "FAIL: spmm-kernel grid has $spmm entries," \
+       "budget is $max_spmm_entries" >&2
+  fail=1
+fi
+
+if [ "$#" -ge 1 ]; then
+  cli="$1"
+  if [ ! -f "$cli" ]; then
+    echo "FAIL: binary '$cli' not found" >&2
+    exit 1
+  fi
+  tmp=$(mktemp)
+  trap 'rm -f "$tmp"' EXIT
+  cp "$cli" "$tmp"
+  strip "$tmp" 2>/dev/null || true
+  size=$(wc -c < "$tmp")
+  echo "check_kernel_grid: stripped $(basename "$cli") is $size bytes" \
+       "(budget $max_cli_bytes)"
+  if [ "$size" -gt "$max_cli_bytes" ]; then
+    echo "FAIL: stripped binary is $size bytes, budget is $max_cli_bytes —" \
+         "did the grid (or another template family) explode?" >&2
+    fail=1
+  fi
+fi
+
+[ "$fail" -eq 0 ] && echo "check_kernel_grid: OK"
+exit "$fail"

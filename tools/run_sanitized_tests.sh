@@ -5,7 +5,7 @@
 #   thread   TSan over the tsan/replay/serve/integrity-labeled suites
 #            (build-tsan) — chaos_test + workpool_test + segsum_modes_test +
 #            compressed_test + vecops_test + solver_determinism_test +
-#            replay_test, the ones
+#            kernel_grid_test + replay_test, the ones
 #            that exercise the persistent WorkPool (reuse across launches,
 #            concurrent submitters, unordered chunk claims and the
 #            speculative carry fix-up, the parallel tuner sweep and BCCOO
@@ -47,8 +47,8 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
     --target chaos_test workpool_test segsum_modes_test compressed_test \
-             vecops_test solver_determinism_test replay_test serve_test \
-             serve_chaos_test integrity_test
+             vecops_test solver_determinism_test kernel_grid_test \
+             replay_test serve_test serve_chaos_test integrity_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build" -L "tsan|replay|serve|integrity" \
       --output-on-failure "$@"

@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
                 << r.register_seconds << " s ("
                 << (r.warm ? "saved tuning of " : "tuned in ")
                 << r.tuning_seconds << " s, " << r.evaluated
-                << " candidates)\n";
+                << " candidates, kernel " << r.kernel << ")\n";
       return 0;
     }
     if (cmd == "stats") {
@@ -147,7 +147,9 @@ int main(int argc, char** argv) {
                 << s.verified_requests << "\nintegrity_faults "
                 << s.integrity_faults << "\nintegrity_recovered "
                 << s.integrity_recovered << "\nexecutors " << s.executors
-                << "\napply_threads " << s.apply_threads << "\n";
+                << "\napply_threads " << s.apply_threads << "\ngrid_plans "
+                << s.grid_plans << "\ngeneric_plans " << s.generic_plans
+                << "\n";
       return 0;
     }
     if (cmd == "shutdown") {

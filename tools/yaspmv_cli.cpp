@@ -54,6 +54,9 @@ int usage() {
       " [--out=<y.txt>]\n"
       "          [--cols=auto|raw|short|delta]  column stream for the native\n"
       "          kernel; [--no-delta-decode] = --cols=raw escape hatch\n"
+      "          [--kernel=auto|generic]  auto dispatches an exact\n"
+      "          (bw, bh, stream) match to its specialized grid kernel\n"
+      "          (bitwise identical to generic); generic pins the fallback\n"
       "          [--verify]  exhaustive residual + ABFT checksum check per\n"
       "          attempt (detected corruption raises kIntegrityFault and\n"
       "          recovers down the ladder)\n"
@@ -151,14 +154,16 @@ int cmd_tune(const Args& args) {
   std::cout << "best: " << r.best.format.to_string() << " | "
             << r.best.exec.to_string() << "\n"
             << "modeled " << r.best.gflops << " GFLOPS on " << dev.name
-            << ", footprint " << r.best.footprint << " bytes\n";
+            << ", footprint " << r.best.footprint << " bytes, kernel "
+            << r.best.kernel << "\n";
   if (r.native_measured) {
     std::cout << "best (native measured): "
               << r.best_native.format.to_string() << " | "
               << r.best_native.exec.to_string() << "\nmeasured "
               << r.best_native.measured_gflops << " GFLOPS, "
               << r.best_native.measured_bytes << " bytes/SpMV (modeled "
-              << r.best_native.footprint << ")\n";
+              << r.best_native.footprint << "), kernel "
+              << r.best_native.kernel << "\n";
   }
   return 0;
 }
@@ -405,7 +410,12 @@ int cmd_spmv(const Args& args) {
       static_cast<unsigned>(args.get_int("threads", 0));
   const long reps = args.get_int("reps", 10);
   const core::ColStream cs = parse_cols(args);
-  cpu::CpuSpmv eng(m, threads, cs);
+  const std::string kdreq = args.get("kernel", "auto");
+  require(kdreq == "auto" || kdreq == "generic",
+          "spmv: --kernel must be auto or generic");
+  const auto kd = kdreq == "generic" ? cpu::grid::KernelDispatch::kGeneric
+                                     : cpu::grid::KernelDispatch::kAuto;
+  cpu::CpuSpmv eng(m, threads, cs, cpu::default_segsum_mode(), kd);
   SplitMix64 rng(0x5eed);
   std::vector<real_t> x(static_cast<std::size_t>(m->cols));
   for (auto& v : x) v = rng.next_double(-1, 1);
@@ -418,7 +428,8 @@ int cmd_spmv(const Args& args) {
                      (ms * 1e-3) / 1e9;
   std::cout << m->rows << " x " << m->cols << ": " << ms << " ms/SpMV on "
             << eng.threads() << " thread(s), cols="
-            << core::to_string(eng.col_stream()) << ", "
+            << core::to_string(eng.col_stream()) << ", kernel="
+            << eng.kernel_id() << ", "
             << m->traffic_bytes(eng.col_stream()) << " bytes/SpMV (" << gbs
             << " GB/s)\n";
   if (args.has("out")) {
