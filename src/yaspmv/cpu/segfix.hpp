@@ -85,6 +85,7 @@ inline SegSumMode default_segsum_mode() {
 struct FixupScratch {
   std::vector<real_t> group;
   std::vector<unsigned char> has;
+  std::vector<real_t> tmp;  ///< scan scratch panel (lanes elements)
 };
 
 /// Below this many total fix-up elements (nchunks * lanes) passes A and C
@@ -108,12 +109,21 @@ inline constexpr std::size_t kParallelFixupGrain = 4096;
 ///                     layout: strided SpMM panels, semiring y, ...)
 ///   unordered         scheduling mode for passes A and C (results are
 ///                     identical either way; see the file comment)
+///   shard_chunk_start optional shard-affinity hint: nshards + 1 monotone
+///                     chunk boundaries (CpuSpmv's shard grid).  Passes A
+///                     and C then claim groups shard-first via run_sharded
+///                     so each NUMA group repairs the carry panels it wrote
+///                     in the chunk pass.  Scheduling only — the group
+///                     bounds and the scan tree are untouched, so results
+///                     stay bitwise identical with or without the hint.
 template <class AccFn, class ApplyFn>
 void speculative_fixup(std::size_t nchunks, std::size_t lanes,
                        unsigned threads, bool unordered,
                        const index_t* first_seg, const real_t* firsts,
                        const real_t* carries, real_t zero, AccFn&& acc,
-                       ApplyFn&& apply, FixupScratch& s) {
+                       ApplyFn&& apply, FixupScratch& s,
+                       const std::size_t* shard_chunk_start = nullptr,
+                       unsigned nshards = 1) {
   (void)firsts;  // applied by the caller's `apply`; kept for symmetry
   if (nchunks == 0) return;
   const std::size_t ngroups =
@@ -126,9 +136,27 @@ void speculative_fixup(std::size_t nchunks, std::size_t lanes,
   };
   const bool parallel =
       ngroups > 1 && nchunks * lanes >= kParallelFixupGrain;
+  // Shard boundaries mapped from chunk indices to group indices (group g
+  // covers chunks [group_lo(g), group_lo(g+1))): group-shard s starts at
+  // the first group whose chunk range begins at or after the shard's first
+  // chunk.  Derived from the shard grid alone, like everything else here.
+  std::size_t group_shard[kMaxShards + 1];
+  const bool sharded = shard_chunk_start != nullptr && nshards > 1 &&
+                       nshards <= kMaxShards && parallel && unordered;
+  if (sharded) {
+    group_shard[0] = 0;
+    group_shard[nshards] = ngroups;
+    for (unsigned sh = 1; sh < nshards; ++sh) {
+      std::size_t g = group_shard[sh - 1];
+      while (g < ngroups && group_lo(g) < shard_chunk_start[sh]) ++g;
+      group_shard[sh] = g;
+    }
+  }
   const auto dispatch = [&](auto&& body) {
     if (!parallel) {
       for (std::size_t g = 0; g < ngroups; ++g) body(0u, g);
+    } else if (sharded) {
+      parallel_for_sharded(ngroups, group_shard, nshards, threads, body);
     } else if (unordered) {
       parallel_for_unordered(ngroups, threads, body);
     } else {
@@ -156,7 +184,8 @@ void speculative_fixup(std::size_t nchunks, std::size_t lanes,
   // after running A then B".  Padding slots hold the identity (no stop,
   // zero carry), which is absorbed exactly by min/or semirings and matches
   // the FP path's zero-initialized running carry.
-  std::vector<real_t> tmp_panel(lanes);
+  s.tmp.resize(lanes);
+  std::vector<real_t>& tmp_panel = s.tmp;
   for (std::size_t d = 1; d < npow2; d *= 2) {  // up-sweep
     for (std::size_t i = 2 * d - 1; i < npow2; i += 2 * d) {
       // s.group[i] = combine(s.group[i - d], s.group[i])

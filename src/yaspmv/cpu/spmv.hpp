@@ -56,10 +56,12 @@
 // fixed (thread count, dispatch level).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "yaspmv/core/bccoo.hpp"
@@ -86,15 +88,25 @@ class CpuSpmv {
   /// (cpu/kernels_grid.hpp) — bitwise identical to the generic kernel at a
   /// fixed (threads, simd level, segsum mode) — while kGeneric pins the
   /// generic kernel (parity reference / bench baseline).  Out-of-grid
-  /// configs and kSerialFold always run generic.
+  /// configs and kSerialFold always run generic.  `shards` partitions the
+  /// chunk grid into contiguous locality domains (NUMA shard groups): the
+  /// default 1 keeps today's single-domain execution, 0 probes the machine
+  /// (default_shards(): libnuma node count, YASPMV_NUMA override), and an
+  /// explicit N pins the domain count.  Sharding is scheduling + placement
+  /// only — the chunk grid, fix-up tree and combine order are untouched, so
+  /// any shard count is bitwise identical to shards == 1 at a fixed
+  /// (threads, level, segsum mode).
   explicit CpuSpmv(std::shared_ptr<const core::Bccoo> m, unsigned threads = 0,
                    core::ColStream cs = core::ColStream::kAuto,
                    SegSumMode mode = default_segsum_mode(),
-                   grid::KernelDispatch kd = grid::KernelDispatch::kAuto)
+                   grid::KernelDispatch kd = grid::KernelDispatch::kAuto,
+                   unsigned shards = 1)
       : fmt_(std::move(m)),
         threads_(threads == 0 ? default_workers() : threads),
         cs_(fmt_->resolve_col_stream(cs)),
-        mode_(mode) {
+        mode_(mode),
+        shards_(std::min(shards == 0 ? default_shards() : shards,
+                         kMaxShards)) {
     const core::Bccoo& f = *fmt_;
     require(f.cfg.block_h >= 1 && f.cfg.block_h <= 8,
             "CpuSpmv[" + config_name() + "]: block height " +
@@ -131,8 +143,40 @@ class CpuSpmv {
     for (std::size_t c = 0; c < chunk_start_.size(); ++c) {
       chunk_first_seg_[c] = f.bit_flags.count_zeros_before(chunk_start_[c]);
     }
-    carries_.resize((chunk_start_.size() - 1) * h, 0.0);
-    firsts_.resize((chunk_start_.size() - 1) * h, 0.0);
+    // Shard grid: the format's tile-rounded block boundaries
+    // (shard_block_starts — a pure function of the format and the shard
+    // count, never the live thread count) mapped onto the chunk grid.  The
+    // map is monotone, so the shard chunk ranges partition [0, nchunks).
+    const std::size_t nchunks_built = chunk_start_.size() - 1;
+    shard_chunk_start_.assign(static_cast<std::size_t>(shards_) + 1, 0);
+    shard_chunk_start_[shards_] = nchunks_built;
+    if (shards_ > 1) {
+      const std::vector<std::size_t> sb = f.shard_block_starts(shards_);
+      for (unsigned s = 1; s < shards_; ++s) {
+        const auto it =
+            std::lower_bound(chunk_start_.begin(), chunk_start_.end(), sb[s]);
+        shard_chunk_start_[s] = std::min<std::size_t>(
+            static_cast<std::size_t>(it - chunk_start_.begin()),
+            nchunks_built);
+      }
+      // Halo metadata: the x sub-range each shard's blocks actually read
+      // (the cross-domain x traffic the perf model charges).
+      shard_col_range_.resize(shards_);
+      for (unsigned s = 0; s < shards_; ++s) {
+        shard_col_range_[s] =
+            f.block_col_range(chunk_start_[shard_chunk_start_[s]],
+                              chunk_start_[shard_chunk_start_[s + 1]]);
+      }
+    }
+    // First-touch the carry/first panels shard by shard so each domain's
+    // fix-up pages are local to the workers that write them.  One shard
+    // degrades to a plain serial fill — bit-for-bit the old vectors.
+    std::size_t panel_shard[kMaxShards + 1];
+    for (unsigned s = 0; s <= shards_; ++s) {
+      panel_shard[s] = shard_chunk_start_[s] * h;
+    }
+    carries_.init(nchunks_built * h, 0.0, panel_shard, shards_, threads_);
+    firsts_.init(nchunks_built * h, 0.0, panel_shard, shards_, threads_);
     // Zero-copy tail redirect: only a padded last block column needs
     // scratch.  The pad beyond `cols` is zeroed once, here; spmv copies
     // just the live tail elements per call.
@@ -151,8 +195,23 @@ class CpuSpmv {
     if (!direct_y_) {
       // Slice-stacked result buffer.  Zeroed once: covered rows are
       // *assigned* every call, uncovered rows are never touched and stay
-      // zero forever.
-      res_.resize(stacked * h, 0.0);
+      // zero forever.  First-touched along the shard grid — each shard's
+      // boundary is the stacked row its first complete segment lands on
+      // (clamped monotone), so workers fault the y-partial pages they will
+      // assign in the chunk pass.
+      std::size_t res_shard[kMaxShards + 1];
+      res_shard[0] = 0;
+      res_shard[shards_] = stacked * h;
+      for (unsigned s = 1; s < shards_; ++s) {
+        const auto seg =
+            static_cast<std::size_t>(chunk_first_seg_[shard_chunk_start_[s]]);
+        std::size_t b = seg < f.seg_to_block_row.size()
+                            ? static_cast<std::size_t>(
+                                  f.seg_to_block_row[seg]) * h
+                            : stacked * h;
+        res_shard[s] = std::clamp(b, res_shard[s - 1], stacked * h);
+      }
+      res_.init(stacked * h, 0.0, res_shard, shards_, threads_);
     } else {
       // Direct-y mode writes into the caller's buffer, so the rows no
       // segment covers must be cleared per call — precompute them.
@@ -164,10 +223,32 @@ class CpuSpmv {
         if (!covered[r]) zero_rows_.push_back(r);
       }
     }
+    if (shards_ > 1 && !direct_y_) {
+      // Combine pass shard grid: rows partition evenly across domains.
+      // The per-row slice fold itself is untouched (fixed slice order), so
+      // sharding the row ranges is a disjoint merge, not an FP reduction.
+      const auto rowsz = static_cast<std::size_t>(f.rows);
+      const std::size_t rchunks =
+          std::max<std::size_t>(1, std::min<std::size_t>(threads_ * 4, rowsz));
+      combine_shard_start_.resize(static_cast<std::size_t>(shards_) + 1);
+      for (unsigned s = 0; s <= shards_; ++s) {
+        combine_shard_start_[s] = s * rchunks / shards_;
+      }
+    }
   }
 
   const core::Bccoo& format() const { return *fmt_; }
   unsigned threads() const { return threads_; }
+  /// Locality domains the chunk and combine passes are sharded across
+  /// (1 = today's single-domain execution).
+  unsigned shard_count() const { return shards_; }
+  /// The x sub-range shard s's blocks read — its halo view.  Everything
+  /// outside [lo, hi) is another domain's x; the full span when unsharded
+  /// or when the shard holds no blocks.
+  std::pair<index_t, index_t> shard_col_range(unsigned s) const {
+    if (s >= shard_col_range_.size()) return {0, fmt_->cols};
+    return shard_col_range_[s];
+  }
   /// The resolved column stream the hot loop actually reads.
   core::ColStream col_stream() const { return cs_; }
   /// The segmented-sum scheduling/fix-up mode this engine runs.
@@ -238,12 +319,22 @@ class CpuSpmv {
         process_chunk(c, h, bw, xd, out);
       }
     };
-    if (unordered) {
+    if (shards_ > 1 && unordered) {
+      // Shard-affine scheduling: each worker group claims only its domain's
+      // chunk range (spilling to other domains once its own drains), so the
+      // panels and res_ pages it first-touched stay local.  The chunk grid
+      // is the same one the unsharded path walks — bitwise identical.
+      parallel_for_sharded(nchunks, shard_chunk_start_.data(), shards_,
+                           threads_, chunk_body);
+    } else if (unordered) {
       parallel_for_unordered(nchunks, threads_, chunk_body);
     } else {
       parallel_for_ordered(nchunks, threads_, chunk_body);
     }
-    if (injector_) injector_->flip_partial(carries_);
+    if (injector_) {
+      injector_->flip_partial(
+          std::span<real_t>(carries_.data(), carries_.size()));
+    }
 
     // Fix-up: resolve segments spanning chunk boundaries.  Each chunk's
     // first stop closes a segment no worker assigned (they defer it to
@@ -281,7 +372,7 @@ class CpuSpmv {
                     chunk_first_seg_[c])]);
             capply(out + sbrow * h, inc, firsts_.data() + c * h, h);
           },
-          fix_);
+          fix_, shards_ > 1 ? shard_chunk_start_.data() : nullptr, shards_);
     }
     if (direct_y_) return;  // workers already produced y
 
@@ -313,7 +404,13 @@ class CpuSpmv {
         combine_rows(static_cast<index_t>(rc * rowsz / rchunks),
                      static_cast<index_t>((rc + 1) * rowsz / rchunks));
       };
-      if (unordered) {
+      if (shards_ > 1 && unordered) {
+        // Shard-local combine: each domain folds the rows whose res_ pages
+        // it placed, then the disjoint row ranges ARE the cross-shard
+        // merge — no second reduction and no reassociation.
+        parallel_for_sharded(rchunks, combine_shard_start_.data(), shards_,
+                             threads_, combine_body);
+      } else if (unordered) {
         parallel_for_unordered(rchunks, threads_, combine_body);
       } else {
         parallel_for_ordered(rchunks, threads_, combine_body);
@@ -358,7 +455,10 @@ class CpuSpmv {
     if (!rep.ok() && f.cfg.slices > 1 && !res_.empty()) {
       // Failure path only: serial per-slice attribution off the stacked
       // partial results the workers just produced.
-      rep.slice = core::verify_apply(f, x, y, res_).slice;
+      rep.slice = core::verify_apply(
+                      f, x, y, std::span<const real_t>(res_.data(),
+                                                       res_.size()))
+                      .slice;
     }
     return rep;
   }
@@ -537,16 +637,23 @@ class CpuSpmv {
   FixupScratch fix_;  ///< speculative fix-up scratch (segfix.hpp)
   sim::FaultInjector* injector_ = nullptr;  ///< nullable kFlipPartial site
   bool direct_y_ = false;  ///< workers write y in place (1 slice, no row pad)
+  unsigned shards_ = 1;  ///< locality domains (NUMA shard groups)
   std::vector<std::size_t> chunk_start_;
   std::vector<index_t> chunk_first_seg_;
-  std::vector<real_t> carries_;  ///< per chunk: trailing open-segment sum
-  std::vector<real_t> firsts_;   ///< per chunk: first (possibly partial) sum
+  /// shards_ + 1 chunk boundaries (from the format's block shard grid).
+  std::vector<std::size_t> shard_chunk_start_;
+  /// shards_ + 1 row-chunk boundaries for the sharded combine pass.
+  std::vector<std::size_t> combine_shard_start_;
+  /// Per-shard x halo [lo, hi) — empty when unsharded.
+  std::vector<std::pair<index_t, index_t>> shard_col_range_;
+  FirstTouchBuffer<real_t> carries_;  ///< per chunk: trailing open-seg sum
+  FirstTouchBuffer<real_t> firsts_;   ///< per chunk: first (partial) sum
   // Tail redirect for padded blocked formats (empty / never-matching when
   // cols divide evenly — the common case reads x with zero copies).
   std::size_t pad_bcol_ = static_cast<std::size_t>(-1);
   std::size_t tail_n_ = 0;       ///< live elements in the padded last block
   std::vector<real_t> xtail_;    ///< last block column, pad zeroed once
-  std::vector<real_t> res_;      ///< slice-stacked results (!direct_y_ only)
+  FirstTouchBuffer<real_t> res_;  ///< slice-stacked results (!direct_y_)
   std::vector<std::size_t> zero_rows_;  ///< uncovered rows (direct_y_ only)
 };
 

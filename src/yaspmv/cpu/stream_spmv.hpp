@@ -1,0 +1,154 @@
+// Out-of-core streaming SpMV over a memory-mapped BCCOO container
+// (io/stream.hpp): the apply walks the file tile by tile (one decode tile
+// = Bccoo::kColTile blocks), copying each tile's column indices, bit-flag
+// words and value rows into preallocated aligned scratch and running the
+// serial segmented sum over it.  Nothing proportional to the matrix is
+// ever resident: the working set is two tiles (the one being processed
+// and the one being prefetched), so a matrix far larger than RAM streams
+// at disk bandwidth.
+//
+// Prefetch is a double-buffered madvise window: while tile window w is
+// processed, window w+1 is advised kWillNeed (the kernel reads ahead) and
+// window w-1 kDontNeed (its pages are dropped, bounding residency).
+//
+// Determinism/correctness contract: the walk is the exact loop of
+// Bccoo::spmv_reference — same block order, same per-block accumulation
+// order, same guarded column/row bounds — so a streamed apply is bitwise
+// identical to the in-memory reference apply of the same format.  Tiles
+// impose no restart semantics on this walk (the raw column index decodes
+// tile-independently; the open segment accumulator carries across tile
+// boundaries in scratch), which is what lets the engine pick any tile
+// size without changing a bit of the result.
+//
+// Faults: every apply runs under the SIGBUS guard, so a file truncated or
+// replaced underneath the mapping surfaces as a typed IoError — a serving
+// daemon degrades the request instead of dying.  The apply path performs
+// no heap allocation (scratch is ctor-built), enforced by
+// tools/check_stream_alloc.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "yaspmv/core/bccoo.hpp"
+#include "yaspmv/io/stream.hpp"
+#include "yaspmv/util/common.hpp"
+
+namespace yaspmv::cpu {
+
+/// Reusable streaming SpMV executor over one mapped container.
+class CpuStreamSpmv {
+ public:
+  /// Decode-tile granularity of the streamed walk (shared with the
+  /// in-memory kernels' column-decode tiling).
+  static constexpr std::size_t kTileBlocks = core::Bccoo::kColTile;
+  /// Tiles per madvise window: prefetch/drop in ~this many tiles' worth
+  /// of bytes so the advisory syscalls amortize over real I/O.
+  static constexpr std::size_t kWindowTiles = 16;
+
+  explicit CpuStreamSpmv(std::shared_ptr<const io::MappedBccoo> m)
+      : m_(std::move(m)) {
+    require(m_ != nullptr, "CpuStreamSpmv: null mapping");
+    const auto h = static_cast<std::size_t>(m_->block_h());
+    const auto bw = static_cast<std::size_t>(m_->block_w());
+    require(h >= 1 && h <= 8,
+            "CpuStreamSpmv: block height " + std::to_string(h) +
+                " outside the accepted range [1, 8]");
+    cols_tile_.resize(kTileBlocks);
+    bits_tile_.resize(kTileBlocks / 32);
+    vals_tile_.resize(h);
+    for (auto& v : vals_tile_) v.resize(kTileBlocks * bw);
+  }
+
+  const io::MappedBccoo& mapped() const { return *m_; }
+  index_t rows() const { return m_->rows(); }
+  index_t cols() const { return m_->cols(); }
+  /// Bytes one apply streams off the file (the GB/s numerator).
+  std::uint64_t streamed_bytes() const { return m_->streamed_bytes(); }
+
+  /// y = A * x, streamed off the mapping.  Serial (the walk is bandwidth-
+  /// bound on the file, not compute-bound); bitwise identical to
+  /// Bccoo::spmv_reference on the same format.  Throws IoError when the
+  /// mapped file vanishes mid-apply (SIGBUS converted), never faults the
+  /// process.
+  void spmv(std::span<const real_t> x, std::span<real_t> y) {
+    require(x.size() == static_cast<std::size_t>(m_->cols()) &&
+                y.size() == static_cast<std::size_t>(m_->rows()),
+            "CpuStreamSpmv: vector size mismatch");
+    io::with_sigbus_guard("stream spmv", [&] { run(x.data(), y); });
+  }
+
+ private:
+  void run(const real_t* x, std::span<real_t> y) {
+    const auto h = static_cast<std::size_t>(m_->block_h());
+    const auto bw = static_cast<std::size_t>(m_->block_w());
+    const index_t ncols = m_->cols();
+    const index_t nrows = m_->rows();
+    const index_t block_rows = m_->block_rows();
+    const std::uint64_t nb = m_->num_blocks();
+    std::fill(y.begin(), y.end(), 0.0);
+    if (nb == 0) return;
+    m_->advise_segmap(io::Advice::kWillNeed);
+
+    real_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t seg = 0;
+    constexpr std::size_t kWin = kTileBlocks * kWindowTiles;
+    m_->advise_blocks(0, std::min<std::uint64_t>(kWin, nb),
+                      io::Advice::kWillNeed);
+    for (std::size_t b0 = 0; b0 < nb; b0 += kTileBlocks) {
+      const std::size_t b1 = std::min<std::uint64_t>(b0 + kTileBlocks, nb);
+      if (b0 % kWin == 0) {
+        // Double-buffered window: read ahead one window, drop the one
+        // before the window just finished.
+        m_->advise_blocks(b0 + kWin, std::min<std::uint64_t>(b0 + 2 * kWin, nb),
+                          io::Advice::kWillNeed);
+        if (b0 >= 2 * kWin) {
+          m_->advise_blocks(b0 - 2 * kWin, b0 - kWin, io::Advice::kDontNeed);
+        }
+      }
+      m_->copy_cols(b0, b1, cols_tile_.data());
+      m_->copy_bit_words(b0 / 32, (b1 + 31) / 32, bits_tile_.data());
+      for (std::size_t k = 0; k < h; ++k) {
+        m_->copy_vals(k, b0, b1, vals_tile_[k].data());
+      }
+      for (std::size_t i = b0; i < b1; ++i) {
+        const std::size_t ti = i - b0;
+        const index_t bcol = cols_tile_[ti];
+        for (std::size_t lr = 0; lr < h; ++lr) {
+          real_t s = 0.0;
+          for (std::size_t lc = 0; lc < bw; ++lc) {
+            const index_t c =
+                bcol * static_cast<index_t>(bw) + static_cast<index_t>(lc);
+            if (c < ncols) {
+              s += vals_tile_[lr][ti * bw + lc] *
+                   x[static_cast<std::size_t>(c)];
+            }
+          }
+          acc[lr] += s;
+        }
+        if (!((bits_tile_[ti >> 5] >> (ti & 31u)) & 1u)) {  // row stop
+          const index_t stacked_brow = m_->seg_row(seg++);
+          const index_t brow = stacked_brow % block_rows;
+          for (std::size_t lr = 0; lr < h; ++lr) {
+            const index_t r =
+                brow * static_cast<index_t>(h) + static_cast<index_t>(lr);
+            if (r < nrows) y[static_cast<std::size_t>(r)] += acc[lr];
+            acc[lr] = 0.0;
+          }
+        }
+      }
+    }
+  }
+
+  std::shared_ptr<const io::MappedBccoo> m_;
+  std::vector<index_t> cols_tile_;         ///< tile column scratch
+  std::vector<std::uint32_t> bits_tile_;   ///< tile bit-flag words
+  std::vector<std::vector<real_t>> vals_tile_;  ///< per value row
+};
+
+}  // namespace yaspmv::cpu

@@ -120,6 +120,28 @@ RegisterResult Client::register_matrix(const fmt::Coo& a, bool force_retune) {
   return out;
 }
 
+RegisterResult Client::register_path(const std::string& file_path) {
+  WireWriter w;
+  w.put<std::uint32_t>(0);  // flags (reserved)
+  w.put_string(file_path);
+  const auto bytes = roundtrip(MsgType::kRegisterPath, w.bytes());
+  // The reply layout is handle_register's, so the parse is identical.
+  WireReader r(bytes);
+  RegisterResult out;
+  out.status = get_reply_status(r);
+  if (out.status.status != ServeStatus::kOk) return out;
+  out.matrix_id = r.get<std::uint64_t>();
+  out.warm = r.get<std::uint8_t>() != 0;
+  out.newly_registered = r.get<std::uint8_t>() != 0;
+  out.tuning_seconds = r.get<double>();
+  out.register_seconds = r.get<double>();
+  out.rows = r.get<std::int32_t>();
+  out.cols = r.get<std::int32_t>();
+  out.evaluated = r.get<std::int32_t>();
+  out.kernel = r.get_string();
+  return out;
+}
+
 SpmvResult Client::spmv(std::uint64_t matrix_id, std::span<const real_t> x,
                         const RequestOptions& opt) {
   WireWriter w;
@@ -239,6 +261,17 @@ StatsSnapshot Client::stats() {
   s.apply_threads = r.get<std::uint64_t>();
   s.grid_plans = r.get<std::uint64_t>();
   s.generic_plans = r.get<std::uint64_t>();
+  // Appended-last fields: absent from an older server's reply, so guard on
+  // what is actually left in the frame instead of assuming.
+  if (r.remaining() >= sizeof(std::uint64_t)) {
+    s.stream_registered = r.get<std::uint64_t>();
+  }
+  if (r.remaining() >= sizeof(std::uint64_t)) {
+    s.stream_applies = r.get<std::uint64_t>();
+  }
+  if (r.remaining() >= sizeof(std::uint64_t)) {
+    s.shard_domains = r.get<std::uint64_t>();
+  }
   return s;
 }
 

@@ -95,7 +95,8 @@ struct StatsSnapshot {
                 registered = 0, plan_cache_hits = 0, plan_cache_misses = 0,
                 inflight = 0, verified_requests = 0, integrity_faults = 0,
                 integrity_recovered = 0, executors = 0, apply_threads = 0,
-                grid_plans = 0, generic_plans = 0;
+                grid_plans = 0, generic_plans = 0, stream_registered = 0,
+                stream_applies = 0, shard_domains = 0;
 };
 
 class Client {
@@ -114,6 +115,12 @@ class Client {
 
   /// Registers (or re-finds) a matrix; the server tunes on a cache miss.
   RegisterResult register_matrix(const fmt::Coo& a, bool force_retune = false);
+
+  /// Registers a matrix by container *path*: the server mmaps the .bccoo
+  /// file (verifying its checksum) and serves applies out-of-core, tile by
+  /// tile — the matrix never loads into server memory.  The id is the
+  /// file's payload checksum; kernel comes back "stream/tile".
+  RegisterResult register_path(const std::string& file_path);
 
   /// y = A x through the server's resilient ladder.
   SpmvResult spmv(std::uint64_t matrix_id, std::span<const real_t> x,

@@ -54,6 +54,9 @@ enum class MsgType : std::uint16_t {
   kSolve = 3,     ///< iterative solve on the native pipeline
   kStats = 4,     ///< server counters (admission, faults, drain)
   kShutdown = 5,  ///< request a graceful drain (same path as SIGTERM)
+  kRegisterPath = 6,  ///< register a BCCOO container by file path: the
+                      ///  server mmaps it and serves applies out-of-core
+                      ///  (tile streaming) without loading the matrix
 };
 
 /// Server-level outcome of a request — the error taxonomy a client programs

@@ -14,6 +14,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "yaspmv/cpu/stream_spmv.hpp"
+#include "yaspmv/io/stream.hpp"
 #include "yaspmv/sim/fault.hpp"
 #include "yaspmv/tune/tuner.hpp"
 #include "yaspmv/util/stopwatch.hpp"
@@ -78,6 +80,17 @@ struct Server::MatrixEntry {
   // disp_mu_) guarantees at most one executor touches it at a time.
   std::unique_ptr<core::ResilientEngine> engine;
   std::unique_ptr<solver::CpuOperator> op;  ///< built on first solve
+
+  // Out-of-core entries (registered by path): the matrix stays in the
+  // mapped file, `a` is empty, and applies stream tile by tile.  srows/
+  // scols mirror the geometry `a` would carry.
+  bool streamed = false;
+  std::shared_ptr<const io::MappedBccoo> mapped;
+  std::unique_ptr<cpu::CpuStreamSpmv> stream;
+  std::int32_t srows = 0, scols = 0;
+
+  std::int32_t rows() const { return streamed ? srows : a.rows; }
+  std::int32_t cols() const { return streamed ? scols : a.cols; }
 
   // Queue state, guarded by Server::disp_mu_.
   std::deque<std::unique_ptr<Pending>> queue;
@@ -273,6 +286,7 @@ ServerStats Server::stats() const {
   }
   out.executors = opt_.executors;
   out.apply_threads = opt_.apply_threads;
+  out.shard_domains = default_shards();
   {
     std::lock_guard<std::mutex> lk(disp_mu_);
     out.inflight = inflight_;
@@ -361,6 +375,9 @@ void Server::connection_loop(Connection* conn) {
       switch (f.type) {
         case MsgType::kRegister:
           reply = handle_register(r);
+          break;
+        case MsgType::kRegisterPath:
+          reply = handle_register_path(r);
           break;
         case MsgType::kSpmv:
         case MsgType::kSolve:
@@ -575,6 +592,98 @@ std::vector<std::uint8_t> Server::handle_register(WireReader& r) {
   return w.take();
 }
 
+std::vector<std::uint8_t> Server::handle_register_path(WireReader& r) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return error_reply(ServeStatus::kShuttingDown, Status::kOk,
+                       "server draining: registration refused");
+  }
+  r.get<std::uint32_t>();  // flags (reserved)
+  const std::string path = r.get_string();
+  if (path.empty()) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "register-path: empty path");
+  }
+  // Open + verify the container WITHOUT loading the matrix: the mapping is
+  // the storage.  The file's own payload checksum (verified by the open)
+  // is the registry id, so path- and value-registrations of different
+  // content never collide.
+  std::shared_ptr<const io::MappedBccoo> mapped;
+  try {
+    mapped = std::make_shared<const io::MappedBccoo>(path);
+  } catch (const SpmvError& e) {
+    return error_reply(ServeStatus::kFaulted, e.code(),
+                       std::string("register-path: ") + e.what());
+  }
+  const std::uint64_t id = mapped->payload_checksum();
+
+  std::shared_ptr<MatrixEntry> entry;
+  bool creator = false;
+  {
+    std::unique_lock<std::mutex> lk(reg_mu_);
+    auto it = matrices_.find(id);
+    if (it == matrices_.end()) {
+      entry = std::make_shared<MatrixEntry>();
+      entry->id = id;
+      entry->streamed = true;
+      entry->mapped = std::move(mapped);
+      entry->srows = entry->mapped->rows();
+      entry->scols = entry->mapped->cols();
+      matrices_.emplace(id, entry);
+      creator = true;
+    } else {
+      entry = it->second;
+      reg_cv_.wait(lk, [&] { return entry->ready || !entry->error.empty(); });
+      if (!entry->error.empty()) {
+        return error_reply(ServeStatus::kInternal, Status::kOk, entry->error);
+      }
+    }
+  }
+
+  if (creator) {
+    Stopwatch sw;
+    std::string failure;
+    try {
+      entry->stream = std::make_unique<cpu::CpuStreamSpmv>(entry->mapped);
+      entry->plan.kernel = "stream/tile";
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+    entry->register_seconds = sw.elapsed_seconds();
+    {
+      std::lock_guard<std::mutex> lk(reg_mu_);
+      if (failure.empty()) {
+        entry->ready = true;
+      } else {
+        entry->error = failure;
+        matrices_.erase(id);
+      }
+      reg_cv_.notify_all();
+    }
+    if (!failure.empty()) {
+      return error_reply(ServeStatus::kInternal, Status::kOk,
+                         "register-path: " + failure);
+    }
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.registered++;
+    stats_.stream_registered++;
+  }
+
+  // Same reply layout as handle_register, so one client-side parser serves
+  // both registration flavors.
+  WireWriter w;
+  put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+  w.put<std::uint64_t>(id);
+  w.put<std::uint8_t>(0);  // plan_from_cache: streamed entries are not tuned
+  w.put<std::uint8_t>(creator ? 1 : 0);
+  w.put<double>(0.0);  // tuning_seconds
+  w.put<double>(entry->register_seconds);
+  w.put<std::int32_t>(entry->srows);
+  w.put<std::int32_t>(entry->scols);
+  w.put<std::int32_t>(0);  // evaluated
+  w.put_string(entry->plan.kernel);
+  return w.take();
+}
+
 std::shared_ptr<Server::MatrixEntry> Server::find_matrix(std::uint64_t id) {
   std::unique_lock<std::mutex> lk(reg_mu_);
   auto it = matrices_.find(id);
@@ -622,17 +731,29 @@ std::vector<std::uint8_t> Server::handle_request(MsgType type, WireReader& r) {
   }
   // Fail fast on shape mismatches — before the request occupies queue space.
   const auto need = static_cast<std::size_t>(
-      type == MsgType::kSpmv ? m->a.cols : m->a.rows);
+      type == MsgType::kSpmv ? m->cols() : m->rows());
   if (p->x.size() != need) {
     return error_reply(ServeStatus::kBadRequest, Status::kOk,
                        "vector length " + std::to_string(p->x.size()) +
                            " != expected " + std::to_string(need));
   }
   if (type == MsgType::kSolve &&
-      (m->a.rows != m->a.cols || (p->solver != 1 && p->solver != 2))) {
+      (m->streamed || m->a.rows != m->a.cols ||
+       (p->solver != 1 && p->solver != 2))) {
     return error_reply(ServeStatus::kBadRequest, Status::kOk,
-                       "solve: matrix must be square and solver must be "
-                       "cg(1) or bicgstab(2)");
+                       m->streamed
+                           ? "solve: not supported for matrices registered "
+                             "by path (streamed entries serve spmv only)"
+                           : "solve: matrix must be square and solver must "
+                             "be cg(1) or bicgstab(2)");
+  }
+  // Streamed applies bypass the ResilientEngine ladder, so only the injects
+  // that make sense without it (input poison, latency) are honored.
+  if (m->streamed && p->inject != Inject::kNone &&
+      p->inject != Inject::kNan && p->inject != Inject::kSleepMs) {
+    return error_reply(ServeStatus::kBadRequest, Status::kOk,
+                       "inject: streamed matrices support only nan/sleep "
+                       "hooks");
   }
 
   std::future<std::vector<std::uint8_t>> fut = p->done.get_future();
@@ -747,6 +868,42 @@ void Server::process(MatrixEntry& m, Pending& p) {
 }
 
 std::vector<std::uint8_t> Server::run_spmv(MatrixEntry& m, Pending& p) {
+  if (m.streamed) {
+    // Out-of-core path: the apply streams tile-by-tile off the mapped file.
+    // Admission already restricted injects to the engine-free ones.
+    if (p.inject == Inject::kNan && !p.x.empty()) {
+      p.x[0] = std::numeric_limits<real_t>::quiet_NaN();
+    } else if (p.inject == Inject::kSleepMs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint32_t>(p.inject_arg, 10'000)));
+    }
+    for (std::size_t i = 0; i < p.x.size(); ++i) {
+      if (!std::isfinite(p.x[i])) {
+        throw DataCorruption("request NaN policy violation: x[" +
+                             std::to_string(i) + "] is not finite");
+      }
+    }
+    std::vector<real_t> y(static_cast<std::size_t>(m.srows));
+    // An IoError/DataCorruption raised mid-stream (file truncated or
+    // replaced underneath us) propagates to process()'s SpmvError catch:
+    // this client gets kFaulted with the typed code, the daemon keeps going.
+    m.stream->spmv(p.x, y);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.stream_applies++;
+    }
+    WireWriter w;
+    put_reply_status(w, {ServeStatus::kOk, Status::kOk, ""});
+    w.put<std::uint32_t>(1);  // attempts
+    w.put<std::uint32_t>(0);  // ladder_step
+    w.put<std::uint8_t>(0);   // recovered
+    w.put<std::uint8_t>(0);   // verified (no ABFT partials off the stream)
+    w.put_string("stream/tile");
+    w.put<std::uint32_t>(0);  // faults
+    w.put_vec(y);
+    return w.take();
+  }
+
   sim::FaultInjector inj;
   bool armed = false;
   switch (p.inject) {
@@ -925,6 +1082,9 @@ std::vector<std::uint8_t> Server::handle_stats() {
   w.put<std::uint64_t>(s.apply_threads);
   w.put<std::uint64_t>(s.grid_plans);
   w.put<std::uint64_t>(s.generic_plans);
+  w.put<std::uint64_t>(s.stream_registered);
+  w.put<std::uint64_t>(s.stream_applies);
+  w.put<std::uint64_t>(s.shard_domains);
   return w.take();
 }
 

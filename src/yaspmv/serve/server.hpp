@@ -114,6 +114,12 @@ struct ServerStats {
   // rule as above.
   std::uint64_t grid_plans = 0;          ///< plans on a "grid/..." kernel
   std::uint64_t generic_plans = 0;       ///< plans on the generic kernel
+  // Shard/streaming execution shape (appended last, same rule as above).
+  std::uint64_t stream_registered = 0;   ///< matrices served out-of-core
+                                         ///< (registered by path, mmapped)
+  std::uint64_t stream_applies = 0;      ///< applies run off a mapped file
+  std::uint64_t shard_domains = 0;       ///< NUMA locality domains probed on
+                                         ///< this host (1 = single node)
 };
 
 class Server {
@@ -163,6 +169,7 @@ class Server {
 
   // Request handlers (called on connection threads).
   std::vector<std::uint8_t> handle_register(WireReader& r);
+  std::vector<std::uint8_t> handle_register_path(WireReader& r);
   std::vector<std::uint8_t> handle_request(MsgType type, WireReader& r);
   std::vector<std::uint8_t> handle_stats();
 

@@ -37,6 +37,14 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
 
+/// Literal-message overload: the message is only materialized on failure,
+/// so checks on hot paths (per-tile copies, per-segment lookups) stay
+/// allocation-free — a contract tools/check_stream_alloc enforces for the
+/// streaming apply.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
 /// Integer ceiling division for non-negative operands.
 template <class T>
 constexpr T ceil_div(T a, T b) {

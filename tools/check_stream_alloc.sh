@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Guards the out-of-core streaming apply's zero-allocation contract
+# (cpu/stream_spmv.hpp): every apply must reuse the ctor-built tile
+# scratch — a per-apply or per-tile allocation would malloc-storm exactly
+# on the matrices too large to hold in memory, which is the path's whole
+# reason to exist.
+#
+# The CLI converts a generated suite matrix into a .bccoo container, then
+# stream_alloc_guard (which overrides global operator new/delete to count)
+# maps it, warms one apply, arms the counter and asserts N further applies
+# allocate nothing.
+#
+# Usage: tools/check_stream_alloc.sh path/to/yaspmv_cli path/to/stream_alloc_guard
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: check_stream_alloc.sh <yaspmv_cli> <stream_alloc_guard>" >&2
+  exit 2
+fi
+cli="$1"
+guard="$2"
+
+tmp="${TMPDIR:-/tmp}/check_stream_alloc.$$.bccoo"
+trap 'rm -f "$tmp"' EXIT
+
+"$cli" convert --matrix=QCD --scale=0.1 --out="$tmp" > /dev/null
+"$guard" "$tmp" 8

@@ -2,7 +2,7 @@
 # Builds the test suite under sanitizers and runs it, in two passes:
 #
 #   address  ASan + UBSan over the full suite               (build-asan)
-#   thread   TSan over the tsan/replay/serve/integrity-labeled suites
+#   thread   TSan over the tsan/replay/serve/integrity/shard-labeled suites
 #            (build-tsan) — chaos_test + workpool_test + segsum_modes_test +
 #            compressed_test + vecops_test + solver_determinism_test +
 #            kernel_grid_test + replay_test, the ones
@@ -16,7 +16,10 @@
 #            daemon's accept / dispatch / executor / drain threads under
 #            concurrent clients; plus integrity_test, whose checksum-
 #            verified applies and fault-injected rollbacks run on the
-#            multi-threaded CpuSpmv chunk pass.
+#            multi-threaded CpuSpmv chunk pass; plus shard_test +
+#            stream_test, which drive the NUMA shard-affinity schedule
+#            (run_sharded spill, first-touch fills) and the out-of-core
+#            streaming engine through the serving daemon.
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 #        YASPMV_SANITIZE=address|thread limits the run to one pass.
@@ -48,9 +51,10 @@ run_tsan() {
   cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
     --target chaos_test workpool_test segsum_modes_test compressed_test \
              vecops_test solver_determinism_test kernel_grid_test \
-             replay_test serve_test serve_chaos_test integrity_test
+             replay_test serve_test serve_chaos_test integrity_test \
+             shard_test stream_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ctest --test-dir "$build" -L "tsan|replay|serve|integrity" \
+    ctest --test-dir "$build" -L "tsan|replay|serve|integrity|shard" \
       --output-on-failure "$@"
 }
 

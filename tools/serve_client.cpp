@@ -30,10 +30,12 @@ using namespace yaspmv;
 
 int usage() {
   std::cerr
-      << "usage: serve-client <register|spmv|solve|stats|shutdown> "
-         "--socket=<path> [options]\n"
+      << "usage: serve-client <register|register-path|spmv|solve|stats|"
+         "shutdown> --socket=<path> [options]\n"
          "  register  --mtx=<f.mtx> | --matrix=<name> [--scale=f] "
          "[--force-retune]\n"
+         "  register-path --file=<f.bccoo>   (served out-of-core from the "
+         "mmapped file)\n"
          "  spmv      [--id=<hex>] --n=<cols> | --mtx=|--matrix= "
          "(id derived from the input when omitted)\n"
          "            [--deadline-ms=N] [--retries=N]\n"
@@ -130,6 +132,19 @@ int main(int argc, char** argv) {
                 << " candidates, kernel " << r.kernel << ")\n";
       return 0;
     }
+    if (cmd == "register-path") {
+      const std::string file = args.get("file");
+      if (file.empty()) return usage();
+      const auto r = client.register_path(file);
+      if (r.status.status != serve::ServeStatus::kOk) {
+        return report_error(r.status);
+      }
+      std::cout << std::hex << r.matrix_id << std::dec << "\n";
+      std::cerr << (r.newly_registered ? "mapped" : "already mapped") << " "
+                << r.rows << " x " << r.cols << " in " << r.register_seconds
+                << " s (kernel " << r.kernel << ", served out-of-core)\n";
+      return 0;
+    }
     if (cmd == "stats") {
       const auto s = client.stats();
       if (s.status.status != serve::ServeStatus::kOk) {
@@ -149,7 +164,9 @@ int main(int argc, char** argv) {
                 << s.integrity_recovered << "\nexecutors " << s.executors
                 << "\napply_threads " << s.apply_threads << "\ngrid_plans "
                 << s.grid_plans << "\ngeneric_plans " << s.generic_plans
-                << "\n";
+                << "\nstream_registered " << s.stream_registered
+                << "\nstream_applies " << s.stream_applies
+                << "\nshard_domains " << s.shard_domains << "\n";
       return 0;
     }
     if (cmd == "shutdown") {

@@ -1,0 +1,101 @@
+// stream_alloc_guard — asserts the out-of-core streaming apply performs
+// ZERO heap allocations.  CpuStreamSpmv's contract is that all scratch
+// (column/bit/value tiles) is built in the constructor and every apply
+// reuses it: an allocation sneaking into the per-tile loop would turn the
+// streaming walk into a malloc storm exactly on the matrices too big to
+// hold in memory.  The guard counts global operator new/delete in THIS
+// binary only (the overrides live here, not in the library), runs a warm
+// apply, arms the counter, runs N more applies and fails if anything was
+// allocated while armed.
+//
+//   stream_alloc_guard <file.bccoo> [applies]
+//
+// Registered as the `check_stream_alloc` ctest guard via
+// tools/check_stream_alloc.sh, which builds the container first.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "yaspmv/cpu/stream_spmv.hpp"
+#include "yaspmv/io/stream.hpp"
+#include "yaspmv/util/rng.hpp"
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_allocs{0};
+std::atomic<std::size_t> g_frees{0};
+
+}  // namespace
+
+namespace {
+
+void* counted_alloc(std::size_t n) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (p && g_armed.load(std::memory_order_relaxed)) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+// Global overrides: counting only — layout and semantics stay malloc's.
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+
+int main(int argc, char** argv) {
+  using namespace yaspmv;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: stream_alloc_guard <file.bccoo> [applies]\n");
+    return 2;
+  }
+  const long applies = argc >= 3 ? std::strtol(argv[2], nullptr, 10) : 8;
+
+  try {
+    auto mapped = std::make_shared<const io::MappedBccoo>(argv[1]);
+    cpu::CpuStreamSpmv eng(mapped);
+
+    std::vector<real_t> x(static_cast<std::size_t>(eng.cols()));
+    std::vector<real_t> y(static_cast<std::size_t>(eng.rows()));
+    SplitMix64 rng(42);
+    for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+
+    eng.spmv(x, y);  // warm: faults pages, installs the SIGBUS handler
+
+    g_armed.store(true, std::memory_order_seq_cst);
+    for (long i = 0; i < applies; ++i) eng.spmv(x, y);
+    g_armed.store(false, std::memory_order_seq_cst);
+
+    const std::size_t allocs = g_allocs.load();
+    const std::size_t frees = g_frees.load();
+    std::printf("stream_alloc_guard: %ld applies, %zu allocations, "
+                "%zu frees while armed\n",
+                applies, allocs, frees);
+    if (allocs != 0 || frees != 0) {
+      std::fprintf(stderr,
+                   "FAIL: the streaming apply path allocated — the "
+                   "ctor-built-scratch contract is broken\n");
+      return 1;
+    }
+    std::printf("stream_alloc_guard: OK\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream_alloc_guard: %s\n", e.what());
+    return 1;
+  }
+}
